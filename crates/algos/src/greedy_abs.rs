@@ -1,0 +1,483 @@
+//! GreedyAbs: the one-pass greedy heuristic for maximum-absolute-error
+//! thresholding (Karras & Mamoulis \[22\], described in Section 5.1).
+//!
+//! Each not-yet-discarded coefficient `c_k` carries its *maximum potential
+//! absolute error* `MA_k` (Eq. 7) — the max-abs error the running synopsis
+//! would incur if `c_k` were discarded. Because a removal shifts the signed
+//! errors of its left (right) leaves uniformly by `-c_k` (`+c_k`), `MA_k`
+//! is computable from four per-node extrema (Eq. 8):
+//!
+//! ```text
+//! MA_k = max(|max_l - c_k|, |min_l - c_k|, |max_r + c_k|, |min_r + c_k|)
+//! ```
+//!
+//! The algorithm keeps all coefficients in an indexed min-heap by `MA_k`,
+//! repeatedly discards the minimum, updates descendant/ancestor extrema and
+//! re-keys them, and — since max-abs is not monotone in the number of
+//! removals — keeps discarding *past* the budget `B`, finally choosing the
+//! best of the last `B+1` states.
+//!
+//! The same engine runs on a full error tree (with the average coefficient
+//! `c_0`) or on a *base sub-tree* with a uniform incoming error `e_in`
+//! (Section 5.2), which is what DGreedyAbs's level-1 workers execute.
+
+use dwmaxerr_wavelet::{Synopsis, WaveletError};
+
+use crate::heap::IndexedMinHeap;
+
+/// One step of the greedy removal sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Removal {
+    /// Local node id: 0 is the average coefficient (full-tree mode only);
+    /// `1..m` are detail nodes in error-tree heap order.
+    pub node: u32,
+    /// The running synopsis's max-abs error *after* this removal.
+    pub error_after: f64,
+}
+
+/// GreedyAbs state over a (sub)tree with `m` leaves.
+///
+/// Node ids are local: id 0 is the average slot (present only in full-tree
+/// mode), ids `1..m` are the `m - 1` detail coefficients in heap order
+/// (id 1 = the subtree's root detail).
+#[derive(Debug, Clone)]
+pub struct GreedyAbs {
+    m: usize,
+    /// `coeff\[0\]` = average (if any); `coeff[1..m]` = details.
+    coeff: Vec<f64>,
+    has_average: bool,
+    /// Signed accumulated error per leaf.
+    err: Vec<f64>,
+    /// Per-internal-node signed-error extrema over left/right leaves.
+    max_l: Vec<f64>,
+    min_l: Vec<f64>,
+    max_r: Vec<f64>,
+    min_r: Vec<f64>,
+    alive: Vec<bool>,
+    heap: IndexedMinHeap,
+}
+
+impl GreedyAbs {
+    /// Builds the state for a full error tree from its coefficient array
+    /// (`c_0` first). `coeffs.len()` must be a power of two.
+    pub fn new_full(coeffs: &[f64]) -> Result<Self, WaveletError> {
+        dwmaxerr_wavelet::error::ensure_pow2(coeffs.len())?;
+        Ok(Self::build(coeffs.to_vec(), true, 0.0))
+    }
+
+    /// Builds the state for a base sub-tree: `details` holds the `m - 1`
+    /// detail coefficients in local heap order (subtree root first), and
+    /// `incoming_err` is the uniform signed error `delta_j * e_in` induced
+    /// by discarded ancestors (Section 5.2). `details.len() + 1` must be a
+    /// power of two.
+    pub fn new_subtree(details: &[f64], incoming_err: f64) -> Result<Self, WaveletError> {
+        let m = details.len() + 1;
+        dwmaxerr_wavelet::error::ensure_pow2(m)?;
+        if m < 2 {
+            return Err(WaveletError::Empty);
+        }
+        let mut coeff = Vec::with_capacity(m);
+        coeff.push(0.0); // unused average slot
+        coeff.extend_from_slice(details);
+        Ok(Self::build(coeff, false, incoming_err))
+    }
+
+    fn build(coeff: Vec<f64>, has_average: bool, initial_err: f64) -> Self {
+        let m = coeff.len();
+        let mut state = GreedyAbs {
+            m,
+            coeff,
+            has_average,
+            err: vec![initial_err; m],
+            max_l: vec![initial_err; m],
+            min_l: vec![initial_err; m],
+            max_r: vec![initial_err; m],
+            min_r: vec![initial_err; m],
+            alive: vec![false; m],
+            heap: IndexedMinHeap::with_capacity(m),
+        };
+        for i in 1..m {
+            state.alive[i] = true;
+            state.heap.insert(i, state.ma(i));
+        }
+        if has_average {
+            state.alive[0] = true;
+            state.heap.insert(0, state.ma_average());
+        }
+        state
+    }
+
+    /// Number of leaves covered by this (sub)tree.
+    #[inline]
+    pub fn leaves(&self) -> usize {
+        self.m
+    }
+
+    /// Number of coefficients still retained.
+    #[inline]
+    pub fn retained(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// The current running max-abs error over all leaves.
+    pub fn current_error(&self) -> f64 {
+        let (gmax, gmin) = self.global_extrema();
+        gmax.abs().max(gmin.abs())
+    }
+
+    #[inline]
+    fn global_extrema(&self) -> (f64, f64) {
+        if self.m == 1 {
+            (self.err[0], self.err[0])
+        } else {
+            (
+                self.max_l[1].max(self.max_r[1]),
+                self.min_l[1].min(self.min_r[1]),
+            )
+        }
+    }
+
+    /// `MA_k` for detail node `k` (Eq. 8).
+    #[inline]
+    fn ma(&self, k: usize) -> f64 {
+        let c = self.coeff[k];
+        (self.max_l[k] - c)
+            .abs()
+            .max((self.min_l[k] - c).abs())
+            .max((self.max_r[k] + c).abs())
+            .max((self.min_r[k] + c).abs())
+    }
+
+    /// `MA_0` for the average coefficient: its removal shifts every leaf by
+    /// `-c_0`.
+    #[inline]
+    fn ma_average(&self) -> f64 {
+        let c0 = self.coeff[0];
+        let (gmax, gmin) = self.global_extrema();
+        (gmax - c0).abs().max((gmin - c0).abs())
+    }
+
+    #[inline]
+    fn level(i: usize) -> u32 {
+        usize::BITS - 1 - i.leading_zeros()
+    }
+
+    /// Leaf span `[start, start + width)` of detail node `i >= 1`.
+    #[inline]
+    fn span(&self, i: usize) -> (usize, usize) {
+        let l = Self::level(i);
+        let width = self.m >> l;
+        ((i - (1usize << l)) * width, width)
+    }
+
+    /// Shifts all four extrema of every internal node in the subtree rooted
+    /// at `start_node` by `delta`, re-keying alive nodes.
+    fn shift_internal_subtree(&mut self, start_node: usize, delta: f64) {
+        let mut start = start_node;
+        let mut count = 1;
+        while start < self.m {
+            let end = (start + count).min(self.m);
+            for i in start..end {
+                self.max_l[i] += delta;
+                self.min_l[i] += delta;
+                self.max_r[i] += delta;
+                self.min_r[i] += delta;
+                if self.alive[i] {
+                    let ma = self.ma(i);
+                    self.heap.update(i, ma);
+                }
+            }
+            start *= 2;
+            count *= 2;
+        }
+    }
+
+    /// Recomputes node `a`'s extrema from its children.
+    fn refresh_from_children(&mut self, a: usize) {
+        if 2 * a < self.m {
+            // Internal children.
+            let (l, r) = (2 * a, 2 * a + 1);
+            self.max_l[a] = self.max_l[l].max(self.max_r[l]);
+            self.min_l[a] = self.min_l[l].min(self.min_r[l]);
+            self.max_r[a] = self.max_l[r].max(self.max_r[r]);
+            self.min_r[a] = self.min_l[r].min(self.min_r[r]);
+        } else {
+            // Leaf children.
+            let (start, _) = self.span(a);
+            self.max_l[a] = self.err[start];
+            self.min_l[a] = self.err[start];
+            self.max_r[a] = self.err[start + 1];
+            self.min_r[a] = self.err[start + 1];
+        }
+    }
+
+    /// Discards detail node `k`, updating errors, extrema and heap keys.
+    fn discard_detail(&mut self, k: usize) {
+        let c = self.coeff[k];
+        self.alive[k] = false;
+        let (start, width) = self.span(k);
+        let mid = start + width / 2;
+        for j in start..mid {
+            self.err[j] -= c;
+        }
+        for j in mid..start + width {
+            self.err[j] += c;
+        }
+        if 2 * k < self.m {
+            self.shift_internal_subtree(2 * k, -c);
+            self.shift_internal_subtree(2 * k + 1, c);
+        }
+        // k's own extrema shift by side (dead, but ancestors read them).
+        self.max_l[k] -= c;
+        self.min_l[k] -= c;
+        self.max_r[k] += c;
+        self.min_r[k] += c;
+        // Ancestors: recompute extrema bottom-up and re-key alive ones.
+        let mut a = k / 2;
+        while a >= 1 {
+            self.refresh_from_children(a);
+            if self.alive[a] {
+                let ma = self.ma(a);
+                self.heap.update(a, ma);
+            }
+            a /= 2;
+        }
+        if self.has_average && self.alive[0] {
+            let ma0 = self.ma_average();
+            self.heap.update(0, ma0);
+        }
+    }
+
+    /// Discards the average coefficient: every leaf shifts by `-c_0`.
+    fn discard_average(&mut self) {
+        let c0 = self.coeff[0];
+        self.alive[0] = false;
+        for e in &mut self.err {
+            *e -= c0;
+        }
+        for i in 1..self.m {
+            self.max_l[i] -= c0;
+            self.min_l[i] -= c0;
+            self.max_r[i] -= c0;
+            self.min_r[i] -= c0;
+            if self.alive[i] {
+                let ma = self.ma(i);
+                self.heap.update(i, ma);
+            }
+        }
+    }
+
+    /// Discards the node with the smallest `MA` and returns the removal
+    /// record, or `None` when every coefficient is gone.
+    pub fn step(&mut self) -> Option<Removal> {
+        let (k, _ma) = self.heap.pop()?;
+        if k == 0 {
+            self.discard_average();
+        } else {
+            self.discard_detail(k);
+        }
+        Some(Removal {
+            node: k as u32,
+            error_after: self.current_error(),
+        })
+    }
+
+    /// Runs the greedy loop until no coefficient remains, returning the
+    /// complete removal sequence (the ordered list `L_j` of Section 5.2).
+    pub fn run_to_empty(&mut self) -> Vec<Removal> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(r) = self.step() {
+            out.push(r);
+        }
+        out
+    }
+}
+
+/// Picks the best stopping point for a budget `b` from a full removal
+/// sequence: of the `b + 1` final states (sizes `b, b-1, …, 0`), the one
+/// with the smallest max-abs error (Section 5.1). Returns
+/// `(number of removals to apply, that state's error)`.
+pub fn best_prefix(trace: &[Removal], total_nodes: usize, b: usize) -> (usize, f64) {
+    debug_assert_eq!(trace.len(), total_nodes);
+    let min_removals = total_nodes.saturating_sub(b);
+    let mut best_t = min_removals;
+    let mut best_err = error_after(trace, min_removals);
+    for t in min_removals + 1..=total_nodes {
+        let e = error_after(trace, t);
+        if e < best_err {
+            best_err = e;
+            best_t = t;
+        }
+    }
+    (best_t, best_err)
+}
+
+/// The max-abs error after `t` removals of a trace (0 removals = exact).
+fn error_after(trace: &[Removal], t: usize) -> f64 {
+    if t == 0 {
+        0.0
+    } else {
+        trace[t - 1].error_after
+    }
+}
+
+/// Complete GreedyAbs thresholding of a full coefficient array: returns the
+/// best synopsis with at most `b` retained coefficients and its max-abs
+/// error.
+pub fn greedy_abs_synopsis(coeffs: &[f64], b: usize) -> Result<(Synopsis, f64), WaveletError> {
+    let n = coeffs.len();
+    let mut state = GreedyAbs::new_full(coeffs)?;
+    let trace = state.run_to_empty();
+    let (t, err) = best_prefix(&trace, n, b);
+    let removed: std::collections::HashSet<u32> =
+        trace[..t].iter().map(|r| r.node).collect();
+    let retained: Vec<u32> = (0..n as u32).filter(|i| !removed.contains(i)).collect();
+    let synopsis = Synopsis::retain_indices(coeffs, &retained)?;
+    Ok((synopsis, err))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwmaxerr_wavelet::metrics::max_abs;
+    use dwmaxerr_wavelet::transform::forward;
+
+    const PAPER_DATA: [f64; 8] = [5.0, 5.0, 0.0, 26.0, 1.0, 3.0, 14.0, 2.0];
+
+    /// Reconstructs with the nodes remaining after `t` removals and checks
+    /// the tracked error against a brute-force evaluation.
+    fn check_trace_against_bruteforce(data: &[f64]) {
+        let w = forward(data).unwrap();
+        let n = w.len();
+        let mut g = GreedyAbs::new_full(&w).unwrap();
+        let trace = g.run_to_empty();
+        assert_eq!(trace.len(), n);
+        let mut removed = std::collections::HashSet::new();
+        for r in &trace {
+            removed.insert(r.node);
+            let retained: Vec<u32> = (0..n as u32).filter(|i| !removed.contains(i)).collect();
+            let syn = Synopsis::retain_indices(&w, &retained).unwrap();
+            let actual_err = max_abs(data, &syn.reconstruct_all());
+            assert!(
+                (r.error_after - actual_err).abs() < 1e-9,
+                "tracked {} vs actual {} after removing {:?}",
+                r.error_after,
+                actual_err,
+                removed
+            );
+        }
+    }
+
+    #[test]
+    fn tracked_errors_match_bruteforce_paper_data() {
+        check_trace_against_bruteforce(&PAPER_DATA);
+    }
+
+    #[test]
+    fn tracked_errors_match_bruteforce_various() {
+        check_trace_against_bruteforce(&[1.0, 1.0, 1.0, 1.0]);
+        check_trace_against_bruteforce(&[0.0, 100.0]);
+        check_trace_against_bruteforce(&[3.0]);
+        check_trace_against_bruteforce(&[
+            12.5, -3.0, 0.0, 0.0, 7.0, 7.0, 6.5, -2.25, 100.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0,
+        ]);
+    }
+
+    #[test]
+    fn first_removal_is_smallest_ma() {
+        // With zero initial error MA_k = |c_k|, so the first discarded node
+        // is the smallest-magnitude coefficient (Section 5.1).
+        let w = forward(&PAPER_DATA).unwrap(); // [7,2,-4,-3,0,-13,-1,6]
+        let mut g = GreedyAbs::new_full(&w).unwrap();
+        let first = g.step().unwrap();
+        assert_eq!(first.node, 4); // c_4 = 0
+        assert_eq!(first.error_after, 0.0);
+    }
+
+    #[test]
+    fn synopsis_respects_budget_and_error() {
+        let w = forward(&PAPER_DATA).unwrap();
+        for b in 0..=8 {
+            let (syn, err) = greedy_abs_synopsis(&w, b).unwrap();
+            assert!(syn.size() <= b, "budget {b} violated: {}", syn.size());
+            let actual = max_abs(&PAPER_DATA, &syn.reconstruct_all());
+            assert!((actual - err).abs() < 1e-9, "b={b}");
+        }
+    }
+
+    #[test]
+    fn full_budget_is_lossless() {
+        let w = forward(&PAPER_DATA).unwrap();
+        let (_, err) = greedy_abs_synopsis(&w, 8).unwrap();
+        assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn error_decreases_with_budget() {
+        let w = forward(&PAPER_DATA).unwrap();
+        let mut last = f64::INFINITY;
+        for b in 0..=8 {
+            let (_, err) = greedy_abs_synopsis(&w, b).unwrap();
+            assert!(err <= last + 1e-12, "b={b}: {err} > {last}");
+            last = err;
+        }
+    }
+
+    #[test]
+    fn subtree_mode_with_incoming_error() {
+        // Subtree with 4 leaves, details [d1, d2, d3], incoming error 5.
+        let details = [2.0, 1.0, -1.0];
+        let mut g = GreedyAbs::new_subtree(&details, 5.0).unwrap();
+        assert_eq!(g.current_error(), 5.0);
+        // MA with uniform err e: |e| + |c|; smallest is |c| = 1 at node 2.
+        let r = g.step().unwrap();
+        assert_eq!(r.node, 2);
+        assert!((r.error_after - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtree_trace_matches_manual_simulation() {
+        // 4 leaves, details [a=3, b=1, c=2] (local nodes 1, 2, 3).
+        // Leaf reconstruction: leaf0 = e + a + b, leaf1 = e + a - b,
+        // leaf2 = e - a + c, leaf3 = e - a - c, with e = 0 here.
+        let details = [3.0, 1.0, 2.0];
+        let mut g = GreedyAbs::new_subtree(&details, 0.0).unwrap();
+        let trace = g.run_to_empty();
+        assert_eq!(trace.len(), 3);
+        // Removal order by |c|: node 2 (1.0), node 3 (2.0), node 1 (3.0).
+        assert_eq!(trace[0].node, 2);
+        assert!((trace[0].error_after - 1.0).abs() < 1e-12);
+        assert_eq!(trace[1].node, 3);
+        assert!((trace[1].error_after - 2.0).abs() < 1e-12);
+        assert_eq!(trace[2].node, 1);
+        // After removing everything, |err| = |±a ± b| max = 3 + 2 = ...
+        // leaf0 err = -(a + b) = -4, leaf3 err = a + c = 5 -> max 5.
+        assert!((trace[2].error_after - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(GreedyAbs::new_full(&[1.0, 2.0, 3.0]).is_err());
+        assert!(GreedyAbs::new_subtree(&[1.0, 2.0], 0.0).is_err()); // m = 3
+    }
+
+    #[test]
+    fn non_monotone_error_is_handled() {
+        // Removing a coefficient can *decrease* max_abs (Section 5.1);
+        // best_prefix must pick the later, better state.
+        let trace = vec![
+            Removal { node: 1, error_after: 10.0 },
+            Removal { node: 2, error_after: 4.0 },
+            Removal { node: 3, error_after: 12.0 },
+            Removal { node: 0, error_after: 20.0 },
+        ];
+        // b = 3 allows 1..=4 removals; best is t = 2 (error 4).
+        let (t, e) = best_prefix(&trace, 4, 3);
+        assert_eq!(t, 2);
+        assert_eq!(e, 4.0);
+        // b = 4 allows t = 0 (exact).
+        let (t, e) = best_prefix(&trace, 4, 4);
+        assert_eq!(t, 0);
+        assert_eq!(e, 0.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Indexed binary min-heap with update-key, used by the greedy algorithms.
+//!
+//! GreedyAbs/GreedyRel repeatedly pop the coefficient with the smallest
+//! maximum-potential error and re-key ancestors/descendants after each
+//! removal (Section 5.1: "the position of c_k's descendants and affected
+//! ancestors are dynamically updated in the heap"). Keys are `f64` and ties
+//! break on the node id for determinism.
+
+/// An indexed min-heap over node ids `0..capacity` with `f64` keys.
+#[derive(Debug, Clone)]
+pub struct IndexedMinHeap {
+    /// Heap array of node ids.
+    heap: Vec<u32>,
+    /// `pos[id]` = position of `id` in `heap`, or `ABSENT`.
+    pos: Vec<u32>,
+    /// `key[id]` = current key (valid only while present).
+    key: Vec<f64>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl IndexedMinHeap {
+    /// Creates an empty heap able to hold ids `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        IndexedMinHeap {
+            heap: Vec::with_capacity(capacity),
+            pos: vec![ABSENT; capacity],
+            key: vec![0.0; capacity],
+        }
+    }
+
+    /// Number of ids currently in the heap.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when the heap holds no ids.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True when `id` is currently in the heap.
+    #[inline]
+    pub fn contains(&self, id: usize) -> bool {
+        self.pos[id] != ABSENT
+    }
+
+    /// The current key of `id`. Panics if absent.
+    #[inline]
+    pub fn key_of(&self, id: usize) -> f64 {
+        debug_assert!(self.contains(id));
+        self.key[id]
+    }
+
+    /// Inserts a new id. Panics (in debug) if already present or the key is
+    /// NaN.
+    pub fn insert(&mut self, id: usize, key: f64) {
+        debug_assert!(!self.contains(id), "id {id} already in heap");
+        debug_assert!(!key.is_nan());
+        self.key[id] = key;
+        self.pos[id] = self.heap.len() as u32;
+        self.heap.push(id as u32);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Updates the key of a present id, restoring heap order.
+    pub fn update(&mut self, id: usize, key: f64) {
+        debug_assert!(self.contains(id), "id {id} not in heap");
+        debug_assert!(!key.is_nan());
+        let old = self.key[id];
+        self.key[id] = key;
+        let p = self.pos[id] as usize;
+        if (key, id as u32) < (old, id as u32) {
+            self.sift_up(p);
+        } else {
+            self.sift_down(p);
+        }
+    }
+
+    /// Inserts or updates.
+    pub fn upsert(&mut self, id: usize, key: f64) {
+        if self.contains(id) {
+            self.update(id, key);
+        } else {
+            self.insert(id, key);
+        }
+    }
+
+    /// Pops the id with the smallest `(key, id)`.
+    pub fn pop(&mut self) -> Option<(usize, f64)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0] as usize;
+        let k = self.key[top];
+        self.remove_at(0);
+        Some((top, k))
+    }
+
+    /// Peeks at the minimum without removing it.
+    pub fn peek(&self) -> Option<(usize, f64)> {
+        self.heap.first().map(|&id| (id as usize, self.key[id as usize]))
+    }
+
+    /// Removes an arbitrary id (no-op if absent).
+    pub fn remove(&mut self, id: usize) {
+        if self.contains(id) {
+            let p = self.pos[id] as usize;
+            self.remove_at(p);
+        }
+    }
+
+    fn remove_at(&mut self, p: usize) {
+        let id = self.heap[p] as usize;
+        let last = self.heap.len() - 1;
+        self.heap.swap(p, last);
+        self.pos[self.heap[p] as usize] = p as u32;
+        self.heap.pop();
+        self.pos[id] = ABSENT;
+        if p < self.heap.len() {
+            self.sift_down(p);
+            self.sift_up(self.pos[self.heap[p] as usize] as usize);
+        }
+    }
+
+    #[inline]
+    fn less(&self, a: usize, b: usize) -> bool {
+        let (ia, ib) = (self.heap[a] as usize, self.heap[b] as usize);
+        (self.key[ia], ia) < (self.key[ib], ib)
+    }
+
+    fn sift_up(&mut self, mut p: usize) {
+        while p > 0 {
+            let parent = (p - 1) / 2;
+            if self.less(p, parent) {
+                self.swap_nodes(p, parent);
+                p = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut p: usize) {
+        loop {
+            let l = 2 * p + 1;
+            let r = 2 * p + 2;
+            let mut smallest = p;
+            if l < self.heap.len() && self.less(l, smallest) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.less(r, smallest) {
+                smallest = r;
+            }
+            if smallest == p {
+                break;
+            }
+            self.swap_nodes(p, smallest);
+            p = smallest;
+        }
+    }
+
+    #[inline]
+    fn swap_nodes(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as u32;
+        self.pos[self.heap[b] as usize] = b as u32;
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for p in 1..self.heap.len() {
+            assert!(!self.less(p, (p - 1) / 2), "heap order violated at {p}");
+        }
+        for (id, &p) in self.pos.iter().enumerate() {
+            if p != ABSENT {
+                assert_eq!(self.heap[p as usize] as usize, id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut h = IndexedMinHeap::with_capacity(8);
+        for (id, k) in [(0, 5.0), (1, 1.0), (2, 3.0), (3, 0.5), (4, 4.0)] {
+            h.insert(id, k);
+            h.check_invariants();
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop().map(|(i, _)| i)).collect();
+        assert_eq!(order, vec![3, 1, 2, 4, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut h = IndexedMinHeap::with_capacity(4);
+        h.insert(2, 1.0);
+        h.insert(0, 1.0);
+        h.insert(1, 1.0);
+        assert_eq!(h.pop(), Some((0, 1.0)));
+        assert_eq!(h.pop(), Some((1, 1.0)));
+        assert_eq!(h.pop(), Some((2, 1.0)));
+    }
+
+    #[test]
+    fn update_moves_both_directions() {
+        let mut h = IndexedMinHeap::with_capacity(4);
+        h.insert(0, 1.0);
+        h.insert(1, 2.0);
+        h.insert(2, 3.0);
+        h.update(2, 0.5);
+        h.check_invariants();
+        assert_eq!(h.peek(), Some((2, 0.5)));
+        h.update(2, 10.0);
+        h.check_invariants();
+        assert_eq!(h.peek(), Some((0, 1.0)));
+        assert_eq!(h.key_of(2), 10.0);
+    }
+
+    #[test]
+    fn remove_arbitrary() {
+        let mut h = IndexedMinHeap::with_capacity(8);
+        for id in 0..8 {
+            h.insert(id, id as f64);
+        }
+        h.remove(0);
+        h.remove(4);
+        h.check_invariants();
+        assert!(!h.contains(0));
+        assert!(!h.contains(4));
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop().map(|(i, _)| i)).collect();
+        assert_eq!(order, vec![1, 2, 3, 5, 6, 7]);
+        h.remove(3); // absent: no-op
+    }
+
+    #[test]
+    fn upsert_inserts_then_updates() {
+        let mut h = IndexedMinHeap::with_capacity(2);
+        h.upsert(0, 2.0);
+        h.upsert(0, 1.0);
+        h.upsert(1, 3.0);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.pop(), Some((0, 1.0)));
+    }
+
+    #[test]
+    fn randomized_against_reference() {
+        // Deterministic LCG so the test needs no rand dependency here.
+        let mut state: u64 = 0x12345678;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        let cap = 64;
+        let mut h = IndexedMinHeap::with_capacity(cap);
+        let mut reference: std::collections::BTreeMap<usize, f64> = Default::default();
+        for _ in 0..2000 {
+            let op = next() % 4;
+            let id = (next() % cap as u64) as usize;
+            let key = (next() % 1000) as f64 / 10.0;
+            match op {
+                0 => {
+                    if !h.contains(id) {
+                        h.insert(id, key);
+                        reference.insert(id, key);
+                    }
+                }
+                1 => {
+                    if h.contains(id) {
+                        h.update(id, key);
+                        reference.insert(id, key);
+                    }
+                }
+                2 => {
+                    h.remove(id);
+                    reference.remove(&id);
+                }
+                _ => {
+                    let expect = reference
+                        .iter()
+                        .map(|(&i, &k)| (k, i))
+                        .min_by(|a, b| a.partial_cmp(b).unwrap());
+                    let got = h.pop();
+                    match (expect, got) {
+                        (None, None) => {}
+                        (Some((k, i)), Some((gi, gk))) => {
+                            assert_eq!((i, k), (gi, gk));
+                            reference.remove(&i);
+                        }
+                        other => panic!("mismatch: {other:?}"),
+                    }
+                }
+            }
+        }
+        h.check_invariants();
+        assert_eq!(h.len(), reference.len());
+    }
+}

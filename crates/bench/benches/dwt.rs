@@ -1,0 +1,68 @@
+//! Microbenchmarks of the Haar substrate: transform throughput,
+//! reconstruction, and range sums.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dwmaxerr_datagen::synthetic::uniform;
+use dwmaxerr_wavelet::reconstruct::range_sum;
+use dwmaxerr_wavelet::transform::{forward, inverse};
+use dwmaxerr_wavelet::{ErrorTree, Synopsis};
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("haar_transform");
+    for log_n in [10u32, 14, 18] {
+        let n = 1usize << log_n;
+        let data = uniform(n, 1000.0, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("forward", n), &data, |b, d| {
+            b.iter(|| forward(black_box(d)).unwrap())
+        });
+        let w = forward(&data).unwrap();
+        group.bench_with_input(BenchmarkId::new("inverse", n), &w, |b, w| {
+            b.iter(|| inverse(black_box(w)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let n = 1usize << 16;
+    let data = uniform(n, 1000.0, 2);
+    let tree = ErrorTree::from_data(&data).unwrap();
+    let w = tree.coefficients().to_vec();
+    let idx: Vec<u32> = (0..(n / 8) as u32).collect();
+    let syn = Synopsis::retain_indices(&w, &idx).unwrap();
+
+    let mut group = c.benchmark_group("reconstruction");
+    group.bench_function("point_from_tree", |b| {
+        let mut j = 0usize;
+        b.iter(|| {
+            j = (j + 7919) % n;
+            black_box(tree.reconstruct_value(j))
+        })
+    });
+    group.bench_function("point_from_synopsis", |b| {
+        let mut j = 0usize;
+        b.iter(|| {
+            j = (j + 7919) % n;
+            black_box(syn.reconstruct_value(j))
+        })
+    });
+    group.bench_function("range_sum_log_coeffs", |b| {
+        let mut j = 0usize;
+        b.iter(|| {
+            j = (j + 104729) % (n / 2);
+            black_box(range_sum(&w, j, j + n / 4))
+        })
+    });
+    group.bench_function("full_reconstruction", |b| {
+        b.iter(|| black_box(syn.reconstruct_all()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_transform, bench_reconstruction
+}
+criterion_main!(benches);

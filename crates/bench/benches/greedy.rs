@@ -1,0 +1,67 @@
+//! Microbenchmarks of the greedy thresholding engines: GreedyAbs's
+//! near-linear practical behaviour (Section 5.3) and GreedyRel's envelope
+//! maintenance.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dwmaxerr_algos::greedy_abs::{greedy_abs_synopsis, GreedyAbs};
+use dwmaxerr_algos::greedy_rel::GreedyRel;
+use dwmaxerr_datagen::nyct_like;
+use dwmaxerr_wavelet::transform::forward;
+
+fn bench_greedy_abs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_abs");
+    // Near-linear scaling: time/N should stay roughly flat across sizes.
+    for log_n in [12u32, 14, 16] {
+        let n = 1usize << log_n;
+        let data = nyct_like(n, 0.0, 3);
+        let w = forward(&data).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("run_to_empty", n), &w, |b, w| {
+            b.iter(|| {
+                let mut g = GreedyAbs::new_full(black_box(w)).unwrap();
+                black_box(g.run_to_empty())
+            })
+        });
+    }
+    let n = 1usize << 14;
+    let data = nyct_like(n, 0.0, 4);
+    let w = forward(&data).unwrap();
+    group.bench_function("full_synopsis_b_n8", |b| {
+        b.iter(|| black_box(greedy_abs_synopsis(&w, n / 8).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_greedy_rel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_rel");
+    for log_n in [10u32, 12, 14] {
+        let n = 1usize << log_n;
+        let data = nyct_like(n, 0.0, 5);
+        let w = forward(&data).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("run_to_empty", n), &(), |b, _| {
+            b.iter(|| {
+                let mut g = GreedyRel::new_full(&w, &data, 1.0).unwrap();
+                black_box(g.run_to_empty())
+            })
+        });
+    }
+    // Envelope compactness on realistic data is what keeps GreedyRel fast.
+    let n = 1usize << 14;
+    let data = nyct_like(n, 0.0, 6);
+    let w = forward(&data).unwrap();
+    group.bench_function("envelope_build_16k", |b| {
+        b.iter(|| {
+            let g = GreedyRel::new_full(&w, &data, 1.0).unwrap();
+            black_box(g.envelope_lines())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_greedy_abs, bench_greedy_rel
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbenchmarks of the MinHaarSpace DP: the `O((ε/δ)² N)` cost law and
+//! the row-combine kernel that the distributed layers parallelize.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwmaxerr_algos::min_haar_space::{combine, leaf_row, min_haar_space, MhsParams};
+use dwmaxerr_datagen::wd_like;
+
+fn bench_full_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_haar_space");
+    let n = 1usize << 12;
+    let data = wd_like(n, 0.0, 7);
+    // The (ε/δ)² law: fix ε, shrink δ.
+    for delta in [8.0, 4.0, 2.0, 1.0] {
+        let p = MhsParams::new(40.0, delta).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("eps40_by_delta", format!("{delta}")),
+            &p,
+            |b, p| b.iter(|| black_box(min_haar_space(&data, p).unwrap().size)),
+        );
+    }
+    // Linear-in-N at fixed ε/δ.
+    for log_n in [10u32, 12, 14] {
+        let n = 1usize << log_n;
+        let data = wd_like(n, 0.0, 8);
+        let p = MhsParams::new(40.0, 4.0).unwrap();
+        group.bench_with_input(BenchmarkId::new("by_n", n), &data, |b, d| {
+            b.iter(|| black_box(min_haar_space(d, &p).unwrap().size))
+        });
+    }
+    group.finish();
+}
+
+fn bench_combine_kernel(c: &mut Criterion) {
+    let p = MhsParams::new(30.0, 1.0).unwrap();
+    let left = leaf_row(100.0, &p).unwrap();
+    let right = leaf_row(130.0, &p).unwrap();
+    let parent = combine(&left, &right);
+    let grand = combine(&parent, &parent);
+    c.bench_function("mhs_combine_60cell_rows", |b| {
+        b.iter(|| black_box(combine(&grand, &grand)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_full_dp, bench_combine_kernel
+}
+criterion_main!(benches);

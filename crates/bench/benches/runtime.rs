@@ -1,0 +1,92 @@
+//! Microbenchmarks of the mini-MapReduce engine: codec throughput,
+//! shuffle sort-merge, and end-to-end job overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dwmaxerr_runtime::codec::{encoded, Wire};
+use dwmaxerr_runtime::{Cluster, ClusterConfig, JobBuilder, MapContext, ReduceContext};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let pairs: Vec<(u64, f64)> = (0..10_000).map(|i| (i, i as f64 * 0.5)).collect();
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.bench_function("encode_10k_pairs", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(16 * pairs.len());
+            for p in &pairs {
+                p.encode(&mut buf);
+            }
+            black_box(buf.len())
+        })
+    });
+    let mut buf = Vec::new();
+    for p in &pairs {
+        p.encode(&mut buf);
+    }
+    group.bench_function("decode_10k_pairs", |b| {
+        b.iter(|| {
+            let mut slice = buf.as_slice();
+            let mut count = 0;
+            while !slice.is_empty() {
+                black_box(<(u64, f64)>::decode(&mut slice).unwrap());
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+    group.bench_function("encoded_len_row", |b| {
+        let row = vec![1.5f64; 64];
+        b.iter(|| black_box(encoded(&row).len()))
+    });
+    group.finish();
+}
+
+fn quiet_cluster() -> Cluster {
+    let mut cfg = ClusterConfig::with_slots(4, 2);
+    cfg.task_startup = std::time::Duration::ZERO;
+    cfg.job_setup = std::time::Duration::ZERO;
+    Cluster::new(cfg)
+}
+
+fn bench_jobs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapreduce");
+    group.sample_size(20);
+    let cluster = quiet_cluster();
+    group.bench_function("empty_job_overhead", |b| {
+        b.iter(|| {
+            JobBuilder::new("noop")
+                .map(|_s: &u8, _ctx: &mut MapContext<u8, u8>| {})
+                .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
+                .run(&cluster, vec![0u8])
+                .unwrap()
+        })
+    });
+    // 64k records through the full shuffle.
+    let splits: Vec<Vec<u64>> = (0..8)
+        .map(|s| ((s * 8192)..(s + 1) * 8192).collect())
+        .collect();
+    group.throughput(Throughput::Elements(65_536));
+    group.bench_function("shuffle_64k_records", |b| {
+        b.iter(|| {
+            JobBuilder::new("shuffle")
+                .map(|split: &Vec<u64>, ctx: &mut MapContext<u64, u64>| {
+                    for &x in split {
+                        ctx.emit(x % 977, x);
+                    }
+                })
+                .reducers(4)
+                .reduce(|k, vals, ctx: &mut ReduceContext<u64, u64>| {
+                    ctx.emit(*k, vals.sum());
+                })
+                .run(&cluster, splits.clone())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_codec, bench_jobs
+}
+criterion_main!(benches);

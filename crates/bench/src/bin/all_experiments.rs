@@ -1,0 +1,48 @@
+//! Runs every table/figure regenerator and writes a combined markdown
+//! report to `experiments_output.md` (alongside printing to stdout).
+//!
+//! `DWM_SCALE=full` enlarges every experiment; the default `quick` scale
+//! finishes in minutes on one core.
+
+use std::io::Write;
+
+use dwmaxerr_bench::experiments;
+use dwmaxerr_bench::report::Table;
+use dwmaxerr_bench::setup::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    type Experiment = fn(Scale) -> Vec<Table>;
+    let suite: Vec<(&str, Experiment)> = vec![
+        ("Table 3", experiments::table3),
+        ("Figure 5a", experiments::fig5a),
+        ("Figure 5b", experiments::fig5b),
+        ("Figure 5c", experiments::fig5c),
+        ("Figure 5d", experiments::fig5d),
+        ("Figure 6", experiments::fig6),
+        ("Figure 7", experiments::fig7),
+        ("Figure 8", experiments::fig8),
+        ("Figure 9", experiments::fig9),
+        ("Figure 10", experiments::fig10),
+        ("Figure 11", experiments::fig11),
+    ];
+    let mut all = String::from("# Experiment suite output\n\n");
+    all.push_str(&format!("Scale: {scale:?}\n\n"));
+    for (name, f) in suite {
+        eprintln!("== running {name} ==");
+        let start = std::time::Instant::now();
+        let tables = f(scale);
+        eprintln!("   done in {:.1}s", start.elapsed().as_secs_f64());
+        for t in &tables {
+            let md = t.to_markdown();
+            println!("{md}");
+            all.push_str(&md);
+            all.push('\n');
+        }
+    }
+    let path = "experiments_output.md";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(all.as_bytes()))
+        .expect("write report");
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,7 @@
+//! Regenerates fig5b of the paper. `DWM_SCALE=full` for larger sizes.
+use dwmaxerr_bench::{experiments, report, setup::Scale};
+
+fn main() {
+    let tables = experiments::fig5b(Scale::from_env());
+    report::print_all(&tables);
+}

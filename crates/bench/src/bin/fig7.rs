@@ -1,0 +1,7 @@
+//! Regenerates fig7 of the paper. `DWM_SCALE=full` for larger sizes.
+use dwmaxerr_bench::{experiments, report, setup::Scale};
+
+fn main() {
+    let tables = experiments::fig7(Scale::from_env());
+    report::print_all(&tables);
+}

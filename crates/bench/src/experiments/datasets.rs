@@ -1,0 +1,187 @@
+//! Table 3 (dataset characteristics) and Section 6.2 — dataset impact
+//! (Figures 6 and 7).
+
+use dwmaxerr_datagen::synthetic::Distribution;
+use dwmaxerr_datagen::{nyct_like, wd_like, DatasetStats};
+
+use crate::report::{err, secs, Table};
+use crate::setup::{paper_cluster, Scale};
+
+use super::{run_dgreedy_abs, run_dindirect_haar};
+
+/// Table 3: characteristics of the NYCT-like and WD-like surrogates
+/// alongside the paper's reported values.
+pub fn table3(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table 3 — characteristics of the real-dataset surrogates",
+        "NYCT: avg in the hundreds of seconds, max 10800 on clean slices; the larger \
+         slices contain corrupt near-u32::MAX records that explode stdev and max. \
+         WD: avg ~120-140, stdev ~119, max 655.",
+        &["name", "#records", "avg", "stdev", "max", "paper avg/stdev/max"],
+    );
+    let logs: Vec<u32> = scale.pick(vec![17, 18, 19, 20], vec![19, 20, 21, 22]);
+    // Paper rows for the four smallest NYCT slices and WD slices.
+    let paper_nyct = ["672/483/10800", "511/519/10800", "255/647/10800", "127/745/10800"];
+    let paper_wd = ["121/120/655", "122/120/655", "138/119/655", "127/119/655"];
+    for (i, &ln) in logs.iter().enumerate() {
+        let n = 1usize << ln;
+        // The paper's 32M+ slices are corrupt; emulate on the largest.
+        let corrupt = if i + 1 == logs.len() { 5e-5 } else { 0.0 };
+        let s = DatasetStats::of(&nyct_like(n, corrupt, 1000 + ln as u64));
+        t.row(vec![
+            format!("NYCT-like 2^{ln}{}", if corrupt > 0.0 { " (corrupt)" } else { "" }),
+            format!("{}", s.count),
+            format!("{:.0}", s.avg),
+            format!("{:.0}", s.stdev),
+            format!("{:.0}", s.max),
+            if corrupt > 0.0 { "63/3566/4293410" } else { paper_nyct[i.min(3)] }.into(),
+        ]);
+    }
+    for (i, &ln) in logs.iter().enumerate() {
+        let n = 1usize << ln;
+        let s = DatasetStats::of(&wd_like(n, 2e-4, 2000 + ln as u64));
+        t.row(vec![
+            format!("WD-like 2^{ln}"),
+            format!("{}", s.count),
+            format!("{:.0}", s.avg),
+            format!("{:.0}", s.stdev),
+            format!("{:.0}", s.max),
+            paper_wd[i.min(3)].into(),
+        ]);
+    }
+    t.note(
+        "the surrogates match the paper's location/scale/shape per slice; the paper's \
+         decreasing NYCT averages across slices come from how the raw file was split \
+         and are not modelled.",
+    );
+    vec![t]
+}
+
+/// Figure 6: impact of data distribution and δ on DIndirectHaar.
+pub fn fig6(scale: Scale) -> Vec<Table> {
+    let n: usize = 1 << scale.pick(14, 17);
+    let b = n / 8;
+    let s = (n / 32).max(1 << 9);
+    let cluster = paper_cluster();
+    let dists = [
+        Distribution::Uniform,
+        Distribution::Zipf(0.7),
+        Distribution::Zipf(1.5),
+    ];
+    let deltas = [10.0, 20.0, 50.0, 100.0];
+    let mut time_t = Table::new(
+        format!("Figure 6a — DIndirectHaar time by distribution and δ (N=2^{}, range [0,1K])", n.trailing_zeros()),
+        "biased distributions are faster (Zipf-0.7 ~25% faster than Uniform; Zipf-1.5 \
+         faster still); smaller δ costs more; Zipf-1.5 cannot run for δ ∈ {50, 100} \
+         (values higher than the space to quantize)",
+        &["δ", "Uniform", "Zipf-0.7", "Zipf-1.5"],
+    );
+    let mut err_t = Table::new(
+        "Figure 6b — DIndirectHaar max-abs error by distribution and δ",
+        "Zipf-1.5 error ~8.4x smaller than Uniform; smaller δ gives better quality",
+        &["δ", "Uniform", "Zipf-0.7", "Zipf-1.5"],
+    );
+    let datasets: Vec<Vec<f64>> = dists
+        .iter()
+        .enumerate()
+        .map(|(i, d)| d.generate(n, 1_000.0, 60 + i as u64))
+        .collect();
+    for &delta in &deltas {
+        let mut time_cells = vec![format!("{delta:.0}")];
+        let mut err_cells = vec![format!("{delta:.0}")];
+        for data in &datasets {
+            match run_dindirect_haar(&cluster, data, b, s, delta) {
+                Some(o) => {
+                    time_cells.push(secs(o.secs));
+                    err_cells.push(err(o.max_abs));
+                }
+                None => {
+                    time_cells.push("n/a".into());
+                    err_cells.push("n/a".into());
+                }
+            }
+        }
+        time_t.row(time_cells);
+        err_t.row(err_cells);
+    }
+    vec![time_t, err_t]
+}
+
+/// Figure 7: impact of value range and distribution on both algorithms.
+pub fn fig7(scale: Scale) -> Vec<Table> {
+    let n: usize = 1 << scale.pick(14, 17);
+    let b = n / 8;
+    let s = (n / 32).max(1 << 9);
+    let cluster = paper_cluster();
+    let dists = [
+        Distribution::Uniform,
+        Distribution::Zipf(0.7),
+        Distribution::Zipf(1.5),
+    ];
+    let ranges = [1_000.0, 100_000.0, 1_000_000.0];
+    let range_label = |m: f64| format!("[0,{:.0}K]", m / 1000.0);
+    // δ scales with the range so the DP stays tractable; the paper fixes
+    // δ=20 at range 1K — keep the ratio δ/range constant.
+    let delta_for = |m: f64| 20.0 * (m / 1_000.0);
+
+    let mk = |title: &str, claim: &str| {
+        Table::new(
+            title.to_string(),
+            claim.to_string(),
+            &["range", "Uniform", "Zipf-0.7", "Zipf-1.5"],
+        )
+    };
+    let mut t7a = mk(
+        "Figure 7a — DIndirectHaar time by value range",
+        "wider ranges are slower (~25% from 1K to 100K for Uniform/Zipf-0.7); \
+         Zipf-1.5 is robust to range changes",
+    );
+    let mut t7b = mk(
+        "Figure 7b — DIndirectHaar max-abs error by value range",
+        "an order of magnitude more range gives an order of magnitude more error \
+         for Uniform and Zipf-0.7; Zipf-1.5 stays flat",
+    );
+    let mut t7c = mk(
+        "Figure 7c — DGreedyAbs time by value range",
+        "DGreedyAbs is less range-sensitive than DIndirectHaar (5% Uniform / 15% \
+         Zipf-0.7 increases); Uniform can even be fastest thanks to I/O-efficient \
+         single-batch emission",
+    );
+    let mut t7d = mk(
+        "Figure 7d — DGreedyAbs max-abs error by value range",
+        "error scales with the range for Uniform/Zipf-0.7; Zipf-1.5 stays flat",
+    );
+    for &m in &ranges {
+        let delta = delta_for(m);
+        let mut a = vec![range_label(m)];
+        let mut bb = vec![range_label(m)];
+        let mut c = vec![range_label(m)];
+        let mut d = vec![range_label(m)];
+        for (i, dist) in dists.iter().enumerate() {
+            let data = dist.generate(n, m, 70 + i as u64);
+            match run_dindirect_haar(&cluster, &data, b, s, delta) {
+                Some(o) => {
+                    a.push(secs(o.secs));
+                    bb.push(err(o.max_abs));
+                }
+                None => {
+                    a.push("n/a".into());
+                    bb.push("n/a".into());
+                }
+            }
+            let g = run_dgreedy_abs(&cluster, &data, b, s, m / 1000.0);
+            c.push(secs(g.secs));
+            d.push(err(g.max_abs));
+        }
+        t7a.row(a);
+        t7b.row(bb);
+        t7c.row(c);
+        t7d.row(d);
+    }
+    t7a.note(format!(
+        "δ scales with the range (δ = {} at 1K) to keep the quantized space \
+         comparable across rows, matching the paper's per-dataset tuning.",
+        delta_for(1000.0)
+    ));
+    vec![t7a, t7b, t7c, t7d]
+}

@@ -1,0 +1,17 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (Section 6 and Appendix A.5).
+//!
+//! Each experiment is a library function returning [`report::Table`]s; the
+//! `fig*`/`table*` binaries print one experiment each, and
+//! `all_experiments` runs the full suite and writes a combined report.
+//!
+//! Scale is controlled by the `DWM_SCALE` environment variable:
+//! `quick` (default — minutes on a laptop core) or `full` (hours; larger
+//! N, more sizes). Absolute times differ from the paper's 9-node Hadoop
+//! cluster by construction; the *shapes* (who wins, by what factor, where
+//! crossovers fall) are the reproduction target, and each table states
+//! the paper's claim next to the measurement.
+
+pub mod experiments;
+pub mod report;
+pub mod setup;

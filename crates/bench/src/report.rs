@@ -1,0 +1,157 @@
+//! Markdown table reporting for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// One experiment output table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table/figure id and description, e.g. "Figure 5a — time vs sub-tree size".
+    pub title: String,
+    /// The paper's qualitative claim this table checks.
+    pub paper_claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form observations appended after the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        paper_claim: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            title: title.into(),
+            paper_claim: paper_claim.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends an observation note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "*Paper:* {}\n", self.paper_claim);
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            let body: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", body.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "|-{}-|", sep.join("-|-"));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n> {n}");
+        }
+        out
+    }
+}
+
+/// Formats seconds compactly.
+pub fn secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}ms", s * 1e3)
+    }
+}
+
+/// Formats an error value.
+pub fn err(e: f64) -> String {
+    if e >= 100.0 {
+        format!("{e:.0}")
+    } else {
+        format!("{e:.2}")
+    }
+}
+
+/// Formats byte counts.
+pub fn bytes(b: u64) -> String {
+    if b >= 10 * 1024 * 1024 {
+        format!("{:.1}MiB", b as f64 / (1024.0 * 1024.0))
+    } else if b >= 10 * 1024 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Prints tables to stdout.
+pub fn print_all(tables: &[Table]) {
+    for t in tables {
+        println!("{}", t.to_markdown());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("Figure X", "things go up", &["n", "time"]);
+        t.row(vec!["1024".into(), "1.5s".into()]);
+        t.row(vec!["2048".into(), "3.1s".into()]);
+        t.note("linear");
+        let md = t.to_markdown();
+        assert!(md.contains("### Figure X"));
+        assert!(md.contains("| 1024 | 1.5s |"));
+        assert!(md.contains("> linear"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(0.0123), "12.3ms");
+        assert_eq!(secs(2.345), "2.35s");
+        assert_eq!(secs(250.0), "250s");
+        assert_eq!(err(3.14159), "3.14");
+        assert_eq!(err(512.3), "512");
+        assert_eq!(bytes(100), "100B");
+        assert_eq!(bytes(100 * 1024), "100.0KiB");
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new("x", "y", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

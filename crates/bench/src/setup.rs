@@ -1,0 +1,80 @@
+//! Shared experiment setup: cluster builders, scale selection, timing.
+
+use std::time::Instant;
+
+use dwmaxerr_runtime::{Cluster, ClusterConfig};
+
+/// Experiment scale, from the `DWM_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes on one laptop core (default).
+    Quick,
+    /// Larger sizes; tens of minutes to hours.
+    Full,
+}
+
+impl Scale {
+    /// Reads `DWM_SCALE` (`quick`/`full`).
+    pub fn from_env() -> Scale {
+        match std::env::var("DWM_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Picks between the quick and full variant of a parameter.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The paper's platform: 8 slaves × (5 map + 2 reduce) slots = 40/16.
+pub fn paper_cluster() -> Cluster {
+    Cluster::new(ClusterConfig::default())
+}
+
+/// A cluster with a specific number of cluster-wide map slots (Figures
+/// 5c/5d vary "the number of parallel map tasks from 10 to 40").
+pub fn cluster_with_map_slots(map_slots: usize) -> Cluster {
+    Cluster::new(ClusterConfig {
+        map_slots,
+        ..ClusterConfig::default()
+    })
+}
+
+/// Runs a closure, returning `(result, wall seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn clusters_build() {
+        let c = paper_cluster();
+        assert_eq!(c.config().map_slots, 40);
+        let c = cluster_with_map_slots(10);
+        assert_eq!(c.config().map_slots, 10);
+        assert_eq!(c.config().reduce_slots, 16);
+    }
+
+    #[test]
+    fn timing_works() {
+        let (v, t) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+}

@@ -1,0 +1,411 @@
+//! DHaarPlus: the Section-4 framework applied to the Haar+ DP \[23\] —
+//! the third DP family run through the same locality-preserving layer
+//! decomposition (after DMHaarSpace and DMinRelVar), substantiating the
+//! paper's claim that the framework parallelizes *all* the existing DP
+//! algorithms for the problem.
+//!
+//! Identical phasing to [`mod@crate::dmin_haar_space`]: base workers solve
+//! their slice bottom-up and emit the local root's row; upper layers
+//! combine `fan_in` sibling rows; the driver resolves the top node; a
+//! top-down pass re-enters each sub-problem and replays the triad choices.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dwmaxerr_algos::haar_plus::{
+    combine, subtree_rows, HaarPlusError, HaarPlusSynopsis, HpRow, Role,
+};
+use dwmaxerr_algos::min_haar_space::MhsParams;
+use dwmaxerr_runtime::codec::{CodecError, Wire};
+use dwmaxerr_runtime::metrics::DriverMetrics;
+use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
+
+use crate::error::CoreError;
+use crate::splits::{aligned_splits, SliceSplit};
+
+impl From<HaarPlusError> for CoreError {
+    fn from(e: HaarPlusError) -> Self {
+        match e {
+            HaarPlusError::DeltaTooCoarse => {
+                CoreError::Mhs(dwmaxerr_algos::min_haar_space::MhsError::DeltaTooCoarse)
+            }
+            HaarPlusError::Wavelet(w) => CoreError::Wavelet(w),
+        }
+    }
+}
+
+/// Wire wrapper for Haar+ rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireHpRow(pub HpRow);
+
+impl Wire for WireHpRow {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.lo.encode(buf);
+        self.0.costs.encode(buf);
+        self.0.shift_l.encode(buf);
+        self.0.shift_r.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(WireHpRow(HpRow {
+            lo: i64::decode(buf)?,
+            costs: Vec::<u32>::decode(buf)?,
+            shift_l: Vec::<i32>::decode(buf)?,
+            shift_r: Vec::<i32>::decode(buf)?,
+        }))
+    }
+}
+
+/// DHaarPlus configuration (same shape as the other framework instances).
+#[derive(Debug, Clone)]
+pub struct DhpConfig {
+    /// Leaves per bottom-layer sub-tree (power of two).
+    pub base_leaves: usize,
+    /// Rows combined per upper-layer worker (power of two ≥ 2).
+    pub fan_in: usize,
+}
+
+impl Default for DhpConfig {
+    fn default() -> Self {
+        DhpConfig { base_leaves: 1 << 12, fan_in: 1 << 4 }
+    }
+}
+
+/// Result of a DHaarPlus run.
+#[derive(Debug, Clone)]
+pub struct DhpResult {
+    /// The Haar+ synopsis.
+    pub synopsis: HaarPlusSynopsis,
+    /// Retained node count.
+    pub size: usize,
+    /// True max-abs error (≤ ε).
+    pub actual_error: f64,
+    /// Job metrics.
+    pub metrics: DriverMetrics,
+}
+
+#[derive(Debug, Clone)]
+struct RowGroup {
+    first: u64,
+    rows: Vec<HpRow>,
+}
+
+fn mini_tree_rows(input: &[HpRow]) -> Vec<HpRow> {
+    let f = input.len();
+    debug_assert!(f.is_power_of_two() && f >= 2);
+    let empty = HpRow { lo: 0, costs: Vec::new(), shift_l: Vec::new(), shift_r: Vec::new() };
+    let mut rows = vec![empty; f];
+    for i in (1..f).rev() {
+        rows[i] = if 2 * i < f {
+            let (l, r) = rows.split_at(2 * i + 1);
+            combine(&l[2 * i], &r[0])
+        } else {
+            let base = (i - f / 2) * 2;
+            combine(&input[base], &input[base + 1])
+        };
+    }
+    rows
+}
+
+/// Decomposes a triad's chosen shifts into synopsis entries.
+fn triad_entries(node: u32, a: i64, b: i64, delta: f64, out: &mut Vec<(u32, Role, f64)>) {
+    if a == 0 && b == 0 {
+        return;
+    }
+    if a == -b {
+        out.push((node, Role::Head, a as f64 * delta));
+    } else {
+        if a != 0 {
+            out.push((node, Role::LeftSupp, a as f64 * delta));
+        }
+        if b != 0 {
+            out.push((node, Role::RightSupp, b as f64 * delta));
+        }
+    }
+}
+
+/// Runs the distributed Haar+ Problem-2 solve.
+pub fn dhaar_plus(
+    cluster: &Cluster,
+    data: &[f64],
+    params: &MhsParams,
+    cfg: &DhpConfig,
+) -> Result<DhpResult, CoreError> {
+    let n = data.len();
+    dwmaxerr_wavelet::error::ensure_pow2(n)?;
+    let s = cfg.base_leaves.clamp(2, n);
+    let fan_in = cfg.fan_in.max(2);
+    if !s.is_power_of_two() || !fan_in.is_power_of_two() {
+        return Err(CoreError::Protocol("base_leaves and fan_in must be powers of two"));
+    }
+    if n < s.max(4) {
+        let sol = dwmaxerr_algos::haar_plus::haar_plus_min_space(data, params)?;
+        return Ok(DhpResult {
+            size: sol.size,
+            actual_error: sol.actual_error,
+            synopsis: sol.synopsis,
+            metrics: DriverMetrics::new(),
+        });
+    }
+    let mut metrics = DriverMetrics::new();
+    let splits = aligned_splits(data, s);
+    let num_base = n / s;
+    let p = *params;
+
+    // ---- Bottom-up: base layer ----
+    let base_out = JobBuilder::new("dhp-layer0")
+        .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, (u8, WireHpRow)>| {
+            match subtree_rows(split.slice(), &p) {
+                Ok(rows) => ctx.emit(
+                    num_base as u64 + split.id as u64,
+                    (0, WireHpRow(rows[1].clone())),
+                ),
+                Err(_) => ctx.emit(
+                    u64::MAX,
+                    (1, WireHpRow(HpRow { lo: 0, costs: vec![], shift_l: vec![], shift_r: vec![] })),
+                ),
+            }
+        })
+        .input_bytes(SliceSplit::bytes)
+        .reduce(|k, vals, ctx: &mut ReduceContext<u64, (u8, WireHpRow)>| {
+            for v in vals {
+                ctx.emit(*k, v);
+            }
+        })
+        .run(cluster, splits.clone())?;
+    metrics.push(base_out.metrics);
+
+    let mut layer: Vec<(u64, HpRow)> = Vec::new();
+    for (k, (fail, WireHpRow(row))) in base_out.pairs {
+        if fail == 1 {
+            return Err(HaarPlusError::DeltaTooCoarse.into());
+        }
+        layer.push((k, row));
+    }
+    layer.sort_unstable_by_key(|&(k, _)| k);
+
+    // ---- Bottom-up: upper layers (remember groups for the replay) ----
+    let mut group_stack: Vec<Vec<RowGroup>> = Vec::new();
+    while layer.len() > 1 {
+        let f = fan_in.min(layer.len());
+        let groups: Vec<RowGroup> = layer
+            .chunks(f)
+            .map(|chunk| RowGroup {
+                first: chunk[0].0,
+                rows: chunk.iter().map(|(_, r)| r.clone()).collect(),
+            })
+            .collect();
+        let out = JobBuilder::new("dhp-layer-up")
+            .map(move |group: &RowGroup, ctx: &mut MapContext<u64, WireHpRow>| {
+                let rows = mini_tree_rows(&group.rows);
+                ctx.emit(group.first / group.rows.len() as u64, WireHpRow(rows[1].clone()));
+            })
+            .input_bytes(|g: &RowGroup| {
+                g.rows.iter().map(|r| (8 + r.costs.len() * 12) as u64).sum()
+            })
+            .reduce(|k, vals, ctx: &mut ReduceContext<u64, WireHpRow>| {
+                for v in vals {
+                    ctx.emit(*k, v);
+                }
+            })
+            .run(cluster, groups.clone())?;
+        metrics.push(out.metrics);
+        group_stack.push(groups);
+        layer = out.pairs.into_iter().map(|(k, WireHpRow(r))| (k, r)).collect();
+        layer.sort_unstable_by_key(|&(k, _)| k);
+    }
+
+    // ---- Top node resolution ----
+    let root = &layer[0].1;
+    let mut best = (u32::MAX, 0i64);
+    for (t, &c) in root.costs.iter().enumerate() {
+        let v = root.lo + t as i64;
+        if c == u32::MAX {
+            continue;
+        }
+        let total = c + u32::from(v != 0);
+        if total < best.0 || (total == best.0 && v == 0) {
+            best = (total, v);
+        }
+    }
+    if best.0 == u32::MAX {
+        return Err(HaarPlusError::DeltaTooCoarse.into());
+    }
+    let mut entries: Vec<(u32, Role, f64)> = Vec::new();
+    if best.1 != 0 {
+        entries.push((0, Role::Top, best.1 as f64 * params.delta));
+    }
+
+    // ---- Top-down replay through the upper layers ----
+    let mut incoming: HashMap<u64, i64> = HashMap::new();
+    incoming.insert(1, best.1);
+    for groups in group_stack.into_iter().rev() {
+        let tagged: Vec<(RowGroup, i64)> = groups
+            .into_iter()
+            .map(|g| {
+                let parent = g.first / g.rows.len() as u64;
+                (g, *incoming.get(&parent).expect("incoming for every group"))
+            })
+            .collect();
+        let out = JobBuilder::new("dhp-extract")
+            .map(
+                move |(group, v_root): &(RowGroup, i64),
+                      ctx: &mut MapContext<u64, (i64, i64, u8)>| {
+                    let f = group.rows.len();
+                    let rows = mini_tree_rows(&group.rows);
+                    let mut stack = vec![(1usize, *v_root)];
+                    while let Some((i, v)) = stack.pop() {
+                        let off = (v - rows[i].lo) as usize;
+                        let a = i64::from(rows[i].shift_l[off]);
+                        let b = i64::from(rows[i].shift_r[off]);
+                        let depth = usize::BITS - 1 - i.leading_zeros();
+                        let g_id = ((group.first / f as u64) << depth)
+                            + (i as u64 - (1u64 << depth));
+                        if a != 0 || b != 0 {
+                            ctx.emit(g_id, (a, b, 1));
+                        }
+                        if 2 * i < f {
+                            stack.push((2 * i, v + a));
+                            stack.push((2 * i + 1, v + b));
+                        } else {
+                            let base = (i - f / 2) * 2;
+                            let child = group.first + base as u64;
+                            ctx.emit(child, (v + a, 0, 0));
+                            ctx.emit(child + 1, (v + b, 0, 0));
+                        }
+                    }
+                },
+            )
+            .reduce(|k, vals, ctx: &mut ReduceContext<u64, (i64, i64, u8)>| {
+                for v in vals {
+                    ctx.emit(*k, v);
+                }
+            })
+            .run(cluster, tagged)?;
+        metrics.push(out.metrics);
+        for (node, (x, y, tag)) in out.pairs {
+            if tag == 1 {
+                triad_entries(node as u32, x, y, params.delta, &mut entries);
+            } else {
+                incoming.insert(node, x);
+            }
+        }
+    }
+
+    // ---- Base-layer replay ----
+    let base_incoming: Vec<i64> = (0..num_base)
+        .map(|j| {
+            if num_base == 1 {
+                best.1
+            } else {
+                *incoming
+                    .get(&(num_base as u64 + j as u64))
+                    .expect("incoming for every base root")
+            }
+        })
+        .collect();
+    let bi = Arc::new(base_incoming);
+    let bi2 = Arc::clone(&bi);
+    let out = JobBuilder::new("dhp-extract-base")
+        .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, (i64, i64)>| {
+            let rows = subtree_rows(split.slice(), &p).expect("phase A ran");
+            let m = split.len();
+            let mut stack = vec![(1usize, bi2[split.id as usize])];
+            while let Some((i, v)) = stack.pop() {
+                let off = (v - rows[i].lo) as usize;
+                let a = i64::from(rows[i].shift_l[off]);
+                let b = i64::from(rows[i].shift_r[off]);
+                if a != 0 || b != 0 {
+                    let depth = usize::BITS - 1 - i.leading_zeros();
+                    let root = num_base as u64 + split.id as u64;
+                    let g = (root << depth) + (i as u64 - (1u64 << depth));
+                    ctx.emit(g, (a, b));
+                }
+                if 2 * i < m {
+                    stack.push((2 * i, v + a));
+                    stack.push((2 * i + 1, v + b));
+                }
+            }
+        })
+        .input_bytes(SliceSplit::bytes)
+        .reduce(|k, vals, ctx: &mut ReduceContext<u64, (i64, i64)>| {
+            for v in vals {
+                ctx.emit(*k, v);
+            }
+        })
+        .run(cluster, splits)?;
+    metrics.push(out.metrics);
+    for (node, (a, b)) in out.pairs {
+        triad_entries(node as u32, a, b, params.delta, &mut entries);
+    }
+
+    entries.sort_by_key(|&(i, _, _)| i);
+    debug_assert_eq!(entries.len(), best.0 as usize);
+    let synopsis = HaarPlusSynopsis::from_entries_unchecked(n, entries);
+    let approx = synopsis.reconstruct_all();
+    let actual_error = dwmaxerr_wavelet::metrics::max_abs(data, &approx);
+    Ok(DhpResult { size: synopsis.size(), synopsis, actual_error, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwmaxerr_algos::haar_plus::haar_plus_min_space;
+    use dwmaxerr_runtime::ClusterConfig;
+
+    fn test_cluster() -> Cluster {
+        let mut cfg = ClusterConfig::with_slots(4, 2);
+        cfg.task_startup = std::time::Duration::from_micros(10);
+        cfg.job_setup = std::time::Duration::from_micros(10);
+        Cluster::new(cfg)
+    }
+
+    #[test]
+    fn matches_centralized_haar_plus() {
+        let data: Vec<f64> = (0..64)
+            .map(|i| ((i * 19) % 31) as f64 + if i % 16 < 8 { 40.0 } else { 0.0 })
+            .collect();
+        for eps in [2.0, 6.0, 20.0] {
+            let params = MhsParams::new(eps, 0.5).unwrap();
+            let central = haar_plus_min_space(&data, &params).unwrap();
+            let cfg = DhpConfig { base_leaves: 8, fan_in: 2 };
+            let dist = dhaar_plus(&test_cluster(), &data, &params, &cfg).unwrap();
+            assert_eq!(dist.size, central.size, "eps={eps}");
+            assert!(dist.actual_error <= eps + 1e-9);
+        }
+    }
+
+    #[test]
+    fn partitioning_invariance() {
+        let data: Vec<f64> = (0..128).map(|i| ((i * 11) % 43) as f64).collect();
+        let params = MhsParams::new(5.0, 0.5).unwrap();
+        let sizes: Vec<usize> = [(4usize, 2usize), (8, 4), (32, 2)]
+            .iter()
+            .map(|&(s, f)| {
+                dhaar_plus(&test_cluster(), &data, &params, &DhpConfig { base_leaves: s, fan_in: f })
+                    .unwrap()
+                    .size
+            })
+            .collect();
+        for w in sizes.windows(2) {
+            assert_eq!(w[0], w[1], "partitioning changed the result: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn never_worse_than_distributed_unrestricted_haar() {
+        let data: Vec<f64> = (0..64)
+            .map(|i| if i % 8 < 4 { 100.0 } else { (i % 5) as f64 })
+            .collect();
+        let params = MhsParams::new(3.0, 0.5).unwrap();
+        let cfg = DhpConfig { base_leaves: 8, fan_in: 2 };
+        let hp = dhaar_plus(&test_cluster(), &data, &params, &cfg).unwrap();
+        let mhs = crate::dmin_haar_space::dmin_haar_space(
+            &test_cluster(),
+            &data,
+            &params,
+            &crate::dmin_haar_space::DmhsConfig { base_leaves: 8, fan_in: 2 },
+        )
+        .unwrap();
+        assert!(hp.size <= mhs.size, "Haar+ {} > Haar {}", hp.size, mhs.size);
+    }
+}

@@ -1,0 +1,526 @@
+//! DMHaarSpace: the distributed MinHaarSpace probe built from the
+//! Section-4 framework (Algorithm 1 plus the top-down extraction pass).
+//!
+//! **Bottom-up phase.** Layer 0's workers each own a base data slice,
+//! run the MinHaarSpace DP locally and emit the M-row of their local root
+//! (`O(ε/δ)` cells — Eq. 6's communication bound). Upper layers group
+//! `fan_in` sibling rows per worker (the locality-preserving partitioning)
+//! and combine them into the next row, until the row of node `c_1`
+//! remains; the driver then resolves the root (`c_0`) assignment.
+//!
+//! **Top-down phase.** Workers are stateless between jobs (as in Hadoop),
+//! so the extraction re-enters each sub-problem exactly as the paper
+//! describes ("we re-enter the sub-problem of the topmost sub-tree"):
+//! every layer's workers recompute their local rows, replay the optimal
+//! choices for their assigned incoming value, emit the retained
+//! coefficients, and forward incoming values to their children in the
+//! next job.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dwmaxerr_algos::min_haar_space::{subtree_rows, MhsError, MhsParams, Row, INFEASIBLE};
+use dwmaxerr_runtime::codec::{CodecError, Wire};
+use dwmaxerr_runtime::metrics::DriverMetrics;
+use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
+use dwmaxerr_wavelet::Synopsis;
+
+use crate::error::CoreError;
+use crate::splits::{aligned_splits, SliceSplit};
+
+/// Wire wrapper for DP rows (the `M[j]` messages of Algorithm 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRow(pub Row);
+
+impl Wire for WireRow {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.lo.encode(buf);
+        self.0.costs.encode(buf);
+        self.0.choices.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(WireRow(Row {
+            lo: i64::decode(buf)?,
+            costs: Vec::<u32>::decode(buf)?,
+            choices: Vec::<i32>::decode(buf)?,
+        }))
+    }
+}
+
+/// DMHaarSpace configuration.
+#[derive(Debug, Clone)]
+pub struct DmhsConfig {
+    /// Leaves per bottom-layer sub-tree (power of two).
+    pub base_leaves: usize,
+    /// Rows combined per upper-layer worker (`2^h`; power of two ≥ 2).
+    pub fan_in: usize,
+}
+
+impl Default for DmhsConfig {
+    fn default() -> Self {
+        DmhsConfig {
+            base_leaves: 1 << 12,
+            fan_in: 1 << 4,
+        }
+    }
+}
+
+/// Result of a DMHaarSpace run.
+#[derive(Debug, Clone)]
+pub struct DmhsResult {
+    /// The unrestricted synopsis meeting the ε bound.
+    pub synopsis: Synopsis,
+    /// Retained coefficient count.
+    pub size: usize,
+    /// True max-abs error (≤ ε), measured by a distributed evaluation job.
+    pub actual_error: f64,
+    /// Metrics of all jobs in the probe.
+    pub metrics: DriverMetrics,
+}
+
+/// A group of sibling rows for an upper-layer worker.
+#[derive(Debug, Clone)]
+struct RowGroup {
+    /// Global node id of the first row.
+    first: u64,
+    rows: Vec<Row>,
+}
+
+/// Global node id of mini-tree-internal node `local` for a worker whose
+/// input rows start at global node `first` with `fan_in` rows.
+fn mini_to_global(first: u64, fan_in: usize, local: usize) -> u64 {
+    let root = first / fan_in as u64;
+    let depth = usize::BITS - 1 - local.leading_zeros();
+    (root << depth) + (local as u64 - (1u64 << depth))
+}
+
+/// Combines `fan_in` sibling rows into all internal rows of the worker's
+/// mini-tree (`rows[1]` = the mini root; index 0 unused). `input[i]` is the
+/// row of global node `first + i`.
+fn mini_tree_rows(input: &[Row]) -> Vec<Row> {
+    let f = input.len();
+    debug_assert!(f.is_power_of_two() && f >= 2);
+    let empty = Row { lo: 0, costs: Vec::new(), choices: Vec::new() };
+    let mut rows = vec![empty; f];
+    for i in (1..f).rev() {
+        rows[i] = if 2 * i < f {
+            let (l, r) = rows.split_at(2 * i + 1);
+            dwmaxerr_algos::min_haar_space::combine(&l[2 * i], &r[0])
+        } else {
+            let base = (i - f / 2) * 2;
+            dwmaxerr_algos::min_haar_space::combine(&input[base], &input[base + 1])
+        };
+    }
+    rows
+}
+
+/// Sentinel node id used by mappers to signal quantization infeasibility.
+const FAIL_NODE: u64 = u64::MAX;
+
+/// Runs the DMHaarSpace probe: the minimal-size unrestricted synopsis with
+/// max-abs error ≤ `params.epsilon` under δ-quantization, computed through
+/// layered MapReduce jobs.
+pub fn dmin_haar_space(
+    cluster: &Cluster,
+    data: &[f64],
+    params: &MhsParams,
+    cfg: &DmhsConfig,
+) -> Result<DmhsResult, CoreError> {
+    let n = data.len();
+    dwmaxerr_wavelet::error::ensure_pow2(n)?;
+    let s = cfg.base_leaves.clamp(2, n);
+    let fan_in = cfg.fan_in.max(2);
+    if !s.is_power_of_two() || !fan_in.is_power_of_two() {
+        return Err(CoreError::Protocol("base_leaves and fan_in must be powers of two"));
+    }
+    if n < 2 {
+        // Trivial: delegate to the centralized solver.
+        let sol = dwmaxerr_algos::min_haar_space::min_haar_space(data, params)?;
+        return Ok(DmhsResult {
+            size: sol.size,
+            actual_error: sol.actual_error,
+            synopsis: sol.synopsis,
+            metrics: DriverMetrics::new(),
+        });
+    }
+    let mut metrics = DriverMetrics::new();
+    let splits = aligned_splits(data, s);
+    let num_base = n / s;
+    let p = *params;
+
+    // ---- Bottom-up: layer 0 (base slices -> base-root rows) ----
+    let base_out = JobBuilder::new("dmhs-layer0")
+        .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, WireRow>| {
+            match subtree_rows(split.slice(), &p) {
+                Ok(rows) => {
+                    // Global id of this base sub-tree's root node.
+                    ctx.emit(num_base as u64 + split.id as u64, WireRow(rows[1].clone()));
+                }
+                Err(_) => {
+                    ctx.emit(
+                        FAIL_NODE,
+                        WireRow(Row { lo: 0, costs: vec![INFEASIBLE], choices: vec![0] }),
+                    );
+                }
+            }
+        })
+        .input_bytes(SliceSplit::bytes)
+        .task_memory(move |s: &SliceSplit| {
+            dwmaxerr_algos::memory::min_haar_space_bytes(s.len(), p.epsilon, p.delta)
+        })
+        .reduce(|k, vals, ctx: &mut ReduceContext<u64, WireRow>| {
+            for v in vals {
+                ctx.emit(*k, v);
+            }
+        })
+        .run(cluster, splits.clone())?;
+    metrics.push(base_out.metrics);
+
+    let mut layer: Vec<(u64, Row)> = base_out
+        .pairs
+        .into_iter()
+        .map(|(k, WireRow(r))| (k, r))
+        .collect();
+    if layer.iter().any(|(k, _)| *k == FAIL_NODE) {
+        return Err(CoreError::Mhs(MhsError::DeltaTooCoarse));
+    }
+    layer.sort_unstable_by_key(|&(k, _)| k);
+
+    // Remember every layer's rows for the top-down pass.
+    let mut boundaries: Vec<Vec<(u64, Row)>> = vec![layer.clone()];
+
+    // ---- Bottom-up: upper layers ----
+    while layer.len() > 1 {
+        let f = fan_in.min(layer.len());
+        let groups: Vec<RowGroup> = layer
+            .chunks(f)
+            .map(|chunk| RowGroup {
+                first: chunk[0].0,
+                rows: chunk.iter().map(|(_, r)| r.clone()).collect(),
+            })
+            .collect();
+        let out = JobBuilder::new("dmhs-layer-up")
+            .map(move |group: &RowGroup, ctx: &mut MapContext<u64, WireRow>| {
+                let rows = mini_tree_rows(&group.rows);
+                let parent = group.first / f as u64;
+                if rows[1].all_infeasible() {
+                    ctx.emit(FAIL_NODE, WireRow(rows[1].clone()));
+                } else {
+                    ctx.emit(parent, WireRow(rows[1].clone()));
+                }
+            })
+            .input_bytes(|g: &RowGroup| {
+                g.rows
+                    .iter()
+                    .map(|r| (16 + r.costs.len() * 8) as u64)
+                    .sum()
+            })
+            .reduce(|k, vals, ctx: &mut ReduceContext<u64, WireRow>| {
+                for v in vals {
+                    ctx.emit(*k, v);
+                }
+            })
+            .run(cluster, groups)?;
+        metrics.push(out.metrics);
+        layer = out
+            .pairs
+            .into_iter()
+            .map(|(k, WireRow(r))| (k, r))
+            .collect();
+        if layer.iter().any(|(k, _)| *k == FAIL_NODE) {
+            return Err(CoreError::Mhs(MhsError::DeltaTooCoarse));
+        }
+        layer.sort_unstable_by_key(|&(k, _)| k);
+        boundaries.push(layer.clone());
+    }
+
+    // ---- Root resolution (driver): choose c_0's value z0 ----
+    let root_row = &layer[0].1;
+    debug_assert_eq!(layer[0].0, 1);
+    let mut best_total = INFEASIBLE;
+    let mut best_z0 = 0i64;
+    for t in 0..root_row.costs.len() {
+        let v = root_row.lo + t as i64;
+        let c = root_row.costs[t];
+        if c == INFEASIBLE {
+            continue;
+        }
+        let total = c + u32::from(v != 0);
+        if total < best_total || (total == best_total && v == 0) {
+            best_total = total;
+            best_z0 = v;
+        }
+    }
+    if best_total == INFEASIBLE {
+        return Err(CoreError::Mhs(MhsError::DeltaTooCoarse));
+    }
+
+    // ---- Top-down extraction ----
+    let mut entries: Vec<(u32, f64)> = Vec::new();
+    if best_z0 != 0 {
+        entries.push((0u32, best_z0 as f64 * params.delta));
+    }
+    // incoming[node] = grid value entering that node's sub-problem.
+    let mut incoming: HashMap<u64, i64> = HashMap::new();
+    incoming.insert(1, best_z0);
+
+    // Recompute the bottom-up grouping (the driver kept each layer's rows
+    // in `boundaries`), then process groups in top-down order.
+    let mut group_stack: Vec<Vec<RowGroup>> = Vec::new();
+    {
+        let mut rows_at = boundaries[0].clone();
+        while rows_at.len() > 1 {
+            let f = fan_in.min(rows_at.len());
+            let groups: Vec<RowGroup> = rows_at
+                .chunks(f)
+                .map(|chunk| RowGroup {
+                    first: chunk[0].0,
+                    rows: chunk.iter().map(|(_, r)| r.clone()).collect(),
+                })
+                .collect();
+            let next: Vec<(u64, Row)> = groups
+                .iter()
+                .map(|g| (g.first / g.rows.len() as u64, mini_tree_rows(&g.rows)[1].clone()))
+                .collect();
+            group_stack.push(groups);
+            rows_at = next;
+        }
+    }
+    for groups in group_stack.into_iter().rev() {
+        // Attach each group's incoming value.
+        let tagged: Vec<(RowGroup, i64)> = groups
+            .into_iter()
+            .map(|g| {
+                let parent = g.first / g.rows.len() as u64;
+                let v = *incoming
+                    .get(&parent)
+                    .expect("incoming value for every group root");
+                (g, v)
+            })
+            .collect();
+        let out = JobBuilder::new("dmhs-extract")
+            .map(
+                move |(group, v_root): &(RowGroup, i64),
+                      ctx: &mut MapContext<u64, (i64, u32, f64)>| {
+                    let f = group.rows.len();
+                    let rows = mini_tree_rows(&group.rows);
+                    // Replay choices down the mini-tree.
+                    let mut stack = vec![(1usize, *v_root)];
+                    while let Some((i, v)) = stack.pop() {
+                        let z = rows[i].choice(v);
+                        if z != 0 {
+                            let g = mini_to_global(group.first, f, i);
+                            // key = child marker 0 means "synopsis entry".
+                            ctx.emit(g, (0, 1, f64::from(z)));
+                        }
+                        if 2 * i < f {
+                            stack.push((2 * i, v + i64::from(z)));
+                            stack.push((2 * i + 1, v - i64::from(z)));
+                        } else {
+                            let base = (i - f / 2) * 2;
+                            let left_child = group.first + base as u64;
+                            ctx.emit(left_child, (v + i64::from(z), 0, 0.0));
+                            ctx.emit(left_child + 1, (v - i64::from(z), 0, 0.0));
+                        }
+                    }
+                },
+            )
+            .reduce(
+                |k, vals, ctx: &mut ReduceContext<u64, (i64, u32, f64)>| {
+                    for v in vals {
+                        ctx.emit(*k, v);
+                    }
+                },
+            )
+            .run(cluster, tagged)?;
+        metrics.push(out.metrics);
+        for (node, (v, tag, z)) in out.pairs {
+            if tag == 1 {
+                entries.push((node as u32, z * params.delta));
+            } else {
+                incoming.insert(node, v);
+            }
+        }
+    }
+
+    // ---- Base layer extraction ----
+    let base_incoming: Vec<i64> = (0..num_base)
+        .map(|j| {
+            *incoming
+                .get(&(num_base as u64 + j as u64))
+                .expect("incoming value for every base root")
+        })
+        .collect();
+    let base_incoming = Arc::new(base_incoming);
+    let bi = Arc::clone(&base_incoming);
+    let out = JobBuilder::new("dmhs-extract-base")
+        .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, f64>| {
+            let rows = subtree_rows(split.slice(), &p).expect("phase A succeeded");
+            let m = split.len();
+            let v0 = bi[split.id as usize];
+            let mut stack = vec![(1usize, v0)];
+            while let Some((i, v)) = stack.pop() {
+                let z = rows[i].choice(v);
+                if z != 0 {
+                    // Global id within base sub-tree: heap self-similarity.
+                    let depth = usize::BITS - 1 - i.leading_zeros();
+                    let root = num_base as u64 + split.id as u64;
+                    let g = (root << depth) + (i as u64 - (1u64 << depth));
+                    ctx.emit(g, f64::from(z) * p.delta);
+                }
+                if 2 * i < m {
+                    stack.push((2 * i, v + i64::from(z)));
+                    stack.push((2 * i + 1, v - i64::from(z)));
+                }
+            }
+        })
+        .input_bytes(SliceSplit::bytes)
+        .reduce(|k, vals, ctx: &mut ReduceContext<u64, f64>| {
+            for v in vals {
+                ctx.emit(*k, v);
+            }
+        })
+        .run(cluster, splits.clone())?;
+    metrics.push(out.metrics);
+    for (node, value) in out.pairs {
+        entries.push((node as u32, value));
+    }
+
+    debug_assert_eq!(entries.len(), best_total as usize);
+    let synopsis = Synopsis::from_entries(n, entries)?;
+
+    // ---- Distributed evaluation of the actual error ----
+    let (actual_error, eval_metrics) = distributed_max_abs(cluster, &splits, &synopsis)?;
+    metrics.push(eval_metrics);
+
+    Ok(DmhsResult {
+        size: synopsis.size(),
+        synopsis,
+        actual_error,
+        metrics,
+    })
+}
+
+/// Distributed max-abs evaluation: every worker reconstructs its slice
+/// from a broadcast synopsis and emits its local maximum; one reducer
+/// takes the global max. (Also used to compute DIndirectHaar's upper
+/// bound, Algorithm 2 line 1.)
+pub fn distributed_max_abs(
+    cluster: &Cluster,
+    splits: &[SliceSplit],
+    synopsis: &Synopsis,
+) -> Result<(f64, dwmaxerr_runtime::JobMetrics), CoreError> {
+    let syn = Arc::new(synopsis.clone());
+    let out = JobBuilder::new("eval-max-abs")
+        .map(move |split: &SliceSplit, ctx: &mut MapContext<u8, f64>| {
+            let mut local_max = 0.0f64;
+            for (off, &d) in split.slice().iter().enumerate() {
+                let approx = syn.reconstruct_value(split.start() + off);
+                local_max = local_max.max((approx - d).abs());
+            }
+            ctx.emit(0, local_max);
+        })
+        .input_bytes(SliceSplit::bytes)
+        .reduce(|_k, vals, ctx: &mut ReduceContext<u8, f64>| {
+            ctx.emit(0, vals.fold(0.0, f64::max));
+        })
+        .run(cluster, splits.to_vec())?;
+    let err = out
+        .pairs
+        .first()
+        .map(|&(_, e)| e)
+        .ok_or(CoreError::Protocol("evaluation job produced no output"))?;
+    Ok((err, out.metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwmaxerr_algos::min_haar_space::min_haar_space;
+    use dwmaxerr_runtime::ClusterConfig;
+    use dwmaxerr_wavelet::metrics::max_abs;
+
+    fn test_cluster() -> Cluster {
+        let mut cfg = ClusterConfig::with_slots(4, 2);
+        cfg.task_startup = std::time::Duration::from_micros(10);
+        cfg.job_setup = std::time::Duration::from_micros(10);
+        Cluster::new(cfg)
+    }
+
+    fn run(data: &[f64], eps: f64, delta: f64, s: usize, f: usize) -> DmhsResult {
+        let params = MhsParams::new(eps, delta).unwrap();
+        let cfg = DmhsConfig { base_leaves: s, fan_in: f };
+        dmin_haar_space(&test_cluster(), data, &params, &cfg).unwrap()
+    }
+
+    #[test]
+    fn matches_centralized_solver() {
+        let data: Vec<f64> = (0..64)
+            .map(|i| ((i * 29) % 17) as f64 * 2.0 + if i == 40 { 60.0 } else { 0.0 })
+            .collect();
+        for eps in [2.0, 5.0, 10.0, 25.0] {
+            let params = MhsParams::new(eps, 0.5).unwrap();
+            let central = min_haar_space(&data, &params).unwrap();
+            let dist = run(&data, eps, 0.5, 8, 2);
+            assert_eq!(
+                dist.size, central.size,
+                "eps={eps}: distributed {} vs centralized {}",
+                dist.size, central.size
+            );
+            assert!(dist.actual_error <= eps + 1e-9);
+            let direct = max_abs(&data, &dist.synopsis.reconstruct_all());
+            assert!((direct - dist.actual_error).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fan_in_and_subtree_size_do_not_change_result() {
+        let data: Vec<f64> = (0..128).map(|i| ((i * 13) % 37) as f64).collect();
+        let sizes = [(4usize, 2usize), (8, 4), (16, 2), (32, 8)];
+        let results: Vec<usize> = sizes
+            .iter()
+            .map(|&(s, f)| run(&data, 4.0, 0.5, s, f).size)
+            .collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1], "partitioning changed the result: {results:?}");
+        }
+    }
+
+    #[test]
+    fn detects_delta_too_coarse() {
+        let data: Vec<f64> = (0..16).map(|i| i as f64 + 0.45).collect();
+        let params = MhsParams::new(0.4, 1.0).unwrap();
+        let cfg = DmhsConfig { base_leaves: 4, fan_in: 2 };
+        let res = dmin_haar_space(&test_cluster(), &data, &params, &cfg);
+        assert!(matches!(res, Err(CoreError::Mhs(MhsError::DeltaTooCoarse))));
+    }
+
+    #[test]
+    fn single_base_subtree() {
+        let data: Vec<f64> = (0..16).map(|i| (i as f64 * 3.0) % 11.0).collect();
+        let dist = run(&data, 3.0, 0.5, 16, 2);
+        let central =
+            min_haar_space(&data, &MhsParams::new(3.0, 0.5).unwrap()).unwrap();
+        assert_eq!(dist.size, central.size);
+    }
+
+    #[test]
+    fn wire_row_roundtrip() {
+        let row = Row { lo: -5, costs: vec![1, 2, INFEASIBLE], choices: vec![0, -3, 7] };
+        let mut buf = Vec::new();
+        WireRow(row.clone()).encode(&mut buf);
+        let mut s = buf.as_slice();
+        let back = WireRow::decode(&mut s).unwrap();
+        assert_eq!(back.0, row);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn mini_tree_global_ids() {
+        // Rows for nodes 8..12 (fan_in 4): mini root = node 2, its children
+        // nodes 4 and 5.
+        assert_eq!(mini_to_global(8, 4, 1), 2);
+        assert_eq!(mini_to_global(8, 4, 2), 4);
+        assert_eq!(mini_to_global(8, 4, 3), 5);
+    }
+}

@@ -1,0 +1,502 @@
+//! DMinRelVar: the Section-4 framework applied to the MinRelVar DP \[12\]
+//! — the paper's own illustration of the framework (its Figure 2 shows
+//! MinRelVar's `(v, y, l)` cells being combined).
+//!
+//! Structure is identical to [`mod@crate::dmin_haar_space`]: layer-0 workers
+//! solve their base sub-tree bottom-up and emit the local root's M-row;
+//! upper layers combine `fan_in` sibling rows; the driver resolves `c_0`;
+//! a top-down pass re-enters each sub-problem to extract the allocation.
+//!
+//! The important difference is the M-row size: `O(B·q)` cells per row
+//! instead of MinHaarSpace's `O(ε/δ)`. That makes the per-stage
+//! communication `O(N·B·q / 2^h)` (Eq. 6 with `max|M[j]| = O(B·q)`) —
+//! quadratic in the worst case `B = Θ(N)`, which is exactly why the
+//! SIGMOD'16 paper pivots to the dual Problem 2. The
+//! `dp_communication` ablation bench measures this blow-up.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dwmaxerr_algos::min_rel_var::{combine, subtree_rows, CoinFlipper, MrvCell, MrvParams, MrvRow};
+use dwmaxerr_runtime::codec::{CodecError, Wire};
+use dwmaxerr_runtime::metrics::DriverMetrics;
+use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
+use dwmaxerr_wavelet::Synopsis;
+
+use crate::error::CoreError;
+use crate::splits::{aligned_splits, SliceSplit};
+
+/// Wire wrapper for MinRelVar rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMrvRow(pub MrvRow);
+
+impl Wire for WireMrvRow {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.min_norm.encode(buf);
+        (self.0.cells.len() as u32).encode(buf);
+        for c in &self.0.cells {
+            c.v.encode(buf);
+            c.y.encode(buf);
+            c.l.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let min_norm = f64::decode(buf)?;
+        let len = u32::decode(buf)? as usize;
+        let mut cells = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            cells.push(MrvCell {
+                v: f64::decode(buf)?,
+                y: u16::decode(buf)?,
+                l: u32::decode(buf)?,
+            });
+        }
+        Ok(WireMrvRow(MrvRow { min_norm, cells }))
+    }
+}
+
+/// DMinRelVar configuration.
+#[derive(Debug, Clone)]
+pub struct DmrvConfig {
+    /// Leaves per base sub-tree (power of two).
+    pub base_leaves: usize,
+    /// Rows combined per upper-layer worker (power of two ≥ 2).
+    pub fan_in: usize,
+    /// Retention-probability quantization `q`.
+    pub params: MrvParams,
+    /// Seed for the retention coin flips.
+    pub seed: u64,
+}
+
+/// Result of a DMinRelVar run.
+#[derive(Debug, Clone)]
+pub struct DmrvResult {
+    /// The probabilistic synopsis.
+    pub synopsis: Synopsis,
+    /// The DP's bound on the maximum normalized squared error.
+    pub nse_bound: f64,
+    /// Expected synopsis size `Σ y`.
+    pub expected_size: f64,
+    /// Pipeline metrics (row exchange is the interesting part).
+    pub metrics: DriverMetrics,
+}
+
+/// A group of sibling rows plus the coefficients of the mini-tree above
+/// them (an upper-layer worker's input).
+#[derive(Debug, Clone)]
+struct RowGroup {
+    first: u64,
+    rows: Vec<MrvRow>,
+    /// Coefficients of the mini-tree's internal nodes, heap order
+    /// (index 0 unused), taken from the root coefficients.
+    mini_coeffs: Vec<f64>,
+    cap: usize,
+}
+
+/// Internal rows of a worker's mini-tree above `input` rows.
+fn mini_tree_rows(group: &RowGroup, p: &MrvParams) -> Vec<MrvRow> {
+    let f = group.rows.len();
+    debug_assert!(f.is_power_of_two() && f >= 2);
+    let empty = MrvRow { min_norm: 1.0, cells: Vec::new() };
+    let mut rows = vec![empty; f];
+    for i in (1..f).rev() {
+        rows[i] = if 2 * i < f {
+            let (l, r) = rows.split_at(2 * i + 1);
+            combine(&l[2 * i], &r[0], group.mini_coeffs[i], group.cap, p)
+        } else {
+            let base = (i - f / 2) * 2;
+            combine(
+                &group.rows[base],
+                &group.rows[base + 1],
+                group.mini_coeffs[i],
+                group.cap,
+                p,
+            )
+        };
+    }
+    rows
+}
+
+/// Runs DMinRelVar: the probabilistic max-rel synopsis with expected
+/// budget `b`, computed through layered jobs.
+pub fn dmin_rel_var(
+    cluster: &Cluster,
+    data: &[f64],
+    b: usize,
+    cfg: &DmrvConfig,
+) -> Result<DmrvResult, CoreError> {
+    let n = data.len();
+    dwmaxerr_wavelet::error::ensure_pow2(n)?;
+    let s = cfg.base_leaves.clamp(2, n);
+    let fan_in = cfg.fan_in.max(2);
+    if !s.is_power_of_two() || !fan_in.is_power_of_two() {
+        return Err(CoreError::Protocol("base_leaves and fan_in must be powers of two"));
+    }
+    if n < 2 {
+        let sol = dwmaxerr_algos::min_rel_var::min_rel_var(data, b, &cfg.params, cfg.seed)?;
+        return Ok(DmrvResult {
+            synopsis: sol.synopsis,
+            nse_bound: sol.nse_bound,
+            expected_size: sol.expected_size,
+            metrics: DriverMetrics::new(),
+        });
+    }
+    let mut metrics = DriverMetrics::new();
+    let splits = aligned_splits(data, s);
+    let num_base = n / s;
+    let p = cfg.params;
+    let q = p.q as usize;
+    let cap = (b * q).min(n * q);
+
+    // The upper-tree coefficients come from the slice averages (needed by
+    // the mini-tree combines); gather them with the base rows in one job.
+    let base_out = JobBuilder::new("dmrv-layer0")
+        .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, (f64, WireMrvRow)>| {
+            let w = dwmaxerr_wavelet::transform::forward(split.slice()).expect("pow2 slice");
+            let rows = subtree_rows(&w[1..], split.slice(), cap, &p).expect("valid subtree");
+            ctx.emit(
+                num_base as u64 + split.id as u64,
+                (w[0], WireMrvRow(rows[1].clone())),
+            );
+        })
+        .input_bytes(SliceSplit::bytes)
+        .reduce(|k, vals, ctx: &mut ReduceContext<u64, (f64, WireMrvRow)>| {
+            for v in vals {
+                ctx.emit(*k, v);
+            }
+        })
+        .run(cluster, splits.clone())?;
+    metrics.push(base_out.metrics);
+
+    let mut layer: Vec<(u64, MrvRow)> = Vec::with_capacity(num_base);
+    let mut averages = vec![0.0; num_base];
+    for (k, (avg, WireMrvRow(row))) in base_out.pairs {
+        averages[(k - num_base as u64) as usize] = avg;
+        layer.push((k, row));
+    }
+    layer.sort_unstable_by_key(|&(k, _)| k);
+    let root_coeffs = dwmaxerr_wavelet::transform::forward(&averages).expect("pow2 averages");
+
+    let mini_coeffs_for = |first: u64, f: usize| -> Vec<f64> {
+        // Global ids of the mini-tree internal nodes; their coefficients
+        // live in the upper (root) coefficient array.
+        let mut v = vec![0.0; f];
+        for (i, slot) in v.iter_mut().enumerate().skip(1) {
+            let depth = usize::BITS - 1 - i.leading_zeros();
+            let root = first / f as u64;
+            let g = ((root << depth) + (i as u64 - (1u64 << depth))) as usize;
+            *slot = root_coeffs[g];
+        }
+        v
+    };
+
+    // ---- Bottom-up layers ----
+    let mut group_stack: Vec<Vec<RowGroup>> = Vec::new();
+    while layer.len() > 1 {
+        let f = fan_in.min(layer.len());
+        let groups: Vec<RowGroup> = layer
+            .chunks(f)
+            .map(|chunk| RowGroup {
+                first: chunk[0].0,
+                rows: chunk.iter().map(|(_, r)| r.clone()).collect(),
+                mini_coeffs: mini_coeffs_for(chunk[0].0, f),
+                cap,
+            })
+            .collect();
+        let out = JobBuilder::new("dmrv-layer-up")
+            .map(move |group: &RowGroup, ctx: &mut MapContext<u64, WireMrvRow>| {
+                let rows = mini_tree_rows(group, &p);
+                ctx.emit(group.first / group.rows.len() as u64, WireMrvRow(rows[1].clone()));
+            })
+            .input_bytes(|g: &RowGroup| {
+                g.rows.iter().map(|r| (12 + r.cells.len() * 14) as u64).sum()
+            })
+            .reduce(|k, vals, ctx: &mut ReduceContext<u64, WireMrvRow>| {
+                for v in vals {
+                    ctx.emit(*k, v);
+                }
+            })
+            .run(cluster, groups.clone())?;
+        metrics.push(out.metrics);
+        group_stack.push(groups);
+        layer = out
+            .pairs
+            .into_iter()
+            .map(|(k, WireMrvRow(r))| (k, r))
+            .collect();
+        layer.sort_unstable_by_key(|&(k, _)| k);
+    }
+
+    // ---- Root resolution: c_0 ----
+    let root_row = &layer[0].1;
+    let mut best = (f64::INFINITY, 0u32, 0usize);
+    for u in 0..=(q.min(cap)) as u32 {
+        let var0 = if root_coeffs[0] == 0.0 {
+            0.0
+        } else if u == 0 {
+            root_coeffs[0] * root_coeffs[0]
+        } else if u as usize >= q {
+            0.0
+        } else {
+            let y = f64::from(u) / f64::from(p.q);
+            root_coeffs[0] * root_coeffs[0] * (1.0 - y) / y
+        };
+        let rem = (cap - u as usize).min(root_row.cells.len() - 1);
+        let v = root_row.v(rem) + var0 / (root_row.min_norm * root_row.min_norm);
+        if v < best.0 {
+            best = (v, u, rem);
+        }
+    }
+
+    // ---- Top-down extraction through the same groups ----
+    let mut allocation: Vec<(u64, u16)> = Vec::new();
+    if best.1 > 0 {
+        allocation.push((0, best.1 as u16));
+    }
+    let mut budgets: HashMap<u64, usize> = HashMap::new();
+    budgets.insert(1, best.2);
+    for groups in group_stack.into_iter().rev() {
+        let tagged: Vec<(RowGroup, usize)> = groups
+            .into_iter()
+            .map(|g| {
+                let parent = g.first / g.rows.len() as u64;
+                let bu = *budgets.get(&parent).expect("budget for every group root");
+                (g, bu)
+            })
+            .collect();
+        let out = JobBuilder::new("dmrv-extract")
+            .map(
+                move |(group, b_root): &(RowGroup, usize),
+                      ctx: &mut MapContext<u64, (u32, u32)>| {
+                    let f = group.rows.len();
+                    let rows = mini_tree_rows(group, &p);
+                    let mut stack = vec![(1usize, *b_root)];
+                    while let Some((i, bi)) = stack.pop() {
+                        let cell = rows[i].cell(bi);
+                        let depth = usize::BITS - 1 - i.leading_zeros();
+                        let g_id = ((group.first / f as u64) << depth)
+                            + (i as u64 - (1u64 << depth));
+                        if cell.y > 0 {
+                            // Allocation record (tag 1).
+                            ctx.emit(g_id, (1, u32::from(cell.y)));
+                        }
+                        let (l_len, r_len) = if 2 * i < f {
+                            (rows[2 * i].cells.len(), rows[2 * i + 1].cells.len())
+                        } else {
+                            let base = (i - f / 2) * 2;
+                            (group.rows[base].cells.len(), group.rows[base + 1].cells.len())
+                        };
+                        let joint = l_len - 1 + r_len - 1;
+                        let rem = (bi.min(rows[i].cells.len() - 1) - cell.y as usize)
+                            .min(joint);
+                        if 2 * i < f {
+                            stack.push((2 * i, cell.l as usize));
+                            stack.push((2 * i + 1, rem - cell.l as usize));
+                        } else {
+                            // Budget handoff to the next layer (tag 0).
+                            let child = group.first + ((i - f / 2) * 2) as u64;
+                            ctx.emit(child, (0, cell.l));
+                            ctx.emit(child + 1, (0, (rem - cell.l as usize) as u32));
+                        }
+                    }
+                },
+            )
+            .reduce(|k, vals, ctx: &mut ReduceContext<u64, (u32, u32)>| {
+                for v in vals {
+                    ctx.emit(*k, v);
+                }
+            })
+            .run(cluster, tagged)?;
+        metrics.push(out.metrics);
+        for (node, (tag, val)) in out.pairs {
+            if tag == 1 {
+                allocation.push((node, val as u16));
+            } else {
+                budgets.insert(node, val as usize);
+            }
+        }
+    }
+
+    // ---- Base-layer extraction ----
+    let base_budgets: Vec<usize> = (0..num_base)
+        .map(|j| {
+            if num_base == 1 {
+                best.2
+            } else {
+                *budgets
+                    .get(&(num_base as u64 + j as u64))
+                    .expect("budget for every base root")
+            }
+        })
+        .collect();
+    let base_budgets = Arc::new(base_budgets);
+    let bb = Arc::clone(&base_budgets);
+    let out = JobBuilder::new("dmrv-extract-base")
+        .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, u16>| {
+            let w = dwmaxerr_wavelet::transform::forward(split.slice()).expect("pow2 slice");
+            let rows = subtree_rows(&w[1..], split.slice(), cap, &p).expect("phase A ran");
+            let m = split.len();
+            let mut stack = vec![(1usize, bb[split.id as usize])];
+            while let Some((i, bi)) = stack.pop() {
+                let cell = rows[i].cell(bi);
+                if cell.y > 0 {
+                    let depth = usize::BITS - 1 - i.leading_zeros();
+                    let root = num_base as u64 + split.id as u64;
+                    let g = (root << depth) + (i as u64 - (1u64 << depth));
+                    ctx.emit(g, cell.y);
+                }
+                if 2 * i < m {
+                    let joint = rows[2 * i].cells.len() - 1 + rows[2 * i + 1].cells.len() - 1;
+                    let rem =
+                        (bi.min(rows[i].cells.len() - 1) - cell.y as usize).min(joint);
+                    stack.push((2 * i, cell.l as usize));
+                    stack.push((2 * i + 1, rem - cell.l as usize));
+                }
+            }
+        })
+        .input_bytes(SliceSplit::bytes)
+        .reduce(|k, vals, ctx: &mut ReduceContext<u64, u16>| {
+            for v in vals {
+                ctx.emit(*k, v);
+            }
+        })
+        .run(cluster, splits)?;
+    metrics.push(out.metrics);
+    for (node, yu) in out.pairs {
+        allocation.push((node, yu));
+    }
+
+    // ---- Coin flips (driver-side, to match the centralized seed) ----
+    allocation.sort_unstable_by_key(|&(i, _)| i);
+    let coeffs = dwmaxerr_wavelet::transform::forward(data)?;
+    let mut flipper = CoinFlipper::new(cfg.seed);
+    let mut entries = Vec::new();
+    let mut expected = 0.0;
+    for &(node, yu) in &allocation {
+        let y = f64::from(yu) / f64::from(p.q);
+        expected += y;
+        if flipper.flip(y) {
+            entries.push((node as u32, coeffs[node as usize] / y));
+        }
+    }
+    Ok(DmrvResult {
+        synopsis: Synopsis::from_entries(n, entries)?,
+        nse_bound: best.0,
+        expected_size: expected,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwmaxerr_algos::min_rel_var::min_rel_var;
+    use dwmaxerr_runtime::ClusterConfig;
+
+    fn test_cluster() -> Cluster {
+        let mut cfg = ClusterConfig::with_slots(4, 2);
+        cfg.task_startup = std::time::Duration::from_micros(10);
+        cfg.job_setup = std::time::Duration::from_micros(10);
+        Cluster::new(cfg)
+    }
+
+    fn run(data: &[f64], b: usize, s: usize, f: usize) -> DmrvResult {
+        let cfg = DmrvConfig {
+            base_leaves: s,
+            fan_in: f,
+            params: MrvParams::new(4, 1.0).unwrap(),
+            seed: 42,
+        };
+        dmin_rel_var(&test_cluster(), data, b, &cfg).unwrap()
+    }
+
+    #[test]
+    fn matches_centralized_bound_and_allocation() {
+        let data: Vec<f64> = (0..64)
+            .map(|i| ((i * 23) % 31) as f64 + if i % 13 == 0 { 40.0 } else { 0.0 })
+            .collect();
+        let p = MrvParams::new(4, 1.0).unwrap();
+        for b in [2usize, 4, 8, 16] {
+            let central = min_rel_var(&data, b, &p, 42).unwrap();
+            let dist = run(&data, b, 8, 2);
+            assert!(
+                (dist.nse_bound - central.nse_bound).abs() < 1e-9,
+                "b={b}: distributed {} vs centralized {}",
+                dist.nse_bound,
+                central.nse_bound
+            );
+            assert!(
+                (dist.expected_size - central.expected_size).abs() < 1e-9,
+                "b={b}: expected sizes differ"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioning_invariance() {
+        let data: Vec<f64> = (0..64).map(|i| ((i * 7) % 19) as f64 * 2.0).collect();
+        let bounds: Vec<f64> = [(4usize, 2usize), (8, 4), (16, 2), (32, 2)]
+            .iter()
+            .map(|&(s, f)| run(&data, 6, s, f).nse_bound)
+            .collect();
+        for w in bounds.windows(2) {
+            assert!(
+                (w[0] - w[1]).abs() < 1e-9,
+                "partitioning changed the bound: {bounds:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_size_within_budget() {
+        let data: Vec<f64> = (0..32).map(|i| (i as f64 * 1.3) % 17.0).collect();
+        for b in [0usize, 3, 8, 16] {
+            let dist = run(&data, b, 8, 2);
+            assert!(
+                dist.expected_size <= b as f64 + 1e-9,
+                "b={b}: expected {}",
+                dist.expected_size
+            );
+        }
+    }
+
+    #[test]
+    fn row_bytes_grow_with_budget() {
+        // The O(B·q) row: doubling B roughly doubles the per-stage row
+        // exchange — the Section-4 communication analysis.
+        let data: Vec<f64> = (0..128).map(|i| ((i * 11) % 41) as f64).collect();
+        let small = run(&data, 4, 16, 2);
+        let large = run(&data, 32, 16, 2);
+        let bytes = |r: &DmrvResult| {
+            r.metrics
+                .jobs
+                .iter()
+                .filter(|j| j.name.contains("layer"))
+                .map(|j| j.shuffle_bytes)
+                .sum::<u64>()
+        };
+        assert!(
+            bytes(&large) > bytes(&small) * 3,
+            "row exchange should scale with B: {} vs {}",
+            bytes(&large),
+            bytes(&small)
+        );
+    }
+
+    #[test]
+    fn wire_row_roundtrip() {
+        let row = MrvRow {
+            min_norm: 2.5,
+            cells: vec![
+                MrvCell { v: 1.0, y: 2, l: 3 },
+                MrvCell { v: 0.5, y: 0, l: 1 },
+            ],
+        };
+        let mut buf = Vec::new();
+        WireMrvRow(row.clone()).encode(&mut buf);
+        let mut s = buf.as_slice();
+        let back = WireMrvRow::decode(&mut s).unwrap();
+        assert_eq!(back.0, row);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! The paper's contribution: distributed wavelet thresholding for maximum
+//! error metrics (SIGMOD'16).
+//!
+//! * [`partition`] — the locality-preserving error-tree partitioning that
+//!   underlies everything (Section 4, Figures 3-4).
+//! * [`mod@dgreedy_abs`] / [`mod@dgreedy_rel`] — the distributed greedy algorithms
+//!   (Section 5, Algorithms 3-6).
+//! * [`mod@dmin_haar_space`] — DMHaarSpace, the distributed DP probe built
+//!   from the Section-4 framework (Algorithm 1).
+//! * [`mod@dindirect_haar`] — DIndirectHaar, binary search over DMHaarSpace
+//!   probes (Algorithm 2).
+//! * [`conventional`] — the parallel conventional-synopsis baselines of
+//!   Appendix A: CON, Send-V, Send-Coef, H-WTopk.
+
+pub mod conventional;
+pub mod dgreedy_abs;
+pub mod dgreedy_rel;
+pub mod dhaar_plus;
+pub mod dindirect_haar;
+pub mod dmin_haar_space;
+pub mod dmin_rel_var;
+pub mod error;
+pub mod partition;
+pub mod splits;
+
+pub use dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig, DGreedyAbsResult};
+pub use dgreedy_rel::{dgreedy_rel, DGreedyRelConfig, DGreedyRelResult};
+pub use dhaar_plus::{dhaar_plus, DhpConfig, DhpResult};
+pub use dindirect_haar::{dindirect_haar, DIndirectHaarConfig, DIndirectHaarResult};
+pub use dmin_haar_space::{dmin_haar_space, DmhsConfig, DmhsResult};
+pub use dmin_rel_var::{dmin_rel_var, DmrvConfig, DmrvResult};
+pub use error::CoreError;
+pub use partition::{BasePartition, LayerPlan};

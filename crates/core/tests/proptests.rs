@@ -1,0 +1,110 @@
+//! Property tests: the distributed algorithms must agree with their
+//! centralized counterparts across random data, budgets, and partitionings.
+
+use dwmaxerr_algos::conventional::conventional_synopsis;
+use dwmaxerr_algos::greedy_abs::greedy_abs_synopsis;
+use dwmaxerr_algos::min_haar_space::{min_haar_space, MhsParams};
+use dwmaxerr_core::conventional::{con, hwtopk, send_coef, send_v};
+use dwmaxerr_core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};
+use dwmaxerr_core::dmin_haar_space::{dmin_haar_space, DmhsConfig};
+use dwmaxerr_runtime::{Cluster, ClusterConfig};
+use dwmaxerr_wavelet::metrics::max_abs;
+use dwmaxerr_wavelet::transform::forward;
+use proptest::prelude::*;
+
+fn cluster() -> Cluster {
+    let mut cfg = ClusterConfig::with_slots(4, 2);
+    cfg.task_startup = std::time::Duration::from_micros(1);
+    cfg.job_setup = std::time::Duration::from_micros(1);
+    Cluster::new(cfg)
+}
+
+/// Power-of-two data with integer-ish values (keeps FP sums exact so the
+/// conventional baselines can be compared for equality).
+fn pow2_data(max_log: u32) -> impl Strategy<Value = Vec<f64>> {
+    (3u32..=max_log).prop_flat_map(|k| {
+        prop::collection::vec((-64i32..64).prop_map(f64::from), (1usize << k)..=(1usize << k))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conventional_baselines_agree(data in pow2_data(7), b in 1usize..12, parts in 1usize..7) {
+        let expect = conventional_synopsis(&forward(&data).unwrap(), b).unwrap();
+        let c = cluster();
+        let s = (data.len() / 4).max(2);
+        let (con_syn, _) = con(&c, &data, b, s).unwrap();
+        prop_assert_eq!(&con_syn, &expect, "CON");
+        let (sv, _) = send_v(&c, &data, b, parts).unwrap();
+        prop_assert_eq!(&sv, &expect, "Send-V");
+        let (sc, _) = send_coef(&c, &data, b, parts).unwrap();
+        prop_assert_eq!(&sc, &expect, "Send-Coef");
+        let hw = hwtopk(&c, &data, b, parts).unwrap();
+        prop_assert_eq!(&hw.synopsis, &expect, "H-WTopk");
+    }
+
+    #[test]
+    fn dmhs_matches_centralized(data in pow2_data(6), eps_i in 2u32..40) {
+        let eps = f64::from(eps_i);
+        let params = MhsParams::new(eps, 0.5).unwrap();
+        let central = min_haar_space(&data, &params).unwrap();
+        let cfg = DmhsConfig { base_leaves: (data.len() / 4).max(2), fan_in: 2 };
+        let dist = dmin_haar_space(&cluster(), &data, &params, &cfg).unwrap();
+        prop_assert_eq!(dist.size, central.size,
+            "distributed {} vs centralized {}", dist.size, central.size);
+        prop_assert!(dist.actual_error <= eps + 1e-9);
+    }
+
+    #[test]
+    fn dgreedy_abs_is_budgeted_and_accurate(data in pow2_data(6), b_frac in 0.05..0.9f64) {
+        let n = data.len();
+        let b = ((n as f64 * b_frac) as usize).max(1);
+        let cfg = DGreedyAbsConfig {
+            base_leaves: (n / 4).max(2),
+            bucket_width: 1e-9,
+            reducers: 2, max_candidates: None,
+        };
+        let d = dgreedy_abs(&cluster(), &data, b, &cfg).unwrap();
+        prop_assert!(d.synopsis.size() <= b);
+        let actual = max_abs(&data, &d.synopsis.reconstruct_all());
+        // The driver's estimate must match reality up to bucketing.
+        prop_assert!((actual - d.estimated_error).abs() <= 1e-6 + actual * 1e-9,
+            "actual {} vs estimated {}", actual, d.estimated_error);
+    }
+
+    #[test]
+    fn dgreedy_abs_close_to_centralized(data in pow2_data(6), b_frac in 0.1..0.6f64) {
+        let n = data.len();
+        let b = ((n as f64 * b_frac) as usize).max(1);
+        let cfg = DGreedyAbsConfig {
+            base_leaves: (n / 4).max(2),
+            bucket_width: 1e-9,
+            reducers: 2, max_candidates: None,
+        };
+        let d = dgreedy_abs(&cluster(), &data, b, &cfg).unwrap();
+        let actual = max_abs(&data, &d.synopsis.reconstruct_all());
+        let (_, central) = greedy_abs_synopsis(&forward(&data).unwrap(), b).unwrap();
+        // Both are heuristics exploring slightly different state spaces;
+        // the paper reports identical errors in practice. Allow slack for
+        // the keep-fewer states the histogram scheme cannot represent.
+        prop_assert!(actual <= central * 2.0 + 1e-6,
+            "distributed {} vs centralized {}", actual, central);
+    }
+
+    #[test]
+    fn dgreedy_abs_partitioning_invariance(data in pow2_data(6), b_frac in 0.1..0.5f64) {
+        let n = data.len();
+        let b = ((n as f64 * b_frac) as usize).max(1);
+        let run = |s: usize| {
+            let cfg = DGreedyAbsConfig { base_leaves: s, bucket_width: 1e-9, reducers: 2 , max_candidates: None};
+            let d = dgreedy_abs(&cluster(), &data, b, &cfg).unwrap();
+            max_abs(&data, &d.synopsis.reconstruct_all())
+        };
+        let a = run((n / 2).max(2));
+        let c = run((n / 4).max(2));
+        prop_assert!((a - c).abs() <= 1e-6 + a.max(c) * 0.5,
+            "partitioning changed error too much: {} vs {}", a, c);
+    }
+}

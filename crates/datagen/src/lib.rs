@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Workload generators for the SIGMOD'16 evaluation.
+//!
+//! Provides the paper's synthetic distributions (uniform and zipfian over
+//! `[0, M]`, Section 6 "Datasets") and statistical surrogates for its two
+//! real datasets, which are not redistributable here:
+//!
+//! * [`nyct`] — NYCT-taxi-like trip times: heavy-tailed log-normal seconds
+//!   clipped at 10 800 (3 h), optionally contaminated with the
+//!   near-`u32::MAX` corrupt records visible in Table 3's 32M/64M slices
+//!   (max 4 294 966, stdev 25 410).
+//! * [`wd`] — wind-direction-like azimuth series: a smooth circular random
+//!   walk in `[0, 360)` with rare sensor-glitch spikes up to 655 (Table 3's
+//!   max), giving the easy-to-approximate, low-error regime of Figure 9.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod nyct;
+pub mod stats;
+pub mod synthetic;
+pub mod wd;
+
+pub use nyct::nyct_like;
+pub use stats::DatasetStats;
+pub use synthetic::{uniform, zipf, Distribution};
+pub use wd::wd_like;

@@ -1,0 +1,82 @@
+//! NYCT-taxi-like trip-time surrogate (Table 3).
+//!
+//! The paper's NYCT slices hold taxi trip times in seconds: heavy-tailed
+//! around ~10 minutes, clipped at 10 800 s (3 h), with the larger slices
+//! (32M/64M) contaminated by corrupt near-`u32::MAX` records (Table 3 shows
+//! max 4 294 966 and stdev exploding to 25 410). The surrogate is a
+//! log-normal body with the same clip, plus a configurable corruption rate
+//! that reproduces the paper's hard-to-approximate regime
+//! (`(ε/δ)² ≈ 121`, Figure 8).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::synthetic::normal;
+
+/// Maximum legitimate trip time in the NYCT data (seconds).
+pub const NYCT_CLIP: f64 = 10_800.0;
+/// The corrupt sentinel values observed in the raw data.
+pub const NYCT_CORRUPT_MAX: f64 = 4_294_966.0;
+
+/// Generates an NYCT-like trip-time series.
+///
+/// * `n` — record count.
+/// * `corrupt_fraction` — fraction of records replaced by near-`u32::MAX`
+///   garbage (the paper's 32M/64M slices; use 0 for the clean small
+///   slices).
+/// * `seed` — RNG seed.
+pub fn nyct_like(n: usize, corrupt_fraction: f64, seed: u64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&corrupt_fraction));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4e59_4354);
+    (0..n)
+        .map(|_| {
+            if corrupt_fraction > 0.0 && rng.gen_bool(corrupt_fraction) {
+                // Corrupt records cluster just below u32::MAX.
+                NYCT_CORRUPT_MAX - rng.gen_range(0.0..4096.0)
+            } else {
+                // Log-normal body: median ~480 s, sigma 0.85 — matches the
+                // short-ride-dominated shape of the 2013 trip data.
+                let z = normal(&mut rng);
+                (480.0 * (0.85 * z).exp()).clamp(1.0, NYCT_CLIP).round()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DatasetStats;
+
+    #[test]
+    fn clean_slice_matches_table3_shape() {
+        let data = nyct_like(50_000, 0.0, 1);
+        let s = DatasetStats::of(&data);
+        // Table 3's small slices: avg in the hundreds, stdev of similar
+        // order, max at the clip.
+        assert!((300.0..900.0).contains(&s.avg), "avg {}", s.avg);
+        assert!((300.0..900.0).contains(&s.stdev), "stdev {}", s.stdev);
+        assert!(s.max <= NYCT_CLIP);
+        assert!(s.min >= 1.0);
+    }
+
+    #[test]
+    fn corrupt_slice_explodes_stdev_and_max() {
+        let clean = DatasetStats::of(&nyct_like(50_000, 0.0, 2));
+        let dirty = DatasetStats::of(&nyct_like(50_000, 5e-4, 2));
+        assert!(dirty.max > 4_000_000.0, "max {}", dirty.max);
+        assert!(dirty.stdev > 10.0 * clean.stdev, "stdev {}", dirty.stdev);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(nyct_like(1000, 1e-3, 9), nyct_like(1000, 1e-3, 9));
+        assert_ne!(nyct_like(1000, 0.0, 9), nyct_like(1000, 0.0, 10));
+    }
+
+    #[test]
+    fn values_are_integral_seconds() {
+        let data = nyct_like(1000, 0.0, 3);
+        assert!(data.iter().all(|v| v.fract() == 0.0));
+    }
+}

@@ -1,0 +1,70 @@
+//! Dataset summary statistics (the columns of Table 3).
+
+/// Summary statistics of a data series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Record count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub avg: f64,
+    /// Population standard deviation.
+    pub stdev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl DatasetStats {
+    /// Computes stats in one pass (Welford's algorithm for numerical
+    /// stability on long series).
+    pub fn of(data: &[f64]) -> DatasetStats {
+        assert!(!data.is_empty(), "stats of empty series");
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (i, &x) in data.iter().enumerate() {
+            let delta = x - mean;
+            mean += delta / (i + 1) as f64;
+            m2 += delta * (x - mean);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        DatasetStats {
+            count: data.len(),
+            avg: mean,
+            stdev: (m2 / data.len() as f64).sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_series() {
+        let s = DatasetStats::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.avg - 5.0).abs() < 1e-12);
+        assert!((s.stdev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn constant_series_zero_stdev() {
+        let s = DatasetStats::of(&[3.0; 100]);
+        assert!((s.avg - 3.0).abs() < 1e-12);
+        assert!(s.stdev < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_panics() {
+        DatasetStats::of(&[]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Synthetic distributions of Section 6: uniform and zipfian data values
+//! over `[0, M]` with `M ∈ {1K, 100K, 1000K}`.
+//!
+//! For the zipfian generators the paper's "zipfian with exponent θ" means
+//! the *values* follow a zipf law: value magnitudes are drawn by sampling a
+//! rank `k` with probability `∝ 1/k^θ` and mapping ranks across `[0, M]`.
+//! Skewed exponents concentrate mass near zero, which is exactly what makes
+//! such datasets easy to summarize (Figure 6: "biased distributions favor
+//! both the synopsis construction time and the approximation quality").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Data distribution selector used by the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniform over `[0, max]`.
+    Uniform,
+    /// Zipf with the given exponent over ranks mapped to `[0, max]`.
+    Zipf(f64),
+}
+
+impl Distribution {
+    /// Generates `n` values over `[0, max]` with the given seed.
+    pub fn generate(&self, n: usize, max: f64, seed: u64) -> Vec<f64> {
+        match *self {
+            Distribution::Uniform => uniform(n, max, seed),
+            Distribution::Zipf(theta) => zipf(n, max, theta, seed),
+        }
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match *self {
+            Distribution::Uniform => "Uniform".to_string(),
+            Distribution::Zipf(t) => format!("Zipf-{t}"),
+        }
+    }
+}
+
+/// `n` uniform values in `[0, max]`.
+pub fn uniform(n: usize, max: f64, seed: u64) -> Vec<f64> {
+    assert!(max >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0.0..=max)).collect()
+}
+
+/// `n` zipf-distributed values in `[0, max]` with exponent `theta`.
+///
+/// Ranks are sampled by inverse-CDF over a table of up to 65 536 support
+/// points (finer support changes nothing material for value distributions),
+/// then mapped linearly onto `[0, max]` — rank 1 maps to 0, so mass
+/// concentrates at small values as `theta` grows.
+pub fn zipf(n: usize, max: f64, theta: f64, seed: u64) -> Vec<f64> {
+    assert!(max >= 0.0);
+    assert!(theta > 0.0, "zipf exponent must be positive");
+    let support = 65_536usize;
+    // CDF over ranks 1..=support.
+    let mut cdf = Vec::with_capacity(support);
+    let mut acc = 0.0f64;
+    for k in 1..=support {
+        acc += 1.0 / (k as f64).powf(theta);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..total);
+            let rank = cdf.partition_point(|&c| c < u); // 0-based rank
+            rank as f64 / (support - 1) as f64 * max
+        })
+        .collect()
+}
+
+/// Standard normal deviate via Box–Muller (rand's crate-only API lacks a
+/// normal distribution; `rand_distr` is intentionally not a dependency).
+pub(crate) fn normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DatasetStats;
+
+    #[test]
+    fn uniform_range_and_mean() {
+        let data = uniform(20_000, 1000.0, 42);
+        let s = DatasetStats::of(&data);
+        assert!(s.min >= 0.0 && s.max <= 1000.0);
+        assert!((s.avg - 500.0).abs() < 20.0, "avg {}", s.avg);
+        // Uniform stdev ≈ M / sqrt(12) ≈ 288.7.
+        assert!((s.stdev - 288.7).abs() < 15.0, "stdev {}", s.stdev);
+    }
+
+    #[test]
+    fn zipf_skew_increases_with_theta() {
+        let z07 = DatasetStats::of(&zipf(20_000, 1000.0, 0.7, 7));
+        let z15 = DatasetStats::of(&zipf(20_000, 1000.0, 1.5, 7));
+        assert!(z15.avg < z07.avg, "zipf-1.5 mean {} !< zipf-0.7 mean {}", z15.avg, z07.avg);
+        let uni = DatasetStats::of(&uniform(20_000, 1000.0, 7));
+        assert!(z07.avg < uni.avg);
+        assert!(z15.avg < 100.0, "zipf-1.5 should concentrate near 0, avg {}", z15.avg);
+    }
+
+    #[test]
+    fn zipf_values_in_range() {
+        let data = zipf(5_000, 100_000.0, 1.5, 3);
+        assert!(data.iter().all(|&v| (0.0..=100_000.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(uniform(100, 10.0, 5), uniform(100, 10.0, 5));
+        assert_ne!(uniform(100, 10.0, 5), uniform(100, 10.0, 6));
+        assert_eq!(zipf(100, 10.0, 0.7, 5), zipf(100, 10.0, 0.7, 5));
+    }
+
+    #[test]
+    fn distribution_enum_roundtrip() {
+        let d = Distribution::Zipf(0.7);
+        assert_eq!(d.label(), "Zipf-0.7");
+        assert_eq!(d.generate(10, 5.0, 1).len(), 10);
+        assert_eq!(Distribution::Uniform.label(), "Uniform");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = rand::SeedableRng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..50_000).map(|_| normal(&mut rng)).collect();
+        let s = DatasetStats::of(&samples);
+        assert!(s.avg.abs() < 0.02, "mean {}", s.avg);
+        assert!((s.stdev - 1.0).abs() < 0.02, "stdev {}", s.stdev);
+    }
+}

@@ -1,0 +1,85 @@
+//! Wind-direction-like surrogate (Table 3).
+//!
+//! The paper's WD dataset holds hurricane wind directions in azimuth
+//! degrees: smooth (sensor readings drift slowly), bounded to `[0, 360)`,
+//! with occasional glitch values up to 655 (Table 3's max). Smoothness and
+//! the small range are what make WD easy to approximate — Figure 9's
+//! max-abs errors are ~5× smaller than NYCT's and `(ε/δ)² ≈ 36`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::synthetic::normal;
+
+/// The sensor-glitch ceiling observed in the raw data.
+pub const WD_GLITCH_MAX: f64 = 655.0;
+
+/// Generates a WD-like azimuth series.
+///
+/// * `n` — record count.
+/// * `glitch_fraction` — fraction of readings replaced by out-of-range
+///   glitches in `(360, 655]`.
+/// * `seed` — RNG seed.
+pub fn wd_like(n: usize, glitch_fraction: f64, seed: u64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&glitch_fraction));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5744_0000);
+    let mut azimuth: f64 = rng.gen_range(0.0..360.0);
+    (0..n)
+        .map(|_| {
+            // Smooth circular random walk with ~8° step scale.
+            azimuth = (azimuth + 8.0 * normal(&mut rng)).rem_euclid(360.0);
+            if glitch_fraction > 0.0 && rng.gen_bool(glitch_fraction) {
+                rng.gen_range(360.0..=WD_GLITCH_MAX).round()
+            } else {
+                azimuth.round()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DatasetStats;
+
+    #[test]
+    fn matches_table3_shape() {
+        let data = wd_like(50_000, 2e-4, 4);
+        let s = DatasetStats::of(&data);
+        // Table 3: avg ~120-140, stdev ~119, max 655.
+        assert!((100.0..220.0).contains(&s.avg), "avg {}", s.avg);
+        assert!((80.0..160.0).contains(&s.stdev), "stdev {}", s.stdev);
+        assert!(s.max <= WD_GLITCH_MAX);
+        assert!(s.min >= 0.0);
+    }
+
+    #[test]
+    fn smoother_than_nyct() {
+        // Mean absolute step of WD must be far smaller than NYCT's: that
+        // is the property driving Figure 9 vs Figure 8.
+        let wd = wd_like(10_000, 0.0, 5);
+        let ny = crate::nyct::nyct_like(10_000, 0.0, 5);
+        let mean_step = |d: &[f64]| {
+            d.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (d.len() - 1) as f64
+        };
+        assert!(
+            mean_step(&wd) * 5.0 < mean_step(&ny),
+            "wd step {} vs nyct step {}",
+            mean_step(&wd),
+            mean_step(&ny)
+        );
+    }
+
+    #[test]
+    fn glitches_present_when_requested() {
+        let data = wd_like(100_000, 1e-3, 6);
+        assert!(data.iter().any(|&v| v > 360.0));
+        let clean = wd_like(100_000, 0.0, 6);
+        assert!(clean.iter().all(|&v| v < 360.5));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(wd_like(500, 0.0, 8), wd_like(500, 0.0, 8));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the workload generators: every generator must be
+//! deterministic under its seed, respect its value range, and keep the
+//! statistical shape its consumers (the benchmark harness) rely on.
+
+use dwmaxerr_datagen::synthetic::{uniform, zipf};
+use dwmaxerr_datagen::{nyct_like, wd_like, DatasetStats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn uniform_range_and_determinism(n in 1usize..2000, max in 1.0..1e6f64, seed in any::<u64>()) {
+        let a = uniform(n, max, seed);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.iter().all(|&v| (0.0..=max).contains(&v)));
+        prop_assert_eq!(&a, &uniform(n, max, seed));
+    }
+
+    #[test]
+    fn zipf_range_and_determinism(
+        n in 1usize..2000,
+        max in 1.0..1e6f64,
+        theta in 0.1..2.5f64,
+        seed in any::<u64>(),
+    ) {
+        let a = zipf(n, max, theta, seed);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.iter().all(|&v| (0.0..=max).contains(&v)));
+        prop_assert_eq!(&a, &zipf(n, max, theta, seed));
+    }
+
+    #[test]
+    fn nyct_bounds_and_determinism(n in 1usize..2000, seed in any::<u64>()) {
+        let clean = nyct_like(n, 0.0, seed);
+        prop_assert_eq!(clean.len(), n);
+        prop_assert!(clean.iter().all(|&v| (1.0..=10_800.0).contains(&v)));
+        prop_assert_eq!(&clean, &nyct_like(n, 0.0, seed));
+        // Corruption only ever raises values toward the u32 ceiling.
+        let dirty = nyct_like(n, 0.5, seed);
+        prop_assert!(dirty.iter().all(|&v| v <= 4_294_966.0));
+    }
+
+    #[test]
+    fn wd_bounds_and_determinism(n in 1usize..2000, seed in any::<u64>()) {
+        let a = wd_like(n, 1e-3, seed);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.iter().all(|&v| (0.0..=655.0).contains(&v)));
+        prop_assert_eq!(&a, &wd_like(n, 1e-3, seed));
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(values in prop::collection::vec(-1e5..1e5f64, 1..500)) {
+        let s = DatasetStats::of(&values);
+        prop_assert_eq!(s.count, values.len());
+        prop_assert!(s.min <= s.avg + 1e-9 && s.avg <= s.max + 1e-9);
+        prop_assert!(s.stdev >= 0.0);
+        // Stdev bounded by the half-range (population stdev of bounded data).
+        prop_assert!(s.stdev <= (s.max - s.min) / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn different_seeds_differ(n in 64usize..512) {
+        // With ≥ 64 samples, two seeds colliding on every value would be
+        // astronomically unlikely — a regression here means the seed is
+        // being ignored.
+        prop_assert_ne!(uniform(n, 100.0, 1), uniform(n, 100.0, 2));
+        prop_assert_ne!(nyct_like(n, 0.0, 1), nyct_like(n, 0.0, 2));
+        prop_assert_ne!(wd_like(n, 0.0, 1), wd_like(n, 0.0, 2));
+    }
+}

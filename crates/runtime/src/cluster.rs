@@ -1,0 +1,176 @@
+//! Cluster configuration and the shared execution handle.
+
+use std::num::NonZeroUsize;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::metrics::JobMetrics;
+
+/// Static description of the simulated cluster.
+///
+/// The defaults model the paper's platform (Section 6: 8 slaves, 5 map +
+/// 2 reduce slots each, 1 core per task) scaled so that laptop-sized inputs
+/// produce the same *relative* cost structure: task startup dominates tiny
+/// partitions, shuffle cost is proportional to wire bytes, and tasks beyond
+/// the slot count serialize into waves.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Cluster-wide concurrent map tasks (paper default: 8 × 5 = 40).
+    pub map_slots: usize,
+    /// Cluster-wide concurrent reduce tasks (paper default: 8 × 2 = 16).
+    pub reduce_slots: usize,
+    /// Per-task launch overhead (Hadoop pays seconds per task; scaled
+    /// default 20 ms keeps the "tiny partitions hurt" effect measurable).
+    pub task_startup: Duration,
+    /// Per-job submission/setup overhead (default 50 ms — the paper's
+    /// multi-job algorithms such as (D)IndirectHaar feel this as the cost
+    /// of every binary-search probe).
+    pub job_setup: Duration,
+    /// Shuffle fetch throughput in bytes/second (default 100 MiB/s).
+    pub shuffle_bytes_per_sec: f64,
+    /// HDFS read throughput in bytes/second (default 200 MiB/s).
+    pub hdfs_bytes_per_sec: f64,
+    /// Per-task memory budget in bytes (the paper assigns 1 GB to each
+    /// map/reduce task). Jobs that declare task working sets are rejected
+    /// with [`crate::RuntimeError::TaskOutOfMemory`] beyond this.
+    pub task_memory_bytes: u64,
+    /// Real host threads used to execute tasks. Defaults to the host's
+    /// available parallelism; the *simulated* parallelism is governed by
+    /// the slot counts, not by this.
+    pub threads: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            map_slots: 40,
+            reduce_slots: 16,
+            task_startup: Duration::from_millis(20),
+            job_setup: Duration::from_millis(50),
+            shuffle_bytes_per_sec: 100.0 * 1024.0 * 1024.0,
+            hdfs_bytes_per_sec: 200.0 * 1024.0 * 1024.0,
+            task_memory_bytes: 1 << 30,
+            threads: std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A config with `map_slots` map slots and `reduce_slots` reduce slots,
+    /// keeping default cost constants.
+    pub fn with_slots(map_slots: usize, reduce_slots: usize) -> Self {
+        ClusterConfig {
+            map_slots,
+            reduce_slots,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), crate::RuntimeError> {
+        if self.map_slots == 0 {
+            return Err(crate::RuntimeError::InvalidConfig("map_slots == 0"));
+        }
+        if self.reduce_slots == 0 {
+            return Err(crate::RuntimeError::InvalidConfig("reduce_slots == 0"));
+        }
+        if self.threads == 0 {
+            return Err(crate::RuntimeError::InvalidConfig("threads == 0"));
+        }
+        if self.shuffle_bytes_per_sec.is_nan()
+            || self.shuffle_bytes_per_sec <= 0.0
+            || self.hdfs_bytes_per_sec.is_nan()
+            || self.hdfs_bytes_per_sec <= 0.0
+        {
+            return Err(crate::RuntimeError::InvalidConfig(
+                "throughputs must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A handle to the simulated cluster: configuration plus a ledger of every
+/// job it has executed (useful for end-of-run reports).
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    history: Mutex<Vec<JobMetrics>>,
+}
+
+impl Cluster {
+    /// Creates a cluster. Panics on invalid configuration (a config bug is
+    /// a programming error, not a runtime condition).
+    pub fn new(config: ClusterConfig) -> Self {
+        config.validate().expect("valid cluster config");
+        Cluster {
+            config,
+            history: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Records a finished job in the ledger.
+    pub(crate) fn record(&self, metrics: JobMetrics) {
+        self.history.lock().push(metrics);
+    }
+
+    /// Snapshot of all executed jobs' metrics.
+    pub fn history(&self) -> Vec<JobMetrics> {
+        self.history.lock().clone()
+    }
+
+    /// Drops the recorded history (e.g. between benchmark repetitions).
+    pub fn clear_history(&self) {
+        self.history.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_models_paper_cluster() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.map_slots, 40);
+        assert_eq!(c.reduce_slots, 16);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_slots_rejected() {
+        let c = ClusterConfig { map_slots: 0, ..ClusterConfig::default() };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig { reduce_slots: 0, ..ClusterConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn cluster_new_panics_on_bad_config() {
+        let c = ClusterConfig { threads: 0, ..ClusterConfig::default() };
+        let _ = Cluster::new(c);
+    }
+
+    #[test]
+    fn history_roundtrip() {
+        let cluster = Cluster::new(ClusterConfig::with_slots(4, 2));
+        assert!(cluster.history().is_empty());
+        cluster.record(JobMetrics {
+            name: "test".into(),
+            ..JobMetrics::default()
+        });
+        assert_eq!(cluster.history().len(), 1);
+        assert_eq!(cluster.history()[0].name, "test");
+        cluster.clear_history();
+        assert!(cluster.history().is_empty());
+    }
+}

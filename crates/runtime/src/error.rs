@@ -1,0 +1,54 @@
+//! Runtime error type.
+
+use std::fmt;
+
+use crate::codec::CodecError;
+
+/// Errors raised by job execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A cluster parameter was invalid (e.g. zero slots).
+    InvalidConfig(&'static str),
+    /// Shuffle bytes failed to decode — indicates a Wire impl bug.
+    Codec(CodecError),
+    /// A job was submitted without input splits.
+    NoInput,
+    /// A task's declared working set exceeds the per-task memory budget
+    /// (the paper's mappers/reducers get 1 GB each; Section 6 "Platform
+    /// setup").
+    TaskOutOfMemory {
+        /// Bytes the task would need.
+        needed: u64,
+        /// Bytes a task may use.
+        available: u64,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidConfig(what) => write!(f, "invalid cluster config: {what}"),
+            RuntimeError::Codec(e) => write!(f, "shuffle decode failed: {e}"),
+            RuntimeError::NoInput => write!(f, "job has no input splits"),
+            RuntimeError::TaskOutOfMemory { needed, available } => write!(
+                f,
+                "task needs {needed} bytes but only {available} are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for RuntimeError {
+    fn from(e: CodecError) -> Self {
+        RuntimeError::Codec(e)
+    }
+}

@@ -1,0 +1,701 @@
+//! Typed MapReduce jobs.
+//!
+//! A job is built with [`JobBuilder`]: a map function over whole input
+//! splits (the paper's mappers each process one error-tree partition, so
+//! split-level granularity is the natural unit), an optional custom
+//! partitioner, and a reduce function over key-grouped values. Keys must
+//! implement [`Wire`] + `Ord`; the shuffle physically encodes every
+//! key-value pair, partitions it, and sort-merges it on the reduce side,
+//! exactly mirroring Hadoop's shuffle semantics (including total ordering
+//! of keys within each reduce partition).
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::cluster::Cluster;
+use crate::codec::Wire;
+use crate::error::RuntimeError;
+use crate::metrics::{JobMetrics, SimBreakdown};
+use crate::scheduler;
+
+/// Context handed to map functions: typed emission into reduce partitions
+/// plus user counters.
+pub struct MapContext<'a, K, V> {
+    partitions: Vec<Vec<u8>>,
+    records: u64,
+    counters: BTreeMap<&'static str, u64>,
+    partitioner: &'a (dyn Fn(&K, usize) -> usize + Sync),
+    _marker: PhantomData<fn(K, V)>,
+}
+
+impl<K: Wire, V: Wire> MapContext<'_, K, V> {
+    /// Emits a key-value pair into the shuffle.
+    pub fn emit(&mut self, key: K, value: V) {
+        let r = self.partitions.len();
+        let p = (self.partitioner)(&key, r);
+        assert!(p < r, "partitioner returned {p} for {r} reducers");
+        let buf = &mut self.partitions[p];
+        key.encode(buf);
+        value.encode(buf);
+        self.records += 1;
+    }
+
+    /// Adds `delta` to a named counter (merged across tasks into
+    /// [`JobMetrics::counters`]).
+    pub fn add_counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+}
+
+/// Context handed to reduce functions.
+pub struct ReduceContext<OK, OV> {
+    out: Vec<(OK, OV)>,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl<OK, OV> ReduceContext<OK, OV> {
+    /// Emits an output record.
+    pub fn emit(&mut self, key: OK, value: OV) {
+        self.out.push((key, value));
+    }
+
+    /// Adds `delta` to a named counter.
+    pub fn add_counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+}
+
+/// Output of a finished job: reducer emissions (in reduce-partition order,
+/// key-sorted within each partition) and the job's metrics.
+#[derive(Debug)]
+pub struct JobOutput<OK, OV> {
+    /// All reducer-emitted records.
+    pub pairs: Vec<(OK, OV)>,
+    /// Execution metrics (also recorded in the cluster's history ledger).
+    pub metrics: JobMetrics,
+}
+
+/// Entry point for building a job.
+pub struct JobBuilder {
+    name: String,
+}
+
+impl JobBuilder {
+    /// Starts a job definition with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        JobBuilder { name: name.into() }
+    }
+
+    /// Sets the map function, fixing the split and intermediate types.
+    pub fn map<S, K, V, F>(self, map_fn: F) -> MapStage<S, K, V, F>
+    where
+        F: Fn(&S, &mut MapContext<K, V>) + Sync,
+    {
+        MapStage {
+            name: self.name,
+            map_fn,
+            reducers: 1,
+            partitioner: None,
+            input_bytes: None,
+            task_memory: None,
+            combiner: None,
+            _marker: PhantomData,
+        }
+    }
+}
+
+type Partitioner<K> = Box<dyn Fn(&K, usize) -> usize + Sync>;
+type InputSize<S> = Box<dyn Fn(&S) -> u64 + Sync>;
+type TaskMemory<S> = Box<dyn Fn(&S) -> u64 + Sync>;
+type Combiner<K, V> = Box<dyn Fn(&K, &mut dyn Iterator<Item = V>) -> V + Sync>;
+
+/// A job with its map stage configured.
+pub struct MapStage<S, K, V, F> {
+    name: String,
+    map_fn: F,
+    reducers: usize,
+    partitioner: Option<Partitioner<K>>,
+    input_bytes: Option<InputSize<S>>,
+    task_memory: Option<TaskMemory<S>>,
+    combiner: Option<Combiner<K, V>>,
+    _marker: PhantomData<fn(S, K, V)>,
+}
+
+impl<S, K, V, F> MapStage<S, K, V, F>
+where
+    S: Sync,
+    K: Wire + Ord + Send,
+    V: Wire + Send,
+    F: Fn(&S, &mut MapContext<K, V>) + Sync,
+{
+    /// Sets the number of reduce tasks (default 1).
+    pub fn reducers(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one reducer required");
+        self.reducers = n;
+        self
+    }
+
+    /// Installs a custom partitioner. The default hashes the encoded key
+    /// (FNV-1a), i.e. Hadoop's `HashPartitioner`.
+    pub fn partition_by(
+        mut self,
+        p: impl Fn(&K, usize) -> usize + Sync + 'static,
+    ) -> Self {
+        self.partitioner = Some(Box::new(p));
+        self
+    }
+
+    /// Declares the logical HDFS size of each split so the simulated clock
+    /// charges input-read time. Without it, input reads are free.
+    pub fn input_bytes(mut self, f: impl Fn(&S) -> u64 + Sync + 'static) -> Self {
+        self.input_bytes = Some(Box::new(f));
+        self
+    }
+
+    /// Declares each map task's working-set size; tasks beyond the
+    /// cluster's per-task memory budget fail the job with
+    /// [`RuntimeError::TaskOutOfMemory`].
+    pub fn task_memory(mut self, f: impl Fn(&S) -> u64 + Sync + 'static) -> Self {
+        self.task_memory = Some(Box::new(f));
+        self
+    }
+
+    /// Installs a map-side combiner (Hadoop's `Combiner`): after each map
+    /// task finishes, its emitted pairs are grouped by key per partition
+    /// and folded to a single value before crossing the shuffle —
+    /// associative pre-aggregation that trades map CPU for shuffle bytes.
+    pub fn combine_with(
+        mut self,
+        f: impl Fn(&K, &mut dyn Iterator<Item = V>) -> V + Sync + 'static,
+    ) -> Self {
+        self.combiner = Some(Box::new(f));
+        self
+    }
+
+    /// Sets the reduce function, completing the job definition.
+    pub fn reduce<OK, OV, G>(self, reduce_fn: G) -> Job<S, K, V, OK, OV, F, G>
+    where
+        OK: Send,
+        OV: Send,
+        G: Fn(&K, &mut dyn Iterator<Item = V>, &mut ReduceContext<OK, OV>) + Sync,
+    {
+        Job {
+            stage: self,
+            reduce_fn,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A fully-defined map-reduce job, ready to run.
+pub struct Job<S, K, V, OK, OV, F, G> {
+    stage: MapStage<S, K, V, F>,
+    reduce_fn: G,
+    // OK/OV only appear in `reduce_fn`'s signature via G's bound at run().
+    _marker: PhantomData<fn(OK, OV)>,
+}
+
+/// FNV-1a over the encoded key: the default partitioner.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `f(i, &items[i])` for every item on a pool of `threads` workers,
+/// returning results in item order.
+fn run_indexed<T, R>(threads: usize, items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = threads.clamp(1, items.len().max(1));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index filled"))
+        .collect()
+}
+
+struct MapTaskResult {
+    partitions: Vec<Vec<u8>>,
+    secs: f64,
+    records: u64,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl<S, K, V, OK, OV, F, G> Job<S, K, V, OK, OV, F, G>
+where
+    S: Sync,
+    K: Wire + Ord + Send,
+    V: Wire + Send,
+    OK: Send,
+    OV: Send,
+    F: Fn(&S, &mut MapContext<K, V>) + Sync,
+    G: Fn(&K, &mut dyn Iterator<Item = V>, &mut ReduceContext<OK, OV>) + Sync,
+{
+    /// Executes the job on `cluster` over the given input splits (one map
+    /// task per split).
+    pub fn run(self, cluster: &Cluster, splits: Vec<S>) -> Result<JobOutput<OK, OV>, RuntimeError> {
+        if splits.is_empty() {
+            return Err(RuntimeError::NoInput);
+        }
+        let config = cluster.config();
+        if let Some(mem) = &self.stage.task_memory {
+            for split in &splits {
+                let needed = mem(split);
+                if needed > config.task_memory_bytes {
+                    return Err(RuntimeError::TaskOutOfMemory {
+                        needed,
+                        available: config.task_memory_bytes,
+                    });
+                }
+            }
+        }
+        let job_start = Instant::now();
+        let stage = &self.stage;
+        let r = stage.reducers;
+
+        let default_partitioner = |key: &K, parts: usize| {
+            let encoded = crate::codec::encoded(key);
+            (fnv1a(&encoded) % parts as u64) as usize
+        };
+        let partitioner: &(dyn Fn(&K, usize) -> usize + Sync) = match &stage.partitioner {
+            Some(p) => p.as_ref(),
+            None => &default_partitioner,
+        };
+
+        // ---- Map phase ----
+        let map_results: Vec<MapTaskResult> =
+            run_indexed(config.threads, &splits, |_i, split| {
+                let start = Instant::now();
+                let mut ctx = MapContext {
+                    partitions: vec![Vec::new(); r],
+                    records: 0,
+                    counters: BTreeMap::new(),
+                    partitioner,
+                    _marker: PhantomData,
+                };
+                (stage.map_fn)(split, &mut ctx);
+                let mut records = ctx.records;
+                let mut partitions = ctx.partitions;
+                if let Some(combiner) = &stage.combiner {
+                    // Map-side combine: decode, group, fold, re-encode.
+                    let mut combined_records = 0u64;
+                    for buf in &mut partitions {
+                        let mut pairs: Vec<(K, V)> = Vec::new();
+                        let mut slice = buf.as_slice();
+                        while !slice.is_empty() {
+                            match (K::decode(&mut slice), V::decode(&mut slice)) {
+                                (Ok(k), Ok(v)) => pairs.push((k, v)),
+                                _ => break,
+                            }
+                        }
+                        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                        let mut out = Vec::with_capacity(buf.len() / 2);
+                        let mut iter = pairs.into_iter().peekable();
+                        while let Some((key, first)) = iter.next() {
+                            let mut group = vec![first];
+                            while iter.peek().is_some_and(|(k2, _)| *k2 == key) {
+                                group.push(iter.next().expect("peeked").1);
+                            }
+                            let folded = combiner(&key, &mut group.into_iter());
+                            key.encode(&mut out);
+                            folded.encode(&mut out);
+                            combined_records += 1;
+                        }
+                        *buf = out;
+                    }
+                    records = combined_records;
+                }
+                MapTaskResult {
+                    partitions,
+                    secs: start.elapsed().as_secs_f64(),
+                    records,
+                    counters: ctx.counters,
+                }
+            });
+
+        let input_bytes: u64 = stage
+            .input_bytes
+            .as_ref()
+            .map(|f| splits.iter().map(f).sum())
+            .unwrap_or(0);
+
+        // Charge HDFS read time into each map task before scheduling.
+        let mut map_secs: Vec<f64> = map_results.iter().map(|t| t.secs).collect();
+        if let Some(f) = &stage.input_bytes {
+            for (secs, split) in map_secs.iter_mut().zip(&splits) {
+                *secs += f(split) as f64 / config.hdfs_bytes_per_sec;
+            }
+        }
+
+        // ---- Shuffle ----
+        let mut reducer_inputs: Vec<Vec<u8>> = vec![Vec::new(); r];
+        let mut shuffle_records = 0u64;
+        let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for task in &map_results {
+            shuffle_records += task.records;
+            for (name, delta) in &task.counters {
+                *counters.entry(name).or_insert(0) += delta;
+            }
+            for (p, bytes) in task.partitions.iter().enumerate() {
+                reducer_inputs[p].extend_from_slice(bytes);
+            }
+        }
+        let per_reducer_bytes: Vec<u64> =
+            reducer_inputs.iter().map(|b| b.len() as u64).collect();
+        let shuffle_bytes: u64 = per_reducer_bytes.iter().sum();
+
+        // ---- Reduce phase ----
+        let reduce_fn = &self.reduce_fn;
+        struct ReduceTaskResult<OK, OV> {
+            out: Vec<(OK, OV)>,
+            secs: f64,
+            counters: BTreeMap<&'static str, u64>,
+            decode_error: bool,
+        }
+        let reduce_results: Vec<ReduceTaskResult<OK, OV>> =
+            run_indexed(config.threads, &reducer_inputs, |_i, input| {
+                let start = Instant::now();
+                let mut pairs: Vec<(K, V)> = Vec::new();
+                let mut slice = input.as_slice();
+                let mut decode_error = false;
+                while !slice.is_empty() {
+                    match (K::decode(&mut slice), V::decode(&mut slice)) {
+                        (Ok(k), Ok(v)) => pairs.push((k, v)),
+                        _ => {
+                            decode_error = true;
+                            break;
+                        }
+                    }
+                }
+                // Hadoop's merge-sort: total key order within the partition.
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                let mut ctx = ReduceContext {
+                    out: Vec::new(),
+                    counters: BTreeMap::new(),
+                };
+                let mut iter = pairs.into_iter().peekable();
+                while let Some((key, first)) = iter.next() {
+                    let mut group = vec![first];
+                    while iter.peek().is_some_and(|(k2, _)| *k2 == key) {
+                        group.push(iter.next().expect("peeked").1);
+                    }
+                    reduce_fn(&key, &mut group.into_iter(), &mut ctx);
+                }
+                ReduceTaskResult {
+                    out: ctx.out,
+                    secs: start.elapsed().as_secs_f64(),
+                    counters: ctx.counters,
+                    decode_error,
+                }
+            });
+
+        if reduce_results.iter().any(|t| t.decode_error) {
+            return Err(RuntimeError::Codec(crate::codec::CodecError {
+                context: "shuffle stream",
+            }));
+        }
+
+        let reduce_secs: Vec<f64> = reduce_results.iter().map(|t| t.secs).collect();
+        let mut pairs = Vec::new();
+        for mut task in reduce_results {
+            for (name, delta) in &task.counters {
+                *counters.entry(name).or_insert(0) += delta;
+            }
+            pairs.append(&mut task.out);
+        }
+
+        // ---- Simulated wall clock ----
+        let startup = config.task_startup.as_secs_f64();
+        let sim = SimBreakdown {
+            setup: config.job_setup.as_secs_f64(),
+            map: scheduler::makespan(&map_secs, config.map_slots, startup),
+            shuffle: per_reducer_bytes
+                .iter()
+                .map(|&b| b as f64 / config.shuffle_bytes_per_sec)
+                .fold(0.0, f64::max),
+            reduce: scheduler::makespan(&reduce_secs, config.reduce_slots, startup),
+        };
+
+        let metrics = JobMetrics {
+            name: stage.name.clone(),
+            map_task_secs: map_secs,
+            reduce_task_secs: reduce_secs,
+            shuffle_bytes,
+            shuffle_records,
+            input_bytes,
+            output_records: pairs.len() as u64,
+            map_waves: scheduler::waves(splits.len(), config.map_slots),
+            sim,
+            real_elapsed: job_start.elapsed(),
+            counters,
+        };
+        cluster.record(metrics.clone());
+        Ok(JobOutput { pairs, metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+
+    fn small_cluster() -> Cluster {
+        let mut cfg = ClusterConfig::with_slots(4, 2);
+        cfg.task_startup = std::time::Duration::from_millis(1);
+        cfg.job_setup = std::time::Duration::from_millis(1);
+        Cluster::new(cfg)
+    }
+
+    #[test]
+    fn word_count() {
+        let cluster = small_cluster();
+        let splits: Vec<Vec<u32>> = vec![vec![1, 2, 1], vec![2, 2, 3]];
+        let out = JobBuilder::new("wc")
+            .map(|split: &Vec<u32>, ctx: &mut MapContext<u32, u64>| {
+                for &w in split {
+                    ctx.emit(w, 1);
+                }
+            })
+            .reducers(2)
+            .reduce(|k, vals, ctx: &mut ReduceContext<u32, u64>| {
+                ctx.emit(*k, vals.sum());
+            })
+            .run(&cluster, splits)
+            .unwrap();
+        let mut pairs = out.pairs;
+        pairs.sort();
+        assert_eq!(pairs, vec![(1, 2), (2, 3), (3, 1)]);
+        assert_eq!(out.metrics.shuffle_records, 6);
+        // 6 records × (4-byte key + 8-byte value).
+        assert_eq!(out.metrics.shuffle_bytes, 6 * 12);
+        assert_eq!(out.metrics.map_tasks(), 2);
+        assert_eq!(out.metrics.reduce_tasks(), 2);
+        assert_eq!(cluster.history().len(), 1);
+    }
+
+    #[test]
+    fn keys_arrive_sorted_within_partition() {
+        let cluster = small_cluster();
+        let splits: Vec<Vec<i64>> = vec![vec![5, -3, 9], vec![0, 7, -8]];
+        let out = JobBuilder::new("sorted")
+            .map(|split: &Vec<i64>, ctx: &mut MapContext<i64, ()>| {
+                for &x in split {
+                    ctx.emit(x, ());
+                }
+            })
+            .partition_by(|_, _| 0)
+            .reduce(|k, _vals, ctx: &mut ReduceContext<i64, ()>| {
+                ctx.emit(*k, ());
+            })
+            .run(&cluster, splits)
+            .unwrap();
+        let keys: Vec<i64> = out.pairs.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![-8, -3, 0, 5, 7, 9]);
+    }
+
+    #[test]
+    fn custom_partitioner_routes_keys() {
+        let cluster = small_cluster();
+        let splits: Vec<Vec<u32>> = vec![(0..10).collect()];
+        let out = JobBuilder::new("routed")
+            .map(|split: &Vec<u32>, ctx: &mut MapContext<u32, u32>| {
+                for &x in split {
+                    ctx.emit(x, x);
+                }
+            })
+            .reducers(2)
+            .partition_by(|k, r| (*k as usize) % r)
+            .reduce(|k, vals, ctx: &mut ReduceContext<u32, u32>| {
+                assert_eq!(vals.count(), 1);
+                ctx.emit(*k, 0);
+            })
+            .run(&cluster, splits)
+            .unwrap();
+        // Partition 0 gets evens (sorted), partition 1 odds.
+        let keys: Vec<u32> = out.pairs.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![0, 2, 4, 6, 8, 1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn counters_merge_across_tasks() {
+        let cluster = small_cluster();
+        let splits: Vec<u32> = vec![3, 4];
+        let out = JobBuilder::new("counters")
+            .map(|split: &u32, ctx: &mut MapContext<u8, u8>| {
+                ctx.add_counter("seen", u64::from(*split));
+                ctx.emit(0, 0);
+            })
+            .reduce(|_k, vals, ctx: &mut ReduceContext<u8, u8>| {
+                ctx.add_counter("groups", 1);
+                ctx.emit(0, vals.count() as u8);
+            })
+            .run(&cluster, splits)
+            .unwrap();
+        assert_eq!(out.metrics.counter("seen"), 7);
+        assert_eq!(out.metrics.counter("groups"), 1);
+        assert_eq!(out.pairs, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn empty_split_list_is_error() {
+        let cluster = small_cluster();
+        let result = JobBuilder::new("none")
+            .map(|_s: &u8, _ctx: &mut MapContext<u8, u8>| {})
+            .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
+            .run(&cluster, Vec::new());
+        assert!(matches!(result, Err(RuntimeError::NoInput)));
+    }
+
+    #[test]
+    fn input_bytes_charged_to_sim_clock() {
+        let mut cfg = ClusterConfig::with_slots(1, 1);
+        cfg.task_startup = std::time::Duration::ZERO;
+        cfg.job_setup = std::time::Duration::ZERO;
+        cfg.hdfs_bytes_per_sec = 1000.0;
+        let cluster = Cluster::new(cfg);
+        let out = JobBuilder::new("io")
+            .map(|_s: &u8, ctx: &mut MapContext<u8, u8>| ctx.emit(0, 0))
+            .input_bytes(|_| 500)
+            .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
+            .run(&cluster, vec![1u8])
+            .unwrap();
+        assert_eq!(out.metrics.input_bytes, 500);
+        // 500 bytes at 1000 B/s = 0.5 s of simulated map time.
+        assert!(out.metrics.sim.map >= 0.5);
+    }
+
+    #[test]
+    fn waves_counted() {
+        let cluster = {
+            let mut cfg = ClusterConfig::with_slots(2, 1);
+            cfg.task_startup = std::time::Duration::ZERO;
+            Cluster::new(cfg)
+        };
+        let splits: Vec<u8> = vec![0; 5];
+        let out = JobBuilder::new("waves")
+            .map(|_s: &u8, ctx: &mut MapContext<u8, u8>| ctx.emit(0, 0))
+            .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
+            .run(&cluster, splits)
+            .unwrap();
+        assert_eq!(out.metrics.map_waves, 3);
+    }
+
+    #[test]
+    fn deterministic_output_across_runs() {
+        let run_once = || {
+            let cluster = small_cluster();
+            let splits: Vec<Vec<u32>> = (0..8).map(|i| vec![i, i + 1, i * 7 % 5]).collect();
+            JobBuilder::new("det")
+                .map(|split: &Vec<u32>, ctx: &mut MapContext<u32, u32>| {
+                    for &x in split {
+                        ctx.emit(x % 4, x);
+                    }
+                })
+                .reducers(3)
+                .reduce(|k, vals, ctx: &mut ReduceContext<u32, u32>| {
+                    ctx.emit(*k, vals.sum());
+                })
+                .run(&cluster, splits)
+                .unwrap()
+                .pairs
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}
+
+#[cfg(test)]
+mod combiner_tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+
+    fn small_cluster() -> Cluster {
+        let mut cfg = ClusterConfig::with_slots(4, 2);
+        cfg.task_startup = std::time::Duration::from_millis(1);
+        cfg.job_setup = std::time::Duration::from_millis(1);
+        Cluster::new(cfg)
+    }
+
+    #[test]
+    fn combiner_preserves_result_and_cuts_shuffle() {
+        let splits: Vec<Vec<u32>> = (0..4).map(|s| (0..1000).map(|i| (s + i) % 7).collect()).collect();
+        let run = |with_combiner: bool| {
+            let cluster = small_cluster();
+            let stage = JobBuilder::new("wc")
+                .map(|split: &Vec<u32>, ctx: &mut MapContext<u32, u64>| {
+                    for &w in split {
+                        ctx.emit(w, 1);
+                    }
+                })
+                .reducers(2);
+            let stage = if with_combiner {
+                stage.combine_with(|_k, vals: &mut dyn Iterator<Item = u64>| vals.sum())
+            } else {
+                stage
+            };
+            let out = stage
+                .reduce(|k, vals, ctx: &mut ReduceContext<u32, u64>| {
+                    ctx.emit(*k, vals.sum());
+                })
+                .run(&cluster, splits.clone())
+                .unwrap();
+            let mut pairs = out.pairs;
+            pairs.sort();
+            (pairs, out.metrics.shuffle_bytes, out.metrics.shuffle_records)
+        };
+        let (plain, plain_bytes, plain_records) = run(false);
+        let (combined, combined_bytes, combined_records) = run(true);
+        assert_eq!(plain, combined, "combiner changed the result");
+        assert_eq!(plain_records, 4000);
+        // 7 distinct keys x 4 tasks: at most 28 records after combining.
+        assert!(combined_records <= 28, "records {combined_records}");
+        assert!(combined_bytes * 10 < plain_bytes, "{combined_bytes} vs {plain_bytes}");
+    }
+
+    #[test]
+    fn task_memory_budget_enforced() {
+        let mut cfg = ClusterConfig::with_slots(2, 1);
+        cfg.task_memory_bytes = 1000;
+        let cluster = Cluster::new(cfg);
+        let result = JobBuilder::new("oom")
+            .map(|_s: &u8, ctx: &mut MapContext<u8, u8>| ctx.emit(0, 0))
+            .task_memory(|_| 2000)
+            .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
+            .run(&cluster, vec![1u8]);
+        assert!(matches!(
+            result,
+            Err(RuntimeError::TaskOutOfMemory { needed: 2000, available: 1000 })
+        ));
+        // Within budget: runs.
+        let ok = JobBuilder::new("fits")
+            .map(|_s: &u8, ctx: &mut MapContext<u8, u8>| ctx.emit(0, 0))
+            .task_memory(|_| 500)
+            .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
+            .run(&cluster, vec![1u8]);
+        assert!(ok.is_ok());
+    }
+}

@@ -1,0 +1,220 @@
+//! Job metrics: measured task durations, shuffle volume, and the simulated
+//! cluster wall clock derived from them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+use std::time::Duration;
+
+/// Simulated cluster time, in seconds.
+///
+/// Real per-task durations are measured on the host and then scheduled onto
+/// the configured cluster slots; `SimTime` is the resulting makespan. It is
+/// ordered and additive so that multi-job drivers (e.g. DIndirectHaar's
+/// binary search) can accumulate end-to-end simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Zero time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Simulated seconds.
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to a `Duration` (saturating at zero).
+    pub fn as_duration(self) -> Duration {
+        Duration::from_secs_f64(self.0.max(0.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.3}s", self.0)
+        } else {
+            write!(f, "{:.3}ms", self.0 * 1e3)
+        }
+    }
+}
+
+/// Phase-by-phase breakdown of a job's simulated wall clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimBreakdown {
+    /// Job setup/submission overhead.
+    pub setup: f64,
+    /// Map phase makespan (includes per-task startup and HDFS read time).
+    pub map: f64,
+    /// Shuffle transfer time (max over reducers of fetched bytes / rate).
+    pub shuffle: f64,
+    /// Reduce phase makespan (includes per-task startup).
+    pub reduce: f64,
+}
+
+impl SimBreakdown {
+    /// End-to-end simulated job time.
+    pub fn total(&self) -> SimTime {
+        SimTime(self.setup + self.map + self.shuffle + self.reduce)
+    }
+}
+
+/// Metrics of a single executed job.
+#[derive(Debug, Clone, Default)]
+pub struct JobMetrics {
+    /// Job name (for reports).
+    pub name: String,
+    /// Measured per-map-task CPU seconds (host wall clock inside the task).
+    pub map_task_secs: Vec<f64>,
+    /// Measured per-reduce-task seconds.
+    pub reduce_task_secs: Vec<f64>,
+    /// Bytes crossing the map→reduce shuffle boundary (wire-encoded).
+    pub shuffle_bytes: u64,
+    /// Key-value records crossing the shuffle boundary.
+    pub shuffle_records: u64,
+    /// Declared input bytes read from "HDFS".
+    pub input_bytes: u64,
+    /// Records emitted by reducers.
+    pub output_records: u64,
+    /// Map waves (`ceil(map_tasks / map_slots)`).
+    pub map_waves: usize,
+    /// Simulated-time breakdown.
+    pub sim: SimBreakdown,
+    /// Real host wall clock for the whole job.
+    pub real_elapsed: Duration,
+    /// User counters, merged across tasks.
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+impl JobMetrics {
+    /// End-to-end simulated job time.
+    pub fn simulated(&self) -> SimTime {
+        self.sim.total()
+    }
+
+    /// Number of map tasks.
+    pub fn map_tasks(&self) -> usize {
+        self.map_task_secs.len()
+    }
+
+    /// Number of reduce tasks.
+    pub fn reduce_tasks(&self) -> usize {
+        self.reduce_task_secs.len()
+    }
+
+    /// Value of a user counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Accumulates metrics across the jobs of a multi-job driver program.
+#[derive(Debug, Clone, Default)]
+pub struct DriverMetrics {
+    /// Per-job metrics in execution order.
+    pub jobs: Vec<JobMetrics>,
+}
+
+impl DriverMetrics {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a finished job.
+    pub fn push(&mut self, metrics: JobMetrics) {
+        self.jobs.push(metrics);
+    }
+
+    /// Total simulated time across all jobs (jobs run back-to-back).
+    pub fn total_simulated(&self) -> SimTime {
+        self.jobs
+            .iter()
+            .fold(SimTime::ZERO, |acc, j| acc + j.simulated())
+    }
+
+    /// Total shuffle bytes across all jobs.
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.shuffle_bytes).sum()
+    }
+
+    /// Total real elapsed time across all jobs.
+    pub fn total_real(&self) -> Duration {
+        self.jobs.iter().map(|j| j.real_elapsed).sum()
+    }
+
+    /// Number of executed jobs.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_time_arithmetic() {
+        let a = SimTime(1.5) + SimTime(0.5);
+        assert_eq!(a, SimTime(2.0));
+        let mut b = SimTime::ZERO;
+        b += SimTime(3.0);
+        assert_eq!(b.secs(), 3.0);
+        assert!(SimTime(1.0) < SimTime(2.0));
+        assert_eq!(SimTime(2.0).as_duration(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn sim_time_display() {
+        assert_eq!(SimTime(2.5).to_string(), "2.500s");
+        assert_eq!(SimTime(0.25).to_string(), "250.000ms");
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = SimBreakdown {
+            setup: 1.0,
+            map: 2.0,
+            shuffle: 3.0,
+            reduce: 4.0,
+        };
+        assert_eq!(b.total(), SimTime(10.0));
+    }
+
+    #[test]
+    fn driver_accumulates() {
+        let mut d = DriverMetrics::new();
+        let mut j1 = JobMetrics::default();
+        j1.sim.map = 2.0;
+        j1.shuffle_bytes = 100;
+        let mut j2 = JobMetrics::default();
+        j2.sim.reduce = 3.0;
+        j2.shuffle_bytes = 50;
+        d.push(j1);
+        d.push(j2);
+        assert_eq!(d.total_simulated(), SimTime(5.0));
+        assert_eq!(d.total_shuffle_bytes(), 150);
+        assert_eq!(d.job_count(), 2);
+    }
+
+    #[test]
+    fn counters_default_zero() {
+        let m = JobMetrics::default();
+        assert_eq!(m.counter("missing"), 0);
+    }
+}

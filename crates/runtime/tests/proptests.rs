@@ -1,0 +1,211 @@
+//! Property tests for the mini-MapReduce engine: arbitrary jobs must agree
+//! with a direct in-memory evaluation of the same map/reduce functions.
+
+use std::collections::BTreeMap;
+
+use dwmaxerr_runtime::codec::encoded;
+use dwmaxerr_runtime::{Cluster, ClusterConfig, JobBuilder, MapContext, ReduceContext};
+use proptest::prelude::*;
+
+fn quiet_cluster(reducers_hint: usize) -> Cluster {
+    let mut cfg = ClusterConfig::with_slots(4.max(reducers_hint), 2.max(reducers_hint));
+    cfg.task_startup = std::time::Duration::ZERO;
+    cfg.job_setup = std::time::Duration::ZERO;
+    Cluster::new(cfg)
+}
+
+/// Reference semantics: group by key, sum values per key.
+fn reference_sum(splits: &[Vec<(u32, i64)>]) -> BTreeMap<u32, i64> {
+    let mut out = BTreeMap::new();
+    for split in splits {
+        for &(k, v) in split {
+            *out.entry(k).or_insert(0) += v;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sum_job_matches_reference(
+        splits in prop::collection::vec(
+            prop::collection::vec((0u32..50, -1000i64..1000), 0..40),
+            1..8,
+        ),
+        reducers in 1usize..5,
+    ) {
+        let cluster = quiet_cluster(reducers);
+        let out = JobBuilder::new("prop-sum")
+            .map(|split: &Vec<(u32, i64)>, ctx: &mut MapContext<u32, i64>| {
+                for &(k, v) in split {
+                    ctx.emit(k, v);
+                }
+            })
+            .reducers(reducers)
+            .reduce(|k, vals, ctx: &mut ReduceContext<u32, i64>| {
+                ctx.emit(*k, vals.sum());
+            })
+            .run(&cluster, splits.clone())
+            .unwrap();
+        let got: BTreeMap<u32, i64> = out.pairs.into_iter().collect();
+        prop_assert_eq!(got, reference_sum(&splits));
+    }
+
+    #[test]
+    fn combiner_never_changes_a_sum_job(
+        splits in prop::collection::vec(
+            prop::collection::vec((0u32..20, -100i64..100), 0..30),
+            1..6,
+        ),
+    ) {
+        let run = |combine: bool| {
+            let cluster = quiet_cluster(2);
+            let stage = JobBuilder::new("prop-combine")
+                .map(|split: &Vec<(u32, i64)>, ctx: &mut MapContext<u32, i64>| {
+                    for &(k, v) in split {
+                        ctx.emit(k, v);
+                    }
+                })
+                .reducers(2);
+            let stage = if combine {
+                stage.combine_with(|_k, vals: &mut dyn Iterator<Item = i64>| vals.sum())
+            } else {
+                stage
+            };
+            let mut pairs = stage
+                .reduce(|k, vals, ctx: &mut ReduceContext<u32, i64>| {
+                    ctx.emit(*k, vals.sum());
+                })
+                .run(&cluster, splits.clone())
+                .unwrap()
+                .pairs;
+            pairs.sort();
+            pairs
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn shuffle_bytes_match_encoded_sizes(
+        records in prop::collection::vec((any::<u64>(), any::<i32>()), 0..100),
+    ) {
+        let expected: usize = records
+            .iter()
+            .map(|r| encoded(&r.0).len() + encoded(&r.1).len())
+            .sum();
+        let cluster = quiet_cluster(1);
+        let out = JobBuilder::new("prop-bytes")
+            .map(|split: &Vec<(u64, i32)>, ctx: &mut MapContext<u64, i32>| {
+                for &(k, v) in split {
+                    ctx.emit(k, v);
+                }
+            })
+            .reduce(|k, vals, ctx: &mut ReduceContext<u64, i32>| {
+                for v in vals {
+                    ctx.emit(*k, v);
+                }
+            })
+            .run(&cluster, vec![records.clone()]);
+        let out = out.unwrap();
+        prop_assert_eq!(out.metrics.shuffle_bytes as usize, expected);
+        prop_assert_eq!(out.metrics.shuffle_records as usize, records.len());
+    }
+
+    #[test]
+    fn reduce_sees_keys_in_order_per_partition(
+        keys in prop::collection::vec(any::<i64>(), 1..200),
+        reducers in 1usize..4,
+    ) {
+        let cluster = quiet_cluster(reducers);
+        let out = JobBuilder::new("prop-order")
+            .map(|split: &Vec<i64>, ctx: &mut MapContext<i64, ()>| {
+                for &k in split {
+                    ctx.emit(k, ());
+                }
+            })
+            .reducers(reducers)
+            .partition_by(move |k: &i64, parts| (k.unsigned_abs() as usize) % parts)
+            .reduce(|k, _vals, ctx: &mut ReduceContext<i64, ()>| {
+                ctx.emit(*k, ());
+            })
+            .run(&cluster, vec![keys.clone()])
+            .unwrap();
+        // Output is per-partition key-sorted runs; verify each partition's
+        // keys arrive ascending.
+        let mut per_part: Vec<Vec<i64>> = vec![Vec::new(); reducers];
+        for (k, ()) in out.pairs {
+            per_part[(k.unsigned_abs() as usize) % reducers].push(k);
+        }
+        for (p, ks) in per_part.iter().enumerate() {
+            prop_assert!(ks.windows(2).all(|w| w[0] < w[1]), "partition {p} unsorted");
+        }
+    }
+
+    #[test]
+    fn simulated_time_components_are_consistent(
+        tasks in 1usize..20,
+        slots in 1usize..8,
+    ) {
+        let mut cfg = ClusterConfig::with_slots(slots, 1);
+        cfg.task_startup = std::time::Duration::from_millis(10);
+        cfg.job_setup = std::time::Duration::from_millis(5);
+        let cluster = Cluster::new(cfg);
+        let splits: Vec<u64> = (0..tasks as u64).collect();
+        let out = JobBuilder::new("prop-sim")
+            .map(|_s: &u64, ctx: &mut MapContext<u8, u8>| ctx.emit(0, 0))
+            .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
+            .run(&cluster, splits)
+            .unwrap();
+        let m = &out.metrics;
+        // Waves × startup bounds the map phase from below.
+        let waves = tasks.div_ceil(slots) as f64;
+        prop_assert!(m.sim.map >= waves * 0.010 - 1e-9,
+            "map phase {} < {} waves x 10ms", m.sim.map, waves);
+        prop_assert!(m.simulated().secs() >= m.sim.map + m.sim.reduce);
+        prop_assert_eq!(m.map_waves, tasks.div_ceil(slots));
+    }
+}
+
+mod corruption {
+    use dwmaxerr_runtime::codec::{CodecError, Wire};
+    use dwmaxerr_runtime::{Cluster, ClusterConfig, JobBuilder, MapContext, ReduceContext, RuntimeError};
+
+    /// A Wire impl whose encoding lies about its length: decoding the
+    /// shuffle stream must surface RuntimeError::Codec, not panic.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Liar;
+
+    impl Wire for Liar {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            // Claims 8 bytes of payload but writes none.
+            8u32.encode(buf);
+        }
+        fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+            let len = u32::decode(buf)? as usize;
+            if buf.len() < len {
+                return Err(CodecError { context: "liar payload" });
+            }
+            *buf = &buf[len..];
+            Ok(Liar)
+        }
+    }
+
+    #[test]
+    fn malformed_wire_impl_is_reported_not_panicking() {
+        let mut cfg = ClusterConfig::with_slots(2, 1);
+        cfg.task_startup = std::time::Duration::ZERO;
+        cfg.job_setup = std::time::Duration::ZERO;
+        let cluster = Cluster::new(cfg);
+        let result = JobBuilder::new("liar")
+            .map(|_s: &u8, ctx: &mut MapContext<u32, Liar>| {
+                ctx.emit(1, Liar);
+            })
+            .reduce(|k, vals, ctx: &mut ReduceContext<u32, u64>| {
+                ctx.emit(*k, vals.count() as u64);
+            })
+            .run(&cluster, vec![0u8]);
+        assert!(matches!(result, Err(RuntimeError::Codec(_))), "{result:?}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Haar wavelet basis-vector view of the transform (Appendix A.3).
+//!
+//! Every coefficient is a linear combination of the data values in its
+//! subtree: `c_i = sum_j contribution(i, j) * d_j`. Streaming-style
+//! algorithms such as Send-Coef exploit this to compute coefficients from
+//! unaligned data partitions, since
+//! `c_i = <A, psi_i> = sum_p <A_p, psi_i>` over any partitioning of `A`.
+
+use crate::tree::TreeTopology;
+
+/// The factor with which data value `d_j` enters coefficient `c_i` under
+/// the paper's unnormalized Haar convention. Zero when `d_j` is outside the
+/// subtree of `c_i`.
+///
+/// For `c_0` the factor is `1/N`; for a detail coefficient covering `w`
+/// leaves it is `+1/w` on the left half and `-1/w` on the right half.
+#[inline]
+pub fn contribution(topo: &TreeTopology, i: usize, j: usize) -> f64 {
+    let sign = topo.sign(i, j);
+    if sign == 0 {
+        return 0.0;
+    }
+    let width = if i == 0 {
+        topo.len()
+    } else {
+        topo.len() >> topo.level(i)
+    };
+    f64::from(sign) / width as f64
+}
+
+/// Accumulates the partial coefficients contributed by the data slice
+/// `data[lo..lo + data.len()]` of a larger array of `n` values, adding
+/// `contribution * d_j` for every coefficient on each datapoint's path.
+///
+/// This is exactly the work of one Send-Coef mapper (Algorithm 7), returned
+/// as `(coefficient index, partial value)` pairs.
+pub fn partial_coefficients(n: usize, lo: usize, data: &[f64]) -> Vec<(usize, f64)> {
+    let topo = TreeTopology::new(n).expect("power-of-two total size");
+    let mut acc: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    for (off, &d) in data.iter().enumerate() {
+        let j = lo + off;
+        for (i, _) in topo.path_of_leaf(j) {
+            *acc.entry(i).or_insert(0.0) += contribution(&topo, i, j) * d;
+        }
+    }
+    let mut out: Vec<(usize, f64)> = acc.into_iter().collect();
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out
+}
+
+/// The emissions of one Send-Coef mapper exactly as in Algorithm 7:
+/// coefficients whose subtree lies fully inside the block are emitted
+/// once, fully computed; boundary-crossing coefficients are emitted as
+/// one partial contribution **per datapoint** — the behaviour that makes
+/// Send-Coef's communication `O(S (log N - log S))`.
+pub fn algorithm7_emissions(n: usize, lo: usize, data: &[f64]) -> Vec<(usize, f64)> {
+    let topo = TreeTopology::new(n).expect("power-of-two total size");
+    let hi = lo + data.len();
+    let mut full: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    let mut partial: Vec<(usize, f64)> = Vec::new();
+    for (off, &d) in data.iter().enumerate() {
+        let j = lo + off;
+        for (i, _) in topo.path_of_leaf(j) {
+            let span = topo.leaf_span(i);
+            let c = contribution(&topo, i, j) * d;
+            if span.start >= lo && span.end <= hi {
+                *full.entry(i).or_insert(0.0) += c;
+            } else {
+                partial.push((i, c));
+            }
+        }
+    }
+    let mut out: Vec<(usize, f64)> = full.into_iter().collect();
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out.extend(partial);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::forward;
+
+    const PAPER_DATA: [f64; 8] = [5.0, 5.0, 0.0, 26.0, 1.0, 3.0, 14.0, 2.0];
+
+    #[test]
+    fn contributions_reproduce_coefficients() {
+        let topo = TreeTopology::new(8).unwrap();
+        let w = forward(&PAPER_DATA).unwrap();
+        for (i, &wi) in w.iter().enumerate() {
+            let c: f64 = PAPER_DATA
+                .iter()
+                .enumerate()
+                .map(|(j, &d)| contribution(&topo, i, j) * d)
+                .sum();
+            assert!((c - wi).abs() < 1e-12, "coefficient {i}");
+        }
+    }
+
+    #[test]
+    fn partial_coefficients_sum_to_full_transform() {
+        let w = forward(&PAPER_DATA).unwrap();
+        // Unaligned partitioning: |A_0| = 3, |A_1| = 5 — Send-Coef does not
+        // require power-of-two splits.
+        let p0 = partial_coefficients(8, 0, &PAPER_DATA[..3]);
+        let p1 = partial_coefficients(8, 3, &PAPER_DATA[3..]);
+        let mut acc = [0.0; 8];
+        for (i, v) in p0.into_iter().chain(p1) {
+            acc[i] += v;
+        }
+        for i in 0..8 {
+            assert!((acc[i] - w[i]).abs() < 1e-12, "coefficient {i}");
+        }
+    }
+
+    #[test]
+    fn algorithm7_sums_to_full_transform() {
+        let w = forward(&PAPER_DATA).unwrap();
+        let mut acc = [0.0; 8];
+        let mut emissions = 0;
+        for (lo, hi) in [(0usize, 3usize), (3, 8)] {
+            for (i, v) in algorithm7_emissions(8, lo, &PAPER_DATA[lo..hi]) {
+                acc[i] += v;
+                emissions += 1;
+            }
+        }
+        for i in 0..8 {
+            assert!((acc[i] - w[i]).abs() < 1e-12, "coefficient {i}");
+        }
+        // Boundary coefficients are emitted per datapoint: strictly more
+        // records than the aggregated form.
+        assert!(emissions > 8, "only {emissions} emissions");
+    }
+
+    #[test]
+    fn contribution_is_zero_outside_subtree() {
+        let topo = TreeTopology::new(8).unwrap();
+        assert_eq!(contribution(&topo, 4, 5), 0.0);
+        assert_eq!(contribution(&topo, 7, 0), 0.0);
+    }
+
+    #[test]
+    fn contribution_magnitudes() {
+        let topo = TreeTopology::new(8).unwrap();
+        assert!((contribution(&topo, 0, 3) - 0.125).abs() < 1e-15);
+        assert!((contribution(&topo, 1, 0) - 0.125).abs() < 1e-15);
+        assert!((contribution(&topo, 1, 7) + 0.125).abs() < 1e-15);
+        assert!((contribution(&topo, 4, 0) - 0.5).abs() < 1e-15);
+        assert!((contribution(&topo, 4, 1) + 0.5).abs() < 1e-15);
+    }
+}

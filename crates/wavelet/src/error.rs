@@ -1,0 +1,86 @@
+//! Error type shared by the wavelet substrate.
+
+use std::fmt;
+
+/// Errors produced by wavelet transforms and synopsis construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaveletError {
+    /// The input length is not a power of two (and not zero-padded).
+    NotPowerOfTwo(usize),
+    /// The input is empty.
+    Empty,
+    /// A requested budget exceeds the number of coefficients.
+    BudgetTooLarge {
+        /// The requested synopsis budget.
+        budget: usize,
+        /// The number of coefficients available.
+        coefficients: usize,
+    },
+    /// A parameter that must be strictly positive was not.
+    NonPositiveParameter(&'static str),
+}
+
+impl fmt::Display for WaveletError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveletError::NotPowerOfTwo(n) => {
+                write!(f, "input length {n} is not a power of two")
+            }
+            WaveletError::Empty => write!(f, "input is empty"),
+            WaveletError::BudgetTooLarge {
+                budget,
+                coefficients,
+            } => write!(
+                f,
+                "budget {budget} exceeds the number of coefficients {coefficients}"
+            ),
+            WaveletError::NonPositiveParameter(name) => {
+                write!(f, "parameter `{name}` must be strictly positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WaveletError {}
+
+/// Checks that `n` is a non-zero power of two.
+pub fn ensure_pow2(n: usize) -> Result<(), WaveletError> {
+    if n == 0 {
+        Err(WaveletError::Empty)
+    } else if !n.is_power_of_two() {
+        Err(WaveletError::NotPowerOfTwo(n))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_pow2_accepts_powers() {
+        for k in 0..20 {
+            assert_eq!(ensure_pow2(1 << k), Ok(()));
+        }
+    }
+
+    #[test]
+    fn ensure_pow2_rejects_zero_and_composites() {
+        assert_eq!(ensure_pow2(0), Err(WaveletError::Empty));
+        for n in [3usize, 5, 6, 7, 9, 12, 100, 1023] {
+            assert_eq!(ensure_pow2(n), Err(WaveletError::NotPowerOfTwo(n)));
+        }
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let msg = WaveletError::BudgetTooLarge {
+            budget: 10,
+            coefficients: 4,
+        }
+        .to_string();
+        assert!(msg.contains("10") && msg.contains('4'));
+        assert!(WaveletError::NotPowerOfTwo(12).to_string().contains("12"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Range-sum reconstruction from error trees and synopses (Section 2.2).
+//!
+//! A range sum `d(l:h)` only needs the coefficients on `path_l ∪ path_h`:
+//! `c_0` contributes `(h - l + 1) * c_0`, and a detail coefficient `c_j`
+//! contributes `(|leftleaves_{j,l:h}| - |rightleaves_{j,l:h}|) * c_j`.
+
+use crate::synopsis::Synopsis;
+use crate::tree::TreeTopology;
+
+/// Number of elements in the intersection of `a` and `[l, h]` (inclusive).
+fn overlap(a: std::ops::Range<usize>, l: usize, h: usize) -> usize {
+    let lo = a.start.max(l);
+    let hi = a.end.min(h + 1);
+    hi.saturating_sub(lo)
+}
+
+/// The multiplicity `x_j / c_j` with which coefficient `j` enters the range
+/// sum `d(l:h)` (Section 2.2).
+pub fn range_multiplier(topo: &TreeTopology, j: usize, l: usize, h: usize) -> i64 {
+    if j == 0 {
+        return (h - l + 1) as i64;
+    }
+    let left = overlap(topo.left_span(j), l, h) as i64;
+    let right = overlap(topo.right_span(j), l, h) as i64;
+    left - right
+}
+
+/// Computes the exact range sum `d(l:h)` from a dense coefficient array
+/// using only the `O(log N)` coefficients on `path_l ∪ path_h`.
+pub fn range_sum(coeffs: &[f64], l: usize, h: usize) -> f64 {
+    let topo = TreeTopology::new(coeffs.len()).expect("power-of-two coefficients");
+    assert!(l <= h && h < coeffs.len());
+    let mut seen = Vec::with_capacity(2 * topo.levels() as usize + 2);
+    for (idx, _) in topo.path_of_leaf(l).chain(topo.path_of_leaf(h)) {
+        if !seen.contains(&idx) {
+            seen.push(idx);
+        }
+    }
+    seen.iter()
+        .map(|&j| range_multiplier(&topo, j, l, h) as f64 * coeffs[j])
+        .sum()
+}
+
+/// Approximate range sum from a synopsis, using the same path-union rule.
+pub fn range_sum_synopsis(synopsis: &Synopsis, l: usize, h: usize) -> f64 {
+    let topo = TreeTopology::new(synopsis.data_len()).expect("validated");
+    assert!(l <= h && h < synopsis.data_len());
+    let mut seen = Vec::with_capacity(2 * topo.levels() as usize + 2);
+    for (idx, _) in topo.path_of_leaf(l).chain(topo.path_of_leaf(h)) {
+        if !seen.contains(&idx) {
+            seen.push(idx);
+        }
+    }
+    seen.iter()
+        .map(|&j| range_multiplier(&topo, j, l, h) as f64 * synopsis.value(j))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::forward;
+
+    const PAPER_DATA: [f64; 8] = [5.0, 5.0, 0.0, 26.0, 1.0, 3.0, 14.0, 2.0];
+
+    #[test]
+    fn paper_range_sum_d3_to_d6() {
+        // d(3:6) = 26 + 1 + 3 + 14 = 44 (Section 2.2's worked example).
+        let w = forward(&PAPER_DATA).unwrap();
+        assert!((range_sum(&w, 3, 6) - 44.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_ranges_match_direct_sums() {
+        let w = forward(&PAPER_DATA).unwrap();
+        for l in 0..8 {
+            for h in l..8 {
+                let direct: f64 = PAPER_DATA[l..=h].iter().sum();
+                assert!(
+                    (range_sum(&w, l, h) - direct).abs() < 1e-9,
+                    "range {l}..={h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_range_equals_reconstruction() {
+        let w = forward(&PAPER_DATA).unwrap();
+        for (j, &d) in PAPER_DATA.iter().enumerate() {
+            assert!((range_sum(&w, j, j) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn synopsis_range_sum_matches_dense_reconstruction() {
+        let w = forward(&PAPER_DATA).unwrap();
+        let syn = crate::Synopsis::retain_indices(&w, &[0, 1, 5]).unwrap();
+        let approx = syn.reconstruct_all();
+        for l in 0..8 {
+            for h in l..8 {
+                let direct: f64 = approx[l..=h].iter().sum();
+                assert!(
+                    (range_sum_synopsis(&syn, l, h) - direct).abs() < 1e-9,
+                    "range {l}..={h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_for_root_is_range_width() {
+        let topo = TreeTopology::new(8).unwrap();
+        assert_eq!(range_multiplier(&topo, 0, 2, 5), 4);
+        assert_eq!(range_multiplier(&topo, 0, 0, 7), 8);
+    }
+}

@@ -1,0 +1,172 @@
+//! Forward and inverse one-dimensional Haar wavelet transform.
+//!
+//! The transform uses the paper's unnormalized convention (Section 2.1):
+//! each pass replaces pairs `(a, b)` with the average `(a + b) / 2` and the
+//! detail coefficient `(a - b) / 2`. The output array `W` stores the overall
+//! average at `W[0]` and the detail coefficients of resolution level `l`
+//! (coarsest first) at indices `[2^l, 2^{l+1})`.
+
+use crate::error::{ensure_pow2, WaveletError};
+
+/// Computes the Haar wavelet transform of `data`.
+///
+/// `data.len()` must be a non-zero power of two. Runs in `O(N)` time and
+/// allocates the output plus one scratch buffer.
+///
+/// # Example
+///
+/// ```
+/// let w = dwmaxerr_wavelet::transform::forward(&[5.0, 5.0, 0.0, 26.0, 1.0, 3.0, 14.0, 2.0]).unwrap();
+/// assert_eq!(w, [7.0, 2.0, -4.0, -3.0, 0.0, -13.0, -1.0, 6.0]);
+/// ```
+pub fn forward(data: &[f64]) -> Result<Vec<f64>, WaveletError> {
+    ensure_pow2(data.len())?;
+    let n = data.len();
+    let mut w = vec![0.0; n];
+    let mut averages = data.to_vec();
+    let mut len = n;
+    while len > 1 {
+        let half = len / 2;
+        for i in 0..half {
+            let a = averages[2 * i];
+            let b = averages[2 * i + 1];
+            w[half + i] = (a - b) / 2.0;
+            averages[i] = (a + b) / 2.0;
+        }
+        len = half;
+    }
+    w[0] = averages[0];
+    Ok(w)
+}
+
+/// Computes the inverse Haar wavelet transform, reconstructing the original
+/// data array from a (dense) coefficient array.
+///
+/// This is exact for any coefficient array: zeroed coefficients simply yield
+/// the corresponding lossy reconstruction, which is how a synopsis
+/// approximates the data.
+pub fn inverse(w: &[f64]) -> Result<Vec<f64>, WaveletError> {
+    ensure_pow2(w.len())?;
+    let n = w.len();
+    let mut values = vec![0.0; n];
+    values[0] = w[0];
+    let mut len = 1;
+    let mut scratch = vec![0.0; n];
+    while len < n {
+        for i in 0..len {
+            let avg = values[i];
+            let det = w[len + i];
+            scratch[2 * i] = avg + det;
+            scratch[2 * i + 1] = avg - det;
+        }
+        len *= 2;
+        values[..len].copy_from_slice(&scratch[..len]);
+    }
+    Ok(values)
+}
+
+/// Pads `data` to the next power of two by repeating the final value.
+///
+/// Repeating the last value (rather than zero-filling) avoids creating an
+/// artificial discontinuity at the end of the series, which would otherwise
+/// consume synopsis budget on padding.
+pub fn pad_to_pow2(data: &[f64]) -> Vec<f64> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let n = data.len().next_power_of_two();
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(data);
+    let last = *data.last().expect("non-empty");
+    out.resize(n, last);
+    out
+}
+
+/// Forward transform of an arbitrary-length input: pads with
+/// [`pad_to_pow2`] first and returns the padded length alongside the
+/// coefficients.
+pub fn forward_padded(data: &[f64]) -> Result<(Vec<f64>, usize), WaveletError> {
+    if data.is_empty() {
+        return Err(WaveletError::Empty);
+    }
+    let padded = pad_to_pow2(data);
+    let n = padded.len();
+    Ok((forward(&padded)?, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_DATA: [f64; 8] = [5.0, 5.0, 0.0, 26.0, 1.0, 3.0, 14.0, 2.0];
+    const PAPER_W: [f64; 8] = [7.0, 2.0, -4.0, -3.0, 0.0, -13.0, -1.0, 6.0];
+
+    #[test]
+    fn paper_example_forward() {
+        assert_eq!(forward(&PAPER_DATA).unwrap(), PAPER_W);
+    }
+
+    #[test]
+    fn paper_example_roundtrip() {
+        let w = forward(&PAPER_DATA).unwrap();
+        assert_eq!(inverse(&w).unwrap(), PAPER_DATA);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(forward(&[42.0]).unwrap(), vec![42.0]);
+        assert_eq!(inverse(&[42.0]).unwrap(), vec![42.0]);
+    }
+
+    #[test]
+    fn two_elements() {
+        let w = forward(&[10.0, 4.0]).unwrap();
+        assert_eq!(w, vec![7.0, 3.0]);
+        assert_eq!(inverse(&w).unwrap(), vec![10.0, 4.0]);
+    }
+
+    #[test]
+    fn constant_data_has_zero_details() {
+        let data = vec![3.5; 64];
+        let w = forward(&data).unwrap();
+        assert_eq!(w[0], 3.5);
+        assert!(w[1..].iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn rejects_non_pow2() {
+        assert!(forward(&[1.0, 2.0, 3.0]).is_err());
+        assert!(inverse(&[1.0, 2.0, 3.0]).is_err());
+        assert!(forward(&[]).is_err());
+    }
+
+    #[test]
+    fn pad_repeats_last_value() {
+        assert_eq!(pad_to_pow2(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0, 3.0]);
+        assert_eq!(pad_to_pow2(&[1.0]), vec![1.0]);
+        assert!(pad_to_pow2(&[]).is_empty());
+    }
+
+    #[test]
+    fn forward_padded_roundtrips_prefix() {
+        let data = [9.0, 1.0, 4.0, 4.0, 7.0];
+        let (w, n) = forward_padded(&data).unwrap();
+        assert_eq!(n, 8);
+        let rec = inverse(&w).unwrap();
+        assert_eq!(&rec[..5], &data);
+        assert_eq!(&rec[5..], &[7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn linearity_of_transform() {
+        let a = [1.0, -2.0, 3.0, 0.5];
+        let b = [4.0, 4.0, -1.0, 2.0];
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let wa = forward(&a).unwrap();
+        let wb = forward(&b).unwrap();
+        let ws = forward(&sum).unwrap();
+        for i in 0..4 {
+            assert!((wa[i] + wb[i] - ws[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Exploring the accuracy/space/metric tradeoff across all thresholding
+//! families on one dataset.
+//!
+//! Sweeps the budget and prints max-abs, max-rel and L2 for: the
+//! conventional (L2-optimal) synopsis, GreedyAbs, GreedyRel, and the
+//! DP-optimal IndirectHaar — the decision table a practitioner needs when
+//! picking a thresholding strategy (Section 1's motivation).
+//!
+//! Run with: `cargo run --release --example error_tradeoff`
+
+use dwmaxerr::algos::greedy_rel::greedy_rel_synopsis;
+use dwmaxerr::algos::indirect_haar::indirect_haar_centralized;
+use dwmaxerr::algos::{conventional_synopsis, greedy_abs_synopsis};
+use dwmaxerr::datagen::synthetic::zipf;
+use dwmaxerr::wavelet::metrics::evaluate;
+use dwmaxerr::wavelet::transform::forward;
+use dwmaxerr::wavelet::Synopsis;
+
+fn main() {
+    let n = 1 << 12;
+    let sanity = 1.0;
+    let data = zipf(n, 1000.0, 0.7, 11);
+    let coeffs = forward(&data).unwrap();
+
+    println!(
+        "{:<8} {:<14} {:>10} {:>10} {:>10} {:>8}",
+        "B", "algorithm", "max_abs", "max_rel", "L2", "size"
+    );
+    for b in [n / 64, n / 16, n / 8, n / 4] {
+        let row = |name: &str, syn: &Synopsis| {
+            let e = evaluate(&data, syn, sanity);
+            println!(
+                "{:<8} {:<14} {:>10.3} {:>10.3} {:>10.3} {:>8}",
+                b,
+                name,
+                e.max_abs,
+                e.max_rel,
+                e.l2,
+                syn.size()
+            );
+        };
+        let conv = conventional_synopsis(&coeffs, b).unwrap();
+        row("conventional", &conv);
+        let (ga, _) = greedy_abs_synopsis(&coeffs, b).unwrap();
+        row("GreedyAbs", &ga);
+        let (gr, _) = greedy_rel_synopsis(&coeffs, &data, b, sanity).unwrap();
+        row("GreedyRel", &gr);
+        let dp = indirect_haar_centralized(&data, b, 2.0).unwrap();
+        row("IndirectHaar", &dp.synopsis);
+        println!();
+    }
+    println!("Expected shape: GreedyAbs/IndirectHaar minimize max_abs,");
+    println!("GreedyRel minimizes max_rel, conventional minimizes L2.");
+}

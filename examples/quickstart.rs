@@ -1,0 +1,53 @@
+//! Quickstart: the paper's running example (Table 1 / Figure 1).
+//!
+//! Builds the Haar decomposition of the 8-value example array, inspects
+//! the error tree, thresholds it three ways, and compares errors.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dwmaxerr::algos::{conventional_synopsis, greedy_abs_synopsis};
+use dwmaxerr::algos::indirect_haar::indirect_haar_centralized;
+use dwmaxerr::wavelet::transform::forward;
+use dwmaxerr::wavelet::{metrics, ErrorTree, Synopsis};
+
+fn main() {
+    // The paper's example data vector (Section 2.1).
+    let data = vec![5.0, 5.0, 0.0, 26.0, 1.0, 3.0, 14.0, 2.0];
+    let coeffs = forward(&data).expect("power-of-two input");
+    println!("data:          {data:?}");
+    println!("wavelet (W_A): {coeffs:?}"); // [7, 2, -4, -3, 0, -13, -1, 6]
+
+    // Error-tree reconstruction: d_5 = 7 - 2 - 3 - (-1) = 3.
+    let tree = ErrorTree::from_data(&data).unwrap();
+    println!("reconstruct d_5 via path: {}", tree.reconstruct_value(5));
+
+    // Range sum d(3:6) = 44 from only the path coefficients.
+    let sum = dwmaxerr::wavelet::reconstruct::range_sum(&coeffs, 3, 6);
+    println!("range sum d(3:6): {sum}");
+
+    // Threshold to B = 3 coefficients, three ways.
+    let b = 3;
+    let conv = conventional_synopsis(&coeffs, b).unwrap();
+    let (greedy, greedy_err) = greedy_abs_synopsis(&coeffs, b).unwrap();
+    let dp = indirect_haar_centralized(&data, b, 0.25).unwrap();
+
+    let report = |name: &str, syn: &Synopsis| {
+        let e = metrics::evaluate(&data, syn, 1.0);
+        println!(
+            "{name:<22} size={} max_abs={:<8.3} L2={:.3}",
+            syn.size(),
+            e.max_abs,
+            e.l2
+        );
+    };
+    println!("\nB = {b} synopses:");
+    report("conventional (L2-opt)", &conv);
+    report("GreedyAbs", &greedy);
+    report("IndirectHaar (DP)", &dp.synopsis);
+    println!("\nGreedyAbs tracked error: {greedy_err}");
+    println!("IndirectHaar error:      {} ({} probes)", dp.error, dp.probes);
+
+    // The max-error algorithms bound every individual value; the
+    // conventional synopsis does not.
+    assert!(dp.error <= metrics::evaluate(&data, &conv, 1.0).max_abs + 1e-9);
+}

@@ -1,0 +1,56 @@
+//! Deterministic error guarantees on sensor data: the dual problem.
+//!
+//! Wind-direction sensors (the paper's WD dataset) need a synopsis whose
+//! *every* reading is within a known tolerance. This is Problem 2: given
+//! an error bound ε, minimize the synopsis size — solved by the
+//! distributed DMHaarSpace DP. The example sweeps tolerances and then uses
+//! DIndirectHaar to answer the inverse question ("what is the best
+//! tolerance a 1/16 budget buys?").
+//!
+//! Run with: `cargo run --release --example sensor_stream`
+
+use dwmaxerr::algos::min_haar_space::MhsParams;
+use dwmaxerr::core::dindirect_haar::{dindirect_haar, DIndirectHaarConfig};
+use dwmaxerr::core::dmin_haar_space::{dmin_haar_space, DmhsConfig};
+use dwmaxerr::datagen::wd_like;
+use dwmaxerr::runtime::{Cluster, ClusterConfig};
+
+fn main() {
+    let n = 1 << 13; // 8 192 readings
+    let data = wd_like(n, 2e-4, 7);
+    let cluster = Cluster::new(ClusterConfig::default());
+    let probe = DmhsConfig {
+        base_leaves: 1 << 9,
+        fan_in: 4,
+    };
+
+    println!("Problem 2: minimal synopsis size per error tolerance (δ = 0.5°)");
+    println!("{:>10} {:>10} {:>12} {:>14}", "ε (deg)", "size", "actual err", "compression");
+    for eps in [5.0, 10.0, 20.0, 45.0, 90.0] {
+        let params = MhsParams::new(eps, 0.5).unwrap();
+        let sol = dmin_haar_space(&cluster, &data, &params, &probe).expect("DP probe");
+        assert!(sol.actual_error <= eps + 1e-9, "guarantee violated");
+        println!(
+            "{eps:>10.0} {:>10} {:>12.2} {:>13.1}x",
+            sol.size,
+            sol.actual_error,
+            n as f64 / sol.size.max(1) as f64
+        );
+    }
+
+    // Problem 1 via the dual: best error for a fixed budget.
+    let b = n / 16;
+    let cfg = DIndirectHaarConfig {
+        delta: 1.0,
+        probe,
+    };
+    let res = dindirect_haar(&cluster, &data, b, &cfg).expect("binary search");
+    println!(
+        "\nDIndirectHaar: budget {b} -> max_abs {:.2}° with {} coefficients \
+         ({} DP probes, simulated cluster time {})",
+        res.error,
+        res.synopsis.size(),
+        res.probes,
+        res.metrics.total_simulated(),
+    );
+}

@@ -1,0 +1,76 @@
+//! Summarizing a heavy-tailed taxi-trip-time series with a distributed
+//! maximum-error synopsis (the paper's NYCT scenario, Figure 8).
+//!
+//! Builds an NYCT-like series, runs DGreedyAbs on a simulated 8-slave
+//! cluster, and compares accuracy and running time against the
+//! conventional synopsis (CON). Finishes by answering point and range
+//! queries from the synopsis alone.
+//!
+//! Run with: `cargo run --release --example taxi_synopsis`
+
+use dwmaxerr::core::conventional::con;
+use dwmaxerr::core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};
+use dwmaxerr::datagen::{nyct_like, DatasetStats};
+use dwmaxerr::runtime::{Cluster, ClusterConfig};
+use dwmaxerr::wavelet::metrics;
+use dwmaxerr::wavelet::reconstruct::range_sum_synopsis;
+
+fn main() {
+    let n = 1 << 16; // 65 536 trip records
+    let b = n / 8; // the paper's B = N/8
+    let data = nyct_like(n, 0.0, 42);
+    let stats = DatasetStats::of(&data);
+    println!(
+        "NYCT-like: n={} avg={:.0}s stdev={:.0}s max={:.0}s",
+        stats.count, stats.avg, stats.stdev, stats.max
+    );
+
+    // The paper's platform: 8 slaves × (5 map + 2 reduce) slots.
+    let cluster = Cluster::new(ClusterConfig::default());
+
+    let cfg = DGreedyAbsConfig {
+        base_leaves: 1 << 12,
+        bucket_width: 0.5, // half-second buckets on seconds data
+        reducers: 4, max_candidates: None,
+    };
+    let d = dgreedy_abs(&cluster, &data, b, &cfg).expect("pipeline runs");
+    let d_err = metrics::evaluate(&data, &d.synopsis, 1.0);
+    println!(
+        "\nDGreedyAbs: size={} max_abs={:.1}s  (sim cluster time {}, {} jobs, {} shuffle bytes)",
+        d.synopsis.size(),
+        d_err.max_abs,
+        d.metrics.total_simulated(),
+        d.metrics.job_count(),
+        d.metrics.total_shuffle_bytes(),
+    );
+
+    let (conv, conv_metrics) = con(&cluster, &data, b, 1 << 12).expect("CON runs");
+    let conv_err = metrics::evaluate(&data, &conv, 1.0);
+    println!(
+        "CON (L2):   size={} max_abs={:.1}s  (sim cluster time {})",
+        conv.size(),
+        conv_err.max_abs,
+        conv_metrics.total_simulated(),
+    );
+    println!(
+        "\nmax-error improvement over conventional: {:.1}x",
+        conv_err.max_abs / d_err.max_abs
+    );
+
+    // Approximate query answering straight off the synopsis.
+    println!("\nApproximate queries from the DGreedyAbs synopsis:");
+    for j in [100usize, 4096, 50_000] {
+        println!(
+            "  trip[{j}]: true {:>6.0}s  approx {:>6.0}s",
+            data[j],
+            d.synopsis.reconstruct_value(j)
+        );
+    }
+    let (lo, hi) = (1000usize, 9000usize);
+    let truth: f64 = data[lo..=hi].iter().sum();
+    let approx = range_sum_synopsis(&d.synopsis, lo, hi);
+    println!(
+        "  sum[{lo}..={hi}]: true {truth:.0}  approx {approx:.0}  ({:.2}% off)",
+        (approx - truth).abs() / truth * 100.0
+    );
+}

@@ -1,0 +1,291 @@
+//! `dwm` — command-line wavelet synopses.
+//!
+//! ```text
+//! dwm gen    --kind nyct --n 65536 --out data.csv [--seed 1]
+//! dwm build  --input data.csv --budget 8192 --algo dgreedy-abs --out syn.csv
+//! dwm eval   --input data.csv --synopsis syn.csv [--sanity 1.0]
+//! dwm query  --synopsis syn.csv --point 42
+//! dwm query  --synopsis syn.csv --range 100 900
+//! ```
+//!
+//! Data files hold one value per line; synopsis files are
+//! `node,value` CSV with a `# dwmaxerr-synopsis n=<N>` header.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufWriter, Write};
+use std::process::ExitCode;
+
+use dwmaxerr::algos::indirect_haar::indirect_haar_centralized;
+use dwmaxerr::algos::{conventional_synopsis, greedy_abs_synopsis, greedy_rel_synopsis};
+use dwmaxerr::core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};
+use dwmaxerr::core::dindirect_haar::{dindirect_haar, DIndirectHaarConfig};
+use dwmaxerr::datagen;
+use dwmaxerr::runtime::{Cluster, ClusterConfig};
+use dwmaxerr::wavelet::reconstruct::range_sum_synopsis;
+use dwmaxerr::wavelet::transform::{forward, pad_to_pow2};
+use dwmaxerr::wavelet::{metrics, Synopsis};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  dwm gen   --kind nyct|wd|uniform|zipf --n <N> --out <file>
+            [--seed <u64>] [--max <float>] [--theta <float>]
+  dwm build --input <file> --budget <B> --algo <algo> --out <file>
+            [--delta <float>] [--sanity <float>]
+    algos: conventional | greedy-abs | greedy-rel | indirect-haar |
+           dgreedy-abs | dindirect-haar
+  dwm eval  --input <file> --synopsis <file> [--sanity <float>]
+  dwm query --synopsis <file> (--point <i> | --range <lo> <hi>)";
+
+type CliError = Box<dyn std::error::Error>;
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&flags),
+        "build" => cmd_build(&flags),
+        "eval" => cmd_eval(&flags),
+        "query" => cmd_query(&flags),
+        other => Err(format!("unknown subcommand `{other}`").into()),
+    }
+}
+
+/// Parses `--name value [value]` flags.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, Vec<String>>, CliError> {
+    let mut flags: HashMap<String, Vec<String>> = HashMap::new();
+    let mut current: Option<String> = None;
+    for a in args {
+        if let Some(name) = a.strip_prefix("--") {
+            current = Some(name.to_string());
+            flags.entry(name.to_string()).or_default();
+        } else if let Some(name) = &current {
+            flags.get_mut(name).expect("inserted").push(a.clone());
+        } else {
+            return Err(format!("unexpected argument `{a}`").into());
+        }
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a HashMap<String, Vec<String>>, name: &str) -> Result<&'a str, CliError> {
+    flags
+        .get(name)
+        .and_then(|v| v.first())
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{name}").into())
+}
+
+fn get_or<'a>(flags: &'a HashMap<String, Vec<String>>, name: &str, default: &'a str) -> &'a str {
+    flags
+        .get(name)
+        .and_then(|v| v.first())
+        .map(String::as_str)
+        .unwrap_or(default)
+}
+
+fn cmd_gen(flags: &HashMap<String, Vec<String>>) -> Result<(), CliError> {
+    let kind = get(flags, "kind")?;
+    let n: usize = get(flags, "n")?.parse()?;
+    let out = get(flags, "out")?;
+    let seed: u64 = get_or(flags, "seed", "42").parse()?;
+    let data = match kind {
+        "nyct" => datagen::nyct_like(n, 0.0, seed),
+        "wd" => datagen::wd_like(n, 2e-4, seed),
+        "uniform" => {
+            let max: f64 = get_or(flags, "max", "1000").parse()?;
+            datagen::synthetic::uniform(n, max, seed)
+        }
+        "zipf" => {
+            let max: f64 = get_or(flags, "max", "1000").parse()?;
+            let theta: f64 = get_or(flags, "theta", "0.7").parse()?;
+            datagen::synthetic::zipf(n, max, theta, seed)
+        }
+        other => return Err(format!("unknown --kind `{other}`").into()),
+    };
+    let mut w = BufWriter::new(std::fs::File::create(out)?);
+    for v in &data {
+        writeln!(w, "{v}")?;
+    }
+    eprintln!("wrote {} values to {out}", data.len());
+    Ok(())
+}
+
+fn read_data(path: &str) -> Result<Vec<f64>, CliError> {
+    let file = std::fs::File::open(path)?;
+    let mut data = Vec::new();
+    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        data.push(
+            t.parse::<f64>()
+                .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?,
+        );
+    }
+    if data.is_empty() {
+        return Err(format!("{path}: no data").into());
+    }
+    Ok(data)
+}
+
+fn write_synopsis(path: &str, syn: &Synopsis) -> Result<(), CliError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "# dwmaxerr-synopsis n={}", syn.data_len())?;
+    for &(node, value) in syn.entries() {
+        writeln!(w, "{node},{value}")?;
+    }
+    Ok(())
+}
+
+fn read_synopsis(path: &str) -> Result<Synopsis, CliError> {
+    let file = std::fs::File::open(path)?;
+    let mut n: Option<usize> = None;
+    let mut entries = Vec::new();
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line?;
+        let t = line.trim();
+        if let Some(header) = t.strip_prefix("# dwmaxerr-synopsis n=") {
+            n = Some(header.trim().parse()?);
+            continue;
+        }
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let (node, value) = t
+            .split_once(',')
+            .ok_or_else(|| format!("bad synopsis line: {t}"))?;
+        entries.push((node.trim().parse()?, value.trim().parse()?));
+    }
+    let n = n.ok_or("synopsis file missing `# dwmaxerr-synopsis n=` header")?;
+    Ok(Synopsis::from_entries(n, entries)?)
+}
+
+fn cmd_build(flags: &HashMap<String, Vec<String>>) -> Result<(), CliError> {
+    let raw = read_data(get(flags, "input")?)?;
+    let original_len = raw.len();
+    let data = pad_to_pow2(&raw);
+    if data.len() != original_len {
+        eprintln!(
+            "note: padded {original_len} values to {} (power of two) by repeating the last value",
+            data.len()
+        );
+    }
+    let b: usize = get(flags, "budget")?.parse()?;
+    let algo = get(flags, "algo")?;
+    let out = get(flags, "out")?;
+    let delta: f64 = get_or(flags, "delta", "1").parse()?;
+    let sanity: f64 = get_or(flags, "sanity", "1").parse()?;
+
+    let start = std::time::Instant::now();
+    let syn = match algo {
+        "conventional" => conventional_synopsis(&forward(&data)?, b)?,
+        "greedy-abs" => greedy_abs_synopsis(&forward(&data)?, b)?.0,
+        "greedy-rel" => greedy_rel_synopsis(&forward(&data)?, &data, b, sanity)?.0,
+        "indirect-haar" => indirect_haar_centralized(&data, b, delta)?.synopsis,
+        "dgreedy-abs" => {
+            let cluster = Cluster::new(ClusterConfig::default());
+            let cfg = DGreedyAbsConfig {
+                base_leaves: (data.len() / 32).max(2),
+                ..DGreedyAbsConfig::default()
+            };
+            let res = dgreedy_abs(&cluster, &data, b, &cfg)?;
+            eprintln!(
+                "simulated cluster time: {} across {} jobs",
+                res.metrics.total_simulated(),
+                res.metrics.job_count()
+            );
+            res.synopsis
+        }
+        "dindirect-haar" => {
+            let cluster = Cluster::new(ClusterConfig::default());
+            let mut cfg = DIndirectHaarConfig { delta, ..DIndirectHaarConfig::default() };
+            cfg.probe.base_leaves = (data.len() / 32).max(2);
+            let res = dindirect_haar(&cluster, &data, b, &cfg)?;
+            eprintln!(
+                "simulated cluster time: {} across {} probes",
+                res.metrics.total_simulated(),
+                res.probes
+            );
+            res.synopsis
+        }
+        other => return Err(format!("unknown --algo `{other}`").into()),
+    };
+    let elapsed = start.elapsed();
+    let report = metrics::evaluate(&data, &syn, sanity);
+    write_synopsis(out, &syn)?;
+    eprintln!(
+        "built {algo} synopsis: {} coefficients ({}x compression) in {:.2}s",
+        syn.size(),
+        data.len() / syn.size().max(1),
+        elapsed.as_secs_f64()
+    );
+    eprintln!(
+        "max_abs={:.4} max_rel={:.4} L2={:.4} -> {out}",
+        report.max_abs, report.max_rel, report.l2
+    );
+    Ok(())
+}
+
+fn cmd_eval(flags: &HashMap<String, Vec<String>>) -> Result<(), CliError> {
+    let data = pad_to_pow2(&read_data(get(flags, "input")?)?);
+    let syn = read_synopsis(get(flags, "synopsis")?)?;
+    if syn.data_len() != data.len() {
+        return Err(format!(
+            "synopsis is for n={} but input has n={}",
+            syn.data_len(),
+            data.len()
+        )
+        .into());
+    }
+    let sanity: f64 = get_or(flags, "sanity", "1").parse()?;
+    let report = metrics::evaluate(&data, &syn, sanity);
+    println!("coefficients: {}", syn.size());
+    println!("max_abs:      {:.6}", report.max_abs);
+    println!("max_rel:      {:.6}", report.max_rel);
+    println!("l2:           {:.6}", report.l2);
+    Ok(())
+}
+
+fn cmd_query(flags: &HashMap<String, Vec<String>>) -> Result<(), CliError> {
+    let syn = read_synopsis(get(flags, "synopsis")?)?;
+    if let Some(points) = flags.get("point") {
+        let i: usize = points
+            .first()
+            .ok_or("missing value for --point")?
+            .parse()?;
+        if i >= syn.data_len() {
+            return Err(format!("point {i} out of range (n={})", syn.data_len()).into());
+        }
+        println!("{}", syn.reconstruct_value(i));
+        return Ok(());
+    }
+    if let Some(range) = flags.get("range") {
+        let [lo, hi] = range.as_slice() else {
+            return Err("--range needs two values".into());
+        };
+        let (lo, hi): (usize, usize) = (lo.parse()?, hi.parse()?);
+        if lo > hi || hi >= syn.data_len() {
+            return Err(format!("bad range {lo}..{hi} (n={})", syn.data_len()).into());
+        }
+        println!("{}", range_sum_synopsis(&syn, lo, hi));
+        return Ok(());
+    }
+    Err("query needs --point or --range".into())
+}

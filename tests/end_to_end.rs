@@ -1,0 +1,206 @@
+//! End-to-end integration tests across crates, driven through the
+//! `dwmaxerr` facade exactly as a downstream user would.
+
+use dwmaxerr::algos::greedy_abs_synopsis;
+use dwmaxerr::algos::indirect_haar::indirect_haar_centralized;
+use dwmaxerr::core::conventional::{con, hwtopk, send_coef, send_v};
+use dwmaxerr::core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};
+use dwmaxerr::core::dgreedy_rel::{dgreedy_rel, DGreedyRelConfig};
+use dwmaxerr::core::dindirect_haar::{dindirect_haar, DIndirectHaarConfig};
+use dwmaxerr::core::dmin_haar_space::DmhsConfig;
+use dwmaxerr::datagen::{nyct_like, wd_like};
+use dwmaxerr::runtime::{Cluster, ClusterConfig};
+use dwmaxerr::wavelet::metrics::{evaluate, max_abs};
+use dwmaxerr::wavelet::transform::forward;
+
+fn cluster() -> Cluster {
+    let mut cfg = ClusterConfig::with_slots(8, 4);
+    cfg.task_startup = std::time::Duration::from_micros(50);
+    cfg.job_setup = std::time::Duration::from_micros(50);
+    Cluster::new(cfg)
+}
+
+#[test]
+fn nyct_pipeline_quality_ordering() {
+    // The Figure-8 quality relation at laptop scale: both max-error
+    // algorithms beat the conventional synopsis on max_abs, and
+    // DGreedyAbs matches centralized GreedyAbs.
+    let n = 1 << 12;
+    let b = n / 8;
+    let data = nyct_like(n, 0.0, 3);
+    let c = cluster();
+
+    let d = dgreedy_abs(
+        &c,
+        &data,
+        b,
+        &DGreedyAbsConfig { base_leaves: 1 << 9, bucket_width: 0.25, reducers: 4 , max_candidates: None},
+    )
+    .unwrap();
+    let d_err = max_abs(&data, &d.synopsis.reconstruct_all());
+
+    let (g_syn, g_err) = greedy_abs_synopsis(&forward(&data).unwrap(), b).unwrap();
+    let g_actual = max_abs(&data, &g_syn.reconstruct_all());
+    assert!((g_err - g_actual).abs() < 1e-9);
+
+    let (conv, _) = con(&c, &data, b, 1 << 9).unwrap();
+    let conv_err = max_abs(&data, &conv.reconstruct_all());
+
+    assert!(d_err < conv_err, "DGreedyAbs {d_err} !< conventional {conv_err}");
+    assert!(g_actual < conv_err, "GreedyAbs {g_actual} !< conventional {conv_err}");
+    // Paper: "DGreedyAbs ... achieves the same maximum absolute error with
+    // its centralized counterpart" — allow a bucket of slack.
+    assert!(
+        d_err <= g_actual * 1.25 + 1.0,
+        "DGreedyAbs {d_err} too far from GreedyAbs {g_actual}"
+    );
+}
+
+#[test]
+fn wd_dp_beats_greedy_and_respects_budget() {
+    let n = 1 << 11;
+    let b = n / 8;
+    let data = wd_like(n, 1e-4, 5);
+    let c = cluster();
+    let cfg = DIndirectHaarConfig {
+        delta: 1.0,
+        probe: DmhsConfig { base_leaves: 1 << 8, fan_in: 4 },
+    };
+    let dp = dindirect_haar(&c, &data, b, &cfg).unwrap();
+    assert!(dp.synopsis.size() <= b);
+    let (_, g_err) = greedy_abs_synopsis(&forward(&data).unwrap(), b).unwrap();
+    // The DP search is optimal over its grid: it must not lose to the
+    // greedy heuristic by more than quantization slack.
+    assert!(
+        dp.error <= g_err + 2.0 + 1e-9,
+        "DIndirectHaar {} vs GreedyAbs {g_err}",
+        dp.error
+    );
+    // And it matches its centralized twin.
+    let central = indirect_haar_centralized(&data, b, 1.0).unwrap();
+    assert!(
+        (dp.error - central.error).abs() <= 2.0 + 1e-9,
+        "distributed {} vs centralized {}",
+        dp.error,
+        central.error
+    );
+}
+
+#[test]
+fn conventional_family_identical_on_real_like_data() {
+    let n = 1 << 11;
+    let b = 64;
+    let data = wd_like(n, 1e-4, 9);
+    let c = cluster();
+    let (a, _) = con(&c, &data, b, 1 << 8).unwrap();
+    let (v, _) = send_v(&c, &data, b, 5).unwrap();
+    let (s, _) = send_coef(&c, &data, b, 5).unwrap();
+    let h = hwtopk(&c, &data, b, 5).unwrap();
+    // Index sets must agree exactly; values up to FP aggregation noise.
+    let idx = |syn: &dwmaxerr::wavelet::Synopsis| {
+        syn.entries().iter().map(|&(i, _)| i).collect::<Vec<_>>()
+    };
+    assert_eq!(idx(&a), idx(&v));
+    assert_eq!(idx(&a), idx(&s));
+    assert_eq!(idx(&a), idx(&h.synopsis));
+    for (x, y) in a.entries().iter().zip(s.entries()) {
+        assert!((x.1 - y.1).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn dgreedy_rel_protects_relative_error_on_mixed_magnitudes() {
+    let n = 1 << 10;
+    let b = n / 4;
+    // Sensor-like small values with occasional large spikes.
+    let data: Vec<f64> = (0..n)
+        .map(|i| {
+            if i % 37 == 0 {
+                900.0
+            } else {
+                10.0 + (i as f64 * 0.21).sin() * 3.0
+            }
+        })
+        .collect();
+    let c = cluster();
+    let rel = dgreedy_rel(
+        &c,
+        &data,
+        b,
+        &DGreedyRelConfig {
+            base_leaves: 1 << 7,
+            bucket_width: 1e-6,
+            reducers: 2,
+            sanity: 1.0,
+        },
+    )
+    .unwrap();
+    let abs = dgreedy_abs(
+        &c,
+        &data,
+        b,
+        &DGreedyAbsConfig { base_leaves: 1 << 7, bucket_width: 1e-6, reducers: 2 , max_candidates: None},
+    )
+    .unwrap();
+    let rel_of = |syn: &dwmaxerr::wavelet::Synopsis| evaluate(&data, syn, 1.0).max_rel;
+    assert!(
+        rel.error <= rel_of(&abs.synopsis) + 1e-9,
+        "DGreedyRel {} should beat DGreedyAbs {} on max_rel",
+        rel.error,
+        rel_of(&abs.synopsis)
+    );
+}
+
+#[test]
+fn error_guarantees_hold_under_corruption() {
+    // Corrupt NYCT slices (near-u32::MAX records) must not break any
+    // invariant: budgets hold, tracked errors are exact.
+    let n = 1 << 11;
+    let b = n / 8;
+    let data = nyct_like(n, 2e-3, 21);
+    assert!(data.iter().any(|&v| v > 1e6), "corruption present");
+    let c = cluster();
+    let d = dgreedy_abs(
+        &c,
+        &data,
+        b,
+        &DGreedyAbsConfig { base_leaves: 1 << 8, bucket_width: 1.0, reducers: 2 , max_candidates: None},
+    )
+    .unwrap();
+    assert!(d.synopsis.size() <= b);
+    let actual = max_abs(&data, &d.synopsis.reconstruct_all());
+    assert!(
+        (actual - d.estimated_error).abs() <= 1.0 + actual * 1e-9,
+        "estimate {} vs actual {actual}",
+        d.estimated_error
+    );
+}
+
+#[test]
+fn degenerate_shapes() {
+    let c = cluster();
+    // Constant data: one coefficient suffices everywhere.
+    let data = vec![7.5; 64];
+    let d = dgreedy_abs(
+        &c,
+        &data,
+        1,
+        &DGreedyAbsConfig { base_leaves: 8, bucket_width: 1e-9, reducers: 2 , max_candidates: None},
+    )
+    .unwrap();
+    let err = max_abs(&data, &d.synopsis.reconstruct_all());
+    assert!(err < 1e-9, "constant data should be free: {err}");
+
+    // Single spike.
+    let mut spike = vec![0.0; 64];
+    spike[33] = 1000.0;
+    let d = dgreedy_abs(
+        &c,
+        &spike,
+        8,
+        &DGreedyAbsConfig { base_leaves: 8, bucket_width: 1e-9, reducers: 2 , max_candidates: None},
+    )
+    .unwrap();
+    let err = max_abs(&spike, &d.synopsis.reconstruct_all());
+    assert!(err < 1e-9, "a spike needs log N + 1 = 7 <= 8 coefficients: {err}");
+}

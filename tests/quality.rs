@@ -1,0 +1,156 @@
+//! Cross-algorithm quality matrix: the ordering invariants that the
+//! paper's evaluation rests on, checked across both dataset surrogates.
+
+use dwmaxerr::algos::greedy_rel::greedy_rel_synopsis;
+use dwmaxerr::algos::indirect_haar::indirect_haar_centralized;
+use dwmaxerr::algos::min_rel_var::{min_rel_var, MrvParams};
+use dwmaxerr::algos::{conventional_synopsis, greedy_abs_synopsis};
+use dwmaxerr::core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};
+use dwmaxerr::datagen::{nyct_like, wd_like};
+use dwmaxerr::runtime::{Cluster, ClusterConfig};
+use dwmaxerr::wavelet::metrics::evaluate;
+use dwmaxerr::wavelet::transform::forward;
+use dwmaxerr::wavelet::Synopsis;
+
+struct Entry {
+    name: &'static str,
+    synopsis: Synopsis,
+}
+
+fn matrix(data: &[f64], b: usize, delta: f64) -> Vec<Entry> {
+    let w = forward(data).unwrap();
+    let cluster = {
+        let mut cfg = ClusterConfig::with_slots(8, 4);
+        cfg.task_startup = std::time::Duration::from_micros(10);
+        cfg.job_setup = std::time::Duration::from_micros(10);
+        Cluster::new(cfg)
+    };
+    let mut out = vec![
+        Entry {
+            name: "conventional",
+            synopsis: conventional_synopsis(&w, b).unwrap(),
+        },
+        Entry {
+            name: "greedy_abs",
+            synopsis: greedy_abs_synopsis(&w, b).unwrap().0,
+        },
+        Entry {
+            name: "greedy_rel",
+            synopsis: greedy_rel_synopsis(&w, data, b, 1.0).unwrap().0,
+        },
+        Entry {
+            name: "indirect_haar",
+            synopsis: indirect_haar_centralized(data, b, delta).unwrap().synopsis,
+        },
+        Entry {
+            name: "min_rel_var",
+            synopsis: min_rel_var(data, b.min(24), &MrvParams::new(2, 1.0).unwrap(), 5)
+                .unwrap()
+                .synopsis,
+        },
+    ];
+    let d = dgreedy_abs(
+        &cluster,
+        data,
+        b,
+        &DGreedyAbsConfig {
+            base_leaves: (data.len() / 16).max(2),
+            bucket_width: 1e-6,
+            reducers: 2,
+            max_candidates: None,
+        },
+    )
+    .unwrap();
+    out.push(Entry { name: "dgreedy_abs", synopsis: d.synopsis });
+    out
+}
+
+fn check_dataset(data: &[f64], b: usize, delta: f64) {
+    let entries = matrix(data, b, delta);
+    let report = |name: &str| {
+        let e = entries.iter().find(|e| e.name == name).unwrap();
+        evaluate(data, &e.synopsis, 1.0)
+    };
+
+    // Budgets hold everywhere (MinRelVar's budget is in expectation, so
+    // give it slack for coin-flip variance).
+    for e in &entries {
+        let slack = if e.name == "min_rel_var" { b / 2 + 8 } else { 0 };
+        assert!(
+            e.synopsis.size() <= b + slack,
+            "{} exceeded budget: {} > {b}",
+            e.name,
+            e.synopsis.size()
+        );
+    }
+
+    let conv = report("conventional");
+    let gabs = report("greedy_abs");
+    let grel = report("greedy_rel");
+    let dp = report("indirect_haar");
+    let dabs = report("dgreedy_abs");
+
+    // L2-optimality: nothing beats the conventional synopsis on L2.
+    for e in &entries {
+        if e.name == "min_rel_var" {
+            continue; // probabilistic sizes differ
+        }
+        let l2 = evaluate(data, &e.synopsis, 1.0).l2;
+        assert!(
+            conv.l2 <= l2 + 1e-9,
+            "conventional L2 {} beaten by {} with {}",
+            conv.l2,
+            e.name,
+            l2
+        );
+    }
+
+    // Max-error specialists beat the conventional synopsis on max_abs.
+    assert!(gabs.max_abs < conv.max_abs, "GreedyAbs {} !< conv {}", gabs.max_abs, conv.max_abs);
+    assert!(dp.max_abs < conv.max_abs, "DP {} !< conv {}", dp.max_abs, conv.max_abs);
+    assert!(dabs.max_abs < conv.max_abs, "DGreedyAbs {} !< conv {}", dabs.max_abs, conv.max_abs);
+
+    // The DP is (quantization-)optimal for max_abs: it must not lose to
+    // the greedy heuristic by more than a quantum.
+    assert!(
+        dp.max_abs <= gabs.max_abs + delta + 1e-9,
+        "DP {} lost to greedy {}",
+        dp.max_abs,
+        gabs.max_abs
+    );
+
+    // GreedyRel wins (or ties) on its own metric against GreedyAbs.
+    assert!(
+        grel.max_rel <= gabs.max_rel + 1e-9,
+        "GreedyRel {} !<= GreedyAbs {} on max_rel",
+        grel.max_rel,
+        gabs.max_rel
+    );
+
+    // Distributed greedy ≈ centralized greedy (the paper's headline).
+    assert!(
+        dabs.max_abs <= gabs.max_abs * 1.2 + 1.0,
+        "DGreedyAbs {} too far above GreedyAbs {}",
+        dabs.max_abs,
+        gabs.max_abs
+    );
+}
+
+#[test]
+fn quality_matrix_nyct_like() {
+    // δ proportionate to NYCT's error scale (the paper uses 50).
+    let n = 1 << 11;
+    check_dataset(&nyct_like(n, 0.0, 77), n / 8, 50.0);
+}
+
+#[test]
+fn quality_matrix_wd_like() {
+    let n = 1 << 11;
+    check_dataset(&wd_like(n, 1e-4, 78), n / 8, 2.0);
+}
+
+#[test]
+fn quality_matrix_tight_budget() {
+    let n = 1 << 10;
+    check_dataset(&nyct_like(n, 0.0, 79), n / 32, 50.0);
+}
