@@ -329,8 +329,7 @@ pub fn greedy_abs_synopsis(coeffs: &[f64], b: usize) -> Result<(Synopsis, f64), 
     let mut state = GreedyAbs::new_full(coeffs)?;
     let trace = state.run_to_empty();
     let (t, err) = best_prefix(&trace, n, b);
-    let removed: std::collections::HashSet<u32> =
-        trace[..t].iter().map(|r| r.node).collect();
+    let removed: std::collections::HashSet<u32> = trace[..t].iter().map(|r| r.node).collect();
     let retained: Vec<u32> = (0..n as u32).filter(|i| !removed.contains(i)).collect();
     let synopsis = Synopsis::retain_indices(coeffs, &retained)?;
     Ok((synopsis, err))
@@ -466,10 +465,22 @@ mod tests {
         // Removing a coefficient can *decrease* max_abs (Section 5.1);
         // best_prefix must pick the later, better state.
         let trace = vec![
-            Removal { node: 1, error_after: 10.0 },
-            Removal { node: 2, error_after: 4.0 },
-            Removal { node: 3, error_after: 12.0 },
-            Removal { node: 0, error_after: 20.0 },
+            Removal {
+                node: 1,
+                error_after: 10.0,
+            },
+            Removal {
+                node: 2,
+                error_after: 4.0,
+            },
+            Removal {
+                node: 3,
+                error_after: 12.0,
+            },
+            Removal {
+                node: 0,
+                error_after: 20.0,
+            },
         ];
         // b = 3 allows 1..=4 removals; best is t = 2 (error 4).
         let (t, e) = best_prefix(&trace, 4, 3);

@@ -237,8 +237,14 @@ impl GreedyRel {
     fn leaf_lines(&self, j: usize) -> [Line; 2] {
         let inv = 1.0 / self.denom[j];
         [
-            Line { slope: inv, icept: self.err[j] * inv },
-            Line { slope: -inv, icept: -self.err[j] * inv },
+            Line {
+                slope: inv,
+                icept: self.err[j] * inv,
+            },
+            Line {
+                slope: -inv,
+                icept: -self.err[j] * inv,
+            },
         ]
     }
 
@@ -429,11 +435,26 @@ mod tests {
     #[test]
     fn envelope_matches_bruteforce_eval() {
         let lines = vec![
-            Line { slope: 1.0, icept: 0.0 },
-            Line { slope: -1.0, icept: 0.0 },
-            Line { slope: 0.5, icept: 2.0 },
-            Line { slope: -0.25, icept: 3.0 },
-            Line { slope: 0.5, icept: 1.0 }, // dominated duplicate slope
+            Line {
+                slope: 1.0,
+                icept: 0.0,
+            },
+            Line {
+                slope: -1.0,
+                icept: 0.0,
+            },
+            Line {
+                slope: 0.5,
+                icept: 2.0,
+            },
+            Line {
+                slope: -0.25,
+                icept: 3.0,
+            },
+            Line {
+                slope: 0.5,
+                icept: 1.0,
+            }, // dominated duplicate slope
         ];
         let env = Envelope::build(lines.clone());
         for xi in -50..=50 {
@@ -446,12 +467,24 @@ mod tests {
     #[test]
     fn envelope_merge_equals_build() {
         let a = Envelope::build(vec![
-            Line { slope: 1.0, icept: 0.0 },
-            Line { slope: -2.0, icept: 1.0 },
+            Line {
+                slope: 1.0,
+                icept: 0.0,
+            },
+            Line {
+                slope: -2.0,
+                icept: 1.0,
+            },
         ]);
         let b = Envelope::build(vec![
-            Line { slope: 0.0, icept: 0.5 },
-            Line { slope: 3.0, icept: -4.0 },
+            Line {
+                slope: 0.0,
+                icept: 0.5,
+            },
+            Line {
+                slope: 3.0,
+                icept: -4.0,
+            },
         ]);
         let merged = Envelope::merge(&a, &b);
         for xi in -40..=40 {
@@ -464,8 +497,14 @@ mod tests {
     #[test]
     fn envelope_shift_translates() {
         let mut env = Envelope::build(vec![
-            Line { slope: 1.0, icept: 0.0 },
-            Line { slope: -1.0, icept: 2.0 },
+            Line {
+                slope: 1.0,
+                icept: 0.0,
+            },
+            Line {
+                slope: -1.0,
+                icept: 2.0,
+            },
         ]);
         let before = env.eval(1.5);
         env.shift(0.5);
@@ -556,7 +595,9 @@ mod tests {
     #[test]
     fn envelopes_stay_compact_on_repetitive_data() {
         // 64 leaves with only two distinct magnitudes: hull lines collapse.
-        let data: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 5.0 } else { 80.0 }).collect();
+        let data: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 5.0 } else { 80.0 })
+            .collect();
         let w = forward(&data).unwrap();
         let g = GreedyRel::new_full(&w, &data, 1.0).unwrap();
         // Root envelope covers 64 leaves but only needs ≤ 4 lines.

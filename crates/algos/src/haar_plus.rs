@@ -257,7 +257,12 @@ pub fn combine(left: &HpRow, right: &HpRow) -> HpRow {
         shift_l[t] = ba;
         shift_r[t] = bb;
     }
-    HpRow { lo, costs, shift_l, shift_r }
+    HpRow {
+        lo,
+        costs,
+        shift_l,
+        shift_r,
+    }
 }
 
 /// All Haar+ rows of a (sub)tree over `data` (heap order, `rows\[1\]` =
@@ -268,7 +273,12 @@ pub fn subtree_rows(data: &[f64], p: &MhsParams) -> Result<Vec<HpRow>, HaarPlusE
     if m < 2 {
         return Err(HaarPlusError::Wavelet(WaveletError::Empty));
     }
-    let empty = HpRow { lo: 0, costs: Vec::new(), shift_l: Vec::new(), shift_r: Vec::new() };
+    let empty = HpRow {
+        lo: 0,
+        costs: Vec::new(),
+        shift_l: Vec::new(),
+        shift_r: Vec::new(),
+    };
     let mut rows = vec![empty; m];
     for i in (1..m).rev() {
         rows[i] = if 2 * i < m {
@@ -313,10 +323,7 @@ pub struct HaarPlusSolution {
 /// Solves Problem 2 on the Haar+ tree: the minimal number of retained
 /// triad nodes so every value reconstructs within ε, values quantized
 /// to δ.
-pub fn haar_plus_min_space(
-    data: &[f64],
-    p: &MhsParams,
-) -> Result<HaarPlusSolution, HaarPlusError> {
+pub fn haar_plus_min_space(data: &[f64], p: &MhsParams) -> Result<HaarPlusSolution, HaarPlusError> {
     let n = data.len();
     ensure_pow2(n)?;
     if n == 1 {
@@ -331,7 +338,11 @@ pub fn haar_plus_min_space(
         }
         let synopsis = HaarPlusSynopsis { n, entries };
         let actual_error = (synopsis.reconstruct_value(0) - d).abs();
-        return Ok(HaarPlusSolution { size: synopsis.size(), synopsis, actual_error });
+        return Ok(HaarPlusSolution {
+            size: synopsis.size(),
+            synopsis,
+            actual_error,
+        });
     }
     let rows = subtree_rows(data, p)?;
     // Top node: incoming to the root triad is the top value z (cost z≠0).
@@ -358,7 +369,10 @@ pub fn haar_plus_min_space(
     let mut stack = vec![(1usize, best.1)];
     while let Some((i, v)) = stack.pop() {
         let off = (v - rows[i].lo) as usize;
-        let (a, b) = (i64::from(rows[i].shift_l[off]), i64::from(rows[i].shift_r[off]));
+        let (a, b) = (
+            i64::from(rows[i].shift_l[off]),
+            i64::from(rows[i].shift_r[off]),
+        );
         triad_entries(i as u32, a, b, p.delta, &mut entries);
         if 2 * i < n {
             stack.push((2 * i, v + a));
@@ -370,7 +384,11 @@ pub fn haar_plus_min_space(
     let synopsis = HaarPlusSynopsis { n, entries };
     let approx = synopsis.reconstruct_all();
     let actual_error = dwmaxerr_wavelet::metrics::max_abs(data, &approx);
-    Ok(HaarPlusSolution { size: synopsis.size(), synopsis, actual_error })
+    Ok(HaarPlusSolution {
+        size: synopsis.size(),
+        synopsis,
+        actual_error,
+    })
 }
 
 /// Problem 1 on the Haar+ tree via binary search over ε (the IndirectHaar
@@ -451,7 +469,9 @@ mod tests {
         let datasets: Vec<Vec<f64>> = vec![
             PAPER_DATA.to_vec(),
             (0..32).map(|i| ((i * 13) % 27) as f64).collect(),
-            (0..64).map(|i| if i % 9 == 0 { 90.0 } else { (i % 4) as f64 }).collect(),
+            (0..64)
+                .map(|i| if i % 9 == 0 { 90.0 } else { (i % 4) as f64 })
+                .collect(),
         ];
         for data in datasets {
             for eps in [2.0, 6.0, 15.0] {

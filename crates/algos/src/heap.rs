@@ -101,7 +101,9 @@ impl IndexedMinHeap {
 
     /// Peeks at the minimum without removing it.
     pub fn peek(&self) -> Option<(usize, f64)> {
-        self.heap.first().map(|&id| (id as usize, self.key[id as usize]))
+        self.heap
+            .first()
+            .map(|&id| (id as usize, self.key[id as usize]))
     }
 
     /// Removes an arbitrary id (no-op if absent).
@@ -254,7 +256,9 @@ mod tests {
         // Deterministic LCG so the test needs no rand dependency here.
         let mut state: u64 = 0x12345678;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         let cap = 64;

@@ -79,7 +79,10 @@ impl fmt::Display for MhsError {
         match self {
             MhsError::BadParams(m) => write!(f, "bad MinHaarSpace params: {m}"),
             MhsError::DeltaTooCoarse => {
-                write!(f, "delta too coarse: a feasible window contains no grid point")
+                write!(
+                    f,
+                    "delta too coarse: a feasible window contains no grid point"
+                )
             }
             MhsError::Wavelet(e) => write!(f, "{e}"),
         }
@@ -214,7 +217,11 @@ pub fn combine(left: &Row, right: &Row) -> Row {
 fn trim(row: Row) -> Row {
     let first = row.costs.iter().position(|&c| c != INFEASIBLE);
     let Some(first) = first else {
-        return Row { lo: row.lo, costs: vec![INFEASIBLE], choices: vec![0] };
+        return Row {
+            lo: row.lo,
+            costs: vec![INFEASIBLE],
+            choices: vec![0],
+        };
     };
     let last = row
         .costs
@@ -238,7 +245,14 @@ pub fn subtree_rows(data: &[f64], p: &MhsParams) -> Result<Vec<Row>, MhsError> {
         return Err(MhsError::BadParams("subtree needs at least 2 leaves"));
     }
     let mut rows: Vec<Row> = Vec::new();
-    rows.resize(m, Row { lo: 0, costs: Vec::new(), choices: Vec::new() });
+    rows.resize(
+        m,
+        Row {
+            lo: 0,
+            costs: Vec::new(),
+            choices: Vec::new(),
+        },
+    );
     // Lowest internal level first: nodes m/2 .. m have leaf children.
     for i in (1..m).rev() {
         let row = if 2 * i < m {
@@ -315,7 +329,11 @@ pub fn min_haar_space(data: &[f64], p: &MhsParams) -> Result<MhsSolution, MhsErr
         let size = entries.len();
         let synopsis = Synopsis::from_entries(1, entries)?;
         let actual_error = (synopsis.reconstruct_value(0) - d).abs();
-        return Ok(MhsSolution { synopsis, size, actual_error });
+        return Ok(MhsSolution {
+            synopsis,
+            size,
+            actual_error,
+        });
     }
     let rows = subtree_rows(data, p)?;
     // Root: c_0 contributes +z0 to every leaf; incoming to node 1 is z0.
@@ -480,7 +498,11 @@ mod tests {
                 }
             }
         }
-        assert_eq!(sol.size, best, "DP found {}, brute force {}", sol.size, best);
+        assert_eq!(
+            sol.size, best,
+            "DP found {}, brute force {}",
+            sol.size, best
+        );
     }
 
     #[test]

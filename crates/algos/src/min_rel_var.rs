@@ -123,21 +123,27 @@ pub fn combine(left: &MrvRow, right: &MrvRow, c: f64, cap: usize, p: &MrvParams)
     let r_scale = 1.0 / (right.min_norm * right.min_norm);
     let mut cells = Vec::with_capacity(cap + 1);
     for b in 0..=cap {
-        let mut best = MrvCell { v: f64::INFINITY, y: 0, l: 0 };
+        let mut best = MrvCell {
+            v: f64::INFINITY,
+            y: 0,
+            l: 0,
+        };
         let max_u = (q as usize).min(b) as u32;
         for u in 0..=max_u {
             let var = variance(c, u, q);
             // Clamp the remainder to the children's joint capacity: excess
             // expected space buys nothing below this node.
-            let rem =
-                (b - u as usize).min(left.cells.len() - 1 + right.cells.len() - 1);
+            let rem = (b - u as usize).min(left.cells.len() - 1 + right.cells.len() - 1);
             let l_max = rem.min(left.cells.len() - 1);
             let l_min = rem.saturating_sub(right.cells.len() - 1);
             for bl in l_min..=l_max {
-                let score = (left.v(bl) + var * l_scale)
-                    .max(right.v(rem - bl) + var * r_scale);
+                let score = (left.v(bl) + var * l_scale).max(right.v(rem - bl) + var * r_scale);
                 if score < best.v {
-                    best = MrvCell { v: score, y: u as u16, l: bl as u32 };
+                    best = MrvCell {
+                        v: score,
+                        y: u as u16,
+                        l: bl as u32,
+                    };
                 }
             }
         }
@@ -161,7 +167,10 @@ pub fn subtree_rows(
     if details.len() + 1 != m {
         return Err(WaveletError::NotPowerOfTwo(details.len() + 1));
     }
-    let empty = MrvRow { min_norm: 1.0, cells: Vec::new() };
+    let empty = MrvRow {
+        min_norm: 1.0,
+        cells: Vec::new(),
+    };
     let mut rows = vec![empty; m.max(2)];
     for i in (1..m).rev() {
         // A subtree with `w` leaves holds `w - 1` coefficients: at most
@@ -237,7 +246,11 @@ pub fn min_rel_var(
     if n == 1 {
         // Single value: keep c_0 whole if any budget exists.
         let keep = b >= 1 && coeffs[0] != 0.0;
-        let entries = if keep { vec![(0u32, coeffs[0])] } else { Vec::new() };
+        let entries = if keep {
+            vec![(0u32, coeffs[0])]
+        } else {
+            Vec::new()
+        };
         let nse = if keep || coeffs[0] == 0.0 {
             0.0
         } else {
@@ -247,7 +260,11 @@ pub fn min_rel_var(
             synopsis: Synopsis::from_entries(1, entries)?,
             nse_bound: nse,
             expected_size: if keep { 1.0 } else { 0.0 },
-            allocation: if keep { vec![(0, p.q as u16)] } else { Vec::new() },
+            allocation: if keep {
+                vec![(0, p.q as u16)]
+            } else {
+                Vec::new()
+            },
         });
     }
     let rows = subtree_rows(&coeffs[1..], data, cap, p)?;
@@ -278,8 +295,7 @@ pub fn min_rel_var(
             // Replicate combine()'s clamping so children receive exactly
             // the budget the stored (y, l) choice assumed.
             let joint = rows[2 * i].cells.len() - 1 + rows[2 * i + 1].cells.len() - 1;
-            let rem =
-                (bi.min(rows[i].cells.len() - 1) - cell.y as usize).min(joint);
+            let rem = (bi.min(rows[i].cells.len() - 1) - cell.y as usize).min(joint);
             stack.push((2 * i, cell.l as usize));
             stack.push((2 * i + 1, rem - cell.l as usize));
         }
@@ -381,7 +397,9 @@ mod tests {
         let reference = {
             let alloc = min_rel_var(&PAPER_DATA, b, &p, 0).unwrap().allocation;
             let idx: Vec<u32> = alloc.iter().map(|&(i, _)| i).collect();
-            Synopsis::retain_indices(&coeffs, &idx).unwrap().reconstruct_all()
+            Synopsis::retain_indices(&coeffs, &idx)
+                .unwrap()
+                .reconstruct_all()
         };
         let trials = 4000;
         let mut acc = vec![0.0; n];
@@ -405,7 +423,7 @@ mod tests {
         assert_eq!(variance(0.0, 0, 4), 0.0);
         assert_eq!(variance(3.0, 4, 4), 0.0); // y = 1: kept exactly
         assert_eq!(variance(3.0, 0, 4), 9.0); // dropped: squared error
-        // y = 1/2: c²(1-y)/y = 9.
+                                              // y = 1/2: c²(1-y)/y = 9.
         assert!((variance(3.0, 2, 4) - 9.0).abs() < 1e-12);
         // y = 1/4: 9·3 = 27.
         assert!((variance(3.0, 1, 4) - 27.0).abs() < 1e-12);

@@ -10,9 +10,8 @@ use dwmaxerr_wavelet::Synopsis;
 use proptest::prelude::*;
 
 fn pow2_data(max_log: u32) -> impl Strategy<Value = Vec<f64>> {
-    (1u32..=max_log).prop_flat_map(|k| {
-        prop::collection::vec(-100.0..100.0f64, (1usize << k)..=(1usize << k))
-    })
+    (1u32..=max_log)
+        .prop_flat_map(|k| prop::collection::vec(-100.0..100.0f64, (1usize << k)..=(1usize << k)))
 }
 
 proptest! {
@@ -192,7 +191,7 @@ mod extra {
             let mut seen = std::collections::HashSet::new();
             for &(node, yu) in &sol.allocation {
                 prop_assert!((node as usize) < data.len());
-                prop_assert!(yu >= 1 && yu <= 4);
+                prop_assert!((1..=4).contains(&yu));
                 prop_assert!(seen.insert(node), "duplicate allocation node {node}");
             }
             // Full budget => exact reconstruction.

@@ -29,7 +29,13 @@ fn bucket_width_ablation() -> Table {
         "Ablation — error-bucket width e_b (DGreedyAbs, NYCT-like 2^15)",
         "coarser buckets compact more removals per key-value (less I/O) at the cost \
          of a looser error estimate; Section 5.2's histogram optimization",
-        &["e_b", "shuffle records", "shuffle bytes", "max_abs", "estimate"],
+        &[
+            "e_b",
+            "shuffle records",
+            "shuffle bytes",
+            "max_abs",
+            "estimate",
+        ],
     );
     for e_b in [1e-6, 0.1, 1.0, 10.0, 100.0] {
         cluster.clear_history();
@@ -171,7 +177,10 @@ fn dictionary_ablation() -> Table {
             format!("{eps:.0}"),
             mhs.size.to_string(),
             hp.size.to_string(),
-            format!("{:.1}%", (1.0 - hp.size as f64 / mhs.size.max(1) as f64) * 100.0),
+            format!(
+                "{:.1}%",
+                (1.0 - hp.size as f64 / mhs.size.max(1) as f64) * 100.0
+            ),
         ]);
     }
     t
@@ -195,7 +204,11 @@ fn dp_communication_ablation() -> Table {
          exchange O(N·B·q/2^h), which can reach O(N²); the dual Problem 2 \
          (MinHaarSpace) keeps rows at O(ε/δ) regardless of B — the paper's reason \
          for building DIndirectHaar on the dual",
-        &["B", "DMinRelVar row bytes", "DMHaarSpace row bytes (ε=100, δ=5)"],
+        &[
+            "B",
+            "DMinRelVar row bytes",
+            "DMHaarSpace row bytes (ε=100, δ=5)",
+        ],
     );
     let row_bytes = |m: &dwmaxerr_runtime::metrics::DriverMetrics| {
         m.jobs
@@ -210,7 +223,10 @@ fn dp_communication_ablation() -> Table {
         &cluster,
         &data,
         &MhsParams::new(100.0, 5.0).unwrap(),
-        &DmhsConfig { base_leaves: 64, fan_in: 4 },
+        &DmhsConfig {
+            base_leaves: 64,
+            fan_in: 4,
+        },
     )
     .expect("DMHaarSpace runs");
     let mhs_bytes = row_bytes(&mhs.metrics);

@@ -25,6 +25,7 @@ fn main() {
         ("Figure 9", experiments::fig9),
         ("Figure 10", experiments::fig10),
         ("Figure 11", experiments::fig11),
+        ("Fault sweep", experiments::fault_sweep),
     ];
     let mut all = String::from("# Experiment suite output\n\n");
     all.push_str(&format!("Scale: {scale:?}\n\n"));

@@ -1,0 +1,8 @@
+//! Fault-tolerance sweep: DGreedyAbs under injected failures and
+//! stragglers. `DWM_SCALE=full` for larger sizes.
+use dwmaxerr_bench::{experiments, report, setup::Scale};
+
+fn main() {
+    let tables = experiments::fault_sweep(Scale::from_env());
+    report::print_all(&tables);
+}

@@ -14,16 +14,32 @@ fn main() {
         "\"For sizes greater than 17M points, neither GreedyAbs nor IndirectHaar \
          could run, as their execution demanded more main memory than the \
          available 8GB\" (Section 6.1)",
-        &["N", "GreedyAbs", "IndirectHaar (ε*≈570, δ=50)", "fits 8 GB?"],
+        &[
+            "N",
+            "GreedyAbs",
+            "IndirectHaar (ε*≈570, δ=50)",
+            "fits 8 GB?",
+        ],
     );
-    for n in [17_000_000usize, 34_000_000, 68_000_000, 137_000_000, 537_000_000] {
+    for n in [
+        17_000_000usize,
+        34_000_000,
+        68_000_000,
+        137_000_000,
+        537_000_000,
+    ] {
         let ga = greedy_abs_bytes(n);
         let ih = indirect_haar_bytes(n, 600.0, 50.0);
         t.row(vec![
             format!("{}M", n / 1_000_000),
             fmt_bytes(ga),
             fmt_bytes(ih),
-            if ga.max(ih) <= 8 * GIB { "yes" } else { "no (OOM)" }.into(),
+            if ga.max(ih) <= 8 * GIB {
+                "yes"
+            } else {
+                "no (OOM)"
+            }
+            .into(),
         ]);
     }
     t.note(
@@ -50,8 +66,6 @@ fn main() {
             if need <= 1 << 30 { "yes" } else { "no (OOM)" }.into(),
         ]);
     }
-    t.note(
-        "the modelled boundary lands at 2^23 = 8M — the paper's exact figure.",
-    );
+    t.note("the modelled boundary lands at 2^23 = 8M — the paper's exact figure.");
     println!("{}", t.to_markdown());
 }

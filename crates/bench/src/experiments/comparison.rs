@@ -10,8 +10,7 @@ use crate::report::{err, secs, Table};
 use crate::setup::{paper_cluster, Scale};
 
 use super::{
-    run_dgreedy_abs, run_dindirect_haar, run_greedy_abs_centralized,
-    run_indirect_haar_centralized,
+    run_dgreedy_abs, run_dindirect_haar, run_greedy_abs_centralized, run_indirect_haar_centralized,
 };
 
 struct ComparisonSpec {
@@ -26,14 +25,34 @@ fn comparison(scale: Scale, spec: &ComparisonSpec) -> Vec<Table> {
     let logs: Vec<u32> = scale.pick(vec![16, 17, 18], vec![18, 19, 20]);
     let cluster = paper_cluster();
     let mut time_t = Table::new(
-        format!("{} — running time on the {} dataset (B = N/8, δ = {})", spec.fig, spec.dataset, spec.delta),
+        format!(
+            "{} — running time on the {} dataset (B = N/8, δ = {})",
+            spec.fig, spec.dataset, spec.delta
+        ),
         spec.time_claim,
-        &["N", "GreedyAbs", "DGreedyAbs", "IndirectHaar", "DIndirectHaar", "CON", "Send-Coef"],
+        &[
+            "N",
+            "GreedyAbs",
+            "DGreedyAbs",
+            "IndirectHaar",
+            "DIndirectHaar",
+            "CON",
+            "Send-Coef",
+        ],
     );
     let mut err_t = Table::new(
-        format!("{}' — max-abs error on the {} dataset (B = N/8)", spec.fig, spec.dataset),
+        format!(
+            "{}' — max-abs error on the {} dataset (B = N/8)",
+            spec.fig, spec.dataset
+        ),
         spec.err_claim,
-        &["N", "GreedyAbs", "DGreedyAbs", "DIndirectHaar", "CON (conventional)"],
+        &[
+            "N",
+            "GreedyAbs",
+            "DGreedyAbs",
+            "DIndirectHaar",
+            "CON (conventional)",
+        ],
     );
     for ln in logs {
         let n = 1usize << ln;
@@ -59,10 +78,14 @@ fn comparison(scale: Scale, spec: &ComparisonSpec) -> Vec<Table> {
         let sc_secs = sc_m.total_simulated().secs();
 
         let opt_secs = |o: &Option<super::RunOutcome>| {
-            o.as_ref().map(|x| secs(x.secs)).unwrap_or_else(|| "n/a".into())
+            o.as_ref()
+                .map(|x| secs(x.secs))
+                .unwrap_or_else(|| "n/a".into())
         };
         let opt_err = |o: &Option<super::RunOutcome>| {
-            o.as_ref().map(|x| err(x.max_abs)).unwrap_or_else(|| "n/a".into())
+            o.as_ref()
+                .map(|x| err(x.max_abs))
+                .unwrap_or_else(|| "n/a".into())
         };
         time_t.row(vec![
             format!("2^{ln}"),

@@ -81,7 +81,15 @@ pub fn fig11(scale: Scale) -> Vec<Table> {
         "Figure 11 — conventional synopsis, NYCT-like, B = 50",
         "H-WTopk dominates the other approaches only when B is very small and the \
          dataset large enough to amortize its three MapReduce jobs",
-        &["N", "CON", "Send-V", "Send-Coef", "H-WTopk", "H-WTopk shuffle", "Send-Coef shuffle"],
+        &[
+            "N",
+            "CON",
+            "Send-V",
+            "Send-Coef",
+            "H-WTopk",
+            "H-WTopk shuffle",
+            "Send-Coef shuffle",
+        ],
     );
     for &ln in &logs {
         let n = 1usize << ln;

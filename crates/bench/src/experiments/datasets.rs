@@ -17,11 +17,23 @@ pub fn table3(scale: Scale) -> Vec<Table> {
         "NYCT: avg in the hundreds of seconds, max 10800 on clean slices; the larger \
          slices contain corrupt near-u32::MAX records that explode stdev and max. \
          WD: avg ~120-140, stdev ~119, max 655.",
-        &["name", "#records", "avg", "stdev", "max", "paper avg/stdev/max"],
+        &[
+            "name",
+            "#records",
+            "avg",
+            "stdev",
+            "max",
+            "paper avg/stdev/max",
+        ],
     );
     let logs: Vec<u32> = scale.pick(vec![17, 18, 19, 20], vec![19, 20, 21, 22]);
     // Paper rows for the four smallest NYCT slices and WD slices.
-    let paper_nyct = ["672/483/10800", "511/519/10800", "255/647/10800", "127/745/10800"];
+    let paper_nyct = [
+        "672/483/10800",
+        "511/519/10800",
+        "255/647/10800",
+        "127/745/10800",
+    ];
     let paper_wd = ["121/120/655", "122/120/655", "138/119/655", "127/119/655"];
     for (i, &ln) in logs.iter().enumerate() {
         let n = 1usize << ln;
@@ -29,12 +41,20 @@ pub fn table3(scale: Scale) -> Vec<Table> {
         let corrupt = if i + 1 == logs.len() { 5e-5 } else { 0.0 };
         let s = DatasetStats::of(&nyct_like(n, corrupt, 1000 + ln as u64));
         t.row(vec![
-            format!("NYCT-like 2^{ln}{}", if corrupt > 0.0 { " (corrupt)" } else { "" }),
+            format!(
+                "NYCT-like 2^{ln}{}",
+                if corrupt > 0.0 { " (corrupt)" } else { "" }
+            ),
             format!("{}", s.count),
             format!("{:.0}", s.avg),
             format!("{:.0}", s.stdev),
             format!("{:.0}", s.max),
-            if corrupt > 0.0 { "63/3566/4293410" } else { paper_nyct[i.min(3)] }.into(),
+            if corrupt > 0.0 {
+                "63/3566/4293410"
+            } else {
+                paper_nyct[i.min(3)]
+            }
+            .into(),
         ]);
     }
     for (i, &ln) in logs.iter().enumerate() {
@@ -70,7 +90,10 @@ pub fn fig6(scale: Scale) -> Vec<Table> {
     ];
     let deltas = [10.0, 20.0, 50.0, 100.0];
     let mut time_t = Table::new(
-        format!("Figure 6a — DIndirectHaar time by distribution and δ (N=2^{}, range [0,1K])", n.trailing_zeros()),
+        format!(
+            "Figure 6a — DIndirectHaar time by distribution and δ (N=2^{}, range [0,1K])",
+            n.trailing_zeros()
+        ),
         "biased distributions are faster (Zipf-0.7 ~25% faster than Uniform; Zipf-1.5 \
          faster still); smaller δ costs more; Zipf-1.5 cannot run for δ ∈ {50, 100} \
          (values higher than the space to quantize)",

@@ -4,11 +4,13 @@
 mod comparison;
 mod conventional;
 mod datasets;
+mod faults;
 mod scalability;
 
 pub use comparison::{fig8, fig9};
 pub use conventional::{fig10, fig11};
 pub use datasets::{fig6, fig7, table3};
+pub use faults::fault_sweep;
 pub use scalability::{fig5a, fig5b, fig5c, fig5d};
 
 use dwmaxerr_core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};
@@ -42,7 +44,8 @@ pub(crate) fn run_dgreedy_abs(
     let cfg = DGreedyAbsConfig {
         base_leaves,
         bucket_width,
-        reducers: 4, max_candidates: None,
+        reducers: 4,
+        max_candidates: None,
     };
     let res = dgreedy_abs(cluster, data, b, &cfg).expect("DGreedyAbs runs");
     RunOutcome {
@@ -109,4 +112,3 @@ pub(crate) fn run_greedy_abs_centralized(data: &[f64], b: usize) -> RunOutcome {
         shuffle_bytes: 0,
     }
 }
-

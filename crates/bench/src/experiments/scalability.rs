@@ -10,8 +10,7 @@ use crate::report::{secs, Table};
 use crate::setup::{cluster_with_map_slots, paper_cluster, Scale};
 
 use super::{
-    run_dgreedy_abs, run_dindirect_haar, run_greedy_abs_centralized,
-    run_indirect_haar_centralized,
+    run_dgreedy_abs, run_dindirect_haar, run_greedy_abs_centralized, run_indirect_haar_centralized,
 };
 
 const RANGE: f64 = 1_000.0;
@@ -24,10 +23,17 @@ pub fn fig5a(scale: Scale) -> Vec<Table> {
     let data = uniform(n, RANGE, 51);
     let cluster = paper_cluster();
     let mut t = Table::new(
-        format!("Figure 5a — running time vs sub-tree size (N=2^{}, B=N/8)", n.trailing_zeros()),
+        format!(
+            "Figure 5a — running time vs sub-tree size (N=2^{}, B=N/8)",
+            n.trailing_zeros()
+        ),
         "the size of the sub-trees does not significantly affect the running-time of the job \
          (flat curves; only very small partitions pay task overhead)",
-        &["sub-tree leaves", "DGreedyAbs sim time", "DIndirectHaar sim time"],
+        &[
+            "sub-tree leaves",
+            "DGreedyAbs sim time",
+            "DIndirectHaar sim time",
+        ],
     );
     let log_s: Vec<u32> = scale.pick(vec![10, 11, 12, 13, 14], vec![12, 13, 14, 15, 16]);
     for ls in log_s {
@@ -50,7 +56,10 @@ pub fn fig5b(scale: Scale) -> Vec<Table> {
     let s = n / 16;
     let cluster = paper_cluster();
     let mut t = Table::new(
-        format!("Figure 5b — running time vs budget (N=2^{})", n.trailing_zeros()),
+        format!(
+            "Figure 5b — running time vs budget (N=2^{})",
+            n.trailing_zeros()
+        ),
         "DGreedyAbs is not considerably affected by the synopsis size; DIndirectHaar's \
          running-time may even DECREASE as B grows (tighter errors converge faster)",
         &["B", "DGreedyAbs sim time", "DIndirectHaar sim time"],
@@ -133,7 +142,9 @@ pub fn fig5d(scale: Scale) -> Vec<Table> {
         let central = run_indirect_haar_centralized(&data, b, DELTA);
         let mut cells = vec![
             format!("2^{ln}"),
-            central.map(|o| secs(o.secs)).unwrap_or_else(|| "n/a".into()),
+            central
+                .map(|o| secs(o.secs))
+                .unwrap_or_else(|| "n/a".into()),
         ];
         for &slots in &slot_counts {
             let cluster = cluster_with_map_slots(slots);

@@ -19,11 +19,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        paper_claim: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, paper_claim: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             title: title.into(),
             paper_claim: paper_claim.into(),
@@ -142,7 +138,7 @@ mod tests {
         assert_eq!(secs(0.0123), "12.3ms");
         assert_eq!(secs(2.345), "2.35s");
         assert_eq!(secs(250.0), "250s");
-        assert_eq!(err(3.14159), "3.14");
+        assert_eq!(err(3.456), "3.46");
         assert_eq!(err(512.3), "512");
         assert_eq!(bytes(100), "100B");
         assert_eq!(bytes(100 * 1024), "100.0KiB");

@@ -8,7 +8,6 @@
 //! `O(N)` but — unlike Send-Coef — each coefficient crosses the wire
 //! exactly once, fully computed.
 
-
 use dwmaxerr_runtime::metrics::DriverMetrics;
 use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
 use dwmaxerr_wavelet::Synopsis;

@@ -116,23 +116,25 @@ pub fn hwtopk(
     // ---- Round 1: top/bottom k per mapper + thresholds ----
     let k = b;
     let r1 = JobBuilder::new("hwtopk-round1")
-        .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, (u32, f64)>| {
-            let mut partials = local_partials(n, split);
-            partials.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-            let len = partials.len();
-            let hi = k.min(len);
-            let lo = k.min(len.saturating_sub(hi));
-            for &(node, v) in &partials[..hi] {
-                ctx.emit(node, (split.id, v));
-            }
-            for &(node, v) in &partials[len - lo..] {
-                ctx.emit(node, (split.id, v));
-            }
-            let kth_high = if len >= k { partials[k - 1].1 } else { 0.0 };
-            let kth_low = if len >= k { partials[len - k].1 } else { 0.0 };
-            ctx.emit(KTH_HIGH, (split.id, kth_high));
-            ctx.emit(KTH_LOW, (split.id, kth_low));
-        })
+        .map(
+            move |split: &SliceSplit, ctx: &mut MapContext<u64, (u32, f64)>| {
+                let mut partials = local_partials(n, split);
+                partials.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                let len = partials.len();
+                let hi = k.min(len);
+                let lo = k.min(len.saturating_sub(hi));
+                for &(node, v) in &partials[..hi] {
+                    ctx.emit(node, (split.id, v));
+                }
+                for &(node, v) in &partials[len - lo..] {
+                    ctx.emit(node, (split.id, v));
+                }
+                let kth_high = if len >= k { partials[k - 1].1 } else { 0.0 };
+                let kth_low = if len >= k { partials[len - k].1 } else { 0.0 };
+                ctx.emit(KTH_HIGH, (split.id, kth_high));
+                ctx.emit(KTH_LOW, (split.id, kth_low));
+            },
+        )
         .input_bytes(SliceSplit::bytes)
         .reduce(|key, vals, ctx: &mut ReduceContext<u64, (u32, f64)>| {
             for v in vals {
@@ -175,25 +177,27 @@ pub fn hwtopk(
     // ---- Round 2: everything above T1/m, refine, prune ----
     let threshold = t1 / m as f64;
     let r2 = JobBuilder::new("hwtopk-round2")
-        .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, (u32, f64)>| {
-            let mut partials = local_partials(n, split);
-            partials.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-            let len = partials.len();
-            let hi = k.min(len);
-            let lo = k.min(len.saturating_sub(hi));
-            for (idx, &(node, v)) in partials.iter().enumerate() {
-                // Union of round-1 emissions (top/bottom k) and the
-                // magnitude filter, so the reducer holds every value any
-                // round has shipped.
-                let in_round1 = idx < hi || idx >= len - lo;
-                // Strict `>` per the paper's Round 2; the round-1 union
-                // keeps every value the reducer has ever seen available
-                // for bound refinement.
-                if in_round1 || v.abs() > threshold {
-                    ctx.emit(node, (split.id, v));
+        .map(
+            move |split: &SliceSplit, ctx: &mut MapContext<u64, (u32, f64)>| {
+                let mut partials = local_partials(n, split);
+                partials.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                let len = partials.len();
+                let hi = k.min(len);
+                let lo = k.min(len.saturating_sub(hi));
+                for (idx, &(node, v)) in partials.iter().enumerate() {
+                    // Union of round-1 emissions (top/bottom k) and the
+                    // magnitude filter, so the reducer holds every value any
+                    // round has shipped.
+                    let in_round1 = idx < hi || idx >= len - lo;
+                    // Strict `>` per the paper's Round 2; the round-1 union
+                    // keeps every value the reducer has ever seen available
+                    // for bound refinement.
+                    if in_round1 || v.abs() > threshold {
+                        ctx.emit(node, (split.id, v));
+                    }
                 }
-            }
-        })
+            },
+        )
         .input_bytes(SliceSplit::bytes)
         .reduce(|key, vals, ctx: &mut ReduceContext<u64, (u32, f64)>| {
             for v in vals {
@@ -214,7 +218,10 @@ pub fn hwtopk(
             let exact: f64 = senders.iter().map(|&(_, v)| v).sum();
             let absent = (m - sent.len()) as f64;
             // Non-senders now bounded by ±T1/m.
-            (node, (exact + absent * threshold, exact - absent * threshold))
+            (
+                node,
+                (exact + absent * threshold, exact - absent * threshold),
+            )
         })
         .collect();
     let t2 = kth_largest(bounds.values().map(|&(p, mi)| tau(p, mi)).collect(), k);

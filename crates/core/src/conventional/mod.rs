@@ -112,7 +112,10 @@ mod tests {
         let con_bytes = m_con.total_shuffle_bytes();
         let sv_bytes = m_sv.total_shuffle_bytes();
         let sc_bytes = m_sc.total_shuffle_bytes();
-        assert!(con_bytes < sc_bytes, "CON {con_bytes} !< Send-Coef {sc_bytes}");
+        assert!(
+            con_bytes < sc_bytes,
+            "CON {con_bytes} !< Send-Coef {sc_bytes}"
+        );
         // Send-V also ships O(N) records; its penalty is the fully
         // sequential reduce phase (asserted by the fig10 bench, where the
         // sizes make timing meaningful), not shuffle volume.

@@ -54,7 +54,11 @@ fn send_coef_inner(
     dwmaxerr_wavelet::error::ensure_pow2(n)?;
     let splits = block_splits(data, parts);
 
-    let name = if with_combiner { "send-coef+combiner" } else { "send-coef" };
+    let name = if with_combiner {
+        "send-coef+combiner"
+    } else {
+        "send-coef"
+    };
     let stage = JobBuilder::new(name)
         .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, f64>| {
             // Algorithm 7: fully-contained coefficients are emitted once,

@@ -53,11 +53,8 @@ pub fn send_v(
         rebuilt[k as usize] = v;
     }
     let coeffs = dwmaxerr_wavelet::transform::forward(&rebuilt)?;
-    let entries = super::top_b_by_normalized(
-        coeffs.iter().enumerate().map(|(i, &c)| (i as u64, c)),
-        n,
-        b,
-    );
+    let entries =
+        super::top_b_by_normalized(coeffs.iter().enumerate().map(|(i, &c)| (i as u64, c)), n, b);
     let central_secs = start.elapsed().as_secs_f64();
     let mut jm = out.metrics;
     if let Some(t) = jm.reduce_task_secs.first_mut() {

@@ -196,59 +196,59 @@ pub fn dgreedy_abs(
     // ---- Job 1: ErrHistGreedyAbs (level 1) + combineResults (level 2) ----
     let bc1 = Arc::clone(&bc);
     let hist_out = JobBuilder::new("dgreedyabs-errhist")
-        .map(move |split: &SliceSplit, ctx: &mut MapContext<u32, (i64, u32)>| {
-            let bc = &bc1;
-            let (details, _avg) = bc.partition.base_details_from_data(split.slice());
-            let j = split.id as usize;
-            // Group candidate sets by their (few) distinct incoming errors.
-            let mut by_err: HashMap<u64, (f64, Vec<u32>)> = HashMap::new();
-            for k in 0..=bc.max_k {
-                let e = bc
-                    .partition
-                    .incoming_error(&bc.root_coeffs, bc.removed_under(k), j);
-                by_err
-                    .entry(e.to_bits())
-                    .or_insert_with(|| (e, Vec::new()))
-                    .1
-                    .push(k as u32);
-            }
-            ctx.add_counter("distinct_incoming_errors", by_err.len() as u64);
-            for (_, (e, ks)) in by_err {
-                let mut g = GreedyAbs::new_subtree(&details, e).expect("valid subtree");
-                let trace = g.run_to_empty();
-                let batches = histogram_batches(&trace, bc);
-                ctx.add_counter("greedy_runs", 1);
-                for &k in &ks {
-                    for &(bucket, count) in &batches {
-                        ctx.emit(k, (bucket, count));
+        .map(
+            move |split: &SliceSplit, ctx: &mut MapContext<u32, (i64, u32)>| {
+                let bc = &bc1;
+                let (details, _avg) = bc.partition.base_details_from_data(split.slice());
+                let j = split.id as usize;
+                // Group candidate sets by their (few) distinct incoming errors.
+                let mut by_err: HashMap<u64, (f64, Vec<u32>)> = HashMap::new();
+                for k in 0..=bc.max_k {
+                    let e = bc
+                        .partition
+                        .incoming_error(&bc.root_coeffs, bc.removed_under(k), j);
+                    by_err
+                        .entry(e.to_bits())
+                        .or_insert_with(|| (e, Vec::new()))
+                        .1
+                        .push(k as u32);
+                }
+                ctx.add_counter("distinct_incoming_errors", by_err.len() as u64);
+                for (_, (e, ks)) in by_err {
+                    let mut g = GreedyAbs::new_subtree(&details, e).expect("valid subtree");
+                    let trace = g.run_to_empty();
+                    let batches = histogram_batches(&trace, bc);
+                    ctx.add_counter("greedy_runs", 1);
+                    for &k in &ks {
+                        for &(bucket, count) in &batches {
+                            ctx.emit(k, (bucket, count));
+                        }
                     }
                 }
-            }
-        })
+            },
+        )
         .input_bytes(SliceSplit::bytes)
         .task_memory(|s: &SliceSplit| dwmaxerr_algos::memory::greedy_abs_bytes(s.len()))
         .reducers(cfg.reducers)
         .partition_by(|k: &u32, parts| *k as usize % parts)
-        .reduce(
-            move |k: &u32, vals, ctx: &mut ReduceContext<u32, f64>| {
-                // combineResults (Algorithm 5): merge histograms in
-                // descending error order; the achieved error is the bucket
-                // of the first node excluded from the B - |C_root| keep set.
-                let mut batches: Vec<(i64, u32)> = vals.collect();
-                batches.sort_unstable_by_key(|&(bucket, _)| std::cmp::Reverse(bucket));
-                let keep = (b - *k as usize) as u64;
-                let mut cum = 0u64;
-                let mut cut = 0.0f64;
-                for (bucket, count) in batches {
-                    if cum + u64::from(count) > keep {
-                        cut = bucket as f64;
-                        break;
-                    }
-                    cum += u64::from(count);
+        .reduce(move |k: &u32, vals, ctx: &mut ReduceContext<u32, f64>| {
+            // combineResults (Algorithm 5): merge histograms in
+            // descending error order; the achieved error is the bucket
+            // of the first node excluded from the B - |C_root| keep set.
+            let mut batches: Vec<(i64, u32)> = vals.collect();
+            batches.sort_unstable_by_key(|&(bucket, _)| std::cmp::Reverse(bucket));
+            let keep = (b - *k as usize) as u64;
+            let mut cum = 0u64;
+            let mut cut = 0.0f64;
+            for (bucket, count) in batches {
+                if cum + u64::from(count) > keep {
+                    cut = bucket as f64;
+                    break;
                 }
-                ctx.emit(*k, cut);
-            },
-        )
+                cum += u64::from(count);
+            }
+            ctx.emit(*k, cut);
+        })
         .run(cluster, splits.clone())?;
     metrics.push(hist_out.metrics);
 
@@ -298,16 +298,14 @@ pub fn dgreedy_abs(
             },
         )
         .input_bytes(SliceSplit::bytes)
-        .reduce(
-            move |_k: &u8, vals, ctx: &mut ReduceContext<u32, f64>| {
-                let mut nodes: Vec<(i64, u32, u32, f64)> = vals.collect();
-                // Most important first: later batches, later removals.
-                nodes.sort_unstable_by_key(|&(bucket, idx, _, _)| std::cmp::Reverse((bucket, idx)));
-                for (_, _, node, coeff) in nodes.into_iter().take(keep_base) {
-                    ctx.emit(node, coeff);
-                }
-            },
-        )
+        .reduce(move |_k: &u8, vals, ctx: &mut ReduceContext<u32, f64>| {
+            let mut nodes: Vec<(i64, u32, u32, f64)> = vals.collect();
+            // Most important first: later batches, later removals.
+            nodes.sort_unstable_by_key(|&(bucket, idx, _, _)| std::cmp::Reverse((bucket, idx)));
+            for (_, _, node, coeff) in nodes.into_iter().take(keep_base) {
+                ctx.emit(node, coeff);
+            }
+        })
         .run(cluster, splits)?;
     metrics.push(syn_out.metrics);
 
@@ -347,7 +345,8 @@ mod tests {
         let cfg = DGreedyAbsConfig {
             base_leaves: s,
             bucket_width: 1e-9,
-            reducers: 2, max_candidates: None,
+            reducers: 2,
+            max_candidates: None,
         };
         dgreedy_abs(&test_cluster(), data, b, &cfg).unwrap()
     }

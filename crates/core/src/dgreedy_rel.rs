@@ -79,10 +79,7 @@ impl Broadcast {
     }
 }
 
-fn histogram_batches(
-    trace: &[dwmaxerr_algos::Removal],
-    bc: &Broadcast,
-) -> Vec<(i64, u32)> {
+fn histogram_batches(trace: &[dwmaxerr_algos::Removal], bc: &Broadcast) -> Vec<(i64, u32)> {
     let mut out = Vec::new();
     let mut max_bucket = i64::MIN;
     let mut count = 0u32;
@@ -149,7 +146,9 @@ pub fn dgreedy_rel(
         || cfg.sanity.is_nan()
         || cfg.sanity <= 0.0
     {
-        return Err(CoreError::Protocol("bucket_width and sanity must be positive"));
+        return Err(CoreError::Protocol(
+            "bucket_width and sanity must be positive",
+        ));
     }
     let mut metrics = DriverMetrics::new();
     let splits = aligned_splits(data, partition.base_leaves());
@@ -193,68 +192,72 @@ pub fn dgreedy_rel(
     // ---- Job 1: ErrHistGreedyRel + combineResults ----
     let bc1 = Arc::clone(&bc);
     let hist_out = JobBuilder::new("dgreedyrel-errhist")
-        .map(move |split: &SliceSplit, ctx: &mut MapContext<u32, (i64, u32)>| {
-            let bc = &bc1;
-            let (details, _avg) = bc.partition.base_details_from_data(split.slice());
-            let j = split.id as usize;
-            let mut by_err: HashMap<u64, (f64, Vec<u32>)> = HashMap::new();
-            for k in 0..=bc.max_k {
-                let e = bc
-                    .partition
-                    .incoming_error(&bc.root_coeffs, bc.removed_under(k), j);
-                by_err
-                    .entry(e.to_bits())
-                    .or_insert_with(|| (e, Vec::new()))
-                    .1
-                    .push(k as u32);
-            }
-            for (_, (e, ks)) in by_err {
-                let mut g = GreedyRel::new_subtree(&details, split.slice(), e, bc.sanity)
-                    .expect("valid subtree");
-                // The *floor*: the relative error this sub-tree already
-                // carries from deleted root nodes, before any local
-                // removal. Unlike the absolute case (where the driver's
-                // root-run gives it exactly), relative floors depend on
-                // per-leaf denominators only the worker knows — emitted as
-                // a count-0 histogram record.
-                let floor = g.current_error();
-                let trace = g.run_to_empty();
-                let batches = histogram_batches(&trace, bc);
-                for &k in &ks {
-                    ctx.emit(k, (bc.bucket(floor), 0));
-                    for &(bucket, count) in &batches {
-                        ctx.emit(k, (bucket, count));
+        .map(
+            move |split: &SliceSplit, ctx: &mut MapContext<u32, (i64, u32)>| {
+                let bc = &bc1;
+                let (details, _avg) = bc.partition.base_details_from_data(split.slice());
+                let j = split.id as usize;
+                let mut by_err: HashMap<u64, (f64, Vec<u32>)> = HashMap::new();
+                for k in 0..=bc.max_k {
+                    let e = bc
+                        .partition
+                        .incoming_error(&bc.root_coeffs, bc.removed_under(k), j);
+                    by_err
+                        .entry(e.to_bits())
+                        .or_insert_with(|| (e, Vec::new()))
+                        .1
+                        .push(k as u32);
+                }
+                for (_, (e, ks)) in by_err {
+                    let mut g = GreedyRel::new_subtree(&details, split.slice(), e, bc.sanity)
+                        .expect("valid subtree");
+                    // The *floor*: the relative error this sub-tree already
+                    // carries from deleted root nodes, before any local
+                    // removal. Unlike the absolute case (where the driver's
+                    // root-run gives it exactly), relative floors depend on
+                    // per-leaf denominators only the worker knows — emitted as
+                    // a count-0 histogram record.
+                    let floor = g.current_error();
+                    let trace = g.run_to_empty();
+                    let batches = histogram_batches(&trace, bc);
+                    for &k in &ks {
+                        ctx.emit(k, (bc.bucket(floor), 0));
+                        for &(bucket, count) in &batches {
+                            ctx.emit(k, (bucket, count));
+                        }
                     }
                 }
-            }
-        })
+            },
+        )
         .input_bytes(SliceSplit::bytes)
         .task_memory(|s: &SliceSplit| dwmaxerr_algos::memory::greedy_rel_bytes(s.len(), 8))
         .reducers(cfg.reducers)
         .partition_by(|k: &u32, parts| *k as usize % parts)
-        .reduce(move |k: &u32, vals, ctx: &mut ReduceContext<u32, (f64, f64)>| {
-            // combineResults with floors: count-0 records bound the error
-            // from below (a sub-tree keeping all its nodes still carries
-            // its incoming-error floor); counted records drive the cut.
-            let mut batches: Vec<(i64, u32)> = vals.collect();
-            batches.sort_unstable_by_key(|&(bucket, _)| std::cmp::Reverse(bucket));
-            let keep = (b - *k as usize) as u64;
-            let mut cum = 0u64;
-            let mut cut = f64::MIN;
-            let mut floor = f64::MIN;
-            for (bucket, count) in batches {
-                if count == 0 {
-                    floor = floor.max(bucket as f64);
-                    continue;
+        .reduce(
+            move |k: &u32, vals, ctx: &mut ReduceContext<u32, (f64, f64)>| {
+                // combineResults with floors: count-0 records bound the error
+                // from below (a sub-tree keeping all its nodes still carries
+                // its incoming-error floor); counted records drive the cut.
+                let mut batches: Vec<(i64, u32)> = vals.collect();
+                batches.sort_unstable_by_key(|&(bucket, _)| std::cmp::Reverse(bucket));
+                let keep = (b - *k as usize) as u64;
+                let mut cum = 0u64;
+                let mut cut = f64::MIN;
+                let mut floor = f64::MIN;
+                for (bucket, count) in batches {
+                    if count == 0 {
+                        floor = floor.max(bucket as f64);
+                        continue;
+                    }
+                    if cut == f64::MIN && cum + u64::from(count) > keep {
+                        cut = bucket as f64;
+                    }
+                    cum += u64::from(count);
                 }
-                if cut == f64::MIN && cum + u64::from(count) > keep {
-                    cut = bucket as f64;
-                }
-                cum += u64::from(count);
-            }
-            let estimate = cut.max(floor).max(0.0);
-            ctx.emit(*k, (cut, estimate));
-        })
+                let estimate = cut.max(floor).max(0.0);
+                ctx.emit(*k, (cut, estimate));
+            },
+        )
         .run(cluster, splits.clone())?;
     metrics.push(hist_out.metrics);
 
@@ -362,7 +365,13 @@ mod tests {
     #[test]
     fn error_report_is_exact_and_budget_respected() {
         let data: Vec<f64> = (0..64)
-            .map(|i| if i % 9 == 0 { 800.0 } else { 1.0 + (i % 5) as f64 })
+            .map(|i| {
+                if i % 9 == 0 {
+                    800.0
+                } else {
+                    1.0 + (i % 5) as f64
+                }
+            })
             .collect();
         for (b, s) in [(8usize, 8usize), (16, 16), (6, 4)] {
             let d = run(&data, b, s);
@@ -381,12 +390,24 @@ mod tests {
         // On realistic series — the paper's experimental regime — it
         // matches or beats the centralized heuristic.
         let spiky: Vec<f64> = (0..32)
-            .map(|i| if i == 13 { 200.0 } else { 10.0 + (i % 4) as f64 })
+            .map(|i| {
+                if i == 13 {
+                    200.0
+                } else {
+                    10.0 + (i % 4) as f64
+                }
+            })
             .collect();
         let walk: Vec<f64> = (0..64)
             .map(|i| 20.0 + (i as f64 * 0.7).sin() * 8.0)
             .collect();
-        for (data, b) in [(&spiky, 8usize), (&spiky, 16), (&walk, 4), (&walk, 8), (&walk, 16)] {
+        for (data, b) in [
+            (&spiky, 8usize),
+            (&spiky, 16),
+            (&walk, 4),
+            (&walk, 8),
+            (&walk, 16),
+        ] {
             let w = forward(data).unwrap();
             let d = run(data, b, 8);
             let (_, central) = greedy_rel_synopsis(&w, data, b, 1.0).unwrap();

@@ -66,7 +66,10 @@ pub struct DhpConfig {
 
 impl Default for DhpConfig {
     fn default() -> Self {
-        DhpConfig { base_leaves: 1 << 12, fan_in: 1 << 4 }
+        DhpConfig {
+            base_leaves: 1 << 12,
+            fan_in: 1 << 4,
+        }
     }
 }
 
@@ -92,7 +95,12 @@ struct RowGroup {
 fn mini_tree_rows(input: &[HpRow]) -> Vec<HpRow> {
     let f = input.len();
     debug_assert!(f.is_power_of_two() && f >= 2);
-    let empty = HpRow { lo: 0, costs: Vec::new(), shift_l: Vec::new(), shift_r: Vec::new() };
+    let empty = HpRow {
+        lo: 0,
+        costs: Vec::new(),
+        shift_l: Vec::new(),
+        shift_r: Vec::new(),
+    };
     let mut rows = vec![empty; f];
     for i in (1..f).rev() {
         rows[i] = if 2 * i < f {
@@ -135,7 +143,9 @@ pub fn dhaar_plus(
     let s = cfg.base_leaves.clamp(2, n);
     let fan_in = cfg.fan_in.max(2);
     if !s.is_power_of_two() || !fan_in.is_power_of_two() {
-        return Err(CoreError::Protocol("base_leaves and fan_in must be powers of two"));
+        return Err(CoreError::Protocol(
+            "base_leaves and fan_in must be powers of two",
+        ));
     }
     if n < s.max(4) {
         let sol = dwmaxerr_algos::haar_plus::haar_plus_min_space(data, params)?;
@@ -152,26 +162,37 @@ pub fn dhaar_plus(
     let p = *params;
 
     // ---- Bottom-up: base layer ----
-    let base_out = JobBuilder::new("dhp-layer0")
-        .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, (u8, WireHpRow)>| {
-            match subtree_rows(split.slice(), &p) {
-                Ok(rows) => ctx.emit(
-                    num_base as u64 + split.id as u64,
-                    (0, WireHpRow(rows[1].clone())),
-                ),
-                Err(_) => ctx.emit(
-                    u64::MAX,
-                    (1, WireHpRow(HpRow { lo: 0, costs: vec![], shift_l: vec![], shift_r: vec![] })),
-                ),
-            }
-        })
-        .input_bytes(SliceSplit::bytes)
-        .reduce(|k, vals, ctx: &mut ReduceContext<u64, (u8, WireHpRow)>| {
-            for v in vals {
-                ctx.emit(*k, v);
-            }
-        })
-        .run(cluster, splits.clone())?;
+    let base_out =
+        JobBuilder::new("dhp-layer0")
+            .map(
+                move |split: &SliceSplit, ctx: &mut MapContext<u64, (u8, WireHpRow)>| {
+                    match subtree_rows(split.slice(), &p) {
+                        Ok(rows) => ctx.emit(
+                            num_base as u64 + split.id as u64,
+                            (0, WireHpRow(rows[1].clone())),
+                        ),
+                        Err(_) => ctx.emit(
+                            u64::MAX,
+                            (
+                                1,
+                                WireHpRow(HpRow {
+                                    lo: 0,
+                                    costs: vec![],
+                                    shift_l: vec![],
+                                    shift_r: vec![],
+                                }),
+                            ),
+                        ),
+                    }
+                },
+            )
+            .input_bytes(SliceSplit::bytes)
+            .reduce(|k, vals, ctx: &mut ReduceContext<u64, (u8, WireHpRow)>| {
+                for v in vals {
+                    ctx.emit(*k, v);
+                }
+            })
+            .run(cluster, splits.clone())?;
     metrics.push(base_out.metrics);
 
     let mut layer: Vec<(u64, HpRow)> = Vec::new();
@@ -195,10 +216,15 @@ pub fn dhaar_plus(
             })
             .collect();
         let out = JobBuilder::new("dhp-layer-up")
-            .map(move |group: &RowGroup, ctx: &mut MapContext<u64, WireHpRow>| {
-                let rows = mini_tree_rows(&group.rows);
-                ctx.emit(group.first / group.rows.len() as u64, WireHpRow(rows[1].clone()));
-            })
+            .map(
+                move |group: &RowGroup, ctx: &mut MapContext<u64, WireHpRow>| {
+                    let rows = mini_tree_rows(&group.rows);
+                    ctx.emit(
+                        group.first / group.rows.len() as u64,
+                        WireHpRow(rows[1].clone()),
+                    );
+                },
+            )
             .input_bytes(|g: &RowGroup| {
                 g.rows.iter().map(|r| (8 + r.costs.len() * 12) as u64).sum()
             })
@@ -210,7 +236,11 @@ pub fn dhaar_plus(
             .run(cluster, groups.clone())?;
         metrics.push(out.metrics);
         group_stack.push(groups);
-        layer = out.pairs.into_iter().map(|(k, WireHpRow(r))| (k, r)).collect();
+        layer = out
+            .pairs
+            .into_iter()
+            .map(|(k, WireHpRow(r))| (k, r))
+            .collect();
         layer.sort_unstable_by_key(|&(k, _)| k);
     }
 
@@ -258,8 +288,8 @@ pub fn dhaar_plus(
                         let a = i64::from(rows[i].shift_l[off]);
                         let b = i64::from(rows[i].shift_r[off]);
                         let depth = usize::BITS - 1 - i.leading_zeros();
-                        let g_id = ((group.first / f as u64) << depth)
-                            + (i as u64 - (1u64 << depth));
+                        let g_id =
+                            ((group.first / f as u64) << depth) + (i as u64 - (1u64 << depth));
                         if a != 0 || b != 0 {
                             ctx.emit(g_id, (a, b, 1));
                         }
@@ -306,26 +336,28 @@ pub fn dhaar_plus(
     let bi = Arc::new(base_incoming);
     let bi2 = Arc::clone(&bi);
     let out = JobBuilder::new("dhp-extract-base")
-        .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, (i64, i64)>| {
-            let rows = subtree_rows(split.slice(), &p).expect("phase A ran");
-            let m = split.len();
-            let mut stack = vec![(1usize, bi2[split.id as usize])];
-            while let Some((i, v)) = stack.pop() {
-                let off = (v - rows[i].lo) as usize;
-                let a = i64::from(rows[i].shift_l[off]);
-                let b = i64::from(rows[i].shift_r[off]);
-                if a != 0 || b != 0 {
-                    let depth = usize::BITS - 1 - i.leading_zeros();
-                    let root = num_base as u64 + split.id as u64;
-                    let g = (root << depth) + (i as u64 - (1u64 << depth));
-                    ctx.emit(g, (a, b));
+        .map(
+            move |split: &SliceSplit, ctx: &mut MapContext<u64, (i64, i64)>| {
+                let rows = subtree_rows(split.slice(), &p).expect("phase A ran");
+                let m = split.len();
+                let mut stack = vec![(1usize, bi2[split.id as usize])];
+                while let Some((i, v)) = stack.pop() {
+                    let off = (v - rows[i].lo) as usize;
+                    let a = i64::from(rows[i].shift_l[off]);
+                    let b = i64::from(rows[i].shift_r[off]);
+                    if a != 0 || b != 0 {
+                        let depth = usize::BITS - 1 - i.leading_zeros();
+                        let root = num_base as u64 + split.id as u64;
+                        let g = (root << depth) + (i as u64 - (1u64 << depth));
+                        ctx.emit(g, (a, b));
+                    }
+                    if 2 * i < m {
+                        stack.push((2 * i, v + a));
+                        stack.push((2 * i + 1, v + b));
+                    }
                 }
-                if 2 * i < m {
-                    stack.push((2 * i, v + a));
-                    stack.push((2 * i + 1, v + b));
-                }
-            }
-        })
+            },
+        )
         .input_bytes(SliceSplit::bytes)
         .reduce(|k, vals, ctx: &mut ReduceContext<u64, (i64, i64)>| {
             for v in vals {
@@ -343,7 +375,12 @@ pub fn dhaar_plus(
     let synopsis = HaarPlusSynopsis::from_entries_unchecked(n, entries);
     let approx = synopsis.reconstruct_all();
     let actual_error = dwmaxerr_wavelet::metrics::max_abs(data, &approx);
-    Ok(DhpResult { size: synopsis.size(), synopsis, actual_error, metrics })
+    Ok(DhpResult {
+        size: synopsis.size(),
+        synopsis,
+        actual_error,
+        metrics,
+    })
 }
 
 #[cfg(test)]
@@ -367,7 +404,10 @@ mod tests {
         for eps in [2.0, 6.0, 20.0] {
             let params = MhsParams::new(eps, 0.5).unwrap();
             let central = haar_plus_min_space(&data, &params).unwrap();
-            let cfg = DhpConfig { base_leaves: 8, fan_in: 2 };
+            let cfg = DhpConfig {
+                base_leaves: 8,
+                fan_in: 2,
+            };
             let dist = dhaar_plus(&test_cluster(), &data, &params, &cfg).unwrap();
             assert_eq!(dist.size, central.size, "eps={eps}");
             assert!(dist.actual_error <= eps + 1e-9);
@@ -381,9 +421,17 @@ mod tests {
         let sizes: Vec<usize> = [(4usize, 2usize), (8, 4), (32, 2)]
             .iter()
             .map(|&(s, f)| {
-                dhaar_plus(&test_cluster(), &data, &params, &DhpConfig { base_leaves: s, fan_in: f })
-                    .unwrap()
-                    .size
+                dhaar_plus(
+                    &test_cluster(),
+                    &data,
+                    &params,
+                    &DhpConfig {
+                        base_leaves: s,
+                        fan_in: f,
+                    },
+                )
+                .unwrap()
+                .size
             })
             .collect();
         for w in sizes.windows(2) {
@@ -397,13 +445,19 @@ mod tests {
             .map(|i| if i % 8 < 4 { 100.0 } else { (i % 5) as f64 })
             .collect();
         let params = MhsParams::new(3.0, 0.5).unwrap();
-        let cfg = DhpConfig { base_leaves: 8, fan_in: 2 };
+        let cfg = DhpConfig {
+            base_leaves: 8,
+            fan_in: 2,
+        };
         let hp = dhaar_plus(&test_cluster(), &data, &params, &cfg).unwrap();
         let mhs = crate::dmin_haar_space::dmin_haar_space(
             &test_cluster(),
             &data,
             &params,
-            &crate::dmin_haar_space::DmhsConfig { base_leaves: 8, fan_in: 2 },
+            &crate::dmin_haar_space::DmhsConfig {
+                base_leaves: 8,
+                fan_in: 2,
+            },
         )
         .unwrap();
         assert!(hp.size <= mhs.size, "Haar+ {} > Haar {}", hp.size, mhs.size);

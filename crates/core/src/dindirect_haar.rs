@@ -18,7 +18,7 @@ use dwmaxerr_algos::min_haar_space::{MhsError, MhsParams};
 use dwmaxerr_runtime::metrics::DriverMetrics;
 use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
 use dwmaxerr_wavelet::Synopsis;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::dmin_haar_space::{distributed_max_abs, dmin_haar_space, DmhsConfig};
 use crate::error::CoreError;
@@ -70,18 +70,20 @@ fn lower_bound_job(
     let keep = b + 1;
     let part = *partition;
     let out = JobBuilder::new("dih-lower-bound")
-        .map(move |split: &SliceSplit, ctx: &mut MapContext<u8, (f64, f64)>| {
-            let (details, avg) = part.base_details_from_data(split.slice());
-            let mut mags: Vec<f64> = details.iter().map(|c| c.abs()).collect();
-            mags.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite"));
-            mags.truncate(keep);
-            for m in mags {
-                ctx.emit(0, (m, 0.0));
-            }
-            // Ship the slice average so the driver can form the root
-            // sub-tree coefficients (tag via the second slot).
-            ctx.emit(1, (avg, split.id as f64));
-        })
+        .map(
+            move |split: &SliceSplit, ctx: &mut MapContext<u8, (f64, f64)>| {
+                let (details, avg) = part.base_details_from_data(split.slice());
+                let mut mags: Vec<f64> = details.iter().map(|c| c.abs()).collect();
+                mags.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite"));
+                mags.truncate(keep);
+                for m in mags {
+                    ctx.emit(0, (m, 0.0));
+                }
+                // Ship the slice average so the driver can form the root
+                // sub-tree coefficients (tag via the second slot).
+                ctx.emit(1, (avg, split.id as f64));
+            },
+        )
         .input_bytes(SliceSplit::bytes)
         .reduce(|k, vals, ctx: &mut ReduceContext<u8, (f64, f64)>| {
             for v in vals {
@@ -103,7 +105,11 @@ fn lower_bound_job(
     let root = partition.root_coeffs_from_averages(&averages);
     mags.extend(root.iter().map(|c| c.abs()));
     mags.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite"));
-    Ok(if keep <= mags.len() { mags[keep - 1] } else { 0.0 })
+    Ok(if keep <= mags.len() {
+        mags[keep - 1]
+    } else {
+        0.0
+    })
 }
 
 /// Runs DIndirectHaar over `data` with budget `b`.
@@ -122,8 +128,7 @@ pub fn dindirect_haar(
 
     // ---- Bounds (Algorithm 2, lines 1-2) ----
     let e_l = lower_bound_job(cluster, &splits, &partition, b, &mut metrics)?;
-    let (conv_syn, conv_metrics) =
-        crate::conventional::con(cluster, data, b, s)?;
+    let (conv_syn, conv_metrics) = crate::conventional::con(cluster, data, b, s)?;
     for m in conv_metrics.jobs {
         metrics.push(m);
     }
@@ -139,7 +144,7 @@ pub fn dindirect_haar(
         };
         match dmin_haar_space(cluster, data, &params, &cfg.probe) {
             Ok(res) => {
-                let mut m = metrics_cell.lock();
+                let mut m = metrics_cell.lock().expect("metrics lock");
                 for jm in res.metrics.jobs {
                     m.push(jm);
                 }
@@ -154,7 +159,7 @@ pub fn dindirect_haar(
         synopsis: report.synopsis,
         error: report.error,
         probes: report.probes,
-        metrics: metrics_cell.into_inner(),
+        metrics: metrics_cell.into_inner().expect("metrics lock"),
     })
 }
 
@@ -179,7 +184,10 @@ mod tests {
             .collect();
         let cfg = DIndirectHaarConfig {
             delta: 0.5,
-            probe: DmhsConfig { base_leaves: 8, fan_in: 2 },
+            probe: DmhsConfig {
+                base_leaves: 8,
+                fan_in: 2,
+            },
         };
         for b in [4usize, 8, 16] {
             let dist = dindirect_haar(&test_cluster(), &data, b, &cfg).unwrap();
@@ -203,12 +211,18 @@ mod tests {
         let data: Vec<f64> = (0..32).map(|i| (i as f64 * 7.3) % 29.0).collect();
         let cfg = DIndirectHaarConfig {
             delta: 1.0,
-            probe: DmhsConfig { base_leaves: 8, fan_in: 2 },
+            probe: DmhsConfig {
+                base_leaves: 8,
+                fan_in: 2,
+            },
         };
         let res = dindirect_haar(&test_cluster(), &data, 6, &cfg).unwrap();
         assert!(res.synopsis.size() <= 6);
         assert!(res.probes >= 1);
-        assert!(res.metrics.job_count() > res.probes, "bounds jobs counted too");
+        assert!(
+            res.metrics.job_count() > res.probes,
+            "bounds jobs counted too"
+        );
     }
 
     #[test]
@@ -222,9 +236,14 @@ mod tests {
         let run = |delta: f64| {
             let cfg = DIndirectHaarConfig {
                 delta,
-                probe: DmhsConfig { base_leaves: 8, fan_in: 2 },
+                probe: DmhsConfig {
+                    base_leaves: 8,
+                    fan_in: 2,
+                },
             };
-            dindirect_haar(&test_cluster(), &data, b, &cfg).unwrap().error
+            dindirect_haar(&test_cluster(), &data, b, &cfg)
+                .unwrap()
+                .error
         };
         let fine = run(0.25);
         let coarse = run(4.0);

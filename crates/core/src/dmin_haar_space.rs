@@ -100,7 +100,11 @@ fn mini_to_global(first: u64, fan_in: usize, local: usize) -> u64 {
 fn mini_tree_rows(input: &[Row]) -> Vec<Row> {
     let f = input.len();
     debug_assert!(f.is_power_of_two() && f >= 2);
-    let empty = Row { lo: 0, costs: Vec::new(), choices: Vec::new() };
+    let empty = Row {
+        lo: 0,
+        costs: Vec::new(),
+        choices: Vec::new(),
+    };
     let mut rows = vec![empty; f];
     for i in (1..f).rev() {
         rows[i] = if 2 * i < f {
@@ -131,7 +135,9 @@ pub fn dmin_haar_space(
     let s = cfg.base_leaves.clamp(2, n);
     let fan_in = cfg.fan_in.max(2);
     if !s.is_power_of_two() || !fan_in.is_power_of_two() {
-        return Err(CoreError::Protocol("base_leaves and fan_in must be powers of two"));
+        return Err(CoreError::Protocol(
+            "base_leaves and fan_in must be powers of two",
+        ));
     }
     if n < 2 {
         // Trivial: delegate to the centralized solver.
@@ -150,20 +156,26 @@ pub fn dmin_haar_space(
 
     // ---- Bottom-up: layer 0 (base slices -> base-root rows) ----
     let base_out = JobBuilder::new("dmhs-layer0")
-        .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, WireRow>| {
-            match subtree_rows(split.slice(), &p) {
-                Ok(rows) => {
-                    // Global id of this base sub-tree's root node.
-                    ctx.emit(num_base as u64 + split.id as u64, WireRow(rows[1].clone()));
+        .map(
+            move |split: &SliceSplit, ctx: &mut MapContext<u64, WireRow>| {
+                match subtree_rows(split.slice(), &p) {
+                    Ok(rows) => {
+                        // Global id of this base sub-tree's root node.
+                        ctx.emit(num_base as u64 + split.id as u64, WireRow(rows[1].clone()));
+                    }
+                    Err(_) => {
+                        ctx.emit(
+                            FAIL_NODE,
+                            WireRow(Row {
+                                lo: 0,
+                                costs: vec![INFEASIBLE],
+                                choices: vec![0],
+                            }),
+                        );
+                    }
                 }
-                Err(_) => {
-                    ctx.emit(
-                        FAIL_NODE,
-                        WireRow(Row { lo: 0, costs: vec![INFEASIBLE], choices: vec![0] }),
-                    );
-                }
-            }
-        })
+            },
+        )
         .input_bytes(SliceSplit::bytes)
         .task_memory(move |s: &SliceSplit| {
             dwmaxerr_algos::memory::min_haar_space_bytes(s.len(), p.epsilon, p.delta)
@@ -200,20 +212,19 @@ pub fn dmin_haar_space(
             })
             .collect();
         let out = JobBuilder::new("dmhs-layer-up")
-            .map(move |group: &RowGroup, ctx: &mut MapContext<u64, WireRow>| {
-                let rows = mini_tree_rows(&group.rows);
-                let parent = group.first / f as u64;
-                if rows[1].all_infeasible() {
-                    ctx.emit(FAIL_NODE, WireRow(rows[1].clone()));
-                } else {
-                    ctx.emit(parent, WireRow(rows[1].clone()));
-                }
-            })
+            .map(
+                move |group: &RowGroup, ctx: &mut MapContext<u64, WireRow>| {
+                    let rows = mini_tree_rows(&group.rows);
+                    let parent = group.first / f as u64;
+                    if rows[1].all_infeasible() {
+                        ctx.emit(FAIL_NODE, WireRow(rows[1].clone()));
+                    } else {
+                        ctx.emit(parent, WireRow(rows[1].clone()));
+                    }
+                },
+            )
             .input_bytes(|g: &RowGroup| {
-                g.rows
-                    .iter()
-                    .map(|r| (16 + r.costs.len() * 8) as u64)
-                    .sum()
+                g.rows.iter().map(|r| (16 + r.costs.len() * 8) as u64).sum()
             })
             .reduce(|k, vals, ctx: &mut ReduceContext<u64, WireRow>| {
                 for v in vals {
@@ -280,7 +291,12 @@ pub fn dmin_haar_space(
                 .collect();
             let next: Vec<(u64, Row)> = groups
                 .iter()
-                .map(|g| (g.first / g.rows.len() as u64, mini_tree_rows(&g.rows)[1].clone()))
+                .map(|g| {
+                    (
+                        g.first / g.rows.len() as u64,
+                        mini_tree_rows(&g.rows)[1].clone(),
+                    )
+                })
                 .collect();
             group_stack.push(groups);
             rows_at = next;
@@ -325,13 +341,11 @@ pub fn dmin_haar_space(
                     }
                 },
             )
-            .reduce(
-                |k, vals, ctx: &mut ReduceContext<u64, (i64, u32, f64)>| {
-                    for v in vals {
-                        ctx.emit(*k, v);
-                    }
-                },
-            )
+            .reduce(|k, vals, ctx: &mut ReduceContext<u64, (i64, u32, f64)>| {
+                for v in vals {
+                    ctx.emit(*k, v);
+                }
+            })
             .run(cluster, tagged)?;
         metrics.push(out.metrics);
         for (node, (v, tag, z)) in out.pairs {
@@ -449,7 +463,10 @@ mod tests {
 
     fn run(data: &[f64], eps: f64, delta: f64, s: usize, f: usize) -> DmhsResult {
         let params = MhsParams::new(eps, delta).unwrap();
-        let cfg = DmhsConfig { base_leaves: s, fan_in: f };
+        let cfg = DmhsConfig {
+            base_leaves: s,
+            fan_in: f,
+        };
         dmin_haar_space(&test_cluster(), data, &params, &cfg).unwrap()
     }
 
@@ -490,7 +507,10 @@ mod tests {
     fn detects_delta_too_coarse() {
         let data: Vec<f64> = (0..16).map(|i| i as f64 + 0.45).collect();
         let params = MhsParams::new(0.4, 1.0).unwrap();
-        let cfg = DmhsConfig { base_leaves: 4, fan_in: 2 };
+        let cfg = DmhsConfig {
+            base_leaves: 4,
+            fan_in: 2,
+        };
         let res = dmin_haar_space(&test_cluster(), &data, &params, &cfg);
         assert!(matches!(res, Err(CoreError::Mhs(MhsError::DeltaTooCoarse))));
     }
@@ -499,14 +519,17 @@ mod tests {
     fn single_base_subtree() {
         let data: Vec<f64> = (0..16).map(|i| (i as f64 * 3.0) % 11.0).collect();
         let dist = run(&data, 3.0, 0.5, 16, 2);
-        let central =
-            min_haar_space(&data, &MhsParams::new(3.0, 0.5).unwrap()).unwrap();
+        let central = min_haar_space(&data, &MhsParams::new(3.0, 0.5).unwrap()).unwrap();
         assert_eq!(dist.size, central.size);
     }
 
     #[test]
     fn wire_row_roundtrip() {
-        let row = Row { lo: -5, costs: vec![1, 2, INFEASIBLE], choices: vec![0, -3, 7] };
+        let row = Row {
+            lo: -5,
+            costs: vec![1, 2, INFEASIBLE],
+            choices: vec![0, -3, 7],
+        };
         let mut buf = Vec::new();
         WireRow(row.clone()).encode(&mut buf);
         let mut s = buf.as_slice();

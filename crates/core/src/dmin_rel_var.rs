@@ -97,7 +97,10 @@ struct RowGroup {
 fn mini_tree_rows(group: &RowGroup, p: &MrvParams) -> Vec<MrvRow> {
     let f = group.rows.len();
     debug_assert!(f.is_power_of_two() && f >= 2);
-    let empty = MrvRow { min_norm: 1.0, cells: Vec::new() };
+    let empty = MrvRow {
+        min_norm: 1.0,
+        cells: Vec::new(),
+    };
     let mut rows = vec![empty; f];
     for i in (1..f).rev() {
         rows[i] = if 2 * i < f {
@@ -130,7 +133,9 @@ pub fn dmin_rel_var(
     let s = cfg.base_leaves.clamp(2, n);
     let fan_in = cfg.fan_in.max(2);
     if !s.is_power_of_two() || !fan_in.is_power_of_two() {
-        return Err(CoreError::Protocol("base_leaves and fan_in must be powers of two"));
+        return Err(CoreError::Protocol(
+            "base_leaves and fan_in must be powers of two",
+        ));
     }
     if n < 2 {
         let sol = dwmaxerr_algos::min_rel_var::min_rel_var(data, b, &cfg.params, cfg.seed)?;
@@ -151,14 +156,16 @@ pub fn dmin_rel_var(
     // The upper-tree coefficients come from the slice averages (needed by
     // the mini-tree combines); gather them with the base rows in one job.
     let base_out = JobBuilder::new("dmrv-layer0")
-        .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, (f64, WireMrvRow)>| {
-            let w = dwmaxerr_wavelet::transform::forward(split.slice()).expect("pow2 slice");
-            let rows = subtree_rows(&w[1..], split.slice(), cap, &p).expect("valid subtree");
-            ctx.emit(
-                num_base as u64 + split.id as u64,
-                (w[0], WireMrvRow(rows[1].clone())),
-            );
-        })
+        .map(
+            move |split: &SliceSplit, ctx: &mut MapContext<u64, (f64, WireMrvRow)>| {
+                let w = dwmaxerr_wavelet::transform::forward(split.slice()).expect("pow2 slice");
+                let rows = subtree_rows(&w[1..], split.slice(), cap, &p).expect("valid subtree");
+                ctx.emit(
+                    num_base as u64 + split.id as u64,
+                    (w[0], WireMrvRow(rows[1].clone())),
+                );
+            },
+        )
         .input_bytes(SliceSplit::bytes)
         .reduce(|k, vals, ctx: &mut ReduceContext<u64, (f64, WireMrvRow)>| {
             for v in vals {
@@ -204,12 +211,20 @@ pub fn dmin_rel_var(
             })
             .collect();
         let out = JobBuilder::new("dmrv-layer-up")
-            .map(move |group: &RowGroup, ctx: &mut MapContext<u64, WireMrvRow>| {
-                let rows = mini_tree_rows(group, &p);
-                ctx.emit(group.first / group.rows.len() as u64, WireMrvRow(rows[1].clone()));
-            })
+            .map(
+                move |group: &RowGroup, ctx: &mut MapContext<u64, WireMrvRow>| {
+                    let rows = mini_tree_rows(group, &p);
+                    ctx.emit(
+                        group.first / group.rows.len() as u64,
+                        WireMrvRow(rows[1].clone()),
+                    );
+                },
+            )
             .input_bytes(|g: &RowGroup| {
-                g.rows.iter().map(|r| (12 + r.cells.len() * 14) as u64).sum()
+                g.rows
+                    .iter()
+                    .map(|r| (12 + r.cells.len() * 14) as u64)
+                    .sum()
             })
             .reduce(|k, vals, ctx: &mut ReduceContext<u64, WireMrvRow>| {
                 for v in vals {
@@ -274,8 +289,8 @@ pub fn dmin_rel_var(
                     while let Some((i, bi)) = stack.pop() {
                         let cell = rows[i].cell(bi);
                         let depth = usize::BITS - 1 - i.leading_zeros();
-                        let g_id = ((group.first / f as u64) << depth)
-                            + (i as u64 - (1u64 << depth));
+                        let g_id =
+                            ((group.first / f as u64) << depth) + (i as u64 - (1u64 << depth));
                         if cell.y > 0 {
                             // Allocation record (tag 1).
                             ctx.emit(g_id, (1, u32::from(cell.y)));
@@ -284,11 +299,13 @@ pub fn dmin_rel_var(
                             (rows[2 * i].cells.len(), rows[2 * i + 1].cells.len())
                         } else {
                             let base = (i - f / 2) * 2;
-                            (group.rows[base].cells.len(), group.rows[base + 1].cells.len())
+                            (
+                                group.rows[base].cells.len(),
+                                group.rows[base + 1].cells.len(),
+                            )
                         };
                         let joint = l_len - 1 + r_len - 1;
-                        let rem = (bi.min(rows[i].cells.len() - 1) - cell.y as usize)
-                            .min(joint);
+                        let rem = (bi.min(rows[i].cells.len() - 1) - cell.y as usize).min(joint);
                         if 2 * i < f {
                             stack.push((2 * i, cell.l as usize));
                             stack.push((2 * i + 1, rem - cell.l as usize));
@@ -347,8 +364,7 @@ pub fn dmin_rel_var(
                 }
                 if 2 * i < m {
                     let joint = rows[2 * i].cells.len() - 1 + rows[2 * i + 1].cells.len() - 1;
-                    let rem =
-                        (bi.min(rows[i].cells.len() - 1) - cell.y as usize).min(joint);
+                    let rem = (bi.min(rows[i].cells.len() - 1) - cell.y as usize).min(joint);
                     stack.push((2 * i, cell.l as usize));
                     stack.push((2 * i + 1, rem - cell.l as usize));
                 }

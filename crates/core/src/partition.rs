@@ -96,8 +96,8 @@ impl BasePartition {
     #[inline]
     pub fn global_to_local(&self, j: usize, global: usize) -> usize {
         let root = self.base_root(j);
-        let depth = (usize::BITS - 1 - global.leading_zeros())
-            - (usize::BITS - 1 - root.leading_zeros());
+        let depth =
+            (usize::BITS - 1 - global.leading_zeros()) - (usize::BITS - 1 - root.leading_zeros());
         let level_start_global = root << depth;
         (1usize << depth) + (global - level_start_global)
     }
@@ -106,8 +106,8 @@ impl BasePartition {
     #[inline]
     pub fn owner_of(&self, global: usize) -> usize {
         debug_assert!(global >= self.r && global < self.n);
-        let depth = (usize::BITS - 1 - global.leading_zeros())
-            - (usize::BITS - 1 - self.r.leading_zeros());
+        let depth =
+            (usize::BITS - 1 - global.leading_zeros()) - (usize::BITS - 1 - self.r.leading_zeros());
         (global >> depth) - self.r
     }
 
@@ -189,7 +189,11 @@ impl LayerPlan {
                 "need 2 <= base_leaves <= n and fan_in >= 2",
             ));
         }
-        Ok(LayerPlan { n, base_leaves, fan_in })
+        Ok(LayerPlan {
+            n,
+            base_leaves,
+            fan_in,
+        })
     }
 
     /// Number of base sub-trees (rows produced by layer 0).
@@ -271,8 +275,7 @@ mod tests {
             for (a, b) in from_data.iter().zip(&from_full) {
                 assert!((a - b).abs() < 1e-9);
             }
-            let direct_avg: f64 =
-                data[p.base_span(j)].iter().sum::<f64>() / p.base_leaves() as f64;
+            let direct_avg: f64 = data[p.base_span(j)].iter().sum::<f64>() / p.base_leaves() as f64;
             assert!((avg - direct_avg).abs() < 1e-9);
         }
     }
@@ -334,8 +337,7 @@ mod tests {
         let p = BasePartition::new(32, 4).unwrap();
         let all: Vec<usize> = (0..p.num_base()).collect();
         for j in 0..p.num_base() {
-            let via_partition =
-                p.incoming_value(&tree.coefficients()[..p.num_base()], &all, j);
+            let via_partition = p.incoming_value(&tree.coefficients()[..p.num_base()], &all, j);
             let via_tree = tree.incoming_value(p.base_root(j));
             assert!((via_partition - via_tree).abs() < 1e-9, "base {j}");
         }

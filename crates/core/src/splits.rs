@@ -53,7 +53,10 @@ impl SliceSplit {
 /// locality-preserving partitioning, where `chunk` is the base sub-tree
 /// leaf count.
 pub fn aligned_splits(data: &[f64], chunk: usize) -> Vec<SliceSplit> {
-    assert!(chunk > 0 && data.len().is_multiple_of(chunk), "chunk must divide data length");
+    assert!(
+        chunk > 0 && data.len().is_multiple_of(chunk),
+        "chunk must divide data length"
+    );
     let shared = Arc::new(data.to_vec());
     (0..data.len() / chunk)
         .map(|j| SliceSplit {

@@ -23,7 +23,10 @@ fn cluster() -> Cluster {
 /// conventional baselines can be compared for equality).
 fn pow2_data(max_log: u32) -> impl Strategy<Value = Vec<f64>> {
     (3u32..=max_log).prop_flat_map(|k| {
-        prop::collection::vec((-64i32..64).prop_map(f64::from), (1usize << k)..=(1usize << k))
+        prop::collection::vec(
+            (-64i32..64).prop_map(f64::from),
+            (1usize << k)..=(1usize << k),
+        )
     })
 }
 

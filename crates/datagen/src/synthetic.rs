@@ -105,10 +105,19 @@ mod tests {
     fn zipf_skew_increases_with_theta() {
         let z07 = DatasetStats::of(&zipf(20_000, 1000.0, 0.7, 7));
         let z15 = DatasetStats::of(&zipf(20_000, 1000.0, 1.5, 7));
-        assert!(z15.avg < z07.avg, "zipf-1.5 mean {} !< zipf-0.7 mean {}", z15.avg, z07.avg);
+        assert!(
+            z15.avg < z07.avg,
+            "zipf-1.5 mean {} !< zipf-0.7 mean {}",
+            z15.avg,
+            z07.avg
+        );
         let uni = DatasetStats::of(&uniform(20_000, 1000.0, 7));
         assert!(z07.avg < uni.avg);
-        assert!(z15.avg < 100.0, "zipf-1.5 should concentrate near 0, avg {}", z15.avg);
+        assert!(
+            z15.avg < 100.0,
+            "zipf-1.5 should concentrate near 0, avg {}",
+            z15.avg
+        );
     }
 
     #[test]

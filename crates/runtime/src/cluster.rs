@@ -3,8 +3,9 @@
 use std::num::NonZeroUsize;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
+use crate::fault::FaultPlan;
 use crate::metrics::JobMetrics;
 
 /// Static description of the simulated cluster.
@@ -39,6 +40,27 @@ pub struct ClusterConfig {
     /// available parallelism; the *simulated* parallelism is governed by
     /// the slot counts, not by this.
     pub threads: usize,
+    /// Maximum attempts per task before the job fails (Hadoop's
+    /// `mapreduce.map.maxattempts` / `mapreduce.reduce.maxattempts`,
+    /// default 4). A task whose first `max_attempts - 1` attempts crash
+    /// still succeeds if the final attempt completes.
+    pub max_attempts: usize,
+    /// Whether straggling tasks get speculative backup attempts (Hadoop's
+    /// `mapreduce.map.speculative`, default on).
+    pub speculative_execution: bool,
+    /// Speculate once an attempt has run this multiple of the median task
+    /// duration (default 1.5×).
+    pub speculative_slowdown: f64,
+    /// Never speculate before an attempt has run this long (Hadoop waits
+    /// 60 s; scaled default 50 ms), so timing noise on tiny tasks cannot
+    /// trigger backups.
+    pub speculative_min: Duration,
+    /// Delay between observing an attempt's failure and launching its
+    /// retry (default zero: Hadoop reschedules at the next heartbeat).
+    pub retry_backoff: Duration,
+    /// Deterministic fault-injection plan; `None` simulates a perfect
+    /// cluster (every attempt succeeds unless the task itself panics).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ClusterConfig {
@@ -54,6 +76,12 @@ impl Default for ClusterConfig {
             threads: std::thread::available_parallelism()
                 .map(NonZeroUsize::get)
                 .unwrap_or(1),
+            max_attempts: 4,
+            speculative_execution: true,
+            speculative_slowdown: 1.5,
+            speculative_min: Duration::from_millis(50),
+            retry_backoff: Duration::ZERO,
+            fault_plan: None,
         }
     }
 }
@@ -89,6 +117,17 @@ impl ClusterConfig {
                 "throughputs must be positive",
             ));
         }
+        if self.max_attempts == 0 {
+            return Err(crate::RuntimeError::InvalidConfig("max_attempts == 0"));
+        }
+        if !self.speculative_slowdown.is_finite() || self.speculative_slowdown <= 1.0 {
+            return Err(crate::RuntimeError::InvalidConfig(
+                "speculative_slowdown must be finite and > 1",
+            ));
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate()?;
+        }
         Ok(())
     }
 }
@@ -103,13 +142,21 @@ pub struct Cluster {
 
 impl Cluster {
     /// Creates a cluster. Panics on invalid configuration (a config bug is
-    /// a programming error, not a runtime condition).
+    /// a programming error, not a runtime condition); use [`Cluster::try_new`]
+    /// to validate configs built from untrusted input instead.
     pub fn new(config: ClusterConfig) -> Self {
-        config.validate().expect("valid cluster config");
-        Cluster {
+        Cluster::try_new(config).expect("valid cluster config")
+    }
+
+    /// Creates a cluster, rejecting invalid configurations (zero slots or
+    /// attempts, non-finite throughputs, malformed fault plans) with
+    /// [`crate::RuntimeError::InvalidConfig`] instead of panicking.
+    pub fn try_new(config: ClusterConfig) -> Result<Self, crate::RuntimeError> {
+        config.validate()?;
+        Ok(Cluster {
             config,
             history: Mutex::new(Vec::new()),
-        }
+        })
     }
 
     /// The cluster's configuration.
@@ -119,17 +166,17 @@ impl Cluster {
 
     /// Records a finished job in the ledger.
     pub(crate) fn record(&self, metrics: JobMetrics) {
-        self.history.lock().push(metrics);
+        self.history.lock().expect("history lock").push(metrics);
     }
 
     /// Snapshot of all executed jobs' metrics.
     pub fn history(&self) -> Vec<JobMetrics> {
-        self.history.lock().clone()
+        self.history.lock().expect("history lock").clone()
     }
 
     /// Drops the recorded history (e.g. between benchmark repetitions).
     pub fn clear_history(&self) {
-        self.history.lock().clear();
+        self.history.lock().expect("history lock").clear();
     }
 }
 
@@ -147,16 +194,25 @@ mod tests {
 
     #[test]
     fn zero_slots_rejected() {
-        let c = ClusterConfig { map_slots: 0, ..ClusterConfig::default() };
+        let c = ClusterConfig {
+            map_slots: 0,
+            ..ClusterConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = ClusterConfig { reduce_slots: 0, ..ClusterConfig::default() };
+        let c = ClusterConfig {
+            reduce_slots: 0,
+            ..ClusterConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     #[should_panic]
     fn cluster_new_panics_on_bad_config() {
-        let c = ClusterConfig { threads: 0, ..ClusterConfig::default() };
+        let c = ClusterConfig {
+            threads: 0,
+            ..ClusterConfig::default()
+        };
         let _ = Cluster::new(c);
     }
 

@@ -3,9 +3,10 @@
 use std::fmt;
 
 use crate::codec::CodecError;
+use crate::fault::TaskPhase;
 
 /// Errors raised by job execution.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
     /// A cluster parameter was invalid (e.g. zero slots).
     InvalidConfig(&'static str),
@@ -22,6 +23,27 @@ pub enum RuntimeError {
         /// Bytes a task may use.
         available: u64,
     },
+    /// A task failed every attempt it was allowed (Hadoop's
+    /// `mapreduce.map.maxattempts` exhaustion fails the whole job).
+    TaskFailed {
+        /// Phase of the failing task.
+        phase: TaskPhase,
+        /// Task index within the phase.
+        task: usize,
+        /// Attempts made before giving up.
+        attempts: usize,
+        /// Human-readable cause of the final attempt's failure.
+        reason: String,
+    },
+    /// The user partitioner routed a key outside `0..reducers`. This is a
+    /// deterministic program bug, so the job fails immediately without
+    /// burning retry attempts.
+    BadPartitioner {
+        /// Partition index the partitioner returned.
+        partition: usize,
+        /// Number of reduce partitions actually available.
+        reducers: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -33,6 +55,22 @@ impl fmt::Display for RuntimeError {
             RuntimeError::TaskOutOfMemory { needed, available } => write!(
                 f,
                 "task needs {needed} bytes but only {available} are available"
+            ),
+            RuntimeError::TaskFailed {
+                phase,
+                task,
+                attempts,
+                reason,
+            } => write!(
+                f,
+                "{phase} task {task} failed all {attempts} attempts: {reason}"
+            ),
+            RuntimeError::BadPartitioner {
+                partition,
+                reducers,
+            } => write!(
+                f,
+                "partitioner returned partition {partition} but only {reducers} reducers exist"
             ),
         }
     }

@@ -1,0 +1,332 @@
+//! Deterministic, seeded fault injection.
+//!
+//! Hadoop's task model treats failure as routine: an attempt that crashes
+//! is retried (up to `mapreduce.map.maxattempts`, default 4), slow attempts
+//! are speculatively re-executed, and a job only fails once some task
+//! exhausts its attempt budget. To reproduce that behaviour — and to test
+//! it — the engine accepts a [`FaultPlan`] on
+//! [`crate::ClusterConfig::fault_plan`]: a pure, seeded description of
+//! which task attempts fail and which tasks straggle.
+//!
+//! Everything here is a deterministic function of `(seed, phase, task,
+//! attempt)`; there is no wall-clock or global-RNG nondeterminism, so a
+//! test or benchmark that fixes the seed observes the identical failure
+//! pattern on every run.
+//!
+//! # Example
+//!
+//! Crash the first attempt of one map task and make another task straggle;
+//! the job still produces the fault-free answer, and the recovery shows up
+//! in the attempt-level metrics:
+//!
+//! ```
+//! use dwmaxerr_runtime::cluster::{Cluster, ClusterConfig};
+//! use dwmaxerr_runtime::fault::{FaultPlan, TaskPhase};
+//! use dwmaxerr_runtime::job::{JobBuilder, MapContext, ReduceContext};
+//!
+//! let mut cfg = ClusterConfig::with_slots(2, 1);
+//! cfg.fault_plan = Some(
+//!     FaultPlan::seeded(7)
+//!         .with_targeted(TaskPhase::Map, 0, vec![1]) // map 0, attempt 1 crashes
+//!         .with_straggler(TaskPhase::Map, 1, 4.0),   // map 1 runs 4x slow
+//! );
+//! let cluster = Cluster::new(cfg);
+//! let out = JobBuilder::new("sum")
+//!     .map(|s: &u64, ctx: &mut MapContext<u8, u64>| ctx.emit(0, *s))
+//!     .reduce(|k, vals, ctx: &mut ReduceContext<u8, u64>| ctx.emit(*k, vals.sum()))
+//!     .run(&cluster, vec![1, 2, 3])
+//!     .unwrap();
+//! assert_eq!(out.pairs, vec![(0, 6)]); // identical to a fault-free run
+//! assert_eq!(out.metrics.retried_attempts(), 1);
+//! assert_eq!(out.metrics.failed_attempts(), 1);
+//! ```
+
+use crate::error::RuntimeError;
+
+/// Which phase of a job a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskPhase {
+    /// A map task (one per input split).
+    Map,
+    /// A reduce task (one per reduce partition).
+    Reduce,
+}
+
+impl std::fmt::Display for TaskPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskPhase::Map => f.write_str("map"),
+            TaskPhase::Reduce => f.write_str("reduce"),
+        }
+    }
+}
+
+/// Fails specific attempts of one specific task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetedFault {
+    /// Phase of the targeted task.
+    pub phase: TaskPhase,
+    /// Task index within the phase.
+    pub task: usize,
+    /// 1-based attempt numbers that fail (e.g. `vec![1, 2]` fails the
+    /// first two attempts, so the third succeeds).
+    pub attempts: Vec<usize>,
+}
+
+/// Slows every regular attempt of one task by a multiplier, modelling a
+/// degraded node; speculative re-executions run at full speed (they land
+/// on a healthy node).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// Phase of the straggling task.
+    pub phase: TaskPhase,
+    /// Task index within the phase.
+    pub task: usize,
+    /// Duration multiplier (must be ≥ 1).
+    pub slowdown: f64,
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Probabilistic failures are decided by hashing `(seed, phase, task,
+/// attempt)` to a uniform value in `[0, 1)` and comparing against the
+/// phase's failure probability, so each attempt fails independently but
+/// reproducibly. Targeted faults and stragglers name exact tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the probabilistic failure decisions.
+    pub seed: u64,
+    /// Probability that any given map attempt fails.
+    pub map_failure_prob: f64,
+    /// Probability that any given reduce attempt fails.
+    pub reduce_failure_prob: f64,
+    /// Exact attempts that always fail.
+    pub targeted: Vec<TargetedFault>,
+    /// Tasks whose regular attempts run slow.
+    pub stragglers: Vec<Straggler>,
+    /// Fraction of an attempt's duration that elapses before an injected
+    /// failure is observed (Hadoop notices a crash mid-task, not at launch;
+    /// default 0.5). Must lie in `(0, 1]`.
+    pub fail_point: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            map_failure_prob: 0.0,
+            reduce_failure_prob: 0.0,
+            targeted: Vec::new(),
+            stragglers: Vec::new(),
+            fail_point: 0.5,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates the packed decision key.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the same failure probability for map and reduce attempts.
+    pub fn with_failure_prob(mut self, p: f64) -> Self {
+        self.map_failure_prob = p;
+        self.reduce_failure_prob = p;
+        self
+    }
+
+    /// Adds a targeted fault failing `attempts` (1-based) of one task.
+    pub fn with_targeted(mut self, phase: TaskPhase, task: usize, attempts: Vec<usize>) -> Self {
+        self.targeted.push(TargetedFault {
+            phase,
+            task,
+            attempts,
+        });
+        self
+    }
+
+    /// Adds a straggler running `slowdown`× slower.
+    pub fn with_straggler(mut self, phase: TaskPhase, task: usize, slowdown: f64) -> Self {
+        self.stragglers.push(Straggler {
+            phase,
+            task,
+            slowdown,
+        });
+        self
+    }
+
+    /// Whether the plan injects a failure into the given attempt
+    /// (1-based). Pure and deterministic.
+    pub fn injects_failure(&self, phase: TaskPhase, task: usize, attempt: usize) -> bool {
+        if self
+            .targeted
+            .iter()
+            .any(|t| t.phase == phase && t.task == task && t.attempts.contains(&attempt))
+        {
+            return true;
+        }
+        let prob = match phase {
+            TaskPhase::Map => self.map_failure_prob,
+            TaskPhase::Reduce => self.reduce_failure_prob,
+        };
+        if prob <= 0.0 {
+            return false;
+        }
+        let key = mix(self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((task as u64) << 20)
+            .wrapping_add((attempt as u64) << 2)
+            .wrapping_add(match phase {
+                TaskPhase::Map => 0,
+                TaskPhase::Reduce => 1,
+            }));
+        let unit = (key >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < prob
+    }
+
+    /// The straggler slowdown multiplier for a task (1.0 when healthy).
+    pub fn slowdown(&self, phase: TaskPhase, task: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.phase == phase && s.task == task)
+            .map(|s| s.slowdown)
+            .fold(1.0, f64::max)
+    }
+
+    /// Validates the plan's numeric fields.
+    pub fn validate(&self) -> Result<(), RuntimeError> {
+        let prob_ok = |p: f64| (0.0..=1.0).contains(&p);
+        if !prob_ok(self.map_failure_prob) || !prob_ok(self.reduce_failure_prob) {
+            return Err(RuntimeError::InvalidConfig(
+                "fault plan failure probabilities must lie in [0, 1]",
+            ));
+        }
+        if !(self.fail_point > 0.0 && self.fail_point <= 1.0) {
+            return Err(RuntimeError::InvalidConfig(
+                "fault plan fail_point must lie in (0, 1]",
+            ));
+        }
+        if self
+            .stragglers
+            .iter()
+            .any(|s| !s.slowdown.is_finite() || s.slowdown < 1.0)
+        {
+            return Err(RuntimeError::InvalidConfig(
+                "straggler slowdowns must be finite and >= 1",
+            ));
+        }
+        if self.targeted.iter().any(|t| t.attempts.contains(&0)) {
+            return Err(RuntimeError::InvalidConfig(
+                "targeted fault attempts are 1-based; 0 is invalid",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::seeded(42).with_failure_prob(0.3);
+        for task in 0..50 {
+            for attempt in 1..=4 {
+                assert_eq!(
+                    plan.injects_failure(TaskPhase::Map, task, attempt),
+                    plan.injects_failure(TaskPhase::Map, task, attempt),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probability_roughly_honoured() {
+        let plan = FaultPlan::seeded(7).with_failure_prob(0.25);
+        let n = 4000;
+        let failures = (0..n)
+            .filter(|&t| plan.injects_failure(TaskPhase::Map, t, 1))
+            .count();
+        let rate = failures as f64 / n as f64;
+        assert!((0.2..0.3).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = FaultPlan::seeded(1).with_failure_prob(0.5);
+        let b = FaultPlan::seeded(2).with_failure_prob(0.5);
+        let pattern = |p: &FaultPlan| {
+            (0..64)
+                .map(|t| p.injects_failure(TaskPhase::Map, t, 1))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(pattern(&a), pattern(&b));
+    }
+
+    #[test]
+    fn attempts_decorrelate() {
+        // A task that fails attempt 1 must not deterministically fail all
+        // attempts — otherwise probabilistic plans could never recover.
+        let plan = FaultPlan::seeded(3).with_failure_prob(0.5);
+        let escapes = (0..200).any(|t| {
+            plan.injects_failure(TaskPhase::Map, t, 1)
+                && !plan.injects_failure(TaskPhase::Map, t, 2)
+        });
+        assert!(escapes);
+    }
+
+    #[test]
+    fn targeted_and_stragglers() {
+        let plan = FaultPlan::seeded(0)
+            .with_targeted(TaskPhase::Reduce, 3, vec![1, 2])
+            .with_straggler(TaskPhase::Map, 5, 8.0);
+        assert!(plan.injects_failure(TaskPhase::Reduce, 3, 1));
+        assert!(plan.injects_failure(TaskPhase::Reduce, 3, 2));
+        assert!(!plan.injects_failure(TaskPhase::Reduce, 3, 3));
+        assert!(!plan.injects_failure(TaskPhase::Map, 3, 1));
+        assert_eq!(plan.slowdown(TaskPhase::Map, 5), 8.0);
+        assert_eq!(plan.slowdown(TaskPhase::Map, 4), 1.0);
+        assert_eq!(plan.slowdown(TaskPhase::Reduce, 5), 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        assert!(FaultPlan::seeded(0)
+            .with_failure_prob(1.5)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::seeded(0)
+            .with_failure_prob(-0.1)
+            .validate()
+            .is_err());
+        let mut p = FaultPlan::seeded(0);
+        p.fail_point = 0.0;
+        assert!(p.validate().is_err());
+        assert!(FaultPlan::seeded(0)
+            .with_straggler(TaskPhase::Map, 0, 0.5)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::seeded(0)
+            .with_targeted(TaskPhase::Map, 0, vec![0])
+            .validate()
+            .is_err());
+        assert!(FaultPlan::seeded(9)
+            .with_failure_prob(0.2)
+            .validate()
+            .is_ok());
+    }
+}

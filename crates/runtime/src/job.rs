@@ -11,16 +11,17 @@
 
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
-
-use parking_lot::Mutex;
 
 use crate::cluster::Cluster;
 use crate::codec::Wire;
 use crate::error::RuntimeError;
-use crate::metrics::{JobMetrics, SimBreakdown};
-use crate::scheduler;
+use crate::fault::{FaultPlan, TaskPhase};
+use crate::metrics::{AttemptStats, JobMetrics, SimBreakdown};
+use crate::scheduler::{self, AttemptPlan, SpeculationPolicy, TaskPlan};
 
 /// Context handed to map functions: typed emission into reduce partitions
 /// plus user counters.
@@ -29,15 +30,24 @@ pub struct MapContext<'a, K, V> {
     records: u64,
     counters: BTreeMap<&'static str, u64>,
     partitioner: &'a (dyn Fn(&K, usize) -> usize + Sync),
+    /// First out-of-range `(partition, reducers)` the partitioner produced;
+    /// turned into [`RuntimeError::BadPartitioner`] after the map function
+    /// returns (a deterministic program bug must not burn retry attempts).
+    bad_partition: Option<(usize, usize)>,
     _marker: PhantomData<fn(K, V)>,
 }
 
 impl<K: Wire, V: Wire> MapContext<'_, K, V> {
-    /// Emits a key-value pair into the shuffle.
+    /// Emits a key-value pair into the shuffle. If the partitioner routes
+    /// the key outside `0..reducers` the record is dropped and the job
+    /// fails with [`RuntimeError::BadPartitioner`] once the task returns.
     pub fn emit(&mut self, key: K, value: V) {
         let r = self.partitions.len();
         let p = (self.partitioner)(&key, r);
-        assert!(p < r, "partitioner returned {p} for {r} reducers");
+        if p >= r {
+            self.bad_partition.get_or_insert((p, r));
+            return;
+        }
         let buf = &mut self.partitions[p];
         key.encode(buf);
         value.encode(buf);
@@ -141,10 +151,7 @@ where
 
     /// Installs a custom partitioner. The default hashes the encoded key
     /// (FNV-1a), i.e. Hadoop's `HashPartitioner`.
-    pub fn partition_by(
-        mut self,
-        p: impl Fn(&K, usize) -> usize + Sync + 'static,
-    ) -> Self {
+    pub fn partition_by(mut self, p: impl Fn(&K, usize) -> usize + Sync + 'static) -> Self {
         self.partitioner = Some(Box::new(p));
         self
     }
@@ -219,21 +226,21 @@ where
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
     let next = AtomicUsize::new(0);
     let workers = threads.clamp(1, items.len().max(1));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(i, &items[i]);
-                results.lock()[i] = Some(r);
+                results.lock().expect("results lock")[i] = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
         .into_inner()
+        .expect("results lock")
         .into_iter()
         .map(|r| r.expect("every index filled"))
         .collect()
@@ -241,9 +248,95 @@ where
 
 struct MapTaskResult {
     partitions: Vec<Vec<u8>>,
-    secs: f64,
     records: u64,
     counters: BTreeMap<&'static str, u64>,
+    bad_partition: Option<(usize, usize)>,
+}
+
+/// Best-effort rendering of a panic payload for error messages.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one task through its attempt loop.
+///
+/// Each attempt executes `body` under [`catch_unwind`], so a panicking map
+/// or reduce function is an attempt failure, not a process abort. The fault
+/// plan can additionally fail attempts (without re-running `body`: an
+/// injected crash is charged `fail_point ×` the attempt's duration) and
+/// slow the task down as a straggler. `extra_secs` is time every attempt
+/// pays on top of the measured function time (the map-side HDFS read).
+///
+/// Returns the task's value and its [`TaskPlan`] for the slot simulator, or
+/// [`RuntimeError::TaskFailed`] once `max_attempts` attempts have crashed.
+fn run_attempts<T>(
+    phase: TaskPhase,
+    task: usize,
+    max_attempts: usize,
+    fault_plan: Option<&FaultPlan>,
+    extra_secs: f64,
+    body: impl Fn() -> T,
+) -> Result<(T, TaskPlan), RuntimeError> {
+    let slowdown = fault_plan.map_or(1.0, |p| p.slowdown(phase, task));
+    let fail_point = fault_plan.map_or(0.5, |p| p.fail_point);
+    let mut attempts: Vec<AttemptPlan> = Vec::new();
+    let mut done: Option<(T, f64)> = None;
+    let mut last_reason = String::new();
+    for attempt in 1..=max_attempts {
+        let (value, secs) = match done.take() {
+            Some(v) => v,
+            None => {
+                let start = Instant::now();
+                match catch_unwind(AssertUnwindSafe(&body)) {
+                    Ok(value) => (value, start.elapsed().as_secs_f64()),
+                    Err(payload) => {
+                        attempts.push(AttemptPlan {
+                            duration: slowdown * (start.elapsed().as_secs_f64() + extra_secs),
+                            fails: true,
+                        });
+                        last_reason = format!("panic: {}", panic_message(payload.as_ref()));
+                        continue;
+                    }
+                }
+            }
+        };
+        let effective = slowdown * (secs + extra_secs);
+        if fault_plan.is_some_and(|p| p.injects_failure(phase, task, attempt)) {
+            attempts.push(AttemptPlan {
+                duration: fail_point * effective,
+                fails: true,
+            });
+            last_reason = "injected fault".to_string();
+            // The computed result survives for the retry; only the
+            // simulated timeline re-pays the work.
+            done = Some((value, secs));
+            continue;
+        }
+        attempts.push(AttemptPlan {
+            duration: effective,
+            fails: false,
+        });
+        return Ok((
+            value,
+            TaskPlan {
+                attempts,
+                // A speculative backup lands on a healthy node: no slowdown.
+                healthy_duration: secs + extra_secs,
+            },
+        ));
+    }
+    Err(RuntimeError::TaskFailed {
+        phase,
+        task,
+        attempts: max_attempts,
+        reason: last_reason,
+    })
 }
 
 impl<S, K, V, OK, OV, F, G> Job<S, K, V, OK, OV, F, G>
@@ -288,55 +381,82 @@ where
         };
 
         // ---- Map phase ----
-        let map_results: Vec<MapTaskResult> =
-            run_indexed(config.threads, &splits, |_i, split| {
-                let start = Instant::now();
-                let mut ctx = MapContext {
-                    partitions: vec![Vec::new(); r],
-                    records: 0,
-                    counters: BTreeMap::new(),
-                    partitioner,
-                    _marker: PhantomData,
-                };
-                (stage.map_fn)(split, &mut ctx);
-                let mut records = ctx.records;
-                let mut partitions = ctx.partitions;
-                if let Some(combiner) = &stage.combiner {
-                    // Map-side combine: decode, group, fold, re-encode.
-                    let mut combined_records = 0u64;
-                    for buf in &mut partitions {
-                        let mut pairs: Vec<(K, V)> = Vec::new();
-                        let mut slice = buf.as_slice();
-                        while !slice.is_empty() {
-                            match (K::decode(&mut slice), V::decode(&mut slice)) {
-                                (Ok(k), Ok(v)) => pairs.push((k, v)),
-                                _ => break,
+        let fault_plan = config.fault_plan.as_ref();
+        let map_raw = run_indexed(config.threads, &splits, |i, split| {
+            // HDFS read time is charged to every attempt of the task.
+            let read_secs = stage
+                .input_bytes
+                .as_ref()
+                .map_or(0.0, |f| f(split) as f64 / config.hdfs_bytes_per_sec);
+            run_attempts(
+                TaskPhase::Map,
+                i,
+                config.max_attempts,
+                fault_plan,
+                read_secs,
+                || {
+                    let mut ctx = MapContext {
+                        partitions: vec![Vec::new(); r],
+                        records: 0,
+                        counters: BTreeMap::new(),
+                        partitioner,
+                        bad_partition: None,
+                        _marker: PhantomData,
+                    };
+                    (stage.map_fn)(split, &mut ctx);
+                    let mut records = ctx.records;
+                    let mut partitions = ctx.partitions;
+                    if let Some(combiner) = &stage.combiner {
+                        // Map-side combine: decode, group, fold, re-encode.
+                        let mut combined_records = 0u64;
+                        for buf in &mut partitions {
+                            let mut pairs: Vec<(K, V)> = Vec::new();
+                            let mut slice = buf.as_slice();
+                            while !slice.is_empty() {
+                                match (K::decode(&mut slice), V::decode(&mut slice)) {
+                                    (Ok(k), Ok(v)) => pairs.push((k, v)),
+                                    _ => break,
+                                }
                             }
-                        }
-                        pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                        let mut out = Vec::with_capacity(buf.len() / 2);
-                        let mut iter = pairs.into_iter().peekable();
-                        while let Some((key, first)) = iter.next() {
-                            let mut group = vec![first];
-                            while iter.peek().is_some_and(|(k2, _)| *k2 == key) {
-                                group.push(iter.next().expect("peeked").1);
+                            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                            let mut out = Vec::with_capacity(buf.len() / 2);
+                            let mut iter = pairs.into_iter().peekable();
+                            while let Some((key, first)) = iter.next() {
+                                let mut group = vec![first];
+                                while iter.peek().is_some_and(|(k2, _)| *k2 == key) {
+                                    group.push(iter.next().expect("peeked").1);
+                                }
+                                let folded = combiner(&key, &mut group.into_iter());
+                                key.encode(&mut out);
+                                folded.encode(&mut out);
+                                combined_records += 1;
                             }
-                            let folded = combiner(&key, &mut group.into_iter());
-                            key.encode(&mut out);
-                            folded.encode(&mut out);
-                            combined_records += 1;
+                            *buf = out;
                         }
-                        *buf = out;
+                        records = combined_records;
                     }
-                    records = combined_records;
-                }
-                MapTaskResult {
-                    partitions,
-                    secs: start.elapsed().as_secs_f64(),
-                    records,
-                    counters: ctx.counters,
-                }
-            });
+                    MapTaskResult {
+                        partitions,
+                        records,
+                        counters: ctx.counters,
+                        bad_partition: ctx.bad_partition,
+                    }
+                },
+            )
+        });
+        let mut map_results: Vec<MapTaskResult> = Vec::with_capacity(splits.len());
+        let mut map_plans: Vec<TaskPlan> = Vec::with_capacity(splits.len());
+        for task in map_raw {
+            let (result, plan) = task?;
+            if let Some((partition, reducers)) = result.bad_partition {
+                return Err(RuntimeError::BadPartitioner {
+                    partition,
+                    reducers,
+                });
+            }
+            map_results.push(result);
+            map_plans.push(plan);
+        }
 
         let input_bytes: u64 = stage
             .input_bytes
@@ -344,13 +464,12 @@ where
             .map(|f| splits.iter().map(f).sum())
             .unwrap_or(0);
 
-        // Charge HDFS read time into each map task before scheduling.
-        let mut map_secs: Vec<f64> = map_results.iter().map(|t| t.secs).collect();
-        if let Some(f) = &stage.input_bytes {
-            for (secs, split) in map_secs.iter_mut().zip(&splits) {
-                *secs += f(split) as f64 / config.hdfs_bytes_per_sec;
-            }
-        }
+        // Per-task seconds of the *successful* attempt (function time plus
+        // HDFS read, times any straggler slowdown).
+        let map_secs: Vec<f64> = map_plans
+            .iter()
+            .map(|p| p.attempts.last().expect("non-empty plan").duration)
+            .collect();
 
         // ---- Shuffle ----
         let mut reducer_inputs: Vec<Vec<u8>> = vec![Vec::new(); r];
@@ -365,54 +484,66 @@ where
                 reducer_inputs[p].extend_from_slice(bytes);
             }
         }
-        let per_reducer_bytes: Vec<u64> =
-            reducer_inputs.iter().map(|b| b.len() as u64).collect();
+        let per_reducer_bytes: Vec<u64> = reducer_inputs.iter().map(|b| b.len() as u64).collect();
         let shuffle_bytes: u64 = per_reducer_bytes.iter().sum();
 
         // ---- Reduce phase ----
         let reduce_fn = &self.reduce_fn;
         struct ReduceTaskResult<OK, OV> {
             out: Vec<(OK, OV)>,
-            secs: f64,
             counters: BTreeMap<&'static str, u64>,
             decode_error: bool,
         }
-        let reduce_results: Vec<ReduceTaskResult<OK, OV>> =
-            run_indexed(config.threads, &reducer_inputs, |_i, input| {
-                let start = Instant::now();
-                let mut pairs: Vec<(K, V)> = Vec::new();
-                let mut slice = input.as_slice();
-                let mut decode_error = false;
-                while !slice.is_empty() {
-                    match (K::decode(&mut slice), V::decode(&mut slice)) {
-                        (Ok(k), Ok(v)) => pairs.push((k, v)),
-                        _ => {
-                            decode_error = true;
-                            break;
+        let reduce_raw = run_indexed(config.threads, &reducer_inputs, |i, input| {
+            run_attempts(
+                TaskPhase::Reduce,
+                i,
+                config.max_attempts,
+                fault_plan,
+                0.0,
+                || {
+                    let mut pairs: Vec<(K, V)> = Vec::new();
+                    let mut slice = input.as_slice();
+                    let mut decode_error = false;
+                    while !slice.is_empty() {
+                        match (K::decode(&mut slice), V::decode(&mut slice)) {
+                            (Ok(k), Ok(v)) => pairs.push((k, v)),
+                            _ => {
+                                decode_error = true;
+                                break;
+                            }
                         }
                     }
-                }
-                // Hadoop's merge-sort: total key order within the partition.
-                pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                let mut ctx = ReduceContext {
-                    out: Vec::new(),
-                    counters: BTreeMap::new(),
-                };
-                let mut iter = pairs.into_iter().peekable();
-                while let Some((key, first)) = iter.next() {
-                    let mut group = vec![first];
-                    while iter.peek().is_some_and(|(k2, _)| *k2 == key) {
-                        group.push(iter.next().expect("peeked").1);
+                    // Hadoop's merge-sort: total key order within the partition.
+                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                    let mut ctx = ReduceContext {
+                        out: Vec::new(),
+                        counters: BTreeMap::new(),
+                    };
+                    let mut iter = pairs.into_iter().peekable();
+                    while let Some((key, first)) = iter.next() {
+                        let mut group = vec![first];
+                        while iter.peek().is_some_and(|(k2, _)| *k2 == key) {
+                            group.push(iter.next().expect("peeked").1);
+                        }
+                        reduce_fn(&key, &mut group.into_iter(), &mut ctx);
                     }
-                    reduce_fn(&key, &mut group.into_iter(), &mut ctx);
-                }
-                ReduceTaskResult {
-                    out: ctx.out,
-                    secs: start.elapsed().as_secs_f64(),
-                    counters: ctx.counters,
-                    decode_error,
-                }
-            });
+                    ReduceTaskResult {
+                        out: ctx.out,
+                        counters: ctx.counters,
+                        decode_error,
+                    }
+                },
+            )
+        });
+        let mut reduce_results: Vec<ReduceTaskResult<OK, OV>> =
+            Vec::with_capacity(reducer_inputs.len());
+        let mut reduce_plans: Vec<TaskPlan> = Vec::with_capacity(reducer_inputs.len());
+        for task in reduce_raw {
+            let (result, plan) = task?;
+            reduce_results.push(result);
+            reduce_plans.push(plan);
+        }
 
         if reduce_results.iter().any(|t| t.decode_error) {
             return Err(RuntimeError::Codec(crate::codec::CodecError {
@@ -420,7 +551,10 @@ where
             }));
         }
 
-        let reduce_secs: Vec<f64> = reduce_results.iter().map(|t| t.secs).collect();
+        let reduce_secs: Vec<f64> = reduce_plans
+            .iter()
+            .map(|p| p.attempts.last().expect("non-empty plan").duration)
+            .collect();
         let mut pairs = Vec::new();
         for mut task in reduce_results {
             for (name, delta) in &task.counters {
@@ -431,15 +565,39 @@ where
 
         // ---- Simulated wall clock ----
         let startup = config.task_startup.as_secs_f64();
+        let backoff = config.retry_backoff.as_secs_f64();
+        let speculation = config.speculative_execution.then_some(SpeculationPolicy {
+            threshold: config.speculative_slowdown,
+            min_secs: config.speculative_min.as_secs_f64(),
+        });
+        let map_sched = scheduler::schedule_attempts(
+            TaskPhase::Map,
+            &map_plans,
+            config.map_slots,
+            startup,
+            backoff,
+            speculation,
+        );
+        let reduce_sched = scheduler::schedule_attempts(
+            TaskPhase::Reduce,
+            &reduce_plans,
+            config.reduce_slots,
+            startup,
+            backoff,
+            speculation,
+        );
         let sim = SimBreakdown {
             setup: config.job_setup.as_secs_f64(),
-            map: scheduler::makespan(&map_secs, config.map_slots, startup),
+            map: map_sched.makespan,
             shuffle: per_reducer_bytes
                 .iter()
                 .map(|&b| b as f64 / config.shuffle_bytes_per_sec)
                 .fold(0.0, f64::max),
-            reduce: scheduler::makespan(&reduce_secs, config.reduce_slots, startup),
+            reduce: reduce_sched.makespan,
         };
+        let mut attempts = map_sched.attempts;
+        attempts.extend(reduce_sched.attempts);
+        let attempt_stats = AttemptStats::from_attempts(&attempts);
 
         let metrics = JobMetrics {
             name: stage.name.clone(),
@@ -453,6 +611,8 @@ where
             sim,
             real_elapsed: job_start.elapsed(),
             counters,
+            attempts,
+            attempt_stats,
         };
         cluster.record(metrics.clone());
         Ok(JobOutput { pairs, metrics })
@@ -642,7 +802,9 @@ mod combiner_tests {
 
     #[test]
     fn combiner_preserves_result_and_cuts_shuffle() {
-        let splits: Vec<Vec<u32>> = (0..4).map(|s| (0..1000).map(|i| (s + i) % 7).collect()).collect();
+        let splits: Vec<Vec<u32>> = (0..4)
+            .map(|s| (0..1000).map(|i| (s + i) % 7).collect())
+            .collect();
         let run = |with_combiner: bool| {
             let cluster = small_cluster();
             let stage = JobBuilder::new("wc")
@@ -665,7 +827,11 @@ mod combiner_tests {
                 .unwrap();
             let mut pairs = out.pairs;
             pairs.sort();
-            (pairs, out.metrics.shuffle_bytes, out.metrics.shuffle_records)
+            (
+                pairs,
+                out.metrics.shuffle_bytes,
+                out.metrics.shuffle_records,
+            )
         };
         let (plain, plain_bytes, plain_records) = run(false);
         let (combined, combined_bytes, combined_records) = run(true);
@@ -673,7 +839,28 @@ mod combiner_tests {
         assert_eq!(plain_records, 4000);
         // 7 distinct keys x 4 tasks: at most 28 records after combining.
         assert!(combined_records <= 28, "records {combined_records}");
-        assert!(combined_bytes * 10 < plain_bytes, "{combined_bytes} vs {plain_bytes}");
+        assert!(
+            combined_bytes * 10 < plain_bytes,
+            "{combined_bytes} vs {plain_bytes}"
+        );
+    }
+
+    #[test]
+    fn bad_partitioner_is_typed_error_not_panic() {
+        let cluster = small_cluster();
+        let result = JobBuilder::new("bad")
+            .map(|_s: &u8, ctx: &mut MapContext<u8, u8>| ctx.emit(0, 0))
+            .reducers(2)
+            .partition_by(|_, _| 7)
+            .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
+            .run(&cluster, vec![1u8]);
+        assert!(matches!(
+            result,
+            Err(RuntimeError::BadPartitioner {
+                partition: 7,
+                reducers: 2
+            })
+        ));
     }
 
     #[test]
@@ -688,7 +875,10 @@ mod combiner_tests {
             .run(&cluster, vec![1u8]);
         assert!(matches!(
             result,
-            Err(RuntimeError::TaskOutOfMemory { needed: 2000, available: 1000 })
+            Err(RuntimeError::TaskOutOfMemory {
+                needed: 2000,
+                available: 1000
+            })
         ));
         // Within budget: runs.
         let ok = JobBuilder::new("fits")
@@ -697,5 +887,126 @@ mod combiner_tests {
             .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
             .run(&cluster, vec![1u8]);
         assert!(ok.is_ok());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::fault::FaultPlan;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn faulty_cluster(plan: FaultPlan) -> Cluster {
+        let mut cfg = ClusterConfig::with_slots(2, 1);
+        cfg.task_startup = std::time::Duration::from_millis(1);
+        cfg.job_setup = std::time::Duration::from_millis(1);
+        cfg.fault_plan = Some(plan);
+        Cluster::new(cfg)
+    }
+
+    fn sum_job(cluster: &Cluster, splits: Vec<u64>) -> Result<JobOutput<u8, u64>, RuntimeError> {
+        JobBuilder::new("sum")
+            .map(|s: &u64, ctx: &mut MapContext<u8, u64>| ctx.emit(0, *s))
+            .reduce(|k, vals, ctx: &mut ReduceContext<u8, u64>| ctx.emit(*k, vals.sum()))
+            .run(cluster, splits)
+    }
+
+    #[test]
+    fn injected_failures_recover_with_identical_output() {
+        let clean = sum_job(&faulty_cluster(FaultPlan::seeded(0)), vec![1, 2, 3, 4]).unwrap();
+        let plan = FaultPlan::seeded(0)
+            .with_targeted(TaskPhase::Map, 1, vec![1, 2])
+            .with_targeted(TaskPhase::Reduce, 0, vec![1]);
+        let faulty = sum_job(&faulty_cluster(plan), vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(clean.pairs, faulty.pairs);
+        assert_eq!(faulty.metrics.failed_attempts(), 3);
+        assert_eq!(faulty.metrics.retried_attempts(), 3);
+        assert!(faulty.metrics.wasted_secs() > 0.0);
+        assert!(faulty.metrics.simulated() > clean.metrics.simulated());
+    }
+
+    #[test]
+    fn exhausted_attempts_fail_the_job() {
+        let plan = FaultPlan::seeded(0).with_targeted(TaskPhase::Map, 0, vec![1, 2, 3, 4]);
+        let err = sum_job(&faulty_cluster(plan), vec![1, 2]).unwrap_err();
+        match err {
+            RuntimeError::TaskFailed {
+                phase,
+                task,
+                attempts,
+                reason,
+            } => {
+                assert_eq!(phase, TaskPhase::Map);
+                assert_eq!(task, 0);
+                assert_eq!(attempts, 4);
+                assert!(reason.contains("injected"), "reason: {reason}");
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_map_fn_is_retried_then_fails_typed() {
+        // Deterministic panic: every attempt crashes, so the job fails
+        // with a typed error after max_attempts tries.
+        let mut cfg = ClusterConfig::with_slots(2, 1);
+        cfg.max_attempts = 2;
+        let cluster = Cluster::new(cfg);
+        let calls = AtomicUsize::new(0);
+        let result = JobBuilder::new("boom")
+            .map(|_s: &u8, _ctx: &mut MapContext<u8, u8>| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                panic!("kaboom");
+            })
+            .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
+            .run(&cluster, vec![1u8]);
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "one execution per attempt");
+        match result {
+            Err(RuntimeError::TaskFailed {
+                phase,
+                attempts,
+                reason,
+                ..
+            }) => {
+                assert_eq!(phase, TaskPhase::Map);
+                assert_eq!(attempts, 2);
+                assert!(reason.contains("kaboom"), "reason: {reason}");
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_task_recovers_when_attempts_remain() {
+        // Panics on the first call for each task, succeeds on the retry.
+        let cluster = Cluster::new(ClusterConfig::with_slots(2, 1));
+        let calls = AtomicUsize::new(0);
+        let out = JobBuilder::new("flaky")
+            .map(|s: &u64, ctx: &mut MapContext<u8, u64>| {
+                if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient");
+                }
+                ctx.emit(0, *s)
+            })
+            .reduce(|k, vals, ctx: &mut ReduceContext<u8, u64>| ctx.emit(*k, vals.sum()))
+            .run(&cluster, vec![41u64])
+            .unwrap();
+        assert_eq!(out.pairs, vec![(0, 41)]);
+        assert_eq!(out.metrics.failed_attempts(), 1);
+        assert_eq!(out.metrics.retried_attempts(), 1);
+    }
+
+    #[test]
+    fn straggler_slows_simulated_clock_only() {
+        let clean = sum_job(&faulty_cluster(FaultPlan::seeded(0)), vec![1, 2]).unwrap();
+        let slow = sum_job(
+            &faulty_cluster(FaultPlan::seeded(0).with_straggler(TaskPhase::Map, 0, 50.0)),
+            vec![1, 2],
+        )
+        .unwrap();
+        assert_eq!(clean.pairs, slow.pairs);
+        assert!(slow.metrics.sim.map > clean.metrics.sim.map);
+        assert!(slow.metrics.map_task_secs[0] > 10.0 * clean.metrics.map_task_secs[0].max(1e-9));
     }
 }

@@ -15,6 +15,15 @@
 //! * every task pays a fixed startup overhead (Hadoop's JVM/task launch),
 //! * shuffle and HDFS traffic pay a configurable per-byte cost.
 //!
+//! Task execution is fault-tolerant in the Hadoop sense: an attempt that
+//! panics — or that a seeded [`fault::FaultPlan`] fails on purpose — is
+//! caught, retried up to [`ClusterConfig::max_attempts`] times (the retry
+//! scheduled *after* the failure is observed, so recovery cost shows up in
+//! the simulated makespan), and straggling attempts get speculative backup
+//! clones. A job only fails once some task exhausts its attempt budget
+//! ([`RuntimeError::TaskFailed`]). See the [`fault`] module for a runnable
+//! fault-injection example.
+//!
 //! Because the host machine may have fewer cores than the simulated
 //! cluster has slots, tasks are *executed* on however many threads the host
 //! provides while their measured durations are *scheduled* onto the
@@ -53,11 +62,15 @@
 pub mod cluster;
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod job;
 pub mod metrics;
 pub mod scheduler;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use error::RuntimeError;
+pub use fault::{FaultPlan, Straggler, TargetedFault, TaskPhase};
 pub use job::{JobBuilder, JobOutput, MapContext, ReduceContext};
-pub use metrics::{JobMetrics, SimTime};
+pub use metrics::{
+    AttemptKind, AttemptOutcome, AttemptStats, DriverMetrics, JobMetrics, SimTime, TaskAttempt,
+};

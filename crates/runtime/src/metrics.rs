@@ -6,6 +6,8 @@ use std::fmt;
 use std::ops::{Add, AddAssign};
 use std::time::Duration;
 
+use crate::fault::TaskPhase;
+
 /// Simulated cluster time, in seconds.
 ///
 /// Real per-task durations are measured on the host and then scheduled onto
@@ -74,6 +76,102 @@ impl SimBreakdown {
     }
 }
 
+/// Why a task attempt launched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptKind {
+    /// The task's first attempt.
+    Regular,
+    /// Re-execution after a failed attempt.
+    Retry,
+    /// Speculative backup of a straggling attempt.
+    Speculative,
+}
+
+/// How a task attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// Produced the task's output.
+    Succeeded,
+    /// Crashed (panic or injected fault); a retry may follow.
+    Failed,
+    /// Lost the race against its speculative twin and was killed.
+    Killed,
+}
+
+/// One task attempt as placed on the simulated slot schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskAttempt {
+    /// Phase the task belongs to.
+    pub phase: TaskPhase,
+    /// Task index within the phase.
+    pub task: usize,
+    /// 1-based attempt number within the task (speculative attempts get
+    /// the next free number).
+    pub attempt: usize,
+    /// Why this attempt launched.
+    pub kind: AttemptKind,
+    /// How this attempt ended.
+    pub outcome: AttemptOutcome,
+    /// Simulated start time, seconds from the phase's start.
+    pub sim_start: f64,
+    /// Simulated end time (completion, failure, or kill), seconds from the
+    /// phase's start.
+    pub sim_end: f64,
+}
+
+impl TaskAttempt {
+    /// Simulated seconds this attempt occupied its slot.
+    pub fn slot_secs(&self) -> f64 {
+        self.sim_end - self.sim_start
+    }
+}
+
+/// Aggregate attempt-level accounting for one job.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AttemptStats {
+    /// Attempts that crashed (panics plus injected faults).
+    pub failed: u64,
+    /// Retry attempts launched after a failure.
+    pub retried: u64,
+    /// Speculative backup attempts launched.
+    pub speculative: u64,
+    /// Simulated seconds spent in attempts that produced no output
+    /// (failed and killed attempts, including their startup overhead).
+    pub wasted_secs: f64,
+}
+
+impl AttemptStats {
+    /// Derives the aggregate stats from a schedule's attempt records.
+    pub fn from_attempts(attempts: &[TaskAttempt]) -> Self {
+        let mut s = AttemptStats::default();
+        for a in attempts {
+            match a.kind {
+                AttemptKind::Retry => s.retried += 1,
+                AttemptKind::Speculative => s.speculative += 1,
+                AttemptKind::Regular => {}
+            }
+            match a.outcome {
+                AttemptOutcome::Failed => {
+                    s.failed += 1;
+                    s.wasted_secs += a.slot_secs();
+                }
+                AttemptOutcome::Killed => s.wasted_secs += a.slot_secs(),
+                AttemptOutcome::Succeeded => {}
+            }
+        }
+        s
+    }
+}
+
+impl AddAssign for AttemptStats {
+    fn add_assign(&mut self, rhs: AttemptStats) {
+        self.failed += rhs.failed;
+        self.retried += rhs.retried;
+        self.speculative += rhs.speculative;
+        self.wasted_secs += rhs.wasted_secs;
+    }
+}
+
 /// Metrics of a single executed job.
 #[derive(Debug, Clone, Default)]
 pub struct JobMetrics {
@@ -99,6 +197,12 @@ pub struct JobMetrics {
     pub real_elapsed: Duration,
     /// User counters, merged across tasks.
     pub counters: BTreeMap<&'static str, u64>,
+    /// Every task attempt (map and reduce) as scheduled, including failed,
+    /// retried, and speculative attempts.
+    pub attempts: Vec<TaskAttempt>,
+    /// Aggregate attempt accounting (failures, retries, speculation,
+    /// wasted simulated seconds).
+    pub attempt_stats: AttemptStats,
 }
 
 impl JobMetrics {
@@ -120,6 +224,26 @@ impl JobMetrics {
     /// Value of a user counter (0 when never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Attempts that crashed (panics plus injected faults).
+    pub fn failed_attempts(&self) -> u64 {
+        self.attempt_stats.failed
+    }
+
+    /// Retry attempts launched after failures.
+    pub fn retried_attempts(&self) -> u64 {
+        self.attempt_stats.retried
+    }
+
+    /// Speculative backup attempts launched.
+    pub fn speculative_attempts(&self) -> u64 {
+        self.attempt_stats.speculative
+    }
+
+    /// Simulated seconds of work that produced no output.
+    pub fn wasted_secs(&self) -> f64 {
+        self.attempt_stats.wasted_secs
     }
 }
 
@@ -161,6 +285,15 @@ impl DriverMetrics {
     /// Number of executed jobs.
     pub fn job_count(&self) -> usize {
         self.jobs.len()
+    }
+
+    /// Aggregate attempt-level accounting across all jobs.
+    pub fn total_attempt_stats(&self) -> AttemptStats {
+        let mut s = AttemptStats::default();
+        for j in &self.jobs {
+            s += j.attempt_stats;
+        }
+        s
     }
 }
 

@@ -8,6 +8,9 @@
 //! this scheduling structure, which this module reproduces with greedy
 //! (FIFO, earliest-available-slot) list scheduling.
 
+use crate::fault::TaskPhase;
+use crate::metrics::{AttemptKind, AttemptOutcome, TaskAttempt};
+
 /// Greedy FIFO list scheduling: assigns each task (in submission order) to
 /// the earliest-available slot; returns the makespan in seconds. Every task
 /// additionally pays `startup` seconds of launch overhead inside its slot.
@@ -38,6 +41,264 @@ pub fn makespan(durations: &[f64], slots: usize, startup: f64) -> f64 {
 pub fn waves(tasks: usize, slots: usize) -> usize {
     assert!(slots > 0);
     tasks.div_ceil(slots)
+}
+
+/// One planned attempt of a task: how long it runs (excluding startup) and
+/// whether it ends in failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttemptPlan {
+    /// Seconds the attempt occupies its slot before its outcome is
+    /// observed (for failed attempts this is the time-to-failure).
+    pub duration: f64,
+    /// Whether the attempt crashes instead of completing.
+    pub fails: bool,
+}
+
+/// A task's full execution plan for the schedule simulator: zero or more
+/// failed attempts followed by exactly one successful attempt. Tasks that
+/// exhaust their attempt budget never reach the scheduler — the job has
+/// already failed by then.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskPlan {
+    /// Attempts in execution order; all but the last have `fails = true`.
+    pub attempts: Vec<AttemptPlan>,
+    /// Seconds a healthy re-execution would take — the duration of a
+    /// speculative backup, which lands on a non-straggling node.
+    pub healthy_duration: f64,
+}
+
+impl TaskPlan {
+    /// A plan with a single successful attempt (the fault-free case).
+    pub fn healthy(duration: f64) -> Self {
+        TaskPlan {
+            attempts: vec![AttemptPlan {
+                duration,
+                fails: false,
+            }],
+            healthy_duration: duration,
+        }
+    }
+}
+
+/// When to launch speculative backups of long-running attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationPolicy {
+    /// Speculate once an attempt has run `threshold ×` the median healthy
+    /// task duration (Hadoop's "slowest relative to average" heuristic).
+    pub threshold: f64,
+    /// Never speculate before an attempt has run this many seconds
+    /// (Hadoop waits 60 s; the engine's scaled default is 50 ms), which
+    /// keeps host-timing noise on tiny tasks from triggering backups.
+    pub min_secs: f64,
+}
+
+/// Result of simulating one phase's attempt schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSchedule {
+    /// Phase makespan in simulated seconds.
+    pub makespan: f64,
+    /// Every attempt as placed on the slot timeline.
+    pub attempts: Vec<TaskAttempt>,
+}
+
+/// Entry in the ready queue of the attempt simulator.
+#[derive(Debug, Clone)]
+struct Ready {
+    /// Simulated time at which the attempt may launch.
+    ready: f64,
+    /// FIFO tiebreak (submission order).
+    seq: usize,
+    task: usize,
+    /// 1-based attempt number.
+    attempt: usize,
+    kind: AttemptKind,
+    /// For regular/retry attempts: index into the task's plan. For
+    /// speculative attempts: index into `records` of the regular attempt
+    /// being backed up.
+    idx: usize,
+}
+
+/// Event-driven FIFO scheduling of task *attempts* onto `slots` slots.
+///
+/// Unlike [`makespan`], which places a fixed task list, this simulator
+/// reproduces Hadoop's recovery timeline: a failed attempt occupies its
+/// slot until the failure is observed, and only then (plus `backoff`) does
+/// its retry join the ready queue — retries are serialized *after* the
+/// failure, never hidden at submission time. With a [`SpeculationPolicy`],
+/// a successful attempt projected to run past the speculation trigger gets
+/// a backup clone launched at the trigger point; whichever attempt
+/// finishes first wins and the loser is killed, its slot time counted as
+/// wasted work.
+///
+/// Every attempt (including retries and backups) pays `startup` seconds of
+/// launch overhead inside its slot. The returned records are in assignment
+/// order; the makespan is the latest `sim_end` across all attempts.
+pub fn schedule_attempts(
+    phase: TaskPhase,
+    plans: &[TaskPlan],
+    slots: usize,
+    startup: f64,
+    backoff: f64,
+    speculation: Option<SpeculationPolicy>,
+) -> PhaseSchedule {
+    assert!(slots > 0, "scheduler requires at least one slot");
+    if plans.is_empty() {
+        return PhaseSchedule {
+            makespan: 0.0,
+            attempts: Vec::new(),
+        };
+    }
+
+    // Median healthy duration: the speculation baseline.
+    let median = {
+        let mut ds: Vec<f64> = plans.iter().map(|p| p.healthy_duration.max(0.0)).collect();
+        ds.sort_by(f64::total_cmp);
+        ds[ds.len() / 2]
+    };
+    let trigger = speculation.map(|s| (s.threshold * median).max(s.min_secs));
+
+    let mut free_at = vec![0.0f64; slots.min(plans.len())];
+    let mut records: Vec<TaskAttempt> = Vec::new();
+    // Slot and natural end of each task's successful regular attempt,
+    // consulted when its speculative backup launches.
+    let mut regular_slot: Vec<usize> = vec![usize::MAX; plans.len()];
+    let mut pending: Vec<Ready> = Vec::new();
+    let mut seq = 0usize;
+    for task in 0..plans.len() {
+        pending.push(Ready {
+            ready: 0.0,
+            seq,
+            task,
+            attempt: 1,
+            kind: AttemptKind::Regular,
+            idx: 0,
+        });
+        seq += 1;
+    }
+
+    while !pending.is_empty() {
+        // Pop the earliest-ready attempt (FIFO among ties). Linear scan:
+        // attempt counts here are hundreds, not millions.
+        let next = pending
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.ready.total_cmp(&b.ready).then(a.seq.cmp(&b.seq)))
+            .map(|(i, _)| i)
+            .expect("non-empty pending");
+        let item = pending.swap_remove(next);
+
+        if item.kind == AttemptKind::Speculative {
+            // `idx` points at the regular attempt's record.
+            let reg_end = records[item.idx].sim_end;
+            let (slot, &slot_free) = free_at
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty slots");
+            let start = slot_free.max(item.ready);
+            if start >= reg_end {
+                // The straggler finished before a backup could launch.
+                continue;
+            }
+            let natural_end = start + startup + plans[item.task].healthy_duration.max(0.0);
+            if natural_end < reg_end {
+                // Backup wins: the regular attempt is killed at the
+                // backup's finish time, freeing its slot early.
+                records[item.idx].outcome = AttemptOutcome::Killed;
+                records[item.idx].sim_end = natural_end;
+                free_at[regular_slot[item.task]] = natural_end;
+                free_at[slot] = natural_end;
+                records.push(TaskAttempt {
+                    phase,
+                    task: item.task,
+                    attempt: item.attempt,
+                    kind: AttemptKind::Speculative,
+                    outcome: AttemptOutcome::Succeeded,
+                    sim_start: start,
+                    sim_end: natural_end,
+                });
+            } else {
+                // Regular wins: the backup is killed when it finishes.
+                free_at[slot] = reg_end;
+                records.push(TaskAttempt {
+                    phase,
+                    task: item.task,
+                    attempt: item.attempt,
+                    kind: AttemptKind::Speculative,
+                    outcome: AttemptOutcome::Killed,
+                    sim_start: start,
+                    sim_end: reg_end,
+                });
+            }
+            continue;
+        }
+
+        let plan = &plans[item.task];
+        let ap = plan.attempts[item.idx];
+        let (slot, &slot_free) = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty slots");
+        let start = slot_free.max(item.ready);
+        let end = start + startup + ap.duration.max(0.0);
+        free_at[slot] = end;
+
+        if ap.fails {
+            records.push(TaskAttempt {
+                phase,
+                task: item.task,
+                attempt: item.attempt,
+                kind: item.kind,
+                outcome: AttemptOutcome::Failed,
+                sim_start: start,
+                sim_end: end,
+            });
+            debug_assert!(item.idx + 1 < plan.attempts.len(), "plan ends in failure");
+            pending.push(Ready {
+                ready: end + backoff,
+                seq,
+                task: item.task,
+                attempt: item.attempt + 1,
+                kind: AttemptKind::Retry,
+                idx: item.idx + 1,
+            });
+            seq += 1;
+        } else {
+            regular_slot[item.task] = slot;
+            records.push(TaskAttempt {
+                phase,
+                task: item.task,
+                attempt: item.attempt,
+                kind: item.kind,
+                outcome: AttemptOutcome::Succeeded,
+                sim_start: start,
+                sim_end: end,
+            });
+            if let Some(trigger) = trigger {
+                let run_secs = startup + ap.duration.max(0.0);
+                if run_secs > startup + trigger {
+                    // Straggling: a backup becomes ready once the attempt
+                    // has demonstrably outrun the trigger point.
+                    pending.push(Ready {
+                        ready: start + startup + trigger,
+                        seq,
+                        task: item.task,
+                        attempt: item.attempt + 1,
+                        kind: AttemptKind::Speculative,
+                        idx: records.len() - 1,
+                    });
+                    seq += 1;
+                }
+            }
+        }
+    }
+
+    let makespan = records.iter().map(|r| r.sim_end).fold(0.0, f64::max);
+    PhaseSchedule {
+        makespan,
+        attempts: records,
+    }
 }
 
 #[cfg(test)]
@@ -102,5 +363,168 @@ mod tests {
         assert_eq!(waves(4, 4), 1);
         assert_eq!(waves(5, 4), 2);
         assert_eq!(waves(9, 4), 3);
+    }
+
+    fn failing(times: &[f64], final_secs: f64) -> TaskPlan {
+        let mut attempts: Vec<AttemptPlan> = times
+            .iter()
+            .map(|&duration| AttemptPlan {
+                duration,
+                fails: true,
+            })
+            .collect();
+        attempts.push(AttemptPlan {
+            duration: final_secs,
+            fails: false,
+        });
+        TaskPlan {
+            attempts,
+            healthy_duration: final_secs,
+        }
+    }
+
+    #[test]
+    fn healthy_plans_match_makespan() {
+        let durations = [0.5, 3.0, 1.0, 2.0, 0.25, 1.75, 0.5];
+        for slots in 1..=4 {
+            let plans: Vec<TaskPlan> = durations.iter().map(|&d| TaskPlan::healthy(d)).collect();
+            let sched = schedule_attempts(TaskPhase::Map, &plans, slots, 0.1, 0.0, None);
+            let m = makespan(&durations, slots, 0.1);
+            assert!((sched.makespan - m).abs() < 1e-12, "slots {slots}");
+            assert_eq!(sched.attempts.len(), durations.len());
+            assert!(sched
+                .attempts
+                .iter()
+                .all(|a| a.outcome == AttemptOutcome::Succeeded));
+        }
+    }
+
+    #[test]
+    fn retry_serializes_after_observed_failure() {
+        // One task, one slot: attempt 1 fails after 1 s, retry (0.25 s
+        // backoff) succeeds in 2 s. Startup 0.5 s per attempt.
+        let plans = vec![failing(&[1.0], 2.0)];
+        let sched = schedule_attempts(TaskPhase::Map, &plans, 1, 0.5, 0.25, None);
+        assert_eq!(sched.attempts.len(), 2);
+        let fail = &sched.attempts[0];
+        assert_eq!(fail.outcome, AttemptOutcome::Failed);
+        assert_eq!(fail.kind, AttemptKind::Regular);
+        assert!((fail.sim_end - 1.5).abs() < 1e-12);
+        let retry = &sched.attempts[1];
+        assert_eq!(retry.kind, AttemptKind::Retry);
+        assert_eq!(retry.outcome, AttemptOutcome::Succeeded);
+        assert_eq!(retry.attempt, 2);
+        // Ready at 1.75, runs 0.5 + 2.0.
+        assert!((retry.sim_start - 1.75).abs() < 1e-12);
+        assert!((sched.makespan - 4.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failures_strictly_grow_makespan() {
+        let healthy: Vec<TaskPlan> = (0..6).map(|_| TaskPlan::healthy(1.0)).collect();
+        let mut faulty = healthy.clone();
+        faulty[2] = failing(&[0.5], 1.0);
+        let base = schedule_attempts(TaskPhase::Map, &healthy, 2, 0.1, 0.0, None);
+        let hurt = schedule_attempts(TaskPhase::Map, &faulty, 2, 0.1, 0.0, None);
+        assert!(hurt.makespan > base.makespan);
+    }
+
+    #[test]
+    fn speculative_backup_wins_against_straggler() {
+        // Four healthy 1 s tasks plus one straggler running 10 s whose
+        // healthy re-execution takes 1 s. Median 1 s, trigger 1.5 s.
+        let mut plans: Vec<TaskPlan> = (0..4).map(|_| TaskPlan::healthy(1.0)).collect();
+        plans.push(TaskPlan {
+            attempts: vec![AttemptPlan {
+                duration: 10.0,
+                fails: false,
+            }],
+            healthy_duration: 1.0,
+        });
+        let policy = SpeculationPolicy {
+            threshold: 1.5,
+            min_secs: 0.0,
+        };
+        let sched = schedule_attempts(TaskPhase::Map, &plans, 5, 0.0, 0.0, Some(policy));
+        // Backup ready at 1.5, finishes at 2.5 < 10: it wins, the regular
+        // attempt is killed at 2.5.
+        assert!((sched.makespan - 2.5).abs() < 1e-12);
+        let spec: Vec<_> = sched
+            .attempts
+            .iter()
+            .filter(|a| a.kind == AttemptKind::Speculative)
+            .collect();
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec[0].outcome, AttemptOutcome::Succeeded);
+        let killed: Vec<_> = sched
+            .attempts
+            .iter()
+            .filter(|a| a.outcome == AttemptOutcome::Killed)
+            .collect();
+        assert_eq!(killed.len(), 1);
+        assert_eq!(killed[0].task, 4);
+        assert_eq!(killed[0].kind, AttemptKind::Regular);
+    }
+
+    #[test]
+    fn regular_attempt_outruns_slow_backup() {
+        // The straggler is only mildly slow: the backup launches but loses.
+        let mut plans: Vec<TaskPlan> = (0..4).map(|_| TaskPlan::healthy(1.0)).collect();
+        plans.push(TaskPlan {
+            attempts: vec![AttemptPlan {
+                duration: 2.0,
+                fails: false,
+            }],
+            healthy_duration: 1.9,
+        });
+        let policy = SpeculationPolicy {
+            threshold: 1.5,
+            min_secs: 0.0,
+        };
+        let sched = schedule_attempts(TaskPhase::Map, &plans, 5, 0.0, 0.0, Some(policy));
+        assert!((sched.makespan - 2.0).abs() < 1e-12);
+        let spec: Vec<_> = sched
+            .attempts
+            .iter()
+            .filter(|a| a.kind == AttemptKind::Speculative)
+            .collect();
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec[0].outcome, AttemptOutcome::Killed);
+        // The killed backup occupied its slot from 1.5 to 2.0.
+        assert!((spec[0].slot_secs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_speculation_without_policy_or_below_min_secs() {
+        let mut plans: Vec<TaskPlan> = (0..4).map(|_| TaskPlan::healthy(0.001)).collect();
+        plans.push(TaskPlan {
+            attempts: vec![AttemptPlan {
+                duration: 0.01,
+                fails: false,
+            }],
+            healthy_duration: 0.001,
+        });
+        let none = schedule_attempts(TaskPhase::Map, &plans, 5, 0.0, 0.0, None);
+        assert!(none
+            .attempts
+            .iter()
+            .all(|a| a.kind != AttemptKind::Speculative));
+        // min_secs 50 ms dwarfs these microscopic tasks: no backups either.
+        let policy = SpeculationPolicy {
+            threshold: 1.5,
+            min_secs: 0.05,
+        };
+        let floored = schedule_attempts(TaskPhase::Map, &plans, 5, 0.0, 0.0, Some(policy));
+        assert!(floored
+            .attempts
+            .iter()
+            .all(|a| a.kind != AttemptKind::Speculative));
+    }
+
+    #[test]
+    fn empty_plan_list() {
+        let sched = schedule_attempts(TaskPhase::Reduce, &[], 4, 0.1, 0.0, None);
+        assert_eq!(sched.makespan, 0.0);
+        assert!(sched.attempts.is_empty());
     }
 }

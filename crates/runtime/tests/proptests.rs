@@ -166,11 +166,40 @@ proptest! {
         prop_assert!(m.simulated().secs() >= m.sim.map + m.sim.reduce);
         prop_assert_eq!(m.map_waves, tasks.div_ceil(slots));
     }
+
+    #[test]
+    fn makespan_bounded_by_critical_path_and_serial_time(
+        durations in prop::collection::vec(0.0f64..10.0, 1..40),
+        slots in 1usize..16,
+        startup in 0.0f64..0.5,
+    ) {
+        let m = dwmaxerr_runtime::scheduler::makespan(&durations, slots, startup);
+        // Lower bound: the longest single task (plus its startup) can never
+        // be beaten by adding slots.
+        let longest = durations.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(m >= longest + startup - 1e-9, "makespan {m} < {longest} + {startup}");
+        // Upper bound: one slot executing everything serially.
+        let serial: f64 = durations.iter().map(|d| d + startup).sum();
+        prop_assert!(m <= serial + 1e-9, "makespan {m} > serial {serial}");
+    }
+
+    #[test]
+    fn makespan_monotone_non_increasing_in_slots(
+        durations in prop::collection::vec(0.0f64..10.0, 1..40),
+        slots in 1usize..16,
+        startup in 0.0f64..0.5,
+    ) {
+        let tight = dwmaxerr_runtime::scheduler::makespan(&durations, slots, startup);
+        let roomy = dwmaxerr_runtime::scheduler::makespan(&durations, slots + 1, startup);
+        prop_assert!(roomy <= tight + 1e-9, "{roomy} > {tight} with an extra slot");
+    }
 }
 
 mod corruption {
     use dwmaxerr_runtime::codec::{CodecError, Wire};
-    use dwmaxerr_runtime::{Cluster, ClusterConfig, JobBuilder, MapContext, ReduceContext, RuntimeError};
+    use dwmaxerr_runtime::{
+        Cluster, ClusterConfig, JobBuilder, MapContext, ReduceContext, RuntimeError,
+    };
 
     /// A Wire impl whose encoding lies about its length: decoding the
     /// shuffle stream must surface RuntimeError::Codec, not panic.
@@ -185,7 +214,9 @@ mod corruption {
         fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
             let len = u32::decode(buf)? as usize;
             if buf.len() < len {
-                return Err(CodecError { context: "liar payload" });
+                return Err(CodecError {
+                    context: "liar payload",
+                });
             }
             *buf = &buf[len..];
             Ok(Liar)

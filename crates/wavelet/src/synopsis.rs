@@ -33,10 +33,7 @@ impl Synopsis {
 
     /// Builds a synopsis from `(index, value)` pairs. Duplicate indices are
     /// rejected by debug assertion; the slice need not be sorted.
-    pub fn from_entries(
-        n: usize,
-        mut entries: Vec<(u32, f64)>,
-    ) -> Result<Self, WaveletError> {
+    pub fn from_entries(n: usize, mut entries: Vec<(u32, f64)>) -> Result<Self, WaveletError> {
         ensure_pow2(n)?;
         entries.sort_unstable_by_key(|&(i, _)| i);
         debug_assert!(

@@ -189,7 +189,11 @@ impl TreeTopology {
             .rev()
             .map(move |l| {
                 let idx = (1usize << l) + (j >> (log_n - l));
-                let sign = if (j >> (log_n - l - 1)) & 1 == 0 { 1 } else { -1 };
+                let sign = if (j >> (log_n - l - 1)) & 1 == 0 {
+                    1
+                } else {
+                    -1
+                };
                 (idx, sign)
             })
             .chain(std::iter::once((0, 1)))

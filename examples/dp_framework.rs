@@ -28,7 +28,10 @@ fn main() {
         &cluster,
         &data,
         &MhsParams::new(eps, 1.0).unwrap(),
-        &DmhsConfig { base_leaves: 256, fan_in: 4 },
+        &DmhsConfig {
+            base_leaves: 256,
+            fan_in: 4,
+        },
     )
     .expect("DMHaarSpace runs");
     let mhs_row_bytes: u64 = sol

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dwmaxerr::algos::{conventional_synopsis, greedy_abs_synopsis};
 use dwmaxerr::algos::indirect_haar::indirect_haar_centralized;
+use dwmaxerr::algos::{conventional_synopsis, greedy_abs_synopsis};
 use dwmaxerr::wavelet::transform::forward;
 use dwmaxerr::wavelet::{metrics, ErrorTree, Synopsis};
 
@@ -45,7 +45,10 @@ fn main() {
     report("GreedyAbs", &greedy);
     report("IndirectHaar (DP)", &dp.synopsis);
     println!("\nGreedyAbs tracked error: {greedy_err}");
-    println!("IndirectHaar error:      {} ({} probes)", dp.error, dp.probes);
+    println!(
+        "IndirectHaar error:      {} ({} probes)",
+        dp.error, dp.probes
+    );
 
     // The max-error algorithms bound every individual value; the
     // conventional synopsis does not.

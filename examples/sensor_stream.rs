@@ -25,7 +25,10 @@ fn main() {
     };
 
     println!("Problem 2: minimal synopsis size per error tolerance (δ = 0.5°)");
-    println!("{:>10} {:>10} {:>12} {:>14}", "ε (deg)", "size", "actual err", "compression");
+    println!(
+        "{:>10} {:>10} {:>12} {:>14}",
+        "ε (deg)", "size", "actual err", "compression"
+    );
     for eps in [5.0, 10.0, 20.0, 45.0, 90.0] {
         let params = MhsParams::new(eps, 0.5).unwrap();
         let sol = dmin_haar_space(&cluster, &data, &params, &probe).expect("DP probe");
@@ -40,10 +43,7 @@ fn main() {
 
     // Problem 1 via the dual: best error for a fixed budget.
     let b = n / 16;
-    let cfg = DIndirectHaarConfig {
-        delta: 1.0,
-        probe,
-    };
+    let cfg = DIndirectHaarConfig { delta: 1.0, probe };
     let res = dindirect_haar(&cluster, &data, b, &cfg).expect("binary search");
     println!(
         "\nDIndirectHaar: budget {b} -> max_abs {:.2}° with {} coefficients \

@@ -31,7 +31,8 @@ fn main() {
     let cfg = DGreedyAbsConfig {
         base_leaves: 1 << 12,
         bucket_width: 0.5, // half-second buckets on seconds data
-        reducers: 4, max_candidates: None,
+        reducers: 4,
+        max_candidates: None,
     };
     let d = dgreedy_abs(&cluster, &data, b, &cfg).expect("pipeline runs");
     let d_err = metrics::evaluate(&data, &d.synopsis, 1.0);

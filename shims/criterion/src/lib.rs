@@ -1,0 +1,231 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal subset of the criterion 0.5 API. It keeps the
+//! bench sources compiling and produces honest (if statistically naive)
+//! mean-of-N timings on `cargo bench`; under `cargo test` (which runs
+//! `harness = false` bench targets with `--test`) each benchmark body runs
+//! exactly once as a smoke test.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (accepted, echoed in reports).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the hot loop.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it `samples` times (once in test mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.last_mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Records the group's throughput annotation (display only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = effective_samples(self.criterion, self.samples);
+        run_one(&full, samples, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness handle.
+pub struct Criterion {
+    samples: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: 10,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+fn effective_samples(c: &Criterion, configured: usize) -> usize {
+    if c.test_mode {
+        1
+    } else {
+        configured
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        last_mean: Duration::ZERO,
+    };
+    f(&mut b);
+    println!(
+        "bench {name:<50} {:>12.3?} /iter ({} samples)",
+        b.last_mean, samples
+    );
+}
+
+impl Criterion {
+    /// Sets the default sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time (accepted, ignored).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let samples = effective_samples(self, self.samples);
+        run_one(name, samples, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::new("f", 4), |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("g", 1), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    #[test]
+    fn harness_smoke() {
+        benches();
+    }
+}

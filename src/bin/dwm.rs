@@ -215,7 +215,10 @@ fn cmd_build(flags: &HashMap<String, Vec<String>>) -> Result<(), CliError> {
         }
         "dindirect-haar" => {
             let cluster = Cluster::new(ClusterConfig::default());
-            let mut cfg = DIndirectHaarConfig { delta, ..DIndirectHaarConfig::default() };
+            let mut cfg = DIndirectHaarConfig {
+                delta,
+                ..DIndirectHaarConfig::default()
+            };
             cfg.probe.base_leaves = (data.len() / 32).max(2);
             let res = dindirect_haar(&cluster, &data, b, &cfg)?;
             eprintln!(
@@ -266,10 +269,7 @@ fn cmd_eval(flags: &HashMap<String, Vec<String>>) -> Result<(), CliError> {
 fn cmd_query(flags: &HashMap<String, Vec<String>>) -> Result<(), CliError> {
     let syn = read_synopsis(get(flags, "synopsis")?)?;
     if let Some(points) = flags.get("point") {
-        let i: usize = points
-            .first()
-            .ok_or("missing value for --point")?
-            .parse()?;
+        let i: usize = points.first().ok_or("missing value for --point")?.parse()?;
         if i >= syn.data_len() {
             return Err(format!("point {i} out of range (n={})", syn.data_len()).into());
         }

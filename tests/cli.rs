@@ -23,7 +23,11 @@ fn gen_build_eval_query_pipeline() {
         .args(["--out", data.to_str().unwrap()])
         .output()
         .expect("gen runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = dwm()
         .args(["build", "--input", data.to_str().unwrap()])
@@ -31,7 +35,11 @@ fn gen_build_eval_query_pipeline() {
         .args(["--out", syn.to_str().unwrap()])
         .output()
         .expect("build runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("built greedy-abs synopsis"), "{stderr}");
 

@@ -56,7 +56,10 @@ fn saturation_then_linear_growth() {
     let t4 = busy_job(&c, 4); // under-utilized
     let t8 = busy_job(&c, 8); // exactly one wave
     let t32 = busy_job(&c, 32); // four waves
-    assert!(t8 / t4 < 1.6, "sub-saturation should be ~flat: {t4} -> {t8}");
+    assert!(
+        t8 / t4 < 1.6,
+        "sub-saturation should be ~flat: {t4} -> {t8}"
+    );
     assert!(
         (2.8..=5.5).contains(&(t32 / t8)),
         "4 waves should cost ~4x one wave: {}",
@@ -73,7 +76,12 @@ fn tiny_partitions_pay_startup_overhead() {
     let b = n / 8;
     let sim_of = |s: usize| {
         let c = cluster_with_slots(8, 4);
-        let cfg = DGreedyAbsConfig { base_leaves: s, bucket_width: 0.5, reducers: 2 , max_candidates: None};
+        let cfg = DGreedyAbsConfig {
+            base_leaves: s,
+            bucket_width: 0.5,
+            reducers: 2,
+            max_candidates: None,
+        };
         dgreedy_abs(&c, &data, b, &cfg)
             .unwrap()
             .metrics
@@ -98,7 +106,8 @@ fn shuffle_bytes_scale_with_data() {
         let cfg = DGreedyAbsConfig {
             base_leaves: n / 8,
             bucket_width: 0.5,
-            reducers: 2, max_candidates: None,
+            reducers: 2,
+            max_candidates: None,
         };
         let d = dgreedy_abs(&c, &data, n / 8, &cfg).unwrap();
         bytes.push(d.metrics.total_shuffle_bytes());
@@ -117,7 +126,12 @@ fn job_history_ledger_records_everything() {
     let c = cluster_with_slots(4, 2);
     let n = 1 << 10;
     let data = uniform(n, 100.0, 5);
-    let cfg = DGreedyAbsConfig { base_leaves: 1 << 7, bucket_width: 0.5, reducers: 2 , max_candidates: None};
+    let cfg = DGreedyAbsConfig {
+        base_leaves: 1 << 7,
+        bucket_width: 0.5,
+        reducers: 2,
+        max_candidates: None,
+    };
     let d = dgreedy_abs(&c, &data, n / 8, &cfg).unwrap();
     let history = c.history();
     assert_eq!(history.len(), d.metrics.job_count());

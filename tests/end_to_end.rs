@@ -34,7 +34,12 @@ fn nyct_pipeline_quality_ordering() {
         &c,
         &data,
         b,
-        &DGreedyAbsConfig { base_leaves: 1 << 9, bucket_width: 0.25, reducers: 4 , max_candidates: None},
+        &DGreedyAbsConfig {
+            base_leaves: 1 << 9,
+            bucket_width: 0.25,
+            reducers: 4,
+            max_candidates: None,
+        },
     )
     .unwrap();
     let d_err = max_abs(&data, &d.synopsis.reconstruct_all());
@@ -46,8 +51,14 @@ fn nyct_pipeline_quality_ordering() {
     let (conv, _) = con(&c, &data, b, 1 << 9).unwrap();
     let conv_err = max_abs(&data, &conv.reconstruct_all());
 
-    assert!(d_err < conv_err, "DGreedyAbs {d_err} !< conventional {conv_err}");
-    assert!(g_actual < conv_err, "GreedyAbs {g_actual} !< conventional {conv_err}");
+    assert!(
+        d_err < conv_err,
+        "DGreedyAbs {d_err} !< conventional {conv_err}"
+    );
+    assert!(
+        g_actual < conv_err,
+        "GreedyAbs {g_actual} !< conventional {conv_err}"
+    );
     // Paper: "DGreedyAbs ... achieves the same maximum absolute error with
     // its centralized counterpart" — allow a bucket of slack.
     assert!(
@@ -64,7 +75,10 @@ fn wd_dp_beats_greedy_and_respects_budget() {
     let c = cluster();
     let cfg = DIndirectHaarConfig {
         delta: 1.0,
-        probe: DmhsConfig { base_leaves: 1 << 8, fan_in: 4 },
+        probe: DmhsConfig {
+            base_leaves: 1 << 8,
+            fan_in: 4,
+        },
     };
     let dp = dindirect_haar(&c, &data, b, &cfg).unwrap();
     assert!(dp.synopsis.size() <= b);
@@ -139,7 +153,12 @@ fn dgreedy_rel_protects_relative_error_on_mixed_magnitudes() {
         &c,
         &data,
         b,
-        &DGreedyAbsConfig { base_leaves: 1 << 7, bucket_width: 1e-6, reducers: 2 , max_candidates: None},
+        &DGreedyAbsConfig {
+            base_leaves: 1 << 7,
+            bucket_width: 1e-6,
+            reducers: 2,
+            max_candidates: None,
+        },
     )
     .unwrap();
     let rel_of = |syn: &dwmaxerr::wavelet::Synopsis| evaluate(&data, syn, 1.0).max_rel;
@@ -164,7 +183,12 @@ fn error_guarantees_hold_under_corruption() {
         &c,
         &data,
         b,
-        &DGreedyAbsConfig { base_leaves: 1 << 8, bucket_width: 1.0, reducers: 2 , max_candidates: None},
+        &DGreedyAbsConfig {
+            base_leaves: 1 << 8,
+            bucket_width: 1.0,
+            reducers: 2,
+            max_candidates: None,
+        },
     )
     .unwrap();
     assert!(d.synopsis.size() <= b);
@@ -185,7 +209,12 @@ fn degenerate_shapes() {
         &c,
         &data,
         1,
-        &DGreedyAbsConfig { base_leaves: 8, bucket_width: 1e-9, reducers: 2 , max_candidates: None},
+        &DGreedyAbsConfig {
+            base_leaves: 8,
+            bucket_width: 1e-9,
+            reducers: 2,
+            max_candidates: None,
+        },
     )
     .unwrap();
     let err = max_abs(&data, &d.synopsis.reconstruct_all());
@@ -198,9 +227,17 @@ fn degenerate_shapes() {
         &c,
         &spike,
         8,
-        &DGreedyAbsConfig { base_leaves: 8, bucket_width: 1e-9, reducers: 2 , max_candidates: None},
+        &DGreedyAbsConfig {
+            base_leaves: 8,
+            bucket_width: 1e-9,
+            reducers: 2,
+            max_candidates: None,
+        },
     )
     .unwrap();
     let err = max_abs(&spike, &d.synopsis.reconstruct_all());
-    assert!(err < 1e-9, "a spike needs log N + 1 = 7 <= 8 coefficients: {err}");
+    assert!(
+        err < 1e-9,
+        "a spike needs log N + 1 = 7 <= 8 coefficients: {err}"
+    );
 }

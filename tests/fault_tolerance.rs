@@ -1,0 +1,167 @@
+//! Fault-tolerance acceptance tests: the paper's distributed algorithms
+//! must produce bit-identical synopses on a cluster that loses task
+//! attempts and hosts stragglers — recovery may only cost (simulated)
+//! time, never accuracy.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use dwmaxerr::core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};
+use dwmaxerr::core::dindirect_haar::{dindirect_haar, DIndirectHaarConfig};
+use dwmaxerr::core::dmin_haar_space::DmhsConfig;
+use dwmaxerr::core::CoreError;
+use dwmaxerr::datagen::synthetic::uniform;
+use dwmaxerr::runtime::{
+    Cluster, ClusterConfig, FaultPlan, JobBuilder, MapContext, ReduceContext, RuntimeError,
+    TaskPhase,
+};
+
+const N: usize = 1 << 13;
+const BASE_LEAVES: usize = 1 << 10;
+
+/// A small cluster whose map durations are dominated by a *deterministic*
+/// simulated HDFS read (8 KiB splits at 64 KiB/s = 125 ms/task), so
+/// makespan comparisons are immune to host-timing noise.
+fn cluster(plan: Option<FaultPlan>) -> Cluster {
+    let mut cfg = ClusterConfig::with_slots(4, 2);
+    cfg.task_startup = Duration::from_millis(1);
+    cfg.job_setup = Duration::from_millis(1);
+    cfg.hdfs_bytes_per_sec = 64.0 * 1024.0;
+    cfg.fault_plan = plan;
+    Cluster::new(cfg)
+}
+
+/// ≥10% attempt failures plus two map stragglers, as the acceptance
+/// criteria demand.
+fn hostile_plan() -> FaultPlan {
+    FaultPlan::seeded(11)
+        .with_failure_prob(0.12)
+        .with_straggler(TaskPhase::Map, 0, 6.0)
+        .with_straggler(TaskPhase::Map, 3, 4.0)
+}
+
+#[test]
+fn dgreedy_abs_is_bit_identical_under_faults() {
+    let data = uniform(N, 1_000.0, 77);
+    let b = N / 8;
+    let cfg = DGreedyAbsConfig {
+        base_leaves: BASE_LEAVES,
+        bucket_width: 1.0,
+        reducers: 4,
+        max_candidates: None,
+    };
+
+    let clean = dgreedy_abs(&cluster(None), &data, b, &cfg).expect("fault-free run");
+    let faulty =
+        dgreedy_abs(&cluster(Some(hostile_plan())), &data, b, &cfg).expect("recovers from faults");
+
+    // Bit-identical synopsis: recovery must never change the answer.
+    assert_eq!(
+        clean.synopsis.reconstruct_all(),
+        faulty.synopsis.reconstruct_all()
+    );
+
+    let stats = faulty.metrics.total_attempt_stats();
+    assert!(stats.failed > 0, "plan injected no failures: {stats:?}");
+    assert!(stats.retried > 0, "no retries recorded: {stats:?}");
+    assert!(
+        stats.speculative > 0,
+        "stragglers spawned no backups: {stats:?}"
+    );
+    assert!(stats.wasted_secs > 0.0);
+
+    // Recovery is paid in simulated time, serialized after each failure.
+    let clean_secs = clean.metrics.total_simulated().secs();
+    let faulty_secs = faulty.metrics.total_simulated().secs();
+    assert!(
+        faulty_secs > clean_secs,
+        "faulty {faulty_secs} not slower than clean {clean_secs}"
+    );
+}
+
+#[test]
+fn dindirect_haar_is_bit_identical_under_faults() {
+    let data = uniform(N, 1_000.0, 78);
+    let b = N / 8;
+    let cfg = DIndirectHaarConfig {
+        delta: 50.0,
+        probe: DmhsConfig {
+            base_leaves: BASE_LEAVES,
+            fan_in: 16,
+        },
+    };
+
+    let clean = dindirect_haar(&cluster(None), &data, b, &cfg).expect("fault-free run");
+    let plan = FaultPlan::seeded(5)
+        .with_failure_prob(0.10)
+        .with_straggler(TaskPhase::Map, 1, 5.0)
+        .with_straggler(TaskPhase::Map, 2, 4.0);
+    let faulty = dindirect_haar(&cluster(Some(plan)), &data, b, &cfg).expect("recovers");
+
+    assert_eq!(clean.error, faulty.error, "bitwise-equal achieved error");
+    assert_eq!(
+        clean.synopsis.reconstruct_all(),
+        faulty.synopsis.reconstruct_all()
+    );
+    assert_eq!(clean.probes, faulty.probes, "same binary-search trajectory");
+
+    let stats = faulty.metrics.total_attempt_stats();
+    assert!(stats.failed > 0 && stats.retried > 0, "{stats:?}");
+    assert!(stats.speculative > 0, "{stats:?}");
+    assert!(faulty.metrics.total_simulated() > clean.metrics.total_simulated());
+}
+
+#[test]
+fn exhausted_attempts_surface_as_typed_error() {
+    let data = uniform(N, 1_000.0, 79);
+    let cfg = DGreedyAbsConfig {
+        base_leaves: BASE_LEAVES,
+        bucket_width: 1.0,
+        reducers: 2,
+        max_candidates: None,
+    };
+    // Map task 0 fails all four default attempts in every job.
+    let plan = FaultPlan::seeded(0).with_targeted(TaskPhase::Map, 0, vec![1, 2, 3, 4]);
+    let err = dgreedy_abs(&cluster(Some(plan)), &data, N / 8, &cfg).unwrap_err();
+    match err {
+        CoreError::Runtime(RuntimeError::TaskFailed {
+            phase,
+            task,
+            attempts,
+            ..
+        }) => {
+            assert_eq!(phase, TaskPhase::Map);
+            assert_eq!(task, 0);
+            assert_eq!(attempts, 4);
+        }
+        other => panic!("expected TaskFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn panicking_map_function_is_isolated_and_typed() {
+    // Through the public facade: a panicking user function must be caught,
+    // retried max_attempts times, and reported as a typed error — never an
+    // engine abort.
+    let mut cfg = ClusterConfig::with_slots(2, 1);
+    cfg.max_attempts = 3;
+    let cluster = Cluster::new(cfg);
+    let calls = AtomicUsize::new(0);
+    let result = JobBuilder::new("panicky")
+        .map(|_s: &u8, _ctx: &mut MapContext<u8, u8>| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            panic!("user bug");
+        })
+        .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
+        .run(&cluster, vec![0u8]);
+    assert_eq!(calls.load(Ordering::SeqCst), 3, "retried per max_attempts");
+    match result {
+        Err(RuntimeError::TaskFailed {
+            attempts, reason, ..
+        }) => {
+            assert_eq!(attempts, 3);
+            assert!(reason.contains("user bug"), "{reason}");
+        }
+        other => panic!("expected TaskFailed, got {other:?}"),
+    }
+}

@@ -32,7 +32,10 @@ fn three_dp_families_share_the_framework_on_wd() {
         &c,
         &data,
         &MhsParams::new(eps, 1.0).unwrap(),
-        &DmhsConfig { base_leaves: 128, fan_in: 4 },
+        &DmhsConfig {
+            base_leaves: 128,
+            fan_in: 4,
+        },
     )
     .unwrap();
     assert!(mhs.actual_error <= eps + 1e-9);
@@ -42,7 +45,10 @@ fn three_dp_families_share_the_framework_on_wd() {
         &c,
         &data,
         &MhsParams::new(eps, 1.0).unwrap(),
-        &DhpConfig { base_leaves: 128, fan_in: 4 },
+        &DhpConfig {
+            base_leaves: 128,
+            fan_in: 4,
+        },
     )
     .unwrap();
     assert!(hp.actual_error <= eps + 1e-9);
@@ -117,7 +123,10 @@ fn budget_edges_on_nyct() {
         2,
         &DIndirectHaarConfig {
             delta: 50.0,
-            probe: DmhsConfig { base_leaves: 128, fan_in: 4 },
+            probe: DmhsConfig {
+                base_leaves: 128,
+                fan_in: 4,
+            },
         },
     )
     .unwrap();

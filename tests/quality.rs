@@ -61,7 +61,10 @@ fn matrix(data: &[f64], b: usize, delta: f64) -> Vec<Entry> {
         },
     )
     .unwrap();
-    out.push(Entry { name: "dgreedy_abs", synopsis: d.synopsis });
+    out.push(Entry {
+        name: "dgreedy_abs",
+        synopsis: d.synopsis,
+    });
     out
 }
 
@@ -75,7 +78,11 @@ fn check_dataset(data: &[f64], b: usize, delta: f64) {
     // Budgets hold everywhere (MinRelVar's budget is in expectation, so
     // give it slack for coin-flip variance).
     for e in &entries {
-        let slack = if e.name == "min_rel_var" { b / 2 + 8 } else { 0 };
+        let slack = if e.name == "min_rel_var" {
+            b / 2 + 8
+        } else {
+            0
+        };
         assert!(
             e.synopsis.size() <= b + slack,
             "{} exceeded budget: {} > {b}",
@@ -106,9 +113,24 @@ fn check_dataset(data: &[f64], b: usize, delta: f64) {
     }
 
     // Max-error specialists beat the conventional synopsis on max_abs.
-    assert!(gabs.max_abs < conv.max_abs, "GreedyAbs {} !< conv {}", gabs.max_abs, conv.max_abs);
-    assert!(dp.max_abs < conv.max_abs, "DP {} !< conv {}", dp.max_abs, conv.max_abs);
-    assert!(dabs.max_abs < conv.max_abs, "DGreedyAbs {} !< conv {}", dabs.max_abs, conv.max_abs);
+    assert!(
+        gabs.max_abs < conv.max_abs,
+        "GreedyAbs {} !< conv {}",
+        gabs.max_abs,
+        conv.max_abs
+    );
+    assert!(
+        dp.max_abs < conv.max_abs,
+        "DP {} !< conv {}",
+        dp.max_abs,
+        conv.max_abs
+    );
+    assert!(
+        dabs.max_abs < conv.max_abs,
+        "DGreedyAbs {} !< conv {}",
+        dabs.max_abs,
+        conv.max_abs
+    );
 
     // The DP is (quantization-)optimal for max_abs: it must not lose to
     // the greedy heuristic by more than a quantum.
