@@ -56,7 +56,7 @@ fn bench_jobs(c: &mut Criterion) {
             JobBuilder::new("noop")
                 .map(|_s: &u8, _ctx: &mut MapContext<u8, u8>| {})
                 .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
-                .run(&cluster, vec![0u8])
+                .run(&cluster, &[0u8])
                 .unwrap()
         })
     });
@@ -77,7 +77,7 @@ fn bench_jobs(c: &mut Criterion) {
                 .reduce(|k, vals, ctx: &mut ReduceContext<u64, u64>| {
                     ctx.emit(*k, vals.sum());
                 })
-                .run(&cluster, splits.clone())
+                .run(&cluster, &splits)
                 .unwrap()
         })
     });

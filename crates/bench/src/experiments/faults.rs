@@ -11,9 +11,10 @@
 use dwmaxerr_core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};
 use dwmaxerr_core::CoreError;
 use dwmaxerr_datagen::synthetic::uniform;
+use dwmaxerr_runtime::metrics::DriverMetrics;
 use dwmaxerr_runtime::{AttemptStats, Cluster, ClusterConfig, FaultPlan, TaskPhase};
 
-use crate::report::{secs, Table};
+use crate::report::{secs, stage_breakdown, Table};
 use crate::setup::Scale;
 
 /// A paper-shaped cluster carrying the given fault plan. HDFS is slowed to
@@ -41,7 +42,8 @@ pub fn fault_sweep(scale: Scale) -> Vec<Table> {
         max_candidates: None,
     };
 
-    let run = |plan: Option<FaultPlan>| -> Result<(Vec<f64>, f64, AttemptStats), CoreError> {
+    type RunOutput = (Vec<f64>, f64, AttemptStats, DriverMetrics);
+    let run = |plan: Option<FaultPlan>| -> Result<RunOutput, CoreError> {
         let cluster = faulty_cluster(plan);
         let res = dgreedy_abs(&cluster, &data, b, &cfg)?;
         let stats = res.metrics.total_attempt_stats();
@@ -49,10 +51,11 @@ pub fn fault_sweep(scale: Scale) -> Vec<Table> {
             res.synopsis.reconstruct_all(),
             res.metrics.total_simulated().secs(),
             stats,
+            res.metrics,
         ))
     };
 
-    let (clean_recon, clean_secs, _) = run(None).expect("fault-free run succeeds");
+    let (clean_recon, clean_secs, _, _) = run(None).expect("fault-free run succeeds");
 
     let mut t = Table::new(
         format!(
@@ -72,13 +75,14 @@ pub fn fault_sweep(scale: Scale) -> Vec<Table> {
             "output identical",
         ],
     );
+    let mut breakdown_metrics: Option<(f64, DriverMetrics)> = None;
     for prob in [0.0, 0.05, 0.10, 0.20] {
         let plan = FaultPlan::seeded(41)
             .with_failure_prob(prob)
             .with_straggler(TaskPhase::Map, 0, 6.0)
             .with_straggler(TaskPhase::Map, 1, 4.0);
         match run(Some(plan)) {
-            Ok((recon, sim_secs, stats)) => {
+            Ok((recon, sim_secs, stats, metrics)) => {
                 let identical = recon == clean_recon;
                 t.row(vec![
                     format!("{:.0}%", prob * 100.0),
@@ -90,6 +94,9 @@ pub fn fault_sweep(scale: Scale) -> Vec<Table> {
                     secs(stats.wasted_secs),
                     if identical { "yes" } else { "NO" }.to_string(),
                 ]);
+                // Keep the highest-failure-rate run that still completed for
+                // the per-stage recovery-cost breakdown below.
+                breakdown_metrics = Some((prob, metrics));
             }
             Err(e) => {
                 // Some task drew max_attempts consecutive failures: the job
@@ -112,5 +119,22 @@ pub fn fault_sweep(scale: Scale) -> Vec<Table> {
          FaultPlan (two map stragglers at 6x/4x plus the per-attempt failure rate), \
          Hadoop defaults: max_attempts=4, speculative execution on.",
     );
-    vec![t]
+    let mut tables = vec![t];
+    if let Some((prob, metrics)) = breakdown_metrics {
+        let mut bd = stage_breakdown(
+            format!(
+                "Per-stage breakdown — DGreedyAbs at {:.0}% attempt failure rate",
+                prob * 100.0
+            ),
+            "recovery cost concentrates in the map-heavy stages; the stage rows \
+             partition the pipeline's job ledger exactly",
+            &metrics,
+        );
+        bd.note(
+            "stage rows come from DriverMetrics::per_stage(): jobs grouped by name in \
+             first-execution order, summing to the totals row.",
+        );
+        tables.push(bd);
+    }
+    tables
 }

@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use dwmaxerr_runtime::metrics::DriverMetrics;
+
 /// One experiment output table.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -110,6 +112,58 @@ pub fn bytes(b: u64) -> String {
     }
 }
 
+/// Builds a per-stage breakdown table from a driver's job ledger.
+///
+/// One row per pipeline stage (jobs grouped by name via
+/// [`DriverMetrics::per_stage`], in first-execution order), plus a `total`
+/// row that the stage rows sum to exactly — the breakdown partitions the
+/// ledger.
+pub fn stage_breakdown(
+    title: impl Into<String>,
+    paper_claim: impl Into<String>,
+    metrics: &DriverMetrics,
+) -> Table {
+    let mut t = Table::new(
+        title,
+        paper_claim,
+        &[
+            "stage",
+            "runs",
+            "sim time",
+            "shuffle",
+            "input",
+            "failed",
+            "retried",
+            "wasted slot-s",
+        ],
+    );
+    for s in metrics.per_stage() {
+        t.row(vec![
+            s.name.clone(),
+            s.runs.to_string(),
+            secs(s.simulated.secs()),
+            bytes(s.shuffle_bytes),
+            bytes(s.input_bytes),
+            s.attempt_stats.failed.to_string(),
+            s.attempt_stats.retried.to_string(),
+            secs(s.attempt_stats.wasted_secs),
+        ]);
+    }
+    let total_attempts = metrics.total_attempt_stats();
+    let total_input: u64 = metrics.jobs.iter().map(|j| j.input_bytes).sum();
+    t.row(vec![
+        "total".into(),
+        metrics.job_count().to_string(),
+        secs(metrics.total_simulated().secs()),
+        bytes(metrics.total_shuffle_bytes()),
+        bytes(total_input),
+        total_attempts.failed.to_string(),
+        total_attempts.retried.to_string(),
+        secs(total_attempts.wasted_secs),
+    ]);
+    t
+}
+
 /// Prints tables to stdout.
 pub fn print_all(tables: &[Table]) {
     for t in tables {
@@ -142,6 +196,33 @@ mod tests {
         assert_eq!(err(512.3), "512");
         assert_eq!(bytes(100), "100B");
         assert_eq!(bytes(100 * 1024), "100.0KiB");
+    }
+
+    #[test]
+    fn stage_breakdown_partitions_the_ledger() {
+        use dwmaxerr_runtime::metrics::JobMetrics;
+        let mut d = DriverMetrics::new();
+        for (name, map_secs, shuffle) in [
+            ("layer-up", 1.0, 100),
+            ("layer-up", 2.0, 200),
+            ("extract", 4.0, 50),
+        ] {
+            let mut j = JobMetrics {
+                name: name.into(),
+                shuffle_bytes: shuffle,
+                ..JobMetrics::default()
+            };
+            j.sim.map = map_secs;
+            d.push(j);
+        }
+        let t = stage_breakdown("Stage breakdown", "claim", &d);
+        let md = t.to_markdown();
+        // Two stage rows plus the total row.
+        assert_eq!(t.rows.len(), 3);
+        assert!(md.contains("| layer-up | 2    | 3.00s"));
+        assert!(md.contains("| extract  | 1    | 4.00s"));
+        assert!(md.contains("| total    | 3    | 7.00s"));
+        assert!(md.contains("350B"));
     }
 
     #[test]

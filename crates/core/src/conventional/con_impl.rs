@@ -9,7 +9,7 @@
 //! exactly once, fully computed.
 
 use dwmaxerr_runtime::metrics::DriverMetrics;
-use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
+use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, Pipeline, ReduceContext};
 use dwmaxerr_wavelet::Synopsis;
 
 use crate::error::CoreError;
@@ -31,7 +31,7 @@ pub fn con(
     let num_base = partition.num_base() as u64;
     let part = partition;
 
-    let out = JobBuilder::new("con")
+    let job = JobBuilder::new("con")
         .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, f64>| {
             let (details, avg) = part.base_details_from_data(split.slice());
             for (local, &c) in details.iter().enumerate() {
@@ -51,24 +51,25 @@ pub fn con(
             for v in vals {
                 ctx.emit(*k, v);
             }
+        });
+
+    let (entries, metrics) = Pipeline::on(cluster)
+        .stage(&job, &splits)?
+        .then(|(_, pairs)| {
+            let mut averages = vec![0.0; num_base as usize];
+            let mut coeff_pairs: Vec<(u64, f64)> = Vec::with_capacity(n);
+            for (k, v) in pairs {
+                if k < num_base {
+                    averages[k as usize] = v;
+                } else {
+                    coeff_pairs.push((k, v));
+                }
+            }
+            let root = partition.root_coeffs_from_averages(&averages);
+            coeff_pairs.extend(root.iter().enumerate().map(|(i, &c)| (i as u64, c)));
+            super::top_b_by_normalized(coeff_pairs, n, b)
         })
-        .run(cluster, splits)?;
-
-    let mut metrics = DriverMetrics::new();
-    metrics.push(out.metrics);
-
-    let mut averages = vec![0.0; num_base as usize];
-    let mut coeff_pairs: Vec<(u64, f64)> = Vec::with_capacity(n);
-    for (k, v) in out.pairs {
-        if k < num_base {
-            averages[k as usize] = v;
-        } else {
-            coeff_pairs.push((k, v));
-        }
-    }
-    let root = partition.root_coeffs_from_averages(&averages);
-    coeff_pairs.extend(root.iter().enumerate().map(|(i, &c)| (i as u64, c)));
-    let entries = super::top_b_by_normalized(coeff_pairs, n, b);
+        .finish();
     Ok((Synopsis::from_entries(n, entries)?, metrics))
 }
 

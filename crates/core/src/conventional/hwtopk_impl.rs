@@ -23,7 +23,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use dwmaxerr_runtime::metrics::DriverMetrics;
-use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
+use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, Pipeline, ReduceContext};
 use dwmaxerr_wavelet::basis::partial_coefficients;
 use dwmaxerr_wavelet::tree::TreeTopology;
 use dwmaxerr_wavelet::Synopsis;
@@ -111,8 +111,6 @@ pub fn hwtopk(
             },
         ));
     }
-    let mut metrics = DriverMetrics::new();
-
     // ---- Round 1: top/bottom k per mapper + thresholds ----
     let k = b;
     let r1 = JobBuilder::new("hwtopk-round1")
@@ -140,39 +138,42 @@ pub fn hwtopk(
             for v in vals {
                 ctx.emit(*key, v);
             }
-        })
-        .run(cluster, splits.clone())?;
-    metrics.push(r1.metrics);
-
-    let mut kth_high = vec![0.0f64; m];
-    let mut kth_low = vec![0.0f64; m];
-    let mut seen: HashMap<u64, Vec<(u32, f64)>> = HashMap::new();
-    for (key, (mapper, v)) in r1.pairs {
-        match key {
-            KTH_HIGH => kth_high[mapper as usize] = v,
-            KTH_LOW => kth_low[mapper as usize] = v,
-            node => seen.entry(node).or_default().push((mapper, v)),
-        }
-    }
-    // τ(x) with round-1 bounds: non-senders bounded by their k-th values
-    // (clamped by 0, since an unheld coefficient's partial is exactly 0).
-    let taus: Vec<f64> = seen
-        .values()
-        .map(|senders| {
-            let sent: HashSet<u32> = senders.iter().map(|&(j, _)| j).collect();
-            let exact: f64 = senders.iter().map(|&(_, v)| v).sum();
-            let mut plus = exact;
-            let mut minus = exact;
-            for j in 0..m as u32 {
-                if !sent.contains(&j) {
-                    plus += kth_high[j as usize].max(0.0);
-                    minus += kth_low[j as usize].min(0.0);
+        });
+    let pipe = Pipeline::on(cluster)
+        .stage(&r1, &splits)?
+        .then(|(_, pairs)| {
+            let mut kth_high = vec![0.0f64; m];
+            let mut kth_low = vec![0.0f64; m];
+            let mut seen: HashMap<u64, Vec<(u32, f64)>> = HashMap::new();
+            for (key, (mapper, v)) in pairs {
+                match key {
+                    KTH_HIGH => kth_high[mapper as usize] = v,
+                    KTH_LOW => kth_low[mapper as usize] = v,
+                    node => seen.entry(node).or_default().push((mapper, v)),
                 }
             }
-            tau(plus, minus)
-        })
-        .collect();
-    let t1 = kth_largest(taus, k);
+            // τ(x) with round-1 bounds: non-senders bounded by their k-th
+            // values (clamped by 0, since an unheld coefficient's partial is
+            // exactly 0).
+            let taus: Vec<f64> = seen
+                .values()
+                .map(|senders| {
+                    let sent: HashSet<u32> = senders.iter().map(|&(j, _)| j).collect();
+                    let exact: f64 = senders.iter().map(|&(_, v)| v).sum();
+                    let mut plus = exact;
+                    let mut minus = exact;
+                    for j in 0..m as u32 {
+                        if !sent.contains(&j) {
+                            plus += kth_high[j as usize].max(0.0);
+                            minus += kth_low[j as usize].min(0.0);
+                        }
+                    }
+                    tau(plus, minus)
+                })
+                .collect();
+            kth_largest(taus, k)
+        });
+    let t1 = *pipe.value();
 
     // ---- Round 2: everything above T1/m, refine, prune ----
     let threshold = t1 / m as f64;
@@ -203,40 +204,40 @@ pub fn hwtopk(
             for v in vals {
                 ctx.emit(*key, v);
             }
-        })
-        .run(cluster, splits.clone())?;
-    metrics.push(r2.metrics);
-
-    let mut seen2: HashMap<u64, Vec<(u32, f64)>> = HashMap::new();
-    for (node, (mapper, v)) in r2.pairs {
-        seen2.entry(node).or_default().push((mapper, v));
-    }
-    let bounds: HashMap<u64, (f64, f64)> = seen2
-        .iter()
-        .map(|(&node, senders)| {
-            let sent: HashSet<u32> = senders.iter().map(|&(j, _)| j).collect();
-            let exact: f64 = senders.iter().map(|&(_, v)| v).sum();
-            let absent = (m - sent.len()) as f64;
-            // Non-senders now bounded by ±T1/m.
-            (
-                node,
-                (exact + absent * threshold, exact - absent * threshold),
-            )
-        })
-        .collect();
-    let t2 = kth_largest(bounds.values().map(|&(p, mi)| tau(p, mi)).collect(), k);
-    let candidates: HashSet<u64> = bounds
-        .iter()
-        .filter(|(_, &(p, mi))| p.abs().max(mi.abs()) >= t2)
-        .map(|(&node, _)| node)
-        .collect();
+        });
+    let pipe = pipe.stage(&r2, &splits)?.then(|(_, pairs)| {
+        let mut seen2: HashMap<u64, Vec<(u32, f64)>> = HashMap::new();
+        for (node, (mapper, v)) in pairs {
+            seen2.entry(node).or_default().push((mapper, v));
+        }
+        let bounds: HashMap<u64, (f64, f64)> = seen2
+            .iter()
+            .map(|(&node, senders)| {
+                let sent: HashSet<u32> = senders.iter().map(|&(j, _)| j).collect();
+                let exact: f64 = senders.iter().map(|&(_, v)| v).sum();
+                let absent = (m - sent.len()) as f64;
+                // Non-senders now bounded by ±T1/m.
+                (
+                    node,
+                    (exact + absent * threshold, exact - absent * threshold),
+                )
+            })
+            .collect();
+        let t2 = kth_largest(bounds.values().map(|&(p, mi)| tau(p, mi)).collect(), k);
+        let candidates: HashSet<u64> = bounds
+            .iter()
+            .filter(|(_, &(p, mi))| p.abs().max(mi.abs()) >= t2)
+            .map(|(&node, _)| node)
+            .collect();
+        (t2, Arc::new(candidates))
+    });
+    let (t2, cand) = pipe.value().clone();
 
     // ---- Round 3: exact values for the candidate set ----
     // Raw (un-normalized) partials here: summing dyadic-rational raw
     // contributions reproduces the centralized transform bit-for-bit,
     // whereas normalizing each partial by 1/sqrt(2^l) before summation
     // would accumulate rounding error into the stored coefficients.
-    let cand = Arc::new(candidates);
     let cand_map = Arc::clone(&cand);
     let r3 = JobBuilder::new("hwtopk-round3")
         .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, f64>| {
@@ -249,12 +250,11 @@ pub fn hwtopk(
         .input_bytes(SliceSplit::bytes)
         .reduce(|key, vals, ctx: &mut ReduceContext<u64, f64>| {
             ctx.emit(*key, vals.sum());
-        })
-        .run(cluster, splits)?;
-    metrics.push(r3.metrics);
+        });
+    let ((_, pairs), metrics) = pipe.stage(&r3, &splits)?.finish();
 
     // Final top-k by normalized magnitude over the raw aggregates.
-    let entries = super::top_b_by_normalized(r3.pairs, n, b);
+    let entries = super::top_b_by_normalized(pairs, n, b);
     Ok(HWTopkReport {
         synopsis: Synopsis::from_entries(n, entries)?,
         candidates: cand.len(),

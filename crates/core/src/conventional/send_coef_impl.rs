@@ -12,7 +12,7 @@
 //! coefficients cross the wire several times.
 
 use dwmaxerr_runtime::metrics::DriverMetrics;
-use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
+use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, Pipeline, ReduceContext};
 use dwmaxerr_wavelet::basis::algorithm7_emissions;
 use dwmaxerr_wavelet::Synopsis;
 
@@ -74,17 +74,15 @@ fn send_coef_inner(
     } else {
         stage
     };
-    let out = stage
-        .reduce(|k, vals, ctx: &mut ReduceContext<u64, f64>| {
-            // Aggregate partial sums into the final coefficient.
-            ctx.emit(*k, vals.sum());
-        })
-        .run(cluster, splits)?;
+    let job = stage.reduce(|k, vals, ctx: &mut ReduceContext<u64, f64>| {
+        // Aggregate partial sums into the final coefficient.
+        ctx.emit(*k, vals.sum());
+    });
 
-    let mut metrics = DriverMetrics::new();
-    metrics.push(out.metrics);
-
-    let entries = super::top_b_by_normalized(out.pairs, n, b);
+    let (entries, metrics) = Pipeline::on(cluster)
+        .stage(&job, &splits)?
+        .then(|(_, pairs)| super::top_b_by_normalized(pairs, n, b))
+        .finish();
     Ok((Synopsis::from_entries(n, entries)?, metrics))
 }
 

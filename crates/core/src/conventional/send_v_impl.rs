@@ -9,7 +9,7 @@
 //! every parallel alternative.
 
 use dwmaxerr_runtime::metrics::DriverMetrics;
-use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
+use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, Pipeline, ReduceContext};
 use dwmaxerr_wavelet::Synopsis;
 
 use crate::error::CoreError;
@@ -27,7 +27,7 @@ pub fn send_v(
     dwmaxerr_wavelet::error::ensure_pow2(n)?;
     let splits = block_splits(data, parts);
 
-    let out = JobBuilder::new("send-v")
+    let job = JobBuilder::new("send-v")
         .map(|split: &SliceSplit, ctx: &mut MapContext<u64, f64>| {
             for (off, &v) in split.slice().iter().enumerate() {
                 ctx.emit((split.start() + off) as u64, v);
@@ -38,30 +38,36 @@ pub fn send_v(
             for v in vals {
                 ctx.emit(*k, v);
             }
+        });
+
+    let ((entries, _), metrics) = Pipeline::on(cluster)
+        .stage(&job, &splits)?
+        // The single reducer's centralized work: rebuild the array (keys
+        // arrive sorted), transform, threshold.
+        .try_then(|(_, pairs)| -> Result<_, CoreError> {
+            let start = std::time::Instant::now();
+            let mut rebuilt = vec![0.0; n];
+            for (k, v) in pairs {
+                rebuilt[k as usize] = v;
+            }
+            let coeffs = dwmaxerr_wavelet::transform::forward(&rebuilt)?;
+            let entries = super::top_b_by_normalized(
+                coeffs.iter().enumerate().map(|(i, &c)| (i as u64, c)),
+                n,
+                b,
+            );
+            Ok((entries, start.elapsed().as_secs_f64()))
+        })?
+        // Attribute the centralized work to the reduce phase by charging
+        // its wall time into the job's reduce task before the driver
+        // reports.
+        .amend_last(|&(_, central_secs), jm| {
+            if let Some(t) = jm.reduce_task_secs.first_mut() {
+                *t += central_secs;
+                jm.sim.reduce += central_secs;
+            }
         })
-        .run(cluster, splits)?;
-
-    let mut metrics = DriverMetrics::new();
-
-    // The single reducer's centralized work: rebuild the array (keys
-    // arrive sorted), transform, threshold. Attribute it to the reduce
-    // phase by charging its wall time into the job's reduce task before
-    // the driver reports.
-    let start = std::time::Instant::now();
-    let mut rebuilt = vec![0.0; n];
-    for (k, v) in out.pairs {
-        rebuilt[k as usize] = v;
-    }
-    let coeffs = dwmaxerr_wavelet::transform::forward(&rebuilt)?;
-    let entries =
-        super::top_b_by_normalized(coeffs.iter().enumerate().map(|(i, &c)| (i as u64, c)), n, b);
-    let central_secs = start.elapsed().as_secs_f64();
-    let mut jm = out.metrics;
-    if let Some(t) = jm.reduce_task_secs.first_mut() {
-        *t += central_secs;
-        jm.sim.reduce += central_secs;
-    }
-    metrics.push(jm);
+        .finish();
 
     Ok((Synopsis::from_entries(n, entries)?, metrics))
 }

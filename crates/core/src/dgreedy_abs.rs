@@ -31,7 +31,7 @@ use std::sync::Arc;
 
 use dwmaxerr_algos::greedy_abs::GreedyAbs;
 use dwmaxerr_runtime::metrics::DriverMetrics;
-use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
+use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, Pipeline, ReduceContext};
 use dwmaxerr_wavelet::Synopsis;
 
 use crate::error::CoreError;
@@ -143,11 +143,10 @@ pub fn dgreedy_abs(
     if cfg.bucket_width.is_nan() || cfg.bucket_width <= 0.0 {
         return Err(CoreError::Protocol("bucket_width must be positive"));
     }
-    let mut metrics = DriverMetrics::new();
     let splits = aligned_splits(data, partition.base_leaves());
 
     // ---- Job 0: base-slice averages -> root sub-tree coefficients ----
-    let avg_out = JobBuilder::new("dgreedyabs-averages")
+    let avg_job = JobBuilder::new("dgreedyabs-averages")
         .map(|split: &SliceSplit, ctx: &mut MapContext<u32, f64>| {
             let avg = split.slice().iter().sum::<f64>() / split.len() as f64;
             ctx.emit(split.id, avg);
@@ -157,14 +156,17 @@ pub fn dgreedy_abs(
             for v in vals {
                 ctx.emit(*k, v);
             }
-        })
-        .run(cluster, splits.clone())?;
-    metrics.push(avg_out.metrics);
-    let mut averages = vec![0.0; partition.num_base()];
-    for (j, avg) in avg_out.pairs {
-        averages[j as usize] = avg;
-    }
-    let root_coeffs = partition.root_coeffs_from_averages(&averages);
+        });
+    let pipe = Pipeline::on(cluster)
+        .stage(&avg_job, &splits)?
+        .then(|(_, pairs)| {
+            let mut averages = vec![0.0; partition.num_base()];
+            for (j, avg) in pairs {
+                averages[j as usize] = avg;
+            }
+            partition.root_coeffs_from_averages(&averages)
+        });
+    let root_coeffs = pipe.value().clone();
 
     // ---- genRootSets (Algorithm 4): centralized GreedyAbs on the root ----
     let r = partition.num_base();
@@ -195,7 +197,7 @@ pub fn dgreedy_abs(
 
     // ---- Job 1: ErrHistGreedyAbs (level 1) + combineResults (level 2) ----
     let bc1 = Arc::clone(&bc);
-    let hist_out = JobBuilder::new("dgreedyabs-errhist")
+    let hist_job = JobBuilder::new("dgreedyabs-errhist")
         .map(
             move |split: &SliceSplit, ctx: &mut MapContext<u32, (i64, u32)>| {
                 let bc = &bc1;
@@ -248,32 +250,35 @@ pub fn dgreedy_abs(
                 cum += u64::from(count);
             }
             ctx.emit(*k, cut);
-        })
-        .run(cluster, splits.clone())?;
-    metrics.push(hist_out.metrics);
-
-    // ---- Pick the best candidate: max(cut_k, rho_k), minimized ----
-    let mut best_k = 0usize;
-    let mut best_err = f64::INFINITY;
-    let mut best_cut = 0.0f64;
-    for (k, cut_bucket) in &hist_out.pairs {
-        let cut = cut_bucket * cfg.bucket_width;
-        let total = cut.max(rho[*k as usize]);
-        if total < best_err {
-            best_err = total;
-            best_k = *k as usize;
-            best_cut = cut;
-        }
-    }
-    if !best_err.is_finite() {
-        return Err(CoreError::Protocol("no candidate produced a cut"));
-    }
+        });
+    let pipe = pipe
+        .stage(&hist_job, &splits)?
+        // ---- Pick the best candidate: max(cut_k, rho_k), minimized ----
+        .try_then(|(_, pairs)| -> Result<_, CoreError> {
+            let mut best_k = 0usize;
+            let mut best_err = f64::INFINITY;
+            let mut best_cut = 0.0f64;
+            for (k, cut_bucket) in pairs {
+                let cut = cut_bucket * cfg.bucket_width;
+                let total = cut.max(rho[k as usize]);
+                if total < best_err {
+                    best_err = total;
+                    best_k = k as usize;
+                    best_cut = cut;
+                }
+            }
+            if !best_err.is_finite() {
+                return Err(CoreError::Protocol("no candidate produced a cut"));
+            }
+            Ok((best_k, best_err, best_cut))
+        })?;
+    let (best_k, best_err, best_cut) = *pipe.value();
 
     // ---- Job 2: emit actual nodes for the winning C_root ----
     let bc2 = Arc::clone(&bc);
     let cut_bucket = bc.bucket(best_cut);
     let keep_base = b - best_k;
-    let syn_out = JobBuilder::new("dgreedyabs-synopsis")
+    let syn_job = JobBuilder::new("dgreedyabs-synopsis")
         .map(
             move |split: &SliceSplit, ctx: &mut MapContext<u8, (i64, u32, u32, f64)>| {
                 let bc = &bc2;
@@ -305,9 +310,8 @@ pub fn dgreedy_abs(
             for (_, _, node, coeff) in nodes.into_iter().take(keep_base) {
                 ctx.emit(node, coeff);
             }
-        })
-        .run(cluster, splits)?;
-    metrics.push(syn_out.metrics);
+        });
+    let ((_, syn_pairs), metrics) = pipe.stage(&syn_job, &splits)?.finish();
 
     // ---- Assemble the synopsis: winning C_root ∪ chosen base nodes ----
     let mut entries: Vec<(u32, f64)> = bc
@@ -315,7 +319,7 @@ pub fn dgreedy_abs(
         .iter()
         .map(|&a| (a as u32, root_coeffs[a]))
         .collect();
-    entries.extend(syn_out.pairs);
+    entries.extend(syn_pairs);
     let synopsis = Synopsis::from_entries(n, entries)?;
 
     Ok(DGreedyAbsResult {

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use dwmaxerr_algos::greedy_rel::GreedyRel;
 use dwmaxerr_runtime::metrics::DriverMetrics;
-use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
+use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, Pipeline, ReduceContext};
 use dwmaxerr_wavelet::Synopsis;
 
 use crate::error::CoreError;
@@ -123,7 +123,7 @@ pub fn distributed_max_rel(
         .reduce(|_k, vals, ctx: &mut ReduceContext<u8, f64>| {
             ctx.emit(0, vals.fold(0.0, f64::max));
         })
-        .run(cluster, splits.to_vec())?;
+        .run(cluster, splits)?;
     let err = out
         .pairs
         .first()
@@ -150,11 +150,10 @@ pub fn dgreedy_rel(
             "bucket_width and sanity must be positive",
         ));
     }
-    let mut metrics = DriverMetrics::new();
     let splits = aligned_splits(data, partition.base_leaves());
 
     // ---- Job 0: averages -> root coefficients ----
-    let avg_out = JobBuilder::new("dgreedyrel-averages")
+    let avg_job = JobBuilder::new("dgreedyrel-averages")
         .map(|split: &SliceSplit, ctx: &mut MapContext<u32, f64>| {
             let avg = split.slice().iter().sum::<f64>() / split.len() as f64;
             ctx.emit(split.id, avg);
@@ -164,14 +163,18 @@ pub fn dgreedy_rel(
             for v in vals {
                 ctx.emit(*k, v);
             }
-        })
-        .run(cluster, splits.clone())?;
-    metrics.push(avg_out.metrics);
-    let mut averages = vec![0.0; partition.num_base()];
-    for (j, avg) in avg_out.pairs {
-        averages[j as usize] = avg;
-    }
-    let root_coeffs = partition.root_coeffs_from_averages(&averages);
+        });
+    let pipe = Pipeline::on(cluster)
+        .stage(&avg_job, &splits)?
+        .then(|(_, pairs)| {
+            let mut averages = vec![0.0; partition.num_base()];
+            for (j, avg) in pairs {
+                averages[j as usize] = avg;
+            }
+            let root_coeffs = partition.root_coeffs_from_averages(&averages);
+            (averages, root_coeffs)
+        });
+    let (averages, root_coeffs) = pipe.value().clone();
 
     // ---- genRootSets with GreedyRel over the averages ----
     let r = partition.num_base();
@@ -191,7 +194,7 @@ pub fn dgreedy_rel(
 
     // ---- Job 1: ErrHistGreedyRel + combineResults ----
     let bc1 = Arc::clone(&bc);
-    let hist_out = JobBuilder::new("dgreedyrel-errhist")
+    let hist_job = JobBuilder::new("dgreedyrel-errhist")
         .map(
             move |split: &SliceSplit, ctx: &mut MapContext<u32, (i64, u32)>| {
                 let bc = &bc1;
@@ -257,24 +260,27 @@ pub fn dgreedy_rel(
                 let estimate = cut.max(floor).max(0.0);
                 ctx.emit(*k, (cut, estimate));
             },
-        )
-        .run(cluster, splits.clone())?;
-    metrics.push(hist_out.metrics);
-
-    let mut best_k = 0usize;
-    let mut best_score = f64::INFINITY;
-    let mut best_cut = f64::MIN;
-    for (k, (cut, estimate)) in &hist_out.pairs {
-        let score = estimate * cfg.bucket_width;
-        if score < best_score {
-            best_score = score;
-            best_k = *k as usize;
-            best_cut = *cut;
-        }
-    }
-    if !best_score.is_finite() {
-        return Err(CoreError::Protocol("no candidate produced a cut"));
-    }
+        );
+    let pipe = pipe
+        .stage(&hist_job, &splits)?
+        .try_then(|(_, pairs)| -> Result<_, CoreError> {
+            let mut best_k = 0usize;
+            let mut best_score = f64::INFINITY;
+            let mut best_cut = f64::MIN;
+            for (k, (cut, estimate)) in pairs {
+                let score = estimate * cfg.bucket_width;
+                if score < best_score {
+                    best_score = score;
+                    best_k = k as usize;
+                    best_cut = cut;
+                }
+            }
+            if !best_score.is_finite() {
+                return Err(CoreError::Protocol("no candidate produced a cut"));
+            }
+            Ok((best_k, best_cut))
+        })?;
+    let (best_k, best_cut) = *pipe.value();
 
     // ---- Job 2: emit actual nodes for the winning C_root ----
     let bc2 = Arc::clone(&bc);
@@ -284,7 +290,7 @@ pub fn dgreedy_rel(
         best_cut as i64
     };
     let keep_base = b - best_k;
-    let syn_out = JobBuilder::new("dgreedyrel-synopsis")
+    let syn_job = JobBuilder::new("dgreedyrel-synopsis")
         .map(
             move |split: &SliceSplit, ctx: &mut MapContext<u8, (i64, u32, u32, f64)>| {
                 let bc = &bc2;
@@ -314,20 +320,22 @@ pub fn dgreedy_rel(
             for (_, _, node, coeff) in nodes.into_iter().take(keep_base) {
                 ctx.emit(node, coeff);
             }
-        })
-        .run(cluster, splits.clone())?;
-    metrics.push(syn_out.metrics);
+        });
+    let pipe = pipe
+        .stage(&syn_job, &splits)?
+        .try_then(|(_, pairs)| -> Result<_, CoreError> {
+            let mut entries: Vec<(u32, f64)> = bc
+                .retained_under(best_k)
+                .iter()
+                .map(|&a| (a as u32, root_coeffs[a]))
+                .collect();
+            entries.extend(pairs);
+            Ok(Synopsis::from_entries(n, entries)?)
+        })?;
 
-    let mut entries: Vec<(u32, f64)> = bc
-        .retained_under(best_k)
-        .iter()
-        .map(|&a| (a as u32, root_coeffs[a]))
-        .collect();
-    entries.extend(syn_out.pairs);
-    let synopsis = Synopsis::from_entries(n, entries)?;
-
-    let (error, eval_metrics) = distributed_max_rel(cluster, &splits, &synopsis, cfg.sanity)?;
-    metrics.push(eval_metrics);
+    let (error, eval_metrics) =
+        distributed_max_rel(pipe.cluster(), &splits, pipe.value(), cfg.sanity)?;
+    let (synopsis, metrics) = pipe.record(eval_metrics).finish();
 
     Ok(DGreedyRelResult {
         synopsis,

@@ -18,7 +18,7 @@ use dwmaxerr_algos::haar_plus::{
 use dwmaxerr_algos::min_haar_space::MhsParams;
 use dwmaxerr_runtime::codec::{CodecError, Wire};
 use dwmaxerr_runtime::metrics::DriverMetrics;
-use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
+use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, Pipeline, ReduceContext};
 
 use crate::error::CoreError;
 use crate::splits::{aligned_splits, SliceSplit};
@@ -156,13 +156,12 @@ pub fn dhaar_plus(
             metrics: DriverMetrics::new(),
         });
     }
-    let mut metrics = DriverMetrics::new();
     let splits = aligned_splits(data, s);
     let num_base = n / s;
     let p = *params;
 
     // ---- Bottom-up: base layer ----
-    let base_out =
+    let base_job =
         JobBuilder::new("dhp-layer0")
             .map(
                 move |split: &SliceSplit, ctx: &mut MapContext<u64, (u8, WireHpRow)>| {
@@ -191,22 +190,25 @@ pub fn dhaar_plus(
                 for v in vals {
                     ctx.emit(*k, v);
                 }
-            })
-            .run(cluster, splits.clone())?;
-    metrics.push(base_out.metrics);
-
-    let mut layer: Vec<(u64, HpRow)> = Vec::new();
-    for (k, (fail, WireHpRow(row))) in base_out.pairs {
-        if fail == 1 {
-            return Err(HaarPlusError::DeltaTooCoarse.into());
-        }
-        layer.push((k, row));
-    }
-    layer.sort_unstable_by_key(|&(k, _)| k);
+            });
+    let mut pipe = Pipeline::on(cluster).stage(&base_job, &splits)?.try_then(
+        |(_, pairs)| -> Result<Vec<(u64, HpRow)>, CoreError> {
+            let mut layer: Vec<(u64, HpRow)> = Vec::new();
+            for (k, (fail, WireHpRow(row))) in pairs {
+                if fail == 1 {
+                    return Err(HaarPlusError::DeltaTooCoarse.into());
+                }
+                layer.push((k, row));
+            }
+            layer.sort_unstable_by_key(|&(k, _)| k);
+            Ok(layer)
+        },
+    )?;
 
     // ---- Bottom-up: upper layers (remember groups for the replay) ----
     let mut group_stack: Vec<Vec<RowGroup>> = Vec::new();
-    while layer.len() > 1 {
+    while pipe.value().len() > 1 {
+        let layer = pipe.value();
         let f = fan_in.min(layer.len());
         let groups: Vec<RowGroup> = layer
             .chunks(f)
@@ -215,7 +217,7 @@ pub fn dhaar_plus(
                 rows: chunk.iter().map(|(_, r)| r.clone()).collect(),
             })
             .collect();
-        let out = JobBuilder::new("dhp-layer-up")
+        let up_job = JobBuilder::new("dhp-layer-up")
             .map(
                 move |group: &RowGroup, ctx: &mut MapContext<u64, WireHpRow>| {
                     let rows = mini_tree_rows(&group.rows);
@@ -232,20 +234,18 @@ pub fn dhaar_plus(
                 for v in vals {
                     ctx.emit(*k, v);
                 }
-            })
-            .run(cluster, groups.clone())?;
-        metrics.push(out.metrics);
+            });
+        pipe = pipe.stage(&up_job, &groups)?.then(|(_, pairs)| {
+            let mut layer: Vec<(u64, HpRow)> =
+                pairs.into_iter().map(|(k, WireHpRow(r))| (k, r)).collect();
+            layer.sort_unstable_by_key(|&(k, _)| k);
+            layer
+        });
         group_stack.push(groups);
-        layer = out
-            .pairs
-            .into_iter()
-            .map(|(k, WireHpRow(r))| (k, r))
-            .collect();
-        layer.sort_unstable_by_key(|&(k, _)| k);
     }
 
     // ---- Top node resolution ----
-    let root = &layer[0].1;
+    let root = &pipe.value()[0].1;
     let mut best = (u32::MAX, 0i64);
     for (t, &c) in root.costs.iter().enumerate() {
         let v = root.lo + t as i64;
@@ -266,6 +266,7 @@ pub fn dhaar_plus(
     }
 
     // ---- Top-down replay through the upper layers ----
+    let mut pipe = pipe.then(|_| ());
     let mut incoming: HashMap<u64, i64> = HashMap::new();
     incoming.insert(1, best.1);
     for groups in group_stack.into_iter().rev() {
@@ -276,7 +277,7 @@ pub fn dhaar_plus(
                 (g, *incoming.get(&parent).expect("incoming for every group"))
             })
             .collect();
-        let out = JobBuilder::new("dhp-extract")
+        let extract_job = JobBuilder::new("dhp-extract")
             .map(
                 move |(group, v_root): &(RowGroup, i64),
                       ctx: &mut MapContext<u64, (i64, i64, u8)>| {
@@ -309,16 +310,16 @@ pub fn dhaar_plus(
                 for v in vals {
                     ctx.emit(*k, v);
                 }
-            })
-            .run(cluster, tagged)?;
-        metrics.push(out.metrics);
-        for (node, (x, y, tag)) in out.pairs {
-            if tag == 1 {
-                triad_entries(node as u32, x, y, params.delta, &mut entries);
-            } else {
-                incoming.insert(node, x);
+            });
+        pipe = pipe.stage(&extract_job, &tagged)?.then(|(_, pairs)| {
+            for (node, (x, y, tag)) in pairs {
+                if tag == 1 {
+                    triad_entries(node as u32, x, y, params.delta, &mut entries);
+                } else {
+                    incoming.insert(node, x);
+                }
             }
-        }
+        });
     }
 
     // ---- Base-layer replay ----
@@ -335,7 +336,7 @@ pub fn dhaar_plus(
         .collect();
     let bi = Arc::new(base_incoming);
     let bi2 = Arc::clone(&bi);
-    let out = JobBuilder::new("dhp-extract-base")
+    let base_extract_job = JobBuilder::new("dhp-extract-base")
         .map(
             move |split: &SliceSplit, ctx: &mut MapContext<u64, (i64, i64)>| {
                 let rows = subtree_rows(split.slice(), &p).expect("phase A ran");
@@ -363,12 +364,15 @@ pub fn dhaar_plus(
             for v in vals {
                 ctx.emit(*k, v);
             }
+        });
+    let ((), metrics) = pipe
+        .stage(&base_extract_job, &splits)?
+        .then(|(_, pairs)| {
+            for (node, (a, b)) in pairs {
+                triad_entries(node as u32, a, b, params.delta, &mut entries);
+            }
         })
-        .run(cluster, splits)?;
-    metrics.push(out.metrics);
-    for (node, (a, b)) in out.pairs {
-        triad_entries(node as u32, a, b, params.delta, &mut entries);
-    }
+        .finish();
 
     entries.sort_by_key(|&(i, _, _)| i);
     debug_assert_eq!(entries.len(), best.0 as usize);

@@ -16,9 +16,8 @@
 use dwmaxerr_algos::indirect_haar::indirect_haar;
 use dwmaxerr_algos::min_haar_space::{MhsError, MhsParams};
 use dwmaxerr_runtime::metrics::DriverMetrics;
-use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
+use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, Pipeline, ReduceContext};
 use dwmaxerr_wavelet::Synopsis;
-use std::sync::Mutex;
 
 use crate::dmin_haar_space::{distributed_max_abs, dmin_haar_space, DmhsConfig};
 use crate::error::CoreError;
@@ -56,20 +55,27 @@ pub struct DIndirectHaarResult {
     pub metrics: DriverMetrics,
 }
 
-/// The (B+1)-largest coefficient magnitude, computed distributedly: base
-/// workers emit their top `min(B+1, S-1)` detail magnitudes largest-first,
-/// the driver adds the root sub-tree's and a reducer-side merge selects the
-/// bound (Algorithm 2 line 2).
-fn lower_bound_job(
+/// Runs DIndirectHaar over `data` with budget `b`.
+pub fn dindirect_haar(
     cluster: &Cluster,
-    splits: &[SliceSplit],
-    partition: &BasePartition,
+    data: &[f64],
     b: usize,
-    metrics: &mut DriverMetrics,
-) -> Result<f64, CoreError> {
+    cfg: &DIndirectHaarConfig,
+) -> Result<DIndirectHaarResult, CoreError> {
+    let n = data.len();
+    dwmaxerr_wavelet::error::ensure_pow2(n)?;
+    let s = cfg.probe.base_leaves.clamp(2, n);
+    let partition = BasePartition::new(n, s)?;
+    let splits = aligned_splits(data, s);
+
+    // ---- Lower bound (Algorithm 2 line 2): the (B+1)-largest coefficient
+    // magnitude. Base workers emit their top `min(B+1, S-1)` detail
+    // magnitudes largest-first (the global (B+1)-largest is always in the
+    // union of per-worker top-(B+1) lists); the driver adds the root
+    // sub-tree's and merges.
     let keep = b + 1;
-    let part = *partition;
-    let out = JobBuilder::new("dih-lower-bound")
+    let part = partition;
+    let lb_job = JobBuilder::new("dih-lower-bound")
         .map(
             move |split: &SliceSplit, ctx: &mut MapContext<u8, (f64, f64)>| {
                 let (details, avg) = part.base_details_from_data(split.slice());
@@ -89,54 +95,38 @@ fn lower_bound_job(
             for v in vals {
                 ctx.emit(*k, v);
             }
-        })
-        .run(cluster, splits.to_vec())?;
-    metrics.push(out.metrics);
+        });
+    let pipe = Pipeline::on(cluster)
+        .stage(&lb_job, &splits)?
+        .then(|(_, pairs)| {
+            let mut mags: Vec<f64> = Vec::new();
+            let mut averages = vec![0.0; partition.num_base()];
+            for (k, (value, tag)) in pairs {
+                if k == 0 {
+                    mags.push(value);
+                } else {
+                    averages[tag as usize] = value;
+                }
+            }
+            let root = partition.root_coeffs_from_averages(&averages);
+            mags.extend(root.iter().map(|c| c.abs()));
+            mags.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite"));
+            if keep <= mags.len() {
+                mags[keep - 1]
+            } else {
+                0.0
+            }
+        });
+    let e_l = *pipe.value();
 
-    let mut mags: Vec<f64> = Vec::new();
-    let mut averages = vec![0.0; partition.num_base()];
-    for (k, (value, tag)) in out.pairs {
-        if k == 0 {
-            mags.push(value);
-        } else {
-            averages[tag as usize] = value;
-        }
-    }
-    let root = partition.root_coeffs_from_averages(&averages);
-    mags.extend(root.iter().map(|c| c.abs()));
-    mags.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite"));
-    Ok(if keep <= mags.len() {
-        mags[keep - 1]
-    } else {
-        0.0
-    })
-}
-
-/// Runs DIndirectHaar over `data` with budget `b`.
-pub fn dindirect_haar(
-    cluster: &Cluster,
-    data: &[f64],
-    b: usize,
-    cfg: &DIndirectHaarConfig,
-) -> Result<DIndirectHaarResult, CoreError> {
-    let n = data.len();
-    dwmaxerr_wavelet::error::ensure_pow2(n)?;
-    let s = cfg.probe.base_leaves.clamp(2, n);
-    let partition = BasePartition::new(n, s)?;
-    let splits = aligned_splits(data, s);
-    let mut metrics = DriverMetrics::new();
-
-    // ---- Bounds (Algorithm 2, lines 1-2) ----
-    let e_l = lower_bound_job(cluster, &splits, &partition, b, &mut metrics)?;
+    // ---- Upper bound (Algorithm 2 line 1): CON's max-abs error ----
     let (conv_syn, conv_metrics) = crate::conventional::con(cluster, data, b, s)?;
-    for m in conv_metrics.jobs {
-        metrics.push(m);
-    }
     let (e_u, eval_metrics) = distributed_max_abs(cluster, &splits, &conv_syn)?;
-    metrics.push(eval_metrics);
+    let pipe = pipe.absorb(conv_metrics).record(eval_metrics);
 
     // ---- Binary search with DMHaarSpace probes ----
-    let metrics_cell = Mutex::new(metrics);
+    // Each probe is a full sub-pipeline; its ledger folds into this one.
+    let mut probe_metrics = DriverMetrics::new();
     let report = indirect_haar(b, e_l, e_u, cfg.delta, |eps| {
         let params = match MhsParams::new(eps.max(0.0), cfg.delta) {
             Ok(p) => p,
@@ -144,22 +134,20 @@ pub fn dindirect_haar(
         };
         match dmin_haar_space(cluster, data, &params, &cfg.probe) {
             Ok(res) => {
-                let mut m = metrics_cell.lock().expect("metrics lock");
-                for jm in res.metrics.jobs {
-                    m.push(jm);
-                }
+                probe_metrics.merge(res.metrics);
                 Ok(Some((res.synopsis, res.actual_error)))
             }
             Err(CoreError::Mhs(MhsError::DeltaTooCoarse)) => Ok(None),
             Err(e) => Err(e),
         }
     })?;
+    let metrics = pipe.absorb(probe_metrics).into_metrics();
 
     Ok(DIndirectHaarResult {
         synopsis: report.synopsis,
         error: report.error,
         probes: report.probes,
-        metrics: metrics_cell.into_inner().expect("metrics lock"),
+        metrics,
     })
 }
 

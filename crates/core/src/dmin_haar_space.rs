@@ -22,7 +22,7 @@ use std::sync::Arc;
 use dwmaxerr_algos::min_haar_space::{subtree_rows, MhsError, MhsParams, Row, INFEASIBLE};
 use dwmaxerr_runtime::codec::{CodecError, Wire};
 use dwmaxerr_runtime::metrics::DriverMetrics;
-use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
+use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, Pipeline, ReduceContext};
 use dwmaxerr_wavelet::Synopsis;
 
 use crate::error::CoreError;
@@ -149,13 +149,12 @@ pub fn dmin_haar_space(
             metrics: DriverMetrics::new(),
         });
     }
-    let mut metrics = DriverMetrics::new();
     let splits = aligned_splits(data, s);
     let num_base = n / s;
     let p = *params;
 
     // ---- Bottom-up: layer 0 (base slices -> base-root rows) ----
-    let base_out = JobBuilder::new("dmhs-layer0")
+    let base_job = JobBuilder::new("dmhs-layer0")
         .map(
             move |split: &SliceSplit, ctx: &mut MapContext<u64, WireRow>| {
                 match subtree_rows(split.slice(), &p) {
@@ -184,25 +183,25 @@ pub fn dmin_haar_space(
             for v in vals {
                 ctx.emit(*k, v);
             }
-        })
-        .run(cluster, splits.clone())?;
-    metrics.push(base_out.metrics);
-
-    let mut layer: Vec<(u64, Row)> = base_out
-        .pairs
-        .into_iter()
-        .map(|(k, WireRow(r))| (k, r))
-        .collect();
-    if layer.iter().any(|(k, _)| *k == FAIL_NODE) {
-        return Err(CoreError::Mhs(MhsError::DeltaTooCoarse));
-    }
-    layer.sort_unstable_by_key(|&(k, _)| k);
+        });
+    let mut pipe = Pipeline::on(cluster).stage(&base_job, &splits)?.try_then(
+        |(_, pairs)| -> Result<Vec<(u64, Row)>, CoreError> {
+            let mut layer: Vec<(u64, Row)> =
+                pairs.into_iter().map(|(k, WireRow(r))| (k, r)).collect();
+            if layer.iter().any(|(k, _)| *k == FAIL_NODE) {
+                return Err(CoreError::Mhs(MhsError::DeltaTooCoarse));
+            }
+            layer.sort_unstable_by_key(|&(k, _)| k);
+            Ok(layer)
+        },
+    )?;
 
     // Remember every layer's rows for the top-down pass.
-    let mut boundaries: Vec<Vec<(u64, Row)>> = vec![layer.clone()];
+    let mut boundaries: Vec<Vec<(u64, Row)>> = vec![pipe.value().clone()];
 
     // ---- Bottom-up: upper layers ----
-    while layer.len() > 1 {
+    while pipe.value().len() > 1 {
+        let layer = pipe.value();
         let f = fan_in.min(layer.len());
         let groups: Vec<RowGroup> = layer
             .chunks(f)
@@ -211,7 +210,7 @@ pub fn dmin_haar_space(
                 rows: chunk.iter().map(|(_, r)| r.clone()).collect(),
             })
             .collect();
-        let out = JobBuilder::new("dmhs-layer-up")
+        let up_job = JobBuilder::new("dmhs-layer-up")
             .map(
                 move |group: &RowGroup, ctx: &mut MapContext<u64, WireRow>| {
                     let rows = mini_tree_rows(&group.rows);
@@ -230,22 +229,23 @@ pub fn dmin_haar_space(
                 for v in vals {
                     ctx.emit(*k, v);
                 }
-            })
-            .run(cluster, groups)?;
-        metrics.push(out.metrics);
-        layer = out
-            .pairs
-            .into_iter()
-            .map(|(k, WireRow(r))| (k, r))
-            .collect();
-        if layer.iter().any(|(k, _)| *k == FAIL_NODE) {
-            return Err(CoreError::Mhs(MhsError::DeltaTooCoarse));
-        }
-        layer.sort_unstable_by_key(|&(k, _)| k);
-        boundaries.push(layer.clone());
+            });
+        pipe = pipe.stage(&up_job, &groups)?.try_then(
+            |(_, pairs)| -> Result<Vec<(u64, Row)>, CoreError> {
+                let mut layer: Vec<(u64, Row)> =
+                    pairs.into_iter().map(|(k, WireRow(r))| (k, r)).collect();
+                if layer.iter().any(|(k, _)| *k == FAIL_NODE) {
+                    return Err(CoreError::Mhs(MhsError::DeltaTooCoarse));
+                }
+                layer.sort_unstable_by_key(|&(k, _)| k);
+                boundaries.push(layer.clone());
+                Ok(layer)
+            },
+        )?;
     }
 
     // ---- Root resolution (driver): choose c_0's value z0 ----
+    let layer = pipe.value();
     let root_row = &layer[0].1;
     debug_assert_eq!(layer[0].0, 1);
     let mut best_total = INFEASIBLE;
@@ -267,6 +267,7 @@ pub fn dmin_haar_space(
     }
 
     // ---- Top-down extraction ----
+    let mut pipe = pipe.then(|_| ());
     let mut entries: Vec<(u32, f64)> = Vec::new();
     if best_z0 != 0 {
         entries.push((0u32, best_z0 as f64 * params.delta));
@@ -314,7 +315,7 @@ pub fn dmin_haar_space(
                 (g, v)
             })
             .collect();
-        let out = JobBuilder::new("dmhs-extract")
+        let extract_job = JobBuilder::new("dmhs-extract")
             .map(
                 move |(group, v_root): &(RowGroup, i64),
                       ctx: &mut MapContext<u64, (i64, u32, f64)>| {
@@ -345,16 +346,16 @@ pub fn dmin_haar_space(
                 for v in vals {
                     ctx.emit(*k, v);
                 }
-            })
-            .run(cluster, tagged)?;
-        metrics.push(out.metrics);
-        for (node, (v, tag, z)) in out.pairs {
-            if tag == 1 {
-                entries.push((node as u32, z * params.delta));
-            } else {
-                incoming.insert(node, v);
+            });
+        pipe = pipe.stage(&extract_job, &tagged)?.then(|(_, pairs)| {
+            for (node, (v, tag, z)) in pairs {
+                if tag == 1 {
+                    entries.push((node as u32, z * params.delta));
+                } else {
+                    incoming.insert(node, v);
+                }
             }
-        }
+        });
     }
 
     // ---- Base layer extraction ----
@@ -367,7 +368,7 @@ pub fn dmin_haar_space(
         .collect();
     let base_incoming = Arc::new(base_incoming);
     let bi = Arc::clone(&base_incoming);
-    let out = JobBuilder::new("dmhs-extract-base")
+    let base_extract_job = JobBuilder::new("dmhs-extract-base")
         .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, f64>| {
             let rows = subtree_rows(split.slice(), &p).expect("phase A succeeded");
             let m = split.len();
@@ -393,19 +394,20 @@ pub fn dmin_haar_space(
             for v in vals {
                 ctx.emit(*k, v);
             }
-        })
-        .run(cluster, splits.clone())?;
-    metrics.push(out.metrics);
-    for (node, value) in out.pairs {
-        entries.push((node as u32, value));
-    }
-
-    debug_assert_eq!(entries.len(), best_total as usize);
-    let synopsis = Synopsis::from_entries(n, entries)?;
+        });
+    let pipe = pipe.stage(&base_extract_job, &splits)?.try_then(
+        |(_, pairs)| -> Result<Synopsis, CoreError> {
+            for (node, value) in pairs {
+                entries.push((node as u32, value));
+            }
+            debug_assert_eq!(entries.len(), best_total as usize);
+            Ok(Synopsis::from_entries(n, std::mem::take(&mut entries))?)
+        },
+    )?;
 
     // ---- Distributed evaluation of the actual error ----
-    let (actual_error, eval_metrics) = distributed_max_abs(cluster, &splits, &synopsis)?;
-    metrics.push(eval_metrics);
+    let (actual_error, eval_metrics) = distributed_max_abs(pipe.cluster(), &splits, pipe.value())?;
+    let (synopsis, metrics) = pipe.record(eval_metrics).finish();
 
     Ok(DmhsResult {
         size: synopsis.size(),
@@ -438,7 +440,7 @@ pub fn distributed_max_abs(
         .reduce(|_k, vals, ctx: &mut ReduceContext<u8, f64>| {
             ctx.emit(0, vals.fold(0.0, f64::max));
         })
-        .run(cluster, splits.to_vec())?;
+        .run(cluster, splits)?;
     let err = out
         .pairs
         .first()

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use dwmaxerr_algos::min_rel_var::{combine, subtree_rows, CoinFlipper, MrvCell, MrvParams, MrvRow};
 use dwmaxerr_runtime::codec::{CodecError, Wire};
 use dwmaxerr_runtime::metrics::DriverMetrics;
-use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, ReduceContext};
+use dwmaxerr_runtime::{Cluster, JobBuilder, MapContext, Pipeline, ReduceContext};
 use dwmaxerr_wavelet::Synopsis;
 
 use crate::error::CoreError;
@@ -146,7 +146,6 @@ pub fn dmin_rel_var(
             metrics: DriverMetrics::new(),
         });
     }
-    let mut metrics = DriverMetrics::new();
     let splits = aligned_splits(data, s);
     let num_base = n / s;
     let p = cfg.params;
@@ -155,7 +154,7 @@ pub fn dmin_rel_var(
 
     // The upper-tree coefficients come from the slice averages (needed by
     // the mini-tree combines); gather them with the base rows in one job.
-    let base_out = JobBuilder::new("dmrv-layer0")
+    let base_job = JobBuilder::new("dmrv-layer0")
         .map(
             move |split: &SliceSplit, ctx: &mut MapContext<u64, (f64, WireMrvRow)>| {
                 let w = dwmaxerr_wavelet::transform::forward(split.slice()).expect("pow2 slice");
@@ -171,18 +170,23 @@ pub fn dmin_rel_var(
             for v in vals {
                 ctx.emit(*k, v);
             }
-        })
-        .run(cluster, splits.clone())?;
-    metrics.push(base_out.metrics);
-
-    let mut layer: Vec<(u64, MrvRow)> = Vec::with_capacity(num_base);
-    let mut averages = vec![0.0; num_base];
-    for (k, (avg, WireMrvRow(row))) in base_out.pairs {
-        averages[(k - num_base as u64) as usize] = avg;
-        layer.push((k, row));
-    }
-    layer.sort_unstable_by_key(|&(k, _)| k);
-    let root_coeffs = dwmaxerr_wavelet::transform::forward(&averages).expect("pow2 averages");
+        });
+    let pipe = Pipeline::on(cluster)
+        .stage(&base_job, &splits)?
+        .then(|(_, pairs)| {
+            let mut layer: Vec<(u64, MrvRow)> = Vec::with_capacity(num_base);
+            let mut averages = vec![0.0; num_base];
+            for (k, (avg, WireMrvRow(row))) in pairs {
+                averages[(k - num_base as u64) as usize] = avg;
+                layer.push((k, row));
+            }
+            layer.sort_unstable_by_key(|&(k, _)| k);
+            let root_coeffs =
+                dwmaxerr_wavelet::transform::forward(&averages).expect("pow2 averages");
+            (layer, root_coeffs)
+        });
+    let root_coeffs = pipe.value().1.clone();
+    let mut pipe = pipe.then(|(layer, _)| layer);
 
     let mini_coeffs_for = |first: u64, f: usize| -> Vec<f64> {
         // Global ids of the mini-tree internal nodes; their coefficients
@@ -199,7 +203,8 @@ pub fn dmin_rel_var(
 
     // ---- Bottom-up layers ----
     let mut group_stack: Vec<Vec<RowGroup>> = Vec::new();
-    while layer.len() > 1 {
+    while pipe.value().len() > 1 {
+        let layer = pipe.value();
         let f = fan_in.min(layer.len());
         let groups: Vec<RowGroup> = layer
             .chunks(f)
@@ -210,7 +215,7 @@ pub fn dmin_rel_var(
                 cap,
             })
             .collect();
-        let out = JobBuilder::new("dmrv-layer-up")
+        let up_job = JobBuilder::new("dmrv-layer-up")
             .map(
                 move |group: &RowGroup, ctx: &mut MapContext<u64, WireMrvRow>| {
                     let rows = mini_tree_rows(group, &p);
@@ -230,20 +235,18 @@ pub fn dmin_rel_var(
                 for v in vals {
                     ctx.emit(*k, v);
                 }
-            })
-            .run(cluster, groups.clone())?;
-        metrics.push(out.metrics);
+            });
+        pipe = pipe.stage(&up_job, &groups)?.then(|(_, pairs)| {
+            let mut layer: Vec<(u64, MrvRow)> =
+                pairs.into_iter().map(|(k, WireMrvRow(r))| (k, r)).collect();
+            layer.sort_unstable_by_key(|&(k, _)| k);
+            layer
+        });
         group_stack.push(groups);
-        layer = out
-            .pairs
-            .into_iter()
-            .map(|(k, WireMrvRow(r))| (k, r))
-            .collect();
-        layer.sort_unstable_by_key(|&(k, _)| k);
     }
 
     // ---- Root resolution: c_0 ----
-    let root_row = &layer[0].1;
+    let root_row = &pipe.value()[0].1;
     let mut best = (f64::INFINITY, 0u32, 0usize);
     for u in 0..=(q.min(cap)) as u32 {
         let var0 = if root_coeffs[0] == 0.0 {
@@ -264,6 +267,7 @@ pub fn dmin_rel_var(
     }
 
     // ---- Top-down extraction through the same groups ----
+    let mut pipe = pipe.then(|_| ());
     let mut allocation: Vec<(u64, u16)> = Vec::new();
     if best.1 > 0 {
         allocation.push((0, best.1 as u16));
@@ -279,7 +283,7 @@ pub fn dmin_rel_var(
                 (g, bu)
             })
             .collect();
-        let out = JobBuilder::new("dmrv-extract")
+        let extract_job = JobBuilder::new("dmrv-extract")
             .map(
                 move |(group, b_root): &(RowGroup, usize),
                       ctx: &mut MapContext<u64, (u32, u32)>| {
@@ -322,16 +326,16 @@ pub fn dmin_rel_var(
                 for v in vals {
                     ctx.emit(*k, v);
                 }
-            })
-            .run(cluster, tagged)?;
-        metrics.push(out.metrics);
-        for (node, (tag, val)) in out.pairs {
-            if tag == 1 {
-                allocation.push((node, val as u16));
-            } else {
-                budgets.insert(node, val as usize);
+            });
+        pipe = pipe.stage(&extract_job, &tagged)?.then(|(_, pairs)| {
+            for (node, (tag, val)) in pairs {
+                if tag == 1 {
+                    allocation.push((node, val as u16));
+                } else {
+                    budgets.insert(node, val as usize);
+                }
             }
-        }
+        });
     }
 
     // ---- Base-layer extraction ----
@@ -348,7 +352,7 @@ pub fn dmin_rel_var(
         .collect();
     let base_budgets = Arc::new(base_budgets);
     let bb = Arc::clone(&base_budgets);
-    let out = JobBuilder::new("dmrv-extract-base")
+    let base_extract_job = JobBuilder::new("dmrv-extract-base")
         .map(move |split: &SliceSplit, ctx: &mut MapContext<u64, u16>| {
             let w = dwmaxerr_wavelet::transform::forward(split.slice()).expect("pow2 slice");
             let rows = subtree_rows(&w[1..], split.slice(), cap, &p).expect("phase A ran");
@@ -375,12 +379,15 @@ pub fn dmin_rel_var(
             for v in vals {
                 ctx.emit(*k, v);
             }
+        });
+    let ((), metrics) = pipe
+        .stage(&base_extract_job, &splits)?
+        .then(|(_, pairs)| {
+            for (node, yu) in pairs {
+                allocation.push((node, yu));
+            }
         })
-        .run(cluster, splits)?;
-    metrics.push(out.metrics);
-    for (node, yu) in out.pairs {
-        allocation.push((node, yu));
-    }
+        .finish();
 
     // ---- Coin flips (driver-side, to match the centralized seed) ----
     allocation.sort_unstable_by_key(|&(i, _)| i);

@@ -34,7 +34,7 @@
 //! let out = JobBuilder::new("sum")
 //!     .map(|s: &u64, ctx: &mut MapContext<u8, u64>| ctx.emit(0, *s))
 //!     .reduce(|k, vals, ctx: &mut ReduceContext<u8, u64>| ctx.emit(*k, vals.sum()))
-//!     .run(&cluster, vec![1, 2, 3])
+//!     .run(&cluster, &[1, 2, 3])
 //!     .unwrap();
 //! assert_eq!(out.pairs, vec![(0, 6)]); // identical to a fault-free run
 //! assert_eq!(out.metrics.retried_attempts(), 1);

@@ -351,13 +351,18 @@ where
 {
     /// Executes the job on `cluster` over the given input splits (one map
     /// task per split).
-    pub fn run(self, cluster: &Cluster, splits: Vec<S>) -> Result<JobOutput<OK, OV>, RuntimeError> {
+    ///
+    /// The job and the splits are only borrowed: a driver can re-run the
+    /// same job over different splits, and — more importantly — split
+    /// ownership stays with the driver, so chaining stages never forces a
+    /// defensive `clone()` of the input data.
+    pub fn run(&self, cluster: &Cluster, splits: &[S]) -> Result<JobOutput<OK, OV>, RuntimeError> {
         if splits.is_empty() {
             return Err(RuntimeError::NoInput);
         }
         let config = cluster.config();
         if let Some(mem) = &self.stage.task_memory {
-            for split in &splits {
+            for split in splits {
                 let needed = mem(split);
                 if needed > config.task_memory_bytes {
                     return Err(RuntimeError::TaskOutOfMemory {
@@ -382,7 +387,7 @@ where
 
         // ---- Map phase ----
         let fault_plan = config.fault_plan.as_ref();
-        let map_raw = run_indexed(config.threads, &splits, |i, split| {
+        let map_raw = run_indexed(config.threads, splits, |i, split| {
             // HDFS read time is charged to every attempt of the task.
             let read_secs = stage
                 .input_bytes
@@ -645,7 +650,7 @@ mod tests {
             .reduce(|k, vals, ctx: &mut ReduceContext<u32, u64>| {
                 ctx.emit(*k, vals.sum());
             })
-            .run(&cluster, splits)
+            .run(&cluster, &splits)
             .unwrap();
         let mut pairs = out.pairs;
         pairs.sort();
@@ -672,7 +677,7 @@ mod tests {
             .reduce(|k, _vals, ctx: &mut ReduceContext<i64, ()>| {
                 ctx.emit(*k, ());
             })
-            .run(&cluster, splits)
+            .run(&cluster, &splits)
             .unwrap();
         let keys: Vec<i64> = out.pairs.iter().map(|&(k, _)| k).collect();
         assert_eq!(keys, vec![-8, -3, 0, 5, 7, 9]);
@@ -694,7 +699,7 @@ mod tests {
                 assert_eq!(vals.count(), 1);
                 ctx.emit(*k, 0);
             })
-            .run(&cluster, splits)
+            .run(&cluster, &splits)
             .unwrap();
         // Partition 0 gets evens (sorted), partition 1 odds.
         let keys: Vec<u32> = out.pairs.iter().map(|&(k, _)| k).collect();
@@ -714,7 +719,7 @@ mod tests {
                 ctx.add_counter("groups", 1);
                 ctx.emit(0, vals.count() as u8);
             })
-            .run(&cluster, splits)
+            .run(&cluster, &splits)
             .unwrap();
         assert_eq!(out.metrics.counter("seen"), 7);
         assert_eq!(out.metrics.counter("groups"), 1);
@@ -727,7 +732,7 @@ mod tests {
         let result = JobBuilder::new("none")
             .map(|_s: &u8, _ctx: &mut MapContext<u8, u8>| {})
             .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
-            .run(&cluster, Vec::new());
+            .run(&cluster, &[]);
         assert!(matches!(result, Err(RuntimeError::NoInput)));
     }
 
@@ -742,7 +747,7 @@ mod tests {
             .map(|_s: &u8, ctx: &mut MapContext<u8, u8>| ctx.emit(0, 0))
             .input_bytes(|_| 500)
             .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
-            .run(&cluster, vec![1u8])
+            .run(&cluster, &[1u8])
             .unwrap();
         assert_eq!(out.metrics.input_bytes, 500);
         // 500 bytes at 1000 B/s = 0.5 s of simulated map time.
@@ -760,7 +765,7 @@ mod tests {
         let out = JobBuilder::new("waves")
             .map(|_s: &u8, ctx: &mut MapContext<u8, u8>| ctx.emit(0, 0))
             .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
-            .run(&cluster, splits)
+            .run(&cluster, &splits)
             .unwrap();
         assert_eq!(out.metrics.map_waves, 3);
     }
@@ -780,7 +785,7 @@ mod tests {
                 .reduce(|k, vals, ctx: &mut ReduceContext<u32, u32>| {
                     ctx.emit(*k, vals.sum());
                 })
-                .run(&cluster, splits)
+                .run(&cluster, &splits)
                 .unwrap()
                 .pairs
         };
@@ -823,7 +828,7 @@ mod combiner_tests {
                 .reduce(|k, vals, ctx: &mut ReduceContext<u32, u64>| {
                     ctx.emit(*k, vals.sum());
                 })
-                .run(&cluster, splits.clone())
+                .run(&cluster, &splits)
                 .unwrap();
             let mut pairs = out.pairs;
             pairs.sort();
@@ -853,7 +858,7 @@ mod combiner_tests {
             .reducers(2)
             .partition_by(|_, _| 7)
             .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
-            .run(&cluster, vec![1u8]);
+            .run(&cluster, &[1u8]);
         assert!(matches!(
             result,
             Err(RuntimeError::BadPartitioner {
@@ -872,7 +877,7 @@ mod combiner_tests {
             .map(|_s: &u8, ctx: &mut MapContext<u8, u8>| ctx.emit(0, 0))
             .task_memory(|_| 2000)
             .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
-            .run(&cluster, vec![1u8]);
+            .run(&cluster, &[1u8]);
         assert!(matches!(
             result,
             Err(RuntimeError::TaskOutOfMemory {
@@ -885,7 +890,7 @@ mod combiner_tests {
             .map(|_s: &u8, ctx: &mut MapContext<u8, u8>| ctx.emit(0, 0))
             .task_memory(|_| 500)
             .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
-            .run(&cluster, vec![1u8]);
+            .run(&cluster, &[1u8]);
         assert!(ok.is_ok());
     }
 }
@@ -905,7 +910,7 @@ mod fault_tests {
         Cluster::new(cfg)
     }
 
-    fn sum_job(cluster: &Cluster, splits: Vec<u64>) -> Result<JobOutput<u8, u64>, RuntimeError> {
+    fn sum_job(cluster: &Cluster, splits: &[u64]) -> Result<JobOutput<u8, u64>, RuntimeError> {
         JobBuilder::new("sum")
             .map(|s: &u64, ctx: &mut MapContext<u8, u64>| ctx.emit(0, *s))
             .reduce(|k, vals, ctx: &mut ReduceContext<u8, u64>| ctx.emit(*k, vals.sum()))
@@ -914,11 +919,11 @@ mod fault_tests {
 
     #[test]
     fn injected_failures_recover_with_identical_output() {
-        let clean = sum_job(&faulty_cluster(FaultPlan::seeded(0)), vec![1, 2, 3, 4]).unwrap();
+        let clean = sum_job(&faulty_cluster(FaultPlan::seeded(0)), &[1, 2, 3, 4]).unwrap();
         let plan = FaultPlan::seeded(0)
             .with_targeted(TaskPhase::Map, 1, vec![1, 2])
             .with_targeted(TaskPhase::Reduce, 0, vec![1]);
-        let faulty = sum_job(&faulty_cluster(plan), vec![1, 2, 3, 4]).unwrap();
+        let faulty = sum_job(&faulty_cluster(plan), &[1, 2, 3, 4]).unwrap();
         assert_eq!(clean.pairs, faulty.pairs);
         assert_eq!(faulty.metrics.failed_attempts(), 3);
         assert_eq!(faulty.metrics.retried_attempts(), 3);
@@ -929,7 +934,7 @@ mod fault_tests {
     #[test]
     fn exhausted_attempts_fail_the_job() {
         let plan = FaultPlan::seeded(0).with_targeted(TaskPhase::Map, 0, vec![1, 2, 3, 4]);
-        let err = sum_job(&faulty_cluster(plan), vec![1, 2]).unwrap_err();
+        let err = sum_job(&faulty_cluster(plan), &[1, 2]).unwrap_err();
         match err {
             RuntimeError::TaskFailed {
                 phase,
@@ -960,7 +965,7 @@ mod fault_tests {
                 panic!("kaboom");
             })
             .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
-            .run(&cluster, vec![1u8]);
+            .run(&cluster, &[1u8]);
         assert_eq!(calls.load(Ordering::SeqCst), 2, "one execution per attempt");
         match result {
             Err(RuntimeError::TaskFailed {
@@ -990,7 +995,7 @@ mod fault_tests {
                 ctx.emit(0, *s)
             })
             .reduce(|k, vals, ctx: &mut ReduceContext<u8, u64>| ctx.emit(*k, vals.sum()))
-            .run(&cluster, vec![41u64])
+            .run(&cluster, &[41u64])
             .unwrap();
         assert_eq!(out.pairs, vec![(0, 41)]);
         assert_eq!(out.metrics.failed_attempts(), 1);
@@ -999,10 +1004,10 @@ mod fault_tests {
 
     #[test]
     fn straggler_slows_simulated_clock_only() {
-        let clean = sum_job(&faulty_cluster(FaultPlan::seeded(0)), vec![1, 2]).unwrap();
+        let clean = sum_job(&faulty_cluster(FaultPlan::seeded(0)), &[1, 2]).unwrap();
         let slow = sum_job(
             &faulty_cluster(FaultPlan::seeded(0).with_straggler(TaskPhase::Map, 0, 50.0)),
-            vec![1, 2],
+            &[1, 2],
         )
         .unwrap();
         assert_eq!(clean.pairs, slow.pairs);

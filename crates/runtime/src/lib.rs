@@ -52,12 +52,17 @@
 //!              ctx: &mut ReduceContext<String, u64>| {
 //!         ctx.emit(key.clone(), vals.sum());
 //!     })
-//!     .run(&cluster, splits)
+//!     .run(&cluster, &splits)
 //!     .unwrap();
 //! let mut pairs = out.pairs;
 //! pairs.sort();
 //! assert_eq!(pairs, vec![("a".into(), 2), ("b".into(), 3)]);
 //! ```
+
+//!
+//! Multi-job driver programs declare their rounds as a
+//! [`pipeline::Pipeline`], which owns split handoff between stages and
+//! aggregates per-stage metrics into one [`metrics::DriverMetrics`].
 
 pub mod cluster;
 pub mod codec;
@@ -65,6 +70,7 @@ pub mod error;
 pub mod fault;
 pub mod job;
 pub mod metrics;
+pub mod pipeline;
 pub mod scheduler;
 
 pub use cluster::{Cluster, ClusterConfig};
@@ -72,5 +78,7 @@ pub use error::RuntimeError;
 pub use fault::{FaultPlan, Straggler, TargetedFault, TaskPhase};
 pub use job::{JobBuilder, JobOutput, MapContext, ReduceContext};
 pub use metrics::{
-    AttemptKind, AttemptOutcome, AttemptStats, DriverMetrics, JobMetrics, SimTime, TaskAttempt,
+    AttemptKind, AttemptOutcome, AttemptStats, DriverMetrics, JobMetrics, SimTime, StageMetrics,
+    TaskAttempt,
 };
+pub use pipeline::Pipeline;

@@ -247,6 +247,29 @@ impl JobMetrics {
     }
 }
 
+/// Aggregate metrics for one named pipeline stage.
+///
+/// A stage is identified by its job name; jobs that run several times under
+/// the same name (e.g. one `dmhs-layer-up` job per error-tree layer, or one
+/// probe chain per binary-search step) fold into a single row. Produced by
+/// [`DriverMetrics::per_stage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageMetrics {
+    /// Stage name (the job name shared by all runs of this stage).
+    pub name: String,
+    /// Number of jobs executed under this stage name.
+    pub runs: usize,
+    /// Total simulated time across the stage's runs.
+    pub simulated: SimTime,
+    /// Total bytes crossing the shuffle boundary across the stage's runs.
+    pub shuffle_bytes: u64,
+    /// Total declared HDFS input bytes across the stage's runs.
+    pub input_bytes: u64,
+    /// Aggregate attempt accounting (failures, retries, speculation,
+    /// wasted simulated seconds) across the stage's runs.
+    pub attempt_stats: AttemptStats,
+}
+
 /// Accumulates metrics across the jobs of a multi-job driver program.
 #[derive(Debug, Clone, Default)]
 pub struct DriverMetrics {
@@ -294,6 +317,46 @@ impl DriverMetrics {
             s += j.attempt_stats;
         }
         s
+    }
+
+    /// Appends all of `other`'s jobs, preserving execution order — how a
+    /// driver folds a sub-pipeline's ledger (e.g. one DMHaarSpace probe of
+    /// DIndirectHaar's binary search) into its own.
+    pub fn merge(&mut self, other: DriverMetrics) {
+        self.jobs.extend(other.jobs);
+    }
+
+    /// Groups the job ledger by stage name, in first-execution order.
+    ///
+    /// The stage rows partition the ledger: summing `simulated`
+    /// (resp. `shuffle_bytes`, `attempt_stats`) over the rows reproduces
+    /// [`DriverMetrics::total_simulated`]
+    /// (resp. [`total_shuffle_bytes`](DriverMetrics::total_shuffle_bytes),
+    /// [`total_attempt_stats`](DriverMetrics::total_attempt_stats)) exactly.
+    pub fn per_stage(&self) -> Vec<StageMetrics> {
+        let mut stages: Vec<StageMetrics> = Vec::new();
+        for j in &self.jobs {
+            let stage = match stages.iter_mut().find(|s| s.name == j.name) {
+                Some(s) => s,
+                None => {
+                    stages.push(StageMetrics {
+                        name: j.name.clone(),
+                        runs: 0,
+                        simulated: SimTime::ZERO,
+                        shuffle_bytes: 0,
+                        input_bytes: 0,
+                        attempt_stats: AttemptStats::default(),
+                    });
+                    stages.last_mut().expect("just pushed")
+                }
+            };
+            stage.runs += 1;
+            stage.simulated += j.simulated();
+            stage.shuffle_bytes += j.shuffle_bytes;
+            stage.input_bytes += j.input_bytes;
+            stage.attempt_stats += j.attempt_stats;
+        }
+        stages
     }
 }
 
@@ -343,6 +406,55 @@ mod tests {
         assert_eq!(d.total_simulated(), SimTime(5.0));
         assert_eq!(d.total_shuffle_bytes(), 150);
         assert_eq!(d.job_count(), 2);
+    }
+
+    #[test]
+    fn per_stage_groups_by_name_in_first_seen_order() {
+        let mut d = DriverMetrics::new();
+        for (name, map, bytes) in [("a", 1.0, 10), ("b", 2.0, 20), ("a", 4.0, 40)] {
+            let mut j = JobMetrics {
+                name: name.into(),
+                shuffle_bytes: bytes,
+                input_bytes: bytes * 2,
+                ..JobMetrics::default()
+            };
+            j.sim.map = map;
+            j.attempt_stats.failed = 1;
+            d.push(j);
+        }
+        let stages = d.per_stage();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].name, "a");
+        assert_eq!(stages[0].runs, 2);
+        assert_eq!(stages[0].simulated, SimTime(5.0));
+        assert_eq!(stages[0].shuffle_bytes, 50);
+        assert_eq!(stages[0].input_bytes, 100);
+        assert_eq!(stages[0].attempt_stats.failed, 2);
+        assert_eq!(stages[1].name, "b");
+        assert_eq!(stages[1].runs, 1);
+        // The stage rows partition the ledger exactly.
+        let sim: f64 = stages.iter().map(|s| s.simulated.secs()).sum();
+        assert_eq!(SimTime(sim), d.total_simulated());
+        let bytes: u64 = stages.iter().map(|s| s.shuffle_bytes).sum();
+        assert_eq!(bytes, d.total_shuffle_bytes());
+    }
+
+    #[test]
+    fn merge_preserves_order() {
+        let mut a = DriverMetrics::new();
+        a.push(JobMetrics {
+            name: "first".into(),
+            ..JobMetrics::default()
+        });
+        let mut b = DriverMetrics::new();
+        b.push(JobMetrics {
+            name: "second".into(),
+            ..JobMetrics::default()
+        });
+        a.merge(b);
+        assert_eq!(a.job_count(), 2);
+        assert_eq!(a.jobs[0].name, "first");
+        assert_eq!(a.jobs[1].name, "second");
     }
 
     #[test]

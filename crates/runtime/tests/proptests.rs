@@ -47,7 +47,7 @@ proptest! {
             .reduce(|k, vals, ctx: &mut ReduceContext<u32, i64>| {
                 ctx.emit(*k, vals.sum());
             })
-            .run(&cluster, splits.clone())
+            .run(&cluster, &splits)
             .unwrap();
         let got: BTreeMap<u32, i64> = out.pairs.into_iter().collect();
         prop_assert_eq!(got, reference_sum(&splits));
@@ -78,7 +78,7 @@ proptest! {
                 .reduce(|k, vals, ctx: &mut ReduceContext<u32, i64>| {
                     ctx.emit(*k, vals.sum());
                 })
-                .run(&cluster, splits.clone())
+                .run(&cluster, &splits)
                 .unwrap()
                 .pairs;
             pairs.sort();
@@ -107,7 +107,7 @@ proptest! {
                     ctx.emit(*k, v);
                 }
             })
-            .run(&cluster, vec![records.clone()]);
+            .run(&cluster, std::slice::from_ref(&records));
         let out = out.unwrap();
         prop_assert_eq!(out.metrics.shuffle_bytes as usize, expected);
         prop_assert_eq!(out.metrics.shuffle_records as usize, records.len());
@@ -130,7 +130,7 @@ proptest! {
             .reduce(|k, _vals, ctx: &mut ReduceContext<i64, ()>| {
                 ctx.emit(*k, ());
             })
-            .run(&cluster, vec![keys.clone()])
+            .run(&cluster, std::slice::from_ref(&keys))
             .unwrap();
         // Output is per-partition key-sorted runs; verify each partition's
         // keys arrive ascending.
@@ -156,7 +156,7 @@ proptest! {
         let out = JobBuilder::new("prop-sim")
             .map(|_s: &u64, ctx: &mut MapContext<u8, u8>| ctx.emit(0, 0))
             .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
-            .run(&cluster, splits)
+            .run(&cluster, &splits)
             .unwrap();
         let m = &out.metrics;
         // Waves × startup bounds the map phase from below.
@@ -192,6 +192,112 @@ proptest! {
         let tight = dwmaxerr_runtime::scheduler::makespan(&durations, slots, startup);
         let roomy = dwmaxerr_runtime::scheduler::makespan(&durations, slots + 1, startup);
         prop_assert!(roomy <= tight + 1e-9, "{roomy} > {tight} with an extra slot");
+    }
+}
+
+mod codec_edge_cases {
+    //! Round-trip properties of `runtime::codec` at the edges of its value
+    //! space: zero-byte encodings, zero-length containers, and
+    //! extreme-magnitude numeric payloads.
+
+    use dwmaxerr_runtime::codec::{encoded, encoded_len, Wire};
+    use proptest::prelude::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) -> T {
+        let buf = encoded(v);
+        let mut slice = buf.as_slice();
+        let back = T::decode(&mut slice).expect("decode");
+        assert!(slice.is_empty(), "trailing bytes after decode");
+        back
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn f64_roundtrips_bit_exactly_for_any_payload(bits in any::<u64>()) {
+            // Every possible bit pattern — NaNs with payloads, ±inf,
+            // subnormals, -0.0 — must survive the wire unchanged.
+            let v = f64::from_bits(bits);
+            let buf = encoded(&v);
+            prop_assert_eq!(buf.len(), 8);
+            let mut s = buf.as_slice();
+            let back = f64::decode(&mut s).unwrap();
+            prop_assert_eq!(back.to_bits(), bits);
+        }
+
+        #[test]
+        fn integer_width_is_magnitude_independent(v in any::<u64>(), w in any::<i64>()) {
+            // The format is deliberately fixed-width (the paper's cost model
+            // counts sizeOf(int)-style sizes), so the encoded length must
+            // not vary with magnitude.
+            prop_assert_eq!(encoded_len(&v), 8);
+            prop_assert_eq!(encoded_len(&w), 8);
+            prop_assert_eq!(roundtrip(&v), v);
+            prop_assert_eq!(roundtrip(&w), w);
+        }
+
+        #[test]
+        fn possibly_empty_key_lists_roundtrip(
+            keys in prop::collection::vec(any::<u32>(), 0..8),
+            tag in any::<u8>(),
+        ) {
+            // Zero-length key lists are a real shuffle payload (a reducer
+            // group with no survivors); the length prefix must keep them
+            // distinguishable from absent values.
+            let pair = (tag, keys.clone());
+            prop_assert_eq!(roundtrip(&pair), pair);
+            prop_assert_eq!(encoded_len(&keys), 4 + 4 * keys.len());
+        }
+
+        #[test]
+        fn zero_byte_values_roundtrip_by_count(n in 0usize..100) {
+            // `()` encodes to zero bytes; only the Vec length prefix
+            // carries information.
+            let v = vec![(); n];
+            prop_assert_eq!(encoded_len(&v), 4);
+            prop_assert_eq!(roundtrip(&v).len(), n);
+        }
+
+        #[test]
+        fn nested_options_and_empty_vectors_roundtrip(
+            outer in prop::collection::vec(
+                prop::option::of(prop::collection::vec(any::<u64>().prop_map(f64::from_bits), 0..4)),
+                0..6,
+            ),
+        ) {
+            let back = roundtrip(&outer.clone());
+            // Compare via bits so NaN-bearing lanes still count as equal.
+            let bits = |v: &Vec<Option<Vec<f64>>>| -> Vec<Option<Vec<u64>>> {
+                v.iter()
+                    .map(|o| o.as_ref().map(|xs| xs.iter().map(|x| x.to_bits()).collect()))
+                    .collect()
+            };
+            prop_assert_eq!(bits(&back), bits(&outer));
+        }
+    }
+
+    #[test]
+    fn named_extremes_roundtrip() {
+        for v in [
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest positive subnormal
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+        ] {
+            let back = roundtrip(&v);
+            assert_eq!(back.to_bits(), v.to_bits(), "{v:?}");
+        }
+        for v in [u64::MAX, u64::MIN, 1u64 << 63] {
+            assert_eq!(roundtrip(&v), v);
+        }
+        for v in [i64::MAX, i64::MIN, -1i64] {
+            assert_eq!(roundtrip(&v), v);
+        }
+        assert_eq!(roundtrip(&usize::MAX), usize::MAX);
     }
 }
 
@@ -236,7 +342,7 @@ mod corruption {
             .reduce(|k, vals, ctx: &mut ReduceContext<u32, u64>| {
                 ctx.emit(*k, vals.count() as u64);
             })
-            .run(&cluster, vec![0u8]);
+            .run(&cluster, &[0u8]);
         assert!(matches!(result, Err(RuntimeError::Codec(_))), "{result:?}");
     }
 }

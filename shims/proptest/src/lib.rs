@@ -379,6 +379,42 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    //! Option strategies.
+
+    use super::test_runner::TestRng;
+    use super::Strategy;
+    use std::fmt;
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `prop::option::of(inner)` — `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        OptionStrategy { inner }
+    }
+}
+
 /// Asserts a condition inside a property, reporting the failing case.
 #[macro_export]
 macro_rules! prop_assert {
@@ -499,7 +535,7 @@ pub mod prelude {
 
     /// The `prop` namespace (`prop::collection::vec(..)`).
     pub mod prop {
-        pub use crate::collection;
+        pub use crate::{collection, option};
     }
 }
 

@@ -27,7 +27,7 @@ fn busy_job(cluster: &Cluster, tasks: usize) -> f64 {
         .reduce(|_k, vals, ctx: &mut ReduceContext<u8, u64>| {
             ctx.emit(0, vals.count() as u64);
         })
-        .run(cluster, splits)
+        .run(cluster, &splits)
         .unwrap();
     // Use only the map-phase makespan: it is the wave-structured quantity.
     out.metrics.sim.map

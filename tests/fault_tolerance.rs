@@ -153,7 +153,7 @@ fn panicking_map_function_is_isolated_and_typed() {
             panic!("user bug");
         })
         .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
-        .run(&cluster, vec![0u8]);
+        .run(&cluster, &[0u8]);
     assert_eq!(calls.load(Ordering::SeqCst), 3, "retried per max_attempts");
     match result {
         Err(RuntimeError::TaskFailed {
