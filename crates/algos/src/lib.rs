@@ -20,6 +20,20 @@
 //! The greedy engines and the MinHaarSpace row combiner deliberately
 //! operate on *sub-trees with an incoming context* — that is the exact
 //! interface the distributed layer (`dwmaxerr-core`) parallelizes.
+//!
+//! # Module map
+//!
+//! | Module                | Role |
+//! |-----------------------|------|
+//! | [`conventional`]      | Linear-time L2-optimal thresholding (Section 2.3) |
+//! | [`greedy_abs`]        | GreedyAbs engine over sub-trees with incoming context |
+//! | [`greedy_rel`]        | GreedyRel: relative-error greedy with sanity bound |
+//! | [`mod@min_haar_space`]| MinHaarSpace quantized DP rows and combiner |
+//! | [`mod@indirect_haar`] | IndirectHaar: binary search over MinHaarSpace probes |
+//! | [`haar_plus`]         | Haar+ tree DP (MinHaarSpace/IndirectHaar on Haar+) |
+//! | [`mod@min_rel_var`]   | MinRelVar: relative-variance DP |
+//! | [`heap`]              | The lazy max-heap shared by the greedy engines |
+//! | [`memory`]            | Working-set accounting used for task memory estimates |
 
 pub mod conventional;
 pub mod greedy_abs;

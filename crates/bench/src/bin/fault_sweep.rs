@@ -1,8 +1,33 @@
 //! Fault-tolerance sweep: DGreedyAbs under injected failures and
 //! stragglers. `DWM_SCALE=full` for larger sizes.
+//!
+//! Pass `--trace-dir <dir>` (or set `DWM_TRACE_DIR`) to export the
+//! highest-failure-rate run's execution trace next to the report:
+//! `fault_sweep.trace.jsonl` (structured event log) and
+//! `fault_sweep.trace.json` (Chrome trace-event format — open at
+//! <https://ui.perfetto.dev>).
+use std::path::PathBuf;
+
 use dwmaxerr_bench::{experiments, report, setup::Scale};
 
 fn main() {
-    let tables = experiments::fault_sweep(Scale::from_env());
+    let mut trace_dir: Option<PathBuf> = std::env::var_os("DWM_TRACE_DIR").map(PathBuf::from);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-dir" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-dir requires a directory argument");
+                    std::process::exit(2);
+                });
+                trace_dir = Some(PathBuf::from(dir));
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (expected --trace-dir <dir>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let tables = experiments::fault_sweep_traced(Scale::from_env(), trace_dir.as_deref());
     report::print_all(&tables);
 }

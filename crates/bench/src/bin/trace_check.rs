@@ -1,0 +1,144 @@
+//! Validates exported traces: `trace_check <trace.jsonl> [trace.json]`.
+//!
+//! Checks performed:
+//!
+//! * every JSONL line parses back into a typed `TraceEvent` and
+//!   re-serializes to the identical line (round-trip stability),
+//! * the event sequence passes `trace::validate` (span pairing, per-slot
+//!   non-overlap, phase ordering, sim-time consistency),
+//! * the optional Chrome trace file parses as JSON, carries a
+//!   `traceEvents` array, and every entry has the keys a viewer needs
+//!   (`ph`, `pid`, `tid`, `name`, plus `ts`/`dur` on spans) — the
+//!   loadability contract for Perfetto / `chrome://tracing`,
+//! * with `--require-recovery`, the trace must contain at least one retry
+//!   attempt and one speculative attempt (the fault-sweep smoke check).
+//!
+//! Exits non-zero with a message on the first violation.
+use std::path::Path;
+use std::process::ExitCode;
+
+use dwmaxerr_runtime::metrics::AttemptKind;
+use dwmaxerr_runtime::trace::{self, json, TraceEvent, TraceEventKind};
+
+fn check_jsonl(path: &Path, require_recovery: bool) -> Result<Vec<TraceEvent>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = TraceEvent::from_jsonl(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let back = event.to_jsonl();
+        if back != line {
+            return Err(format!(
+                "line {} does not round-trip:\n  in:  {line}\n  out: {back}",
+                i + 1
+            ));
+        }
+        events.push(event);
+    }
+    if events.is_empty() {
+        return Err("trace is empty".to_string());
+    }
+    trace::validate(&events).map_err(|e| format!("validation: {e}"))?;
+    if require_recovery {
+        let kind_count = |k: AttemptKind| {
+            events
+                .iter()
+                .filter(|e| matches!(&e.kind, TraceEventKind::Attempt { kind, .. } if *kind == k))
+                .count()
+        };
+        let retries = kind_count(AttemptKind::Retry);
+        let speculative = kind_count(AttemptKind::Speculative);
+        if retries == 0 {
+            return Err("no retry attempts in trace (--require-recovery)".to_string());
+        }
+        if speculative == 0 {
+            return Err("no speculative attempts in trace (--require-recovery)".to_string());
+        }
+        println!("  recovery: {retries} retries, {speculative} speculative attempts");
+    }
+    Ok(events)
+}
+
+fn check_chrome(path: &Path) -> Result<usize, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(json::Value::as_array)
+        .ok_or("missing traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(json::Value::as_str)
+            .ok_or(format!("traceEvents[{i}]: missing ph"))?;
+        for key in ["pid", "tid"] {
+            e.get(key)
+                .and_then(json::Value::as_u64)
+                .ok_or(format!("traceEvents[{i}]: missing {key}"))?;
+        }
+        e.get("name")
+            .and_then(json::Value::as_str)
+            .ok_or(format!("traceEvents[{i}]: missing name"))?;
+        match ph {
+            "X" => {
+                for key in ["ts", "dur"] {
+                    let v = e
+                        .get(key)
+                        .and_then(json::Value::as_f64)
+                        .ok_or(format!("traceEvents[{i}]: span missing {key}"))?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format!("traceEvents[{i}]: bad {key} {v}"));
+                    }
+                }
+            }
+            "i" | "C" => {
+                e.get("ts")
+                    .and_then(json::Value::as_f64)
+                    .ok_or(format!("traceEvents[{i}]: instant missing ts"))?;
+            }
+            "M" => {}
+            other => return Err(format!("traceEvents[{i}]: unexpected ph {other:?}")),
+        }
+    }
+    Ok(events.len())
+}
+
+fn main() -> ExitCode {
+    let mut require_recovery = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--require-recovery" {
+            require_recovery = true;
+        } else {
+            paths.push(arg);
+        }
+    }
+    if paths.is_empty() || paths.len() > 2 {
+        eprintln!("usage: trace_check [--require-recovery] <trace.jsonl> [trace.json]");
+        return ExitCode::from(2);
+    }
+    match check_jsonl(Path::new(&paths[0]), require_recovery) {
+        Ok(events) => println!("{}: {} events OK", paths[0], events.len()),
+        Err(e) => {
+            eprintln!("{}: {e}", paths[0]);
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(chrome) = paths.get(1) {
+        match check_chrome(Path::new(chrome)) {
+            Ok(n) => println!("{chrome}: {n} Chrome trace events OK"),
+            Err(e) => {
+                eprintln!("{chrome}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -8,13 +8,16 @@
 //! bit-identical to the fault-free run, and (b) the recovery cost appears
 //! as extra simulated makespan and wasted (failed/killed) slot seconds.
 
+use std::path::Path;
+
 use dwmaxerr_core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};
 use dwmaxerr_core::CoreError;
 use dwmaxerr_datagen::synthetic::uniform;
 use dwmaxerr_runtime::metrics::DriverMetrics;
+use dwmaxerr_runtime::trace::{self, TraceEvent};
 use dwmaxerr_runtime::{AttemptStats, Cluster, ClusterConfig, FaultPlan, TaskPhase};
 
-use crate::report::{secs, stage_breakdown, Table};
+use crate::report::{critical_path_table, secs, slot_utilisation_table, stage_breakdown, Table};
 use crate::setup::Scale;
 
 /// A paper-shaped cluster carrying the given fault plan. HDFS is slowed to
@@ -31,6 +34,19 @@ fn faulty_cluster(plan: Option<FaultPlan>) -> Cluster {
 
 /// Fault sweep over DGreedyAbs: failure rate vs recovery cost.
 pub fn fault_sweep(scale: Scale) -> Vec<Table> {
+    fault_sweep_traced(scale, None)
+}
+
+/// [`fault_sweep`], additionally exporting the highest-failure-rate
+/// successful run's execution trace.
+///
+/// With `trace_dir` set, the run's event log is validated and written as
+/// `fault_sweep.trace.jsonl` (one event per line, see
+/// `dwmaxerr_runtime::trace`) and `fault_sweep.trace.json` (Chrome
+/// trace-event format — open it at <https://ui.perfetto.dev>), and the
+/// returned tables gain trace-derived slot-utilisation and critical-path
+/// summaries.
+pub fn fault_sweep_traced(scale: Scale, trace_dir: Option<&Path>) -> Vec<Table> {
     let n: usize = 1 << scale.pick(15, 18);
     let b = n / 8;
     let s = (n / 32).max(1 << 10);
@@ -42,7 +58,7 @@ pub fn fault_sweep(scale: Scale) -> Vec<Table> {
         max_candidates: None,
     };
 
-    type RunOutput = (Vec<f64>, f64, AttemptStats, DriverMetrics);
+    type RunOutput = (Vec<f64>, f64, AttemptStats, DriverMetrics, Vec<TraceEvent>);
     let run = |plan: Option<FaultPlan>| -> Result<RunOutput, CoreError> {
         let cluster = faulty_cluster(plan);
         let res = dgreedy_abs(&cluster, &data, b, &cfg)?;
@@ -52,10 +68,11 @@ pub fn fault_sweep(scale: Scale) -> Vec<Table> {
             res.metrics.total_simulated().secs(),
             stats,
             res.metrics,
+            cluster.trace_events(),
         ))
     };
 
-    let (clean_recon, clean_secs, _, _) = run(None).expect("fault-free run succeeds");
+    let (clean_recon, clean_secs, _, _, _) = run(None).expect("fault-free run succeeds");
 
     let mut t = Table::new(
         format!(
@@ -75,14 +92,14 @@ pub fn fault_sweep(scale: Scale) -> Vec<Table> {
             "output identical",
         ],
     );
-    let mut breakdown_metrics: Option<(f64, DriverMetrics)> = None;
+    let mut breakdown_metrics: Option<(f64, DriverMetrics, Vec<TraceEvent>)> = None;
     for prob in [0.0, 0.05, 0.10, 0.20] {
         let plan = FaultPlan::seeded(41)
             .with_failure_prob(prob)
             .with_straggler(TaskPhase::Map, 0, 6.0)
             .with_straggler(TaskPhase::Map, 1, 4.0);
         match run(Some(plan)) {
-            Ok((recon, sim_secs, stats, metrics)) => {
+            Ok((recon, sim_secs, stats, metrics, events)) => {
                 let identical = recon == clean_recon;
                 t.row(vec![
                     format!("{:.0}%", prob * 100.0),
@@ -96,7 +113,7 @@ pub fn fault_sweep(scale: Scale) -> Vec<Table> {
                 ]);
                 // Keep the highest-failure-rate run that still completed for
                 // the per-stage recovery-cost breakdown below.
-                breakdown_metrics = Some((prob, metrics));
+                breakdown_metrics = Some((prob, metrics, events));
             }
             Err(e) => {
                 // Some task drew max_attempts consecutive failures: the job
@@ -120,7 +137,7 @@ pub fn fault_sweep(scale: Scale) -> Vec<Table> {
          Hadoop defaults: max_attempts=4, speculative execution on.",
     );
     let mut tables = vec![t];
-    if let Some((prob, metrics)) = breakdown_metrics {
+    if let Some((prob, metrics, events)) = breakdown_metrics {
         let mut bd = stage_breakdown(
             format!(
                 "Per-stage breakdown — DGreedyAbs at {:.0}% attempt failure rate",
@@ -135,6 +152,39 @@ pub fn fault_sweep(scale: Scale) -> Vec<Table> {
              first-execution order, summing to the totals row.",
         );
         tables.push(bd);
+
+        trace::validate(&events).expect("fault-sweep trace is well-formed");
+        let mut util = slot_utilisation_table(
+            format!(
+                "Slot utilisation — DGreedyAbs at {:.0}% attempt failure rate (trace-derived)",
+                prob * 100.0
+            ),
+            &events,
+        );
+        let mut cp = critical_path_table(
+            format!(
+                "Critical path — DGreedyAbs at {:.0}% attempt failure rate (trace-derived)",
+                prob * 100.0
+            ),
+            &events,
+        );
+        if let Some(dir) = trace_dir {
+            std::fs::create_dir_all(dir).expect("create trace dir");
+            let jsonl_path = dir.join("fault_sweep.trace.jsonl");
+            let chrome_path = dir.join("fault_sweep.trace.json");
+            std::fs::write(&jsonl_path, trace::to_jsonl(&events)).expect("write JSONL trace");
+            std::fs::write(&chrome_path, trace::chrome_trace(&events)).expect("write Chrome trace");
+            let note = format!(
+                "trace written to {} (JSONL) and {} (Chrome trace-event; open at \
+                 https://ui.perfetto.dev).",
+                jsonl_path.display(),
+                chrome_path.display()
+            );
+            util.note(note.clone());
+            cp.note(note);
+        }
+        tables.push(util);
+        tables.push(cp);
     }
     tables
 }

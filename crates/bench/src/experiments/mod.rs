@@ -10,7 +10,7 @@ mod scalability;
 pub use comparison::{fig8, fig9};
 pub use conventional::{fig10, fig11};
 pub use datasets::{fig6, fig7, table3};
-pub use faults::fault_sweep;
+pub use faults::{fault_sweep, fault_sweep_traced};
 pub use scalability::{fig5a, fig5b, fig5c, fig5d};
 
 use dwmaxerr_core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};

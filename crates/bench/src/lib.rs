@@ -11,6 +11,19 @@
 //! cluster by construction; the *shapes* (who wins, by what factor, where
 //! crossovers fall) are the reproduction target, and each table states
 //! the paper's claim next to the measurement.
+//!
+//! The `fault_sweep` binary additionally exports the execution trace of
+//! its worst-case run (`--trace-dir`) as JSONL and Chrome trace-event
+//! JSON, and the `trace_check` binary validates exported traces — see
+//! `dwmaxerr_runtime::trace`.
+//!
+//! # Module map
+//!
+//! | Module          | Role |
+//! |-----------------|------|
+//! | [`setup`]       | [`setup::Scale`] (quick/full), shared cluster configs and workloads |
+//! | [`experiments`] | One module per evaluation section; one function per table/figure |
+//! | [`report`]      | Markdown [`report::Table`] rendering, trace summary tables, report assembly |
 
 pub mod experiments;
 pub mod report;

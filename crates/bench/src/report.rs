@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 
 use dwmaxerr_runtime::metrics::DriverMetrics;
+use dwmaxerr_runtime::trace::{summary, TraceEvent};
 
 /// One experiment output table.
 #[derive(Debug, Clone)]
@@ -164,6 +165,90 @@ pub fn stage_breakdown(
     t
 }
 
+/// Builds a slot-utilisation table from a recorded trace: one row per
+/// (stage, task phase), showing how much of the phase's `slots × makespan`
+/// capacity was actually busy and how much of the busy time was wasted on
+/// failed or killed attempts.
+pub fn slot_utilisation_table(title: impl Into<String>, events: &[TraceEvent]) -> Table {
+    let mut t = Table::new(
+        title,
+        "recovery and speculation cost slot capacity, not just makespan",
+        &[
+            "stage",
+            "phase",
+            "slots",
+            "makespan",
+            "busy slot-s",
+            "wasted slot-s",
+            "attempts",
+            "util",
+        ],
+    );
+    for r in summary::slot_utilisation(events) {
+        t.row(vec![
+            r.job.clone(),
+            r.phase.as_str().into(),
+            r.slots.to_string(),
+            secs(r.makespan_secs),
+            secs(r.busy_secs),
+            secs(r.wasted_secs),
+            r.attempts.to_string(),
+            format!("{:.0}%", 100.0 * r.utilisation()),
+        ]);
+    }
+    t
+}
+
+/// Builds a critical-path table from a recorded trace: one row per stage
+/// decomposing its simulated time into the four serial phase components
+/// (phases are barriers, so they sum to the stage total), with the
+/// dominant phase and the single longest attempt as the straggler
+/// candidate.
+pub fn critical_path_table(title: impl Into<String>, events: &[TraceEvent]) -> Table {
+    let mut t = Table::new(
+        title,
+        "per-stage time decomposes into setup + map + shuffle + reduce",
+        &[
+            "stage",
+            "runs",
+            "setup",
+            "map",
+            "shuffle",
+            "reduce",
+            "total",
+            "dominant",
+            "longest attempt",
+        ],
+    );
+    for r in summary::critical_path(events) {
+        let longest = r.longest.as_ref().map_or_else(
+            || "-".to_string(),
+            |l| {
+                format!(
+                    "{}{} a{} ({}, {})",
+                    l.phase.as_str(),
+                    l.task,
+                    l.attempt,
+                    l.kind.as_str(),
+                    secs(l.secs)
+                )
+            },
+        );
+        t.row(vec![
+            r.job.clone(),
+            r.runs.to_string(),
+            secs(r.setup_secs),
+            secs(r.map_secs),
+            secs(r.shuffle_secs),
+            secs(r.reduce_secs),
+            secs(r.total_secs()),
+            r.dominant_phase().as_str().into(),
+            longest,
+        ]);
+    }
+    t
+}
+
 /// Prints tables to stdout.
 pub fn print_all(tables: &[Table]) {
     for t in tables {
@@ -223,6 +308,64 @@ mod tests {
         assert!(md.contains("| extract  | 1    | 4.00s"));
         assert!(md.contains("| total    | 3    | 7.00s"));
         assert!(md.contains("350B"));
+    }
+
+    #[test]
+    fn trace_tables_render() {
+        use dwmaxerr_runtime::fault::TaskPhase;
+        use dwmaxerr_runtime::metrics::{AttemptKind, AttemptOutcome};
+        use dwmaxerr_runtime::trace::{JobPhase, TraceEvent, TraceEventKind};
+        let job = "stage-a".to_string();
+        let events = vec![
+            TraceEvent {
+                seq: 0,
+                time: 0.0,
+                kind: TraceEventKind::PhaseBegin {
+                    job: job.clone(),
+                    phase: JobPhase::Map,
+                    slots: 2,
+                },
+            },
+            TraceEvent {
+                seq: 1,
+                time: 0.0,
+                kind: TraceEventKind::Attempt {
+                    job: job.clone(),
+                    phase: TaskPhase::Map,
+                    task: 0,
+                    attempt: 1,
+                    kind: AttemptKind::Regular,
+                    outcome: AttemptOutcome::Succeeded,
+                    slot: 0,
+                    end: 2.0,
+                    failure: None,
+                },
+            },
+            TraceEvent {
+                seq: 2,
+                time: 2.0,
+                kind: TraceEventKind::PhaseEnd {
+                    job: job.clone(),
+                    phase: JobPhase::Map,
+                    sim_secs: 2.0,
+                },
+            },
+            TraceEvent {
+                seq: 3,
+                time: 2.0,
+                kind: TraceEventKind::JobEnd {
+                    job: job.clone(),
+                    sim_secs: 2.0,
+                },
+            },
+        ];
+        let util = slot_utilisation_table("util", &events).to_markdown();
+        // 2 busy slot-seconds over 2 slots × 2 s capacity.
+        assert!(util.contains("| stage-a | map"), "{util}");
+        assert!(util.contains("50%"), "{util}");
+        let cp = critical_path_table("cp", &events).to_markdown();
+        assert!(cp.contains("map0 a1 (regular, 2.00s)"), "{cp}");
+        assert!(cp.contains("| map "), "{cp}");
     }
 
     #[test]

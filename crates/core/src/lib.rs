@@ -13,6 +13,21 @@
 //!   probes (Algorithm 2).
 //! * [`conventional`] — the parallel conventional-synopsis baselines of
 //!   Appendix A: CON, Send-V, Send-Coef, H-WTopk.
+//!
+//! # Module map
+//!
+//! | Module                 | Role |
+//! |------------------------|------|
+//! | [`partition`]          | Locality-preserving error-tree partitioning: base partitions and [`LayerPlan`] |
+//! | [`splits`]             | Typed split payloads shipped to map tasks across all algorithms |
+//! | [`mod@dgreedy_abs`]    | DGreedyAbs: distributed greedy, max-abs error (Algorithms 3-4) |
+//! | [`mod@dgreedy_rel`]    | DGreedyRel: relative-error variant (Algorithms 5-6) |
+//! | [`mod@dmin_haar_space`]| DMHaarSpace: distributed quantized DP probe (Algorithm 1) |
+//! | [`mod@dindirect_haar`] | DIndirectHaar: binary search over DMHaarSpace probes (Algorithm 2) |
+//! | [`mod@dhaar_plus`]     | DHaarPlus: the Haar+ tree variant of the layered framework |
+//! | [`mod@dmin_rel_var`]   | DMinRelVar: relative-variance DP on the layered framework |
+//! | [`conventional`]       | Appendix-A baselines: CON, Send-V, Send-Coef(-combined), H-WTopk |
+//! | [`error`]              | [`CoreError`]: algorithm-level failures wrapping runtime errors |
 
 pub mod conventional;
 pub mod dgreedy_abs;

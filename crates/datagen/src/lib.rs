@@ -15,6 +15,15 @@
 //!   max), giving the easy-to-approximate, low-error regime of Figure 9.
 //!
 //! All generators are deterministic given a seed.
+//!
+//! # Module map
+//!
+//! | Module        | Role |
+//! |---------------|------|
+//! | [`synthetic`] | Seeded uniform and zipfian generators ([`Distribution`]) |
+//! | [`nyct`]      | NYCT-taxi-like trip-time surrogate (heavy tail + corrupt records) |
+//! | [`wd`]        | Wind-direction-like azimuth surrogate (circular walk + glitches) |
+//! | [`stats`]     | [`DatasetStats`] summaries for validating generated workloads |
 
 pub mod nyct;
 pub mod stats;

@@ -7,6 +7,7 @@ use std::sync::Mutex;
 
 use crate::fault::FaultPlan;
 use crate::metrics::JobMetrics;
+use crate::trace::{TraceEvent, TraceSink};
 
 /// Static description of the simulated cluster.
 ///
@@ -132,12 +133,14 @@ impl ClusterConfig {
     }
 }
 
-/// A handle to the simulated cluster: configuration plus a ledger of every
-/// job it has executed (useful for end-of-run reports).
+/// A handle to the simulated cluster: configuration, a ledger of every
+/// job it has executed (useful for end-of-run reports), and an always-on
+/// structured trace of those executions (see [`crate::trace`]).
 #[derive(Debug)]
 pub struct Cluster {
     config: ClusterConfig,
     history: Mutex<Vec<JobMetrics>>,
+    trace: TraceSink,
 }
 
 impl Cluster {
@@ -156,6 +159,7 @@ impl Cluster {
         Ok(Cluster {
             config,
             history: Mutex::new(Vec::new()),
+            trace: TraceSink::new(),
         })
     }
 
@@ -177,6 +181,22 @@ impl Cluster {
     /// Drops the recorded history (e.g. between benchmark repetitions).
     pub fn clear_history(&self) {
         self.history.lock().expect("history lock").clear();
+    }
+
+    /// The cluster's trace sink (for emitting driver-level events such as
+    /// pipeline stage transitions).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Snapshot of every trace event recorded so far, in emission order.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.snapshot()
+    }
+
+    /// Drops the recorded trace and resets its simulated clock to zero.
+    pub fn clear_trace(&self) {
+        self.trace.clear();
     }
 }
 

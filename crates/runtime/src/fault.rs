@@ -43,6 +43,35 @@
 
 use crate::error::RuntimeError;
 
+/// Why a task attempt crashed.
+///
+/// Recorded on failed [`crate::metrics::TaskAttempt`]s and in trace
+/// events, so a timeline can distinguish a user-code panic from a
+/// fault-plan injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The user's map or reduce function panicked.
+    Panic,
+    /// A seeded [`FaultPlan`] injected the failure.
+    Injected,
+}
+
+impl FailureKind {
+    /// Stable lower-case name used by the trace event schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Injected => "injected",
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Which phase of a job a task belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskPhase {
@@ -52,12 +81,19 @@ pub enum TaskPhase {
     Reduce,
 }
 
+impl TaskPhase {
+    /// Stable lower-case name used by the trace event schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TaskPhase::Map => "map",
+            TaskPhase::Reduce => "reduce",
+        }
+    }
+}
+
 impl std::fmt::Display for TaskPhase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TaskPhase::Map => f.write_str("map"),
-            TaskPhase::Reduce => f.write_str("reduce"),
-        }
+        f.write_str(self.as_str())
     }
 }
 

@@ -19,9 +19,10 @@ use std::time::Instant;
 use crate::cluster::Cluster;
 use crate::codec::Wire;
 use crate::error::RuntimeError;
-use crate::fault::{FaultPlan, TaskPhase};
-use crate::metrics::{AttemptStats, JobMetrics, SimBreakdown};
+use crate::fault::{FailureKind, FaultPlan, TaskPhase};
+use crate::metrics::{AttemptStats, JobMetrics, SimBreakdown, TaskAttempt};
 use crate::scheduler::{self, AttemptPlan, SpeculationPolicy, TaskPlan};
+use crate::trace::{JobPhase, JobTrace, TraceEventKind};
 
 /// Context handed to map functions: typed emission into reduce partitions
 /// plus user counters.
@@ -206,6 +207,69 @@ pub struct Job<S, K, V, OK, OV, F, G> {
     _marker: PhantomData<fn(OK, OV)>,
 }
 
+impl<S, K, V, OK, OV, F, G> Job<S, K, V, OK, OV, F, G> {
+    /// The job's display name (also its stage name in pipeline metrics and
+    /// traces).
+    pub fn name(&self) -> &str {
+        &self.stage.name
+    }
+}
+
+/// Emits one task phase's trace events: wave instants, one span per
+/// attempt, and a fault instant for each injected failure. `phase0` is the
+/// phase's absolute start on the trace timeline; attempt times are
+/// phase-relative in the schedule.
+fn trace_task_phase(
+    tr: &mut JobTrace,
+    job: &str,
+    phase: TaskPhase,
+    phase0: f64,
+    attempts: &[TaskAttempt],
+    slots: usize,
+) {
+    for (wave, (start, started)) in scheduler::wave_boundaries(attempts, slots)
+        .into_iter()
+        .enumerate()
+    {
+        tr.emit(
+            phase0 + start,
+            TraceEventKind::Wave {
+                job: job.to_string(),
+                phase,
+                wave,
+                started,
+            },
+        );
+    }
+    for a in attempts {
+        tr.emit(
+            phase0 + a.sim_start,
+            TraceEventKind::Attempt {
+                job: job.to_string(),
+                phase,
+                task: a.task,
+                attempt: a.attempt,
+                kind: a.kind,
+                outcome: a.outcome,
+                slot: a.slot,
+                end: phase0 + a.sim_end,
+                failure: a.failure,
+            },
+        );
+        if a.failure == Some(FailureKind::Injected) {
+            tr.emit(
+                phase0 + a.sim_end,
+                TraceEventKind::FaultInjected {
+                    job: job.to_string(),
+                    phase,
+                    task: a.task,
+                    attempt: a.attempt,
+                },
+            );
+        }
+    }
+}
+
 /// FNV-1a over the encoded key: the default partitioner.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -298,7 +362,7 @@ fn run_attempts<T>(
                     Err(payload) => {
                         attempts.push(AttemptPlan {
                             duration: slowdown * (start.elapsed().as_secs_f64() + extra_secs),
-                            fails: true,
+                            failure: Some(FailureKind::Panic),
                         });
                         last_reason = format!("panic: {}", panic_message(payload.as_ref()));
                         continue;
@@ -310,7 +374,7 @@ fn run_attempts<T>(
         if fault_plan.is_some_and(|p| p.injects_failure(phase, task, attempt)) {
             attempts.push(AttemptPlan {
                 duration: fail_point * effective,
-                fails: true,
+                failure: Some(FailureKind::Injected),
             });
             last_reason = "injected fault".to_string();
             // The computed result survives for the retry; only the
@@ -320,7 +384,7 @@ fn run_attempts<T>(
         }
         attempts.push(AttemptPlan {
             duration: effective,
-            fails: false,
+            failure: None,
         });
         return Ok((
             value,
@@ -356,7 +420,24 @@ where
     /// same job over different splits, and — more importantly — split
     /// ownership stays with the driver, so chaining stages never forces a
     /// defensive `clone()` of the input data.
+    ///
+    /// Successful runs append their full event timeline to the cluster's
+    /// trace ([`Cluster::trace_events`]); failed runs record a single
+    /// [`TraceEventKind::JobAborted`] instant carrying the error.
     pub fn run(&self, cluster: &Cluster, splits: &[S]) -> Result<JobOutput<OK, OV>, RuntimeError> {
+        self.run_inner(cluster, splits).inspect_err(|err| {
+            cluster.trace().instant(TraceEventKind::JobAborted {
+                job: self.stage.name.clone(),
+                reason: err.to_string(),
+            });
+        })
+    }
+
+    fn run_inner(
+        &self,
+        cluster: &Cluster,
+        splits: &[S],
+    ) -> Result<JobOutput<OK, OV>, RuntimeError> {
         if splits.is_empty() {
             return Err(RuntimeError::NoInput);
         }
@@ -600,6 +681,127 @@ where
                 .fold(0.0, f64::max),
             reduce: reduce_sched.makespan,
         };
+        // ---- Trace emission ----
+        // One batch under one lock: the job's events are contiguous in the
+        // sink, timestamped on the global sim clock. Phase starts are
+        // cumulative offsets matching SimBreakdown's ordering, and the
+        // clock advances by exactly `sim.total()` so consecutive jobs tile
+        // the timeline the way DriverMetrics sums them.
+        cluster.trace().job_scope(|tr| {
+            let job = stage.name.as_str();
+            let t0 = tr.t0();
+            tr.emit(
+                t0,
+                TraceEventKind::JobBegin {
+                    job: job.to_string(),
+                    maps: splits.len(),
+                    reducers: r,
+                },
+            );
+            tr.emit(
+                t0,
+                TraceEventKind::PhaseBegin {
+                    job: job.to_string(),
+                    phase: JobPhase::Setup,
+                    slots: 0,
+                },
+            );
+            let map0 = t0 + sim.setup;
+            tr.emit(
+                map0,
+                TraceEventKind::PhaseEnd {
+                    job: job.to_string(),
+                    phase: JobPhase::Setup,
+                    sim_secs: sim.setup,
+                },
+            );
+            tr.emit(
+                map0,
+                TraceEventKind::PhaseBegin {
+                    job: job.to_string(),
+                    phase: JobPhase::Map,
+                    slots: config.map_slots,
+                },
+            );
+            trace_task_phase(
+                tr,
+                job,
+                TaskPhase::Map,
+                map0,
+                &map_sched.attempts,
+                config.map_slots,
+            );
+            let shuffle0 = map0 + sim.map;
+            tr.emit(
+                shuffle0,
+                TraceEventKind::PhaseEnd {
+                    job: job.to_string(),
+                    phase: JobPhase::Map,
+                    sim_secs: sim.map,
+                },
+            );
+            tr.emit(
+                shuffle0,
+                TraceEventKind::PhaseBegin {
+                    job: job.to_string(),
+                    phase: JobPhase::Shuffle,
+                    slots: 0,
+                },
+            );
+            for (partition, &bytes) in per_reducer_bytes.iter().enumerate() {
+                tr.emit(
+                    shuffle0,
+                    TraceEventKind::ShufflePartition {
+                        job: job.to_string(),
+                        partition,
+                        bytes,
+                    },
+                );
+            }
+            let reduce0 = shuffle0 + sim.shuffle;
+            tr.emit(
+                reduce0,
+                TraceEventKind::PhaseEnd {
+                    job: job.to_string(),
+                    phase: JobPhase::Shuffle,
+                    sim_secs: sim.shuffle,
+                },
+            );
+            tr.emit(
+                reduce0,
+                TraceEventKind::PhaseBegin {
+                    job: job.to_string(),
+                    phase: JobPhase::Reduce,
+                    slots: config.reduce_slots,
+                },
+            );
+            trace_task_phase(
+                tr,
+                job,
+                TaskPhase::Reduce,
+                reduce0,
+                &reduce_sched.attempts,
+                config.reduce_slots,
+            );
+            let t_end = reduce0 + sim.reduce;
+            tr.emit(
+                t_end,
+                TraceEventKind::PhaseEnd {
+                    job: job.to_string(),
+                    phase: JobPhase::Reduce,
+                    sim_secs: sim.reduce,
+                },
+            );
+            tr.emit(
+                t_end,
+                TraceEventKind::JobEnd {
+                    job: job.to_string(),
+                    sim_secs: sim.total().secs(),
+                },
+            );
+            tr.advance(sim.total().secs());
+        });
+
         let mut attempts = map_sched.attempts;
         attempts.extend(reduce_sched.attempts);
         let attempt_stats = AttemptStats::from_attempts(&attempts);

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! An in-process mini-MapReduce engine.
 //!
@@ -63,6 +63,23 @@
 //! Multi-job driver programs declare their rounds as a
 //! [`pipeline::Pipeline`], which owns split handoff between stages and
 //! aggregates per-stage metrics into one [`metrics::DriverMetrics`].
+//! Every execution is additionally recorded as a structured event log
+//! ([`trace`]) with simulated-time task/shuffle spans, exportable as
+//! JSONL or Chrome trace-event JSON for Perfetto.
+//!
+//! # Module map
+//!
+//! | Module        | Role |
+//! |---------------|------|
+//! | [`cluster`]   | [`ClusterConfig`] (slots, cost constants, fault plan) and the shared [`Cluster`] handle with its job-history ledger and trace sink |
+//! | [`codec`]     | The `Wire` byte format every key/value pays to cross the shuffle |
+//! | [`error`]     | [`RuntimeError`]: typed failures (task exhaustion, OOM, bad partitioner, codec) |
+//! | [`fault`]     | Seeded [`FaultPlan`]: targeted/probabilistic attempt failures and stragglers |
+//! | [`job`]       | [`JobBuilder`] → typed map/reduce jobs; executes phases and emits metrics + trace |
+//! | [`metrics`]   | Per-job [`JobMetrics`] / per-driver [`DriverMetrics`] aggregates, attempt records |
+//! | [`pipeline`]  | Declarative multi-stage [`Pipeline`] driver with glue and loops |
+//! | [`scheduler`] | Slot-limited wave scheduler: attempts → simulated makespan |
+//! | [`trace`]     | Structured event log: task/shuffle/fault spans, JSONL + Chrome exporters |
 
 pub mod cluster;
 pub mod codec;
@@ -72,6 +89,7 @@ pub mod job;
 pub mod metrics;
 pub mod pipeline;
 pub mod scheduler;
+pub mod trace;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use error::RuntimeError;
@@ -82,3 +100,4 @@ pub use metrics::{
     TaskAttempt,
 };
 pub use pipeline::Pipeline;
+pub use trace::{TraceEvent, TraceEventKind, TraceSink};

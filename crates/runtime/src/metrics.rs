@@ -6,7 +6,7 @@ use std::fmt;
 use std::ops::{Add, AddAssign};
 use std::time::Duration;
 
-use crate::fault::TaskPhase;
+use crate::fault::{FailureKind, TaskPhase};
 
 /// Simulated cluster time, in seconds.
 ///
@@ -87,6 +87,17 @@ pub enum AttemptKind {
     Speculative,
 }
 
+impl AttemptKind {
+    /// Stable lower-case name used by the trace event schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AttemptKind::Regular => "regular",
+            AttemptKind::Retry => "retry",
+            AttemptKind::Speculative => "speculative",
+        }
+    }
+}
+
 /// How a task attempt ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttemptOutcome {
@@ -96,6 +107,17 @@ pub enum AttemptOutcome {
     Failed,
     /// Lost the race against its speculative twin and was killed.
     Killed,
+}
+
+impl AttemptOutcome {
+    /// Stable lower-case name used by the trace event schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AttemptOutcome::Succeeded => "ok",
+            AttemptOutcome::Failed => "failed",
+            AttemptOutcome::Killed => "killed",
+        }
+    }
 }
 
 /// One task attempt as placed on the simulated slot schedule.
@@ -112,6 +134,12 @@ pub struct TaskAttempt {
     pub kind: AttemptKind,
     /// How this attempt ended.
     pub outcome: AttemptOutcome,
+    /// Slot index (`0..slots`) the attempt occupied on the simulated
+    /// cluster — the basis for slot-occupancy timelines.
+    pub slot: usize,
+    /// Why the attempt crashed; `None` unless `outcome` is
+    /// [`AttemptOutcome::Failed`].
+    pub failure: Option<FailureKind>,
     /// Simulated start time, seconds from the phase's start.
     pub sim_start: f64,
     /// Simulated end time (completion, failure, or kill), seconds from the

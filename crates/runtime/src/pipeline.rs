@@ -73,6 +73,7 @@ use crate::codec::Wire;
 use crate::error::RuntimeError;
 use crate::job::{Job, MapContext, ReduceContext};
 use crate::metrics::{DriverMetrics, JobMetrics};
+use crate::trace::TraceEventKind;
 
 /// The pipeline produced by [`Pipeline::stage`]: the previous threaded
 /// value paired with the stage's output pairs.
@@ -137,7 +138,10 @@ impl<'c, T> Pipeline<'c, T> {
     /// data built by a previous stage's glue feeds this stage without
     /// cloning. The stage's [`JobMetrics`] are pushed onto the ledger under
     /// the job's name, and its output pairs are threaded alongside the
-    /// current value as `(T, pairs)`.
+    /// current value as `(T, pairs)`. The cluster trace brackets the
+    /// stage's job events with `stage_begin`/`stage_end` markers (the
+    /// `stage_end` is omitted when the job aborts — the abort event itself
+    /// closes the story).
     pub fn stage<S, K, V, OK, OV, F, G>(
         mut self,
         job: &Job<S, K, V, OK, OV, F, G>,
@@ -152,7 +156,13 @@ impl<'c, T> Pipeline<'c, T> {
         F: Fn(&S, &mut MapContext<K, V>) + Sync,
         G: Fn(&K, &mut dyn Iterator<Item = V>, &mut ReduceContext<OK, OV>) + Sync,
     {
+        self.cluster.trace().instant(TraceEventKind::StageBegin {
+            stage: job.name().to_string(),
+        });
         let out = job.run(self.cluster, splits)?;
+        self.cluster.trace().instant(TraceEventKind::StageEnd {
+            stage: job.name().to_string(),
+        });
         self.metrics.push(out.metrics);
         Ok(Pipeline {
             cluster: self.cluster,
@@ -166,7 +176,10 @@ impl<'c, T> Pipeline<'c, T> {
     /// This is where a stage's output pairs are decoded into driver state
     /// or shaped into the next stage's input. The closure receives the
     /// value by move, so stage outputs flow onward without re-encoding.
+    /// Glue is free on the simulated clock; the trace records a `glue`
+    /// instant marking the transition point.
     pub fn then<U>(self, f: impl FnOnce(T) -> U) -> Pipeline<'c, U> {
+        self.cluster.trace().instant(TraceEventKind::Glue);
         Pipeline {
             cluster: self.cluster,
             metrics: self.metrics,
@@ -176,6 +189,7 @@ impl<'c, T> Pipeline<'c, T> {
 
     /// Fallible driver-side glue; the pipeline stops at the first error.
     pub fn try_then<U, E>(self, f: impl FnOnce(T) -> Result<U, E>) -> Result<Pipeline<'c, U>, E> {
+        self.cluster.trace().instant(TraceEventKind::Glue);
         Ok(Pipeline {
             cluster: self.cluster,
             metrics: self.metrics,

@@ -8,7 +8,7 @@
 //! this scheduling structure, which this module reproduces with greedy
 //! (FIFO, earliest-available-slot) list scheduling.
 
-use crate::fault::TaskPhase;
+use crate::fault::{FailureKind, TaskPhase};
 use crate::metrics::{AttemptKind, AttemptOutcome, TaskAttempt};
 
 /// Greedy FIFO list scheduling: assigns each task (in submission order) to
@@ -50,8 +50,16 @@ pub struct AttemptPlan {
     /// Seconds the attempt occupies its slot before its outcome is
     /// observed (for failed attempts this is the time-to-failure).
     pub duration: f64,
+    /// `Some` when the attempt crashes instead of completing, carrying
+    /// why (panic vs. injected fault) for the attempt record and trace.
+    pub failure: Option<FailureKind>,
+}
+
+impl AttemptPlan {
     /// Whether the attempt crashes instead of completing.
-    pub fails: bool,
+    pub fn fails(&self) -> bool {
+        self.failure.is_some()
+    }
 }
 
 /// A task's full execution plan for the schedule simulator: zero or more
@@ -73,7 +81,7 @@ impl TaskPlan {
         TaskPlan {
             attempts: vec![AttemptPlan {
                 duration,
-                fails: false,
+                failure: None,
             }],
             healthy_duration: duration,
         }
@@ -214,6 +222,8 @@ pub fn schedule_attempts(
                     attempt: item.attempt,
                     kind: AttemptKind::Speculative,
                     outcome: AttemptOutcome::Succeeded,
+                    slot,
+                    failure: None,
                     sim_start: start,
                     sim_end: natural_end,
                 });
@@ -226,6 +236,8 @@ pub fn schedule_attempts(
                     attempt: item.attempt,
                     kind: AttemptKind::Speculative,
                     outcome: AttemptOutcome::Killed,
+                    slot,
+                    failure: None,
                     sim_start: start,
                     sim_end: reg_end,
                 });
@@ -244,13 +256,15 @@ pub fn schedule_attempts(
         let end = start + startup + ap.duration.max(0.0);
         free_at[slot] = end;
 
-        if ap.fails {
+        if ap.fails() {
             records.push(TaskAttempt {
                 phase,
                 task: item.task,
                 attempt: item.attempt,
                 kind: item.kind,
                 outcome: AttemptOutcome::Failed,
+                slot,
+                failure: ap.failure,
                 sim_start: start,
                 sim_end: end,
             });
@@ -272,6 +286,8 @@ pub fn schedule_attempts(
                 attempt: item.attempt,
                 kind: item.kind,
                 outcome: AttemptOutcome::Succeeded,
+                slot,
+                failure: None,
                 sim_start: start,
                 sim_end: end,
             });
@@ -299,6 +315,29 @@ pub fn schedule_attempts(
         makespan,
         attempts: records,
     }
+}
+
+/// Wave boundaries of a phase schedule: `(start_time, tasks_started)` per
+/// wave, in wave order.
+///
+/// A *wave* is a batch of first (regular) attempts admitted together:
+/// launches are ordered by simulated start time and chunked into groups of
+/// `slots`. On a healthy schedule this reproduces [`waves`] exactly
+/// (`ceil(tasks / slots)` boundaries); under retries and speculation the
+/// extra attempts do not open new waves — they fill holes in existing ones —
+/// so the boundary count stays the submission-wave count.
+pub fn wave_boundaries(attempts: &[TaskAttempt], slots: usize) -> Vec<(f64, usize)> {
+    assert!(slots > 0);
+    let mut starts: Vec<f64> = attempts
+        .iter()
+        .filter(|a| a.kind == AttemptKind::Regular)
+        .map(|a| a.sim_start)
+        .collect();
+    starts.sort_by(f64::total_cmp);
+    starts
+        .chunks(slots)
+        .map(|wave| (wave[0], wave.len()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -370,12 +409,12 @@ mod tests {
             .iter()
             .map(|&duration| AttemptPlan {
                 duration,
-                fails: true,
+                failure: Some(FailureKind::Injected),
             })
             .collect();
         attempts.push(AttemptPlan {
             duration: final_secs,
-            fails: false,
+            failure: None,
         });
         TaskPlan {
             attempts,
@@ -437,7 +476,7 @@ mod tests {
         plans.push(TaskPlan {
             attempts: vec![AttemptPlan {
                 duration: 10.0,
-                fails: false,
+                failure: None,
             }],
             healthy_duration: 1.0,
         });
@@ -473,7 +512,7 @@ mod tests {
         plans.push(TaskPlan {
             attempts: vec![AttemptPlan {
                 duration: 2.0,
-                fails: false,
+                failure: None,
             }],
             healthy_duration: 1.9,
         });
@@ -500,7 +539,7 @@ mod tests {
         plans.push(TaskPlan {
             attempts: vec![AttemptPlan {
                 duration: 0.01,
-                fails: false,
+                failure: None,
             }],
             healthy_duration: 0.001,
         });

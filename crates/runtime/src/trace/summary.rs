@@ -1,0 +1,401 @@
+//! Derived summaries over a recorded trace: per-job span totals,
+//! per-phase slot utilisation, and a critical-path decomposition.
+//!
+//! These are pure functions of the event log — everything they report is
+//! recomputable by any external consumer of the JSONL export; they exist
+//! so reports can print the common roll-ups without each caller
+//! re-deriving them.
+
+use super::{JobPhase, TraceEvent, TraceEventKind};
+use crate::fault::TaskPhase;
+use crate::metrics::{AttemptKind, AttemptOutcome};
+
+/// Total simulated seconds attributed to each distinct job name.
+///
+/// Jobs are grouped by name in first-appearance order and their
+/// [`TraceEventKind::JobEnd`] `sim_secs` summed in event order — exactly
+/// how [`crate::metrics::DriverMetrics::per_stage`] accumulates
+/// `simulated`, so for a traced pipeline the two reports agree to the
+/// last bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpanTotal {
+    /// Job (stage) name.
+    pub name: String,
+    /// Number of completed runs under this name.
+    pub runs: usize,
+    /// Sum of the runs' simulated durations, in event order.
+    pub sim_secs: f64,
+}
+
+/// Groups completed jobs by name and totals their simulated time.
+pub fn job_span_totals(events: &[TraceEvent]) -> Vec<JobSpanTotal> {
+    let mut totals: Vec<JobSpanTotal> = Vec::new();
+    for e in events {
+        if let TraceEventKind::JobEnd { job, sim_secs } = &e.kind {
+            match totals.iter_mut().find(|t| &t.name == job) {
+                Some(t) => {
+                    t.runs += 1;
+                    t.sim_secs += sim_secs;
+                }
+                None => totals.push(JobSpanTotal {
+                    name: job.clone(),
+                    runs: 1,
+                    sim_secs: *sim_secs,
+                }),
+            }
+        }
+    }
+    totals
+}
+
+/// How busy one job's map or reduce slots were, aggregated over all runs
+/// of that job name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotUtilisation {
+    /// Job (stage) name.
+    pub job: String,
+    /// Map or reduce.
+    pub phase: TaskPhase,
+    /// Configured slots for the phase.
+    pub slots: usize,
+    /// Summed phase makespan across runs (seconds).
+    pub makespan_secs: f64,
+    /// Summed attempt-occupancy (seconds) — every attempt, including
+    /// failed, killed, and speculative ones.
+    pub busy_secs: f64,
+    /// The subset of `busy_secs` spent on attempts that did not succeed
+    /// (crashed retries' predecessors, killed speculative losers).
+    pub wasted_secs: f64,
+    /// Total attempts scheduled.
+    pub attempts: usize,
+}
+
+impl SlotUtilisation {
+    /// Busy time over total slot capacity (`slots × makespan`), in `[0, 1]`
+    /// (0 when the phase never ran).
+    pub fn utilisation(&self) -> f64 {
+        let capacity = self.slots as f64 * self.makespan_secs;
+        if capacity > 0.0 {
+            self.busy_secs / capacity
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregates slot occupancy per (job name, task phase).
+pub fn slot_utilisation(events: &[TraceEvent]) -> Vec<SlotUtilisation> {
+    let mut rows: Vec<SlotUtilisation> = Vec::new();
+    let row = |rows: &mut Vec<SlotUtilisation>, job: &str, phase: TaskPhase| -> usize {
+        if let Some(i) = rows.iter().position(|r| r.job == job && r.phase == phase) {
+            i
+        } else {
+            rows.push(SlotUtilisation {
+                job: job.to_string(),
+                phase,
+                slots: 0,
+                makespan_secs: 0.0,
+                busy_secs: 0.0,
+                wasted_secs: 0.0,
+                attempts: 0,
+            });
+            rows.len() - 1
+        }
+    };
+    for e in events {
+        match &e.kind {
+            TraceEventKind::PhaseBegin { job, phase, slots } => {
+                let task_phase = match phase {
+                    JobPhase::Map => TaskPhase::Map,
+                    JobPhase::Reduce => TaskPhase::Reduce,
+                    _ => continue,
+                };
+                let i = row(&mut rows, job, task_phase);
+                rows[i].slots = rows[i].slots.max(*slots);
+            }
+            TraceEventKind::PhaseEnd {
+                job,
+                phase,
+                sim_secs,
+            } => {
+                let task_phase = match phase {
+                    JobPhase::Map => TaskPhase::Map,
+                    JobPhase::Reduce => TaskPhase::Reduce,
+                    _ => continue,
+                };
+                let i = row(&mut rows, job, task_phase);
+                rows[i].makespan_secs += sim_secs;
+            }
+            TraceEventKind::Attempt {
+                job,
+                phase,
+                outcome,
+                end,
+                ..
+            } => {
+                let i = row(&mut rows, job, *phase);
+                let dur = (end - e.time).max(0.0);
+                rows[i].busy_secs += dur;
+                rows[i].attempts += 1;
+                if *outcome != AttemptOutcome::Succeeded {
+                    rows[i].wasted_secs += dur;
+                }
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// The single longest attempt observed for a job name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LongestAttempt {
+    /// Map or reduce.
+    pub phase: TaskPhase,
+    /// Task index within the phase.
+    pub task: usize,
+    /// 1-based attempt number.
+    pub attempt: usize,
+    /// Why the attempt launched.
+    pub kind: AttemptKind,
+    /// Simulated duration of the attempt (seconds).
+    pub secs: f64,
+}
+
+/// Per-job-name critical-path decomposition: since phases are barriers,
+/// the job's end-to-end simulated time is exactly
+/// `setup + map + shuffle + reduce`, and within each task phase the
+/// makespan is lower-bounded by its longest attempt chain — the single
+/// longest attempt is reported as the straggler candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Job (stage) name.
+    pub job: String,
+    /// Number of completed runs.
+    pub runs: usize,
+    /// Summed setup seconds.
+    pub setup_secs: f64,
+    /// Summed map makespan seconds.
+    pub map_secs: f64,
+    /// Summed shuffle seconds.
+    pub shuffle_secs: f64,
+    /// Summed reduce makespan seconds.
+    pub reduce_secs: f64,
+    /// The longest single attempt across all runs, if any ran.
+    pub longest: Option<LongestAttempt>,
+}
+
+impl CriticalPath {
+    /// The phase dominating the job's simulated time.
+    pub fn dominant_phase(&self) -> JobPhase {
+        let pairs = [
+            (JobPhase::Setup, self.setup_secs),
+            (JobPhase::Map, self.map_secs),
+            (JobPhase::Shuffle, self.shuffle_secs),
+            (JobPhase::Reduce, self.reduce_secs),
+        ];
+        pairs
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(p, _)| p)
+            .expect("non-empty phase list")
+    }
+
+    /// Total across the four phase components.
+    pub fn total_secs(&self) -> f64 {
+        self.setup_secs + self.map_secs + self.shuffle_secs + self.reduce_secs
+    }
+}
+
+/// Decomposes each job name's simulated time into phase components and
+/// finds its longest attempt.
+pub fn critical_path(events: &[TraceEvent]) -> Vec<CriticalPath> {
+    let mut rows: Vec<CriticalPath> = Vec::new();
+    let idx = |rows: &mut Vec<CriticalPath>, job: &str| -> usize {
+        if let Some(i) = rows.iter().position(|r| r.job == job) {
+            i
+        } else {
+            rows.push(CriticalPath {
+                job: job.to_string(),
+                runs: 0,
+                setup_secs: 0.0,
+                map_secs: 0.0,
+                shuffle_secs: 0.0,
+                reduce_secs: 0.0,
+                longest: None,
+            });
+            rows.len() - 1
+        }
+    };
+    for e in events {
+        match &e.kind {
+            TraceEventKind::JobEnd { job, .. } => {
+                let i = idx(&mut rows, job);
+                rows[i].runs += 1;
+            }
+            TraceEventKind::PhaseEnd {
+                job,
+                phase,
+                sim_secs,
+            } => {
+                let i = idx(&mut rows, job);
+                match phase {
+                    JobPhase::Setup => rows[i].setup_secs += sim_secs,
+                    JobPhase::Map => rows[i].map_secs += sim_secs,
+                    JobPhase::Shuffle => rows[i].shuffle_secs += sim_secs,
+                    JobPhase::Reduce => rows[i].reduce_secs += sim_secs,
+                }
+            }
+            TraceEventKind::Attempt {
+                job,
+                phase,
+                task,
+                attempt,
+                kind,
+                end,
+                ..
+            } => {
+                let i = idx(&mut rows, job);
+                let secs = (end - e.time).max(0.0);
+                if rows[i].longest.as_ref().is_none_or(|l| secs > l.secs) {
+                    rows[i].longest = Some(LongestAttempt {
+                        phase: *phase,
+                        task: *task,
+                        attempt: *attempt,
+                        kind: *kind,
+                        secs,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FailureKind;
+
+    fn ev(seq: u64, time: f64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent { seq, time, kind }
+    }
+
+    fn small_trace() -> Vec<TraceEvent> {
+        vec![
+            ev(
+                0,
+                0.0,
+                TraceEventKind::PhaseBegin {
+                    job: "j".into(),
+                    phase: JobPhase::Map,
+                    slots: 2,
+                },
+            ),
+            ev(
+                1,
+                0.0,
+                TraceEventKind::Attempt {
+                    job: "j".into(),
+                    phase: TaskPhase::Map,
+                    task: 0,
+                    attempt: 1,
+                    kind: AttemptKind::Regular,
+                    outcome: AttemptOutcome::Failed,
+                    slot: 0,
+                    end: 1.0,
+                    failure: Some(FailureKind::Injected),
+                },
+            ),
+            ev(
+                2,
+                1.0,
+                TraceEventKind::Attempt {
+                    job: "j".into(),
+                    phase: TaskPhase::Map,
+                    task: 0,
+                    attempt: 2,
+                    kind: AttemptKind::Retry,
+                    outcome: AttemptOutcome::Succeeded,
+                    slot: 0,
+                    end: 4.0,
+                    failure: None,
+                },
+            ),
+            ev(
+                3,
+                4.0,
+                TraceEventKind::PhaseEnd {
+                    job: "j".into(),
+                    phase: JobPhase::Map,
+                    sim_secs: 4.0,
+                },
+            ),
+            ev(
+                4,
+                4.0,
+                TraceEventKind::JobEnd {
+                    job: "j".into(),
+                    sim_secs: 4.0,
+                },
+            ),
+            ev(
+                5,
+                4.0,
+                TraceEventKind::JobEnd {
+                    job: "k".into(),
+                    sim_secs: 1.5,
+                },
+            ),
+            ev(
+                6,
+                5.5,
+                TraceEventKind::JobEnd {
+                    job: "j".into(),
+                    sim_secs: 2.0,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn span_totals_group_in_first_seen_order() {
+        let totals = job_span_totals(&small_trace());
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].name, "j");
+        assert_eq!(totals[0].runs, 2);
+        assert_eq!(totals[0].sim_secs, 6.0);
+        assert_eq!(totals[1].name, "k");
+        assert_eq!(totals[1].runs, 1);
+    }
+
+    #[test]
+    fn utilisation_counts_failed_time_as_waste() {
+        let rows = slot_utilisation(&small_trace());
+        let map = rows
+            .iter()
+            .find(|r| r.job == "j" && r.phase == TaskPhase::Map)
+            .unwrap();
+        assert_eq!(map.slots, 2);
+        assert_eq!(map.attempts, 2);
+        assert_eq!(map.busy_secs, 4.0); // 1s failed + 3s retry
+        assert_eq!(map.wasted_secs, 1.0);
+        assert_eq!(map.makespan_secs, 4.0);
+        // 4 busy seconds over 2 slots × 4s capacity.
+        assert!((map.utilisation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_decomposes_and_finds_straggler() {
+        let rows = critical_path(&small_trace());
+        let j = rows.iter().find(|r| r.job == "j").unwrap();
+        assert_eq!(j.runs, 2);
+        assert_eq!(j.map_secs, 4.0);
+        assert_eq!(j.dominant_phase(), JobPhase::Map);
+        let longest = j.longest.as_ref().unwrap();
+        assert_eq!(longest.attempt, 2);
+        assert_eq!(longest.kind, AttemptKind::Retry);
+        assert_eq!(longest.secs, 3.0);
+    }
+}

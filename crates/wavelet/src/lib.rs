@@ -29,6 +29,18 @@
 //! assert_eq!(w, vec![7.0, 2.0, -4.0, -3.0, 0.0, -13.0, -1.0, 6.0]);
 //! assert_eq!(inverse(&w).unwrap(), data);
 //! ```
+//!
+//! # Module map
+//!
+//! | Module          | Role |
+//! |-----------------|------|
+//! | [`transform`]   | Forward/inverse unnormalized Haar transform over power-of-two arrays |
+//! | [`tree`]        | Error-tree index algebra: levels, root-to-leaf paths, subtree spans, signs |
+//! | [`synopsis`]    | Sparse coefficient [`Synopsis`] — the object every algorithm produces |
+//! | [`reconstruct`] | Point and range-sum reconstruction from a synopsis |
+//! | [`metrics`]     | Aggregate error metrics: `l2`, `max_abs`, `max_rel` |
+//! | [`basis`]       | Haar basis vectors for the streaming-style baselines (Send-Coef) |
+//! | [`error`]       | [`WaveletError`]: non-power-of-two and domain violations |
 
 pub mod basis;
 pub mod error;

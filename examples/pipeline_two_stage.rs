@@ -5,12 +5,18 @@
 //! values above the threshold. The pipeline owns the split handoff and
 //! folds both jobs' metrics into one `DriverMetrics`, reported per stage at
 //! the end — the same machinery every distributed algorithm in
-//! `crates/core` now runs on.
+//! `crates/core` now runs on. The run's execution trace is written next
+//! to the binary as `pipeline_two_stage.trace.jsonl` (structured event
+//! log) and `pipeline_two_stage.trace.json` — drag the latter into
+//! <https://ui.perfetto.dev> to see both stages on the simulated
+//! timeline.
 //!
 //! Run with: `cargo run --release --example pipeline_two_stage`
 
 use dwmaxerr::datagen::synthetic::uniform;
-use dwmaxerr::runtime::{Cluster, ClusterConfig, JobBuilder, MapContext, Pipeline, ReduceContext};
+use dwmaxerr::runtime::{
+    trace, Cluster, ClusterConfig, JobBuilder, MapContext, Pipeline, ReduceContext,
+};
 
 fn main() {
     let data = uniform(1 << 12, 100.0, 7);
@@ -71,5 +77,22 @@ fn main() {
         metrics.job_count(),
         metrics.total_simulated(),
         metrics.total_shuffle_bytes()
+    );
+
+    // Export the execution trace: JSONL for tooling, Chrome trace-event
+    // JSON for Perfetto / chrome://tracing.
+    let events = cluster.trace_events();
+    trace::validate(&events).expect("trace is well-formed");
+    std::fs::write("pipeline_two_stage.trace.jsonl", trace::to_jsonl(&events))
+        .expect("write jsonl trace");
+    std::fs::write(
+        "pipeline_two_stage.trace.json",
+        trace::chrome_trace(&events),
+    )
+    .expect("write chrome trace");
+    println!(
+        "\ntrace: {} events -> pipeline_two_stage.trace.jsonl / .json \
+         (open the .json at https://ui.perfetto.dev)",
+        events.len()
     );
 }
