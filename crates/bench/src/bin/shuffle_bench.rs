@@ -1,0 +1,92 @@
+//! Wall-clock shuffle benchmark: sort-merge path vs global-sort reference
+//! on uniform and skewed key distributions.
+//!
+//! Usage: `shuffle_bench [--smoke] [--out <path>]`
+//!
+//! * `--smoke` — CI sizes (2^14..2^18) instead of the full sweep
+//!   (2^16..2^20); also the sanity gate is what CI fails on.
+//! * `--out <path>` — where to write the JSON document (default
+//!   `BENCH_shuffle.json` in the current directory).
+//!
+//! Exit status is non-zero if either sanity gate fails at the largest
+//! size:
+//!
+//! 1. **Reduce-side sort burden** (both distributions): the k-way merge's
+//!    seconds must stay below the reference path's decode + global-sort
+//!    seconds. This is the structural claim of the sort-merge shuffle —
+//!    the sort moved to the map side — and it is robust to host noise.
+//! 2. **Wall clock** (uniform keys only): the sort-merge path must not
+//!    exceed the reference path by more than 15%. The tolerance absorbs
+//!    machine noise; the skewed cell is reported but not wall-gated, since
+//!    on low-cardinality keys a single duplicate-optimized sort is close
+//!    to linear and the two paths legitimately trade places.
+
+use std::path::PathBuf;
+
+use dwmaxerr_bench::{experiments, report};
+
+/// Headroom the merge path gets over the reference before the gate fails.
+const SANITY_RATIO: f64 = 1.15;
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = PathBuf::from("BENCH_shuffle.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path argument");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (expected --smoke / --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sizes: Vec<usize> = if smoke {
+        vec![1 << 14, 1 << 16, 1 << 18]
+    } else {
+        vec![1 << 16, 1 << 18, 1 << 20]
+    };
+
+    let samples = experiments::shuffle_sweep(&sizes);
+    report::print_all(&[experiments::shuffle_table(&samples)]);
+
+    let json = experiments::shuffle_json(&samples, smoke);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("failed to write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", out_path.display());
+
+    // Sanity gates at the largest size only — smaller sizes are
+    // noise-bound.
+    let largest = *sizes.iter().max().expect("non-empty sizes");
+    let mut failed = false;
+    for (records, dist, ratio) in experiments::merge_ratios(&samples) {
+        if records == largest && ratio >= 1.0 {
+            eprintln!(
+                "SANITY FAIL: reduce-side sort burden {ratio:.2}x reference at {records} \
+                 records ({dist}) — the k-way merge must beat re-sorting"
+            );
+            failed = true;
+        }
+    }
+    for (records, dist, ratio) in experiments::ratios(&samples) {
+        if records == largest && dist == "uniform" && ratio > SANITY_RATIO {
+            eprintln!(
+                "SANITY FAIL: sort-merge wall {ratio:.2}x reference at {records} records \
+                 ({dist}) exceeds the {SANITY_RATIO:.2}x gate"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -17,7 +17,10 @@ use dwmaxerr_runtime::metrics::DriverMetrics;
 use dwmaxerr_runtime::trace::{self, TraceEvent};
 use dwmaxerr_runtime::{AttemptStats, Cluster, ClusterConfig, FaultPlan, TaskPhase};
 
-use crate::report::{critical_path_table, secs, slot_utilisation_table, stage_breakdown, Table};
+use crate::report::{
+    critical_path_table, secs, shuffle_structure_table, slot_utilisation_table, stage_breakdown,
+    Table,
+};
 use crate::setup::Scale;
 
 /// A paper-shaped cluster carrying the given fault plan. HDFS is slowed to
@@ -168,6 +171,13 @@ pub fn fault_sweep_traced(scale: Scale, trace_dir: Option<&Path>) -> Vec<Table> 
             ),
             &events,
         );
+        let shuffle = shuffle_structure_table(
+            format!(
+                "Shuffle structure — DGreedyAbs at {:.0}% attempt failure rate (trace-derived)",
+                prob * 100.0
+            ),
+            &events,
+        );
         if let Some(dir) = trace_dir {
             std::fs::create_dir_all(dir).expect("create trace dir");
             let jsonl_path = dir.join("fault_sweep.trace.jsonl");
@@ -185,6 +195,7 @@ pub fn fault_sweep_traced(scale: Scale, trace_dir: Option<&Path>) -> Vec<Table> 
         }
         tables.push(util);
         tables.push(cp);
+        tables.push(shuffle);
     }
     tables
 }

@@ -6,12 +6,16 @@ mod conventional;
 mod datasets;
 mod faults;
 mod scalability;
+mod shuffle;
 
 pub use comparison::{fig8, fig9};
 pub use conventional::{fig10, fig11};
 pub use datasets::{fig6, fig7, table3};
 pub use faults::{fault_sweep, fault_sweep_traced};
 pub use scalability::{fig5a, fig5b, fig5c, fig5d};
+pub use shuffle::{
+    merge_ratios, ratios, shuffle_sweep, shuffle_table, to_json as shuffle_json, ShuffleSample,
+};
 
 use dwmaxerr_core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};
 use dwmaxerr_core::dindirect_haar::{dindirect_haar, DIndirectHaarConfig};

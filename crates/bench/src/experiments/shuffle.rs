@@ -1,0 +1,299 @@
+//! Shuffle micro-benchmark: the sort-merge path (map-side sorted spills +
+//! k-way reduce merge) against the global-sort reference path on the same
+//! synthetic workloads.
+//!
+//! Unlike the paper-figure experiments this one reports **wall-clock**
+//! phase times, not simulated cluster seconds: the two paths are
+//! byte-identical by construction (the simulated cost model cannot tell
+//! them apart), so the quantity of interest is the real CPU cost of
+//! sorting and merging the shuffle stream.
+
+use dwmaxerr_runtime::{
+    Cluster, ClusterConfig, JobBuilder, MapContext, ReduceContext, ShufflePath,
+};
+
+use crate::report::{bytes, secs, Table};
+use crate::setup::timed;
+
+/// One measured (size, distribution, path) cell: best-of-reps wall time
+/// plus the phase breakdown from [`dwmaxerr_runtime::metrics::JobMetrics`]
+/// of the best rep.
+#[derive(Debug, Clone)]
+pub struct ShuffleSample {
+    /// Total records emitted by the map phase.
+    pub records: usize,
+    /// Key distribution: `"uniform"` or `"skewed"`.
+    pub distribution: &'static str,
+    /// Shuffle path: `"sort_merge"` or `"global_sort"`.
+    pub path: &'static str,
+    /// Best-of-reps wall-clock seconds for the whole job.
+    pub wall_secs: f64,
+    /// Sum of per-map-task wall seconds (includes spill time).
+    pub map_secs: f64,
+    /// Sum of per-map-task spill-sort seconds (0 on the reference path).
+    pub spill_secs: f64,
+    /// Sum of per-reduce-task merge/sort seconds.
+    pub merge_secs: f64,
+    /// Sum of per-reduce-task wall seconds (includes merge time).
+    pub reduce_secs: f64,
+    /// Encoded bytes crossing the shuffle.
+    pub shuffle_bytes: u64,
+    /// Total non-empty sorted runs spilled by map tasks.
+    pub spill_runs: u64,
+    /// Total reduce-side merge fan-in (equals `spill_runs` by routing).
+    pub merge_fan_in: u64,
+}
+
+const SPLITS: usize = 8;
+const REDUCERS: usize = 4;
+const REPS: usize = 5;
+
+/// Deterministic 64-bit LCG (MMIX constants) — the workload generator.
+/// Returns the *high* 32 bits: the low bits of a power-of-two-modulus LCG
+/// cycle with tiny periods and must never feed a `%` draw.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 32
+}
+
+/// Generates `records` key-value pairs split across [`SPLITS`] map inputs.
+/// Uniform keys draw from a space about as large as the record count;
+/// skewed keys send ~75% of records to a 1024-key hot set (duplicate-heavy
+/// groups that span every map task's runs, stressing the merge tie-break).
+fn make_splits(records: usize, skewed: bool, seed: u64) -> Vec<Vec<(u64, f64)>> {
+    let mut state = seed | 1;
+    let mut splits: Vec<Vec<(u64, f64)>> = (0..SPLITS)
+        .map(|_| Vec::with_capacity(records / SPLITS + 1))
+        .collect();
+    for i in 0..records {
+        let r = lcg(&mut state);
+        let key = if skewed && !r.is_multiple_of(4) {
+            r % 1024
+        } else {
+            r % (records as u64).max(1)
+        };
+        let value = f64::from_bits(lcg(&mut state) | 0x3ff0_0000_0000_0000);
+        splits[i % SPLITS].push((key, value));
+    }
+    splits
+}
+
+fn bench_cluster() -> Cluster {
+    let mut cfg = ClusterConfig::with_slots(SPLITS, REDUCERS);
+    cfg.task_startup = std::time::Duration::ZERO;
+    cfg.job_setup = std::time::Duration::ZERO;
+    cfg.speculative_execution = false;
+    Cluster::new(cfg)
+}
+
+/// Sums a metric vector; `+ 0.0` normalises the `-0.0` an empty float
+/// sum produces into plain zero for display and JSON.
+fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() + 0.0
+}
+
+/// Runs one (size, distribution, path) cell [`REPS`] times, keeping the
+/// rep with the best wall time.
+pub fn measure(records: usize, skewed: bool, path: ShufflePath) -> ShuffleSample {
+    let splits = make_splits(records, skewed, 0x5EED ^ records as u64);
+    let mut best: Option<ShuffleSample> = None;
+    for _ in 0..REPS {
+        let cluster = bench_cluster();
+        let (out, wall) = timed(|| {
+            JobBuilder::new("shuffle-bench")
+                .map(|split: &Vec<(u64, f64)>, ctx: &mut MapContext<u64, f64>| {
+                    for &(k, v) in split {
+                        ctx.emit(k, v);
+                    }
+                })
+                .reducers(REDUCERS)
+                .shuffle_path(path)
+                .reduce(|k, vals, ctx: &mut ReduceContext<u64, f64>| {
+                    ctx.emit(*k, vals.sum());
+                })
+                .run(&cluster, &splits)
+                .expect("bench job succeeds")
+        });
+        let m = &out.metrics;
+        let sample = ShuffleSample {
+            records,
+            distribution: if skewed { "skewed" } else { "uniform" },
+            path: match path {
+                ShufflePath::SortMerge => "sort_merge",
+                ShufflePath::GlobalSort => "global_sort",
+            },
+            wall_secs: wall,
+            map_secs: total(&m.map_task_secs),
+            spill_secs: total(&m.spill_secs),
+            merge_secs: total(&m.merge_secs),
+            reduce_secs: total(&m.reduce_task_secs),
+            shuffle_bytes: m.shuffle_bytes,
+            spill_runs: m.spill_runs.iter().sum(),
+            merge_fan_in: m.merge_fan_in.iter().sum(),
+        };
+        if best.as_ref().is_none_or(|b| sample.wall_secs < b.wall_secs) {
+            best = Some(sample);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+/// Runs the full sweep: both paths × both distributions × `sizes`.
+pub fn shuffle_sweep(sizes: &[usize]) -> Vec<ShuffleSample> {
+    let mut samples = Vec::new();
+    for &records in sizes {
+        for skewed in [false, true] {
+            for path in [ShufflePath::SortMerge, ShufflePath::GlobalSort] {
+                samples.push(measure(records, skewed, path));
+            }
+        }
+    }
+    samples
+}
+
+/// Renders the sweep as a markdown table with per-size merge/reference
+/// wall-time ratios.
+pub fn shuffle_table(samples: &[ShuffleSample]) -> Table {
+    let mut t = Table::new(
+        "Shuffle: sort-merge vs global-sort reference (wall clock)",
+        "Hadoop's shuffle sorts map output at spill time and k-way merges on \
+         the reduce side instead of re-sorting the concatenated stream",
+        &[
+            "records", "dist", "path", "wall", "spill", "merge", "shuffle", "runs",
+        ],
+    );
+    for s in samples {
+        t.row(vec![
+            s.records.to_string(),
+            s.distribution.to_string(),
+            s.path.to_string(),
+            secs(s.wall_secs),
+            secs(s.spill_secs),
+            secs(s.merge_secs),
+            bytes(s.shuffle_bytes),
+            s.spill_runs.to_string(),
+        ]);
+    }
+    let merge = merge_ratios(samples);
+    for ((records, dist, wall), (_, _, reduce_sort)) in ratios(samples).into_iter().zip(merge) {
+        t.note(format!(
+            "{records} records / {dist}: sort-merge wall = {wall:.2}x reference, \
+             reduce-side sort burden = {reduce_sort:.2}x"
+        ));
+    }
+    t
+}
+
+/// Per-(size, distribution) ratio of sort-merge wall time to reference
+/// wall time (< 1.0 means the merge path is faster).
+pub fn ratios(samples: &[ShuffleSample]) -> Vec<(usize, &'static str, f64)> {
+    paired(samples, |m, r| m.wall_secs / r.wall_secs.max(1e-12))
+}
+
+/// Per-(size, distribution) ratio of *reduce-side sort burden*: the k-way
+/// merge's seconds over the reference path's decode + global-sort seconds.
+/// This is the structural claim of the sort-merge shuffle — the reduce
+/// phase (the scarcer resource: Hadoop clusters run far fewer reduce slots
+/// than map slots) stops paying for the sort — and unlike the wall ratio
+/// it is robust to host noise.
+pub fn merge_ratios(samples: &[ShuffleSample]) -> Vec<(usize, &'static str, f64)> {
+    paired(samples, |m, r| m.merge_secs / r.merge_secs.max(1e-12))
+}
+
+fn paired(
+    samples: &[ShuffleSample],
+    f: impl Fn(&ShuffleSample, &ShuffleSample) -> f64,
+) -> Vec<(usize, &'static str, f64)> {
+    let mut out = Vec::new();
+    for s in samples.iter().filter(|s| s.path == "sort_merge") {
+        if let Some(r) = samples.iter().find(|r| {
+            r.path == "global_sort" && r.records == s.records && r.distribution == s.distribution
+        }) {
+            out.push((s.records, s.distribution, f(s, r)));
+        }
+    }
+    out
+}
+
+/// Serialises the sweep as the `BENCH_shuffle.json` document: metadata
+/// plus one object per sample. Hand-rolled JSON — the build is offline.
+pub fn to_json(samples: &[ShuffleSample], smoke: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"benchmark\": \"shuffle\",\n  \"smoke\": {smoke},\n  \"splits\": {SPLITS},\n  \"reducers\": {REDUCERS},\n  \"reps\": {REPS},\n  \"samples\": [\n"
+    ));
+    for (i, x) in samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"records\": {}, \"distribution\": \"{}\", \"path\": \"{}\", \
+             \"wall_secs\": {:.6}, \"map_secs\": {:.6}, \"spill_secs\": {:.6}, \
+             \"merge_secs\": {:.6}, \"reduce_secs\": {:.6}, \"shuffle_bytes\": {}, \
+             \"spill_runs\": {}, \"merge_fan_in\": {}}}{}\n",
+            x.records,
+            x.distribution,
+            x.path,
+            x.wall_secs,
+            x.map_secs,
+            x.spill_secs,
+            x.merge_secs,
+            x.reduce_secs,
+            x.shuffle_bytes,
+            x.spill_runs,
+            x.merge_fan_in,
+            if i + 1 < samples.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_are_deterministic_and_sized() {
+        let a = make_splits(8192, true, 7);
+        let b = make_splits(8192, true, 7);
+        assert_eq!(a.len(), SPLITS);
+        assert_eq!(a.iter().map(Vec::len).sum::<usize>(), 8192);
+        let flat = |s: &Vec<Vec<(u64, f64)>>| -> Vec<(u64, u64)> {
+            s.iter().flatten().map(|&(k, v)| (k, v.to_bits())).collect()
+        };
+        assert_eq!(flat(&a), flat(&b));
+        // Skew: ~75% of records land in the 1024-key hot set, far more
+        // than the ~12.5% a uniform draw over 8192 keys would put there.
+        let hot_frac = |s: &Vec<Vec<(u64, f64)>>| {
+            s.iter().flatten().filter(|&&(k, _)| k < 1024).count() as f64 / 8192.0
+        };
+        assert!(hot_frac(&a) > 0.6, "skewed hot fraction {}", hot_frac(&a));
+        let uniform = make_splits(8192, false, 7);
+        assert!(
+            hot_frac(&uniform) < 0.3,
+            "uniform hot fraction {}",
+            hot_frac(&uniform)
+        );
+    }
+
+    #[test]
+    fn sweep_produces_matched_pairs_and_valid_json() {
+        let samples = shuffle_sweep(&[512]);
+        assert_eq!(samples.len(), 4); // 2 dists x 2 paths
+        let rs = ratios(&samples);
+        assert_eq!(rs.len(), 2);
+        for (_, _, ratio) in &rs {
+            assert!(ratio.is_finite() && *ratio > 0.0);
+        }
+        // Both paths moved identical bytes.
+        for (_, dist, _) in &rs {
+            let pair: Vec<_> = samples.iter().filter(|s| s.distribution == *dist).collect();
+            assert_eq!(pair[0].shuffle_bytes, pair[1].shuffle_bytes);
+        }
+        let json = to_json(&samples, true);
+        assert!(json.contains("\"benchmark\": \"shuffle\""));
+        assert_eq!(json.matches("\"records\":").count(), 4);
+        let table = shuffle_table(&samples).to_markdown();
+        assert!(table.contains("sort_merge"));
+    }
+}

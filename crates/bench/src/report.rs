@@ -3,7 +3,7 @@
 use std::fmt::Write as _;
 
 use dwmaxerr_runtime::metrics::DriverMetrics;
-use dwmaxerr_runtime::trace::{summary, TraceEvent};
+use dwmaxerr_runtime::trace::{summary, TraceEvent, TraceEventKind};
 
 /// One experiment output table.
 #[derive(Debug, Clone)]
@@ -194,6 +194,69 @@ pub fn slot_utilisation_table(title: impl Into<String>, events: &[TraceEvent]) -
             secs(r.wasted_secs),
             r.attempts.to_string(),
             format!("{:.0}%", 100.0 * r.utilisation()),
+        ]);
+    }
+    t
+}
+
+/// Builds a shuffle-structure table from a recorded trace: one row per
+/// stage (jobs grouped by name, summed over pipeline rounds) showing the
+/// physical shape of its shuffle — reduce partitions fetched, bytes moved,
+/// and total sorted-run fan-in the k-way merges consumed (0 everywhere
+/// means the job ran the global-sort reference path).
+pub fn shuffle_structure_table(title: impl Into<String>, events: &[TraceEvent]) -> Table {
+    struct Row {
+        partitions: u64,
+        bytes: u64,
+        runs: u64,
+        max_fan_in: u64,
+    }
+    let mut rows: Vec<(String, Row)> = Vec::new();
+    for e in events {
+        if let TraceEventKind::ShufflePartition {
+            job, bytes, runs, ..
+        } = &e.kind
+        {
+            let row = match rows.iter_mut().find(|(name, _)| name == job) {
+                Some((_, row)) => row,
+                None => {
+                    rows.push((
+                        job.clone(),
+                        Row {
+                            partitions: 0,
+                            bytes: 0,
+                            runs: 0,
+                            max_fan_in: 0,
+                        },
+                    ));
+                    &mut rows.last_mut().expect("just pushed").1
+                }
+            };
+            row.partitions += 1;
+            row.bytes += bytes;
+            row.runs += runs;
+            row.max_fan_in = row.max_fan_in.max(*runs);
+        }
+    }
+    let mut t = Table::new(
+        title,
+        "map tasks spill one sorted run per non-empty partition; reducers k-way merge \
+         their fan-in instead of re-sorting",
+        &[
+            "stage",
+            "partitions",
+            "shuffle bytes",
+            "spill runs",
+            "max fan-in",
+        ],
+    );
+    for (job, r) in rows {
+        t.row(vec![
+            job,
+            r.partitions.to_string(),
+            bytes(r.bytes),
+            r.runs.to_string(),
+            r.max_fan_in.to_string(),
         ]);
     }
     t

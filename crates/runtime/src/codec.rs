@@ -38,12 +38,102 @@ fn take<'a>(buf: &mut &'a [u8], n: usize, context: &'static str) -> Result<&'a [
     Ok(head)
 }
 
+/// A byte sink that [`Wire::stream`] writes encoded fragments into.
+///
+/// Implemented by `Vec<u8>` (appends, equivalent to [`Wire::encode`]) and by
+/// [`FnvHasher`] (folds the bytes into an FNV-1a state without storing
+/// them). The default partitioner hashes keys through this trait so that
+/// per-record hashing allocates nothing.
+pub trait WireSink {
+    /// Consumes the next fragment of wire bytes.
+    fn write(&mut self, bytes: &[u8]);
+}
+
+impl WireSink for Vec<u8> {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+/// Streaming FNV-1a hasher over wire bytes.
+///
+/// Uses the same constants as the engine's buffer-level `fnv1a`, so feeding
+/// a value through [`Wire::stream`] yields exactly
+/// `fnv1a(&codec::encoded(&value))` — the default partitioner relies on this
+/// equivalence to keep partition assignment stable while skipping the
+/// per-record encode allocation.
+#[derive(Debug, Clone)]
+pub struct FnvHasher {
+    state: u64,
+}
+
+impl FnvHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        FnvHasher {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// The hash of everything written so far.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WireSink for FnvHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.state = h;
+    }
+}
+
 /// Types that can be serialized to and from the shuffle wire format.
 pub trait Wire: Sized {
     /// Appends the encoding of `self` to `buf`.
     fn encode(&self, buf: &mut Vec<u8>);
     /// Decodes a value from the front of `buf`, advancing it.
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// Streams the encoding of `self` into `sink` fragment by fragment.
+    ///
+    /// Must produce exactly the bytes [`Wire::encode`] appends. The default
+    /// implementation encodes into a scratch `Vec` and forwards it — correct
+    /// for any impl, but allocating; every codec-provided impl overrides it
+    /// to write fragments directly, which is what makes streaming hashing
+    /// allocation-free.
+    fn stream<S: WireSink>(&self, sink: &mut S) {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        sink.write(&buf);
+    }
+
+    /// Advances `buf` past one encoded value without materialising it.
+    ///
+    /// Must consume exactly the bytes [`Wire::decode`] would. The default
+    /// implementation decodes and drops the value; fixed-width and
+    /// length-prefixed impls override it to advance by arithmetic alone —
+    /// the spill sorter uses this to find value boundaries without decoding
+    /// payloads.
+    fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
+        Self::decode(buf).map(|_| ())
+    }
 }
 
 macro_rules! wire_fixed {
@@ -57,6 +147,14 @@ macro_rules! wire_fixed {
             fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
                 let bytes = take(buf, std::mem::size_of::<$t>(), $ctx)?;
                 Ok(<$t>::from_le_bytes(bytes.try_into().expect("exact length")))
+            }
+            #[inline]
+            fn stream<S: WireSink>(&self, sink: &mut S) {
+                sink.write(&self.to_le_bytes());
+            }
+            #[inline]
+            fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
+                take(buf, std::mem::size_of::<$t>(), $ctx).map(|_| ())
             }
         }
     )*};
@@ -77,6 +175,14 @@ impl Wire for bool {
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
         Ok(take(buf, 1, "bool")?[0] != 0)
     }
+    #[inline]
+    fn stream<S: WireSink>(&self, sink: &mut S) {
+        sink.write(&[u8::from(*self)]);
+    }
+    #[inline]
+    fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
+        take(buf, 1, "bool").map(|_| ())
+    }
 }
 
 impl Wire for usize {
@@ -87,6 +193,14 @@ impl Wire for usize {
     #[inline]
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
         Ok(u64::decode(buf)? as usize)
+    }
+    #[inline]
+    fn stream<S: WireSink>(&self, sink: &mut S) {
+        (*self as u64).stream(sink);
+    }
+    #[inline]
+    fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
+        u64::skip(buf)
     }
 }
 
@@ -102,6 +216,14 @@ impl Wire for String {
             context: "string utf8",
         })
     }
+    fn stream<S: WireSink>(&self, sink: &mut S) {
+        (self.len() as u32).stream(sink);
+        sink.write(self.as_bytes());
+    }
+    fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
+        let len = u32::decode(buf)? as usize;
+        take(buf, len, "string body").map(|_| ())
+    }
 }
 
 impl Wire for () {
@@ -109,6 +231,12 @@ impl Wire for () {
     fn encode(&self, _buf: &mut Vec<u8>) {}
     #[inline]
     fn decode(_buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(())
+    }
+    #[inline]
+    fn stream<S: WireSink>(&self, _sink: &mut S) {}
+    #[inline]
+    fn skip(_buf: &mut &[u8]) -> Result<(), CodecError> {
         Ok(())
     }
 }
@@ -127,6 +255,19 @@ impl<T: Wire> Wire for Vec<T> {
             out.push(T::decode(buf)?);
         }
         Ok(out)
+    }
+    fn stream<S: WireSink>(&self, sink: &mut S) {
+        (self.len() as u32).stream(sink);
+        for item in self {
+            item.stream(sink);
+        }
+    }
+    fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
+        let len = u32::decode(buf)? as usize;
+        for _ in 0..len {
+            T::skip(buf)?;
+        }
+        Ok(())
     }
 }
 
@@ -149,6 +290,24 @@ impl<T: Wire> Wire for Option<T> {
             }),
         }
     }
+    fn stream<S: WireSink>(&self, sink: &mut S) {
+        match self {
+            None => sink.write(&[0]),
+            Some(v) => {
+                sink.write(&[1]);
+                v.stream(sink);
+            }
+        }
+    }
+    fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
+        match take(buf, 1, "option tag")?[0] {
+            0 => Ok(()),
+            1 => T::skip(buf),
+            _ => Err(CodecError {
+                context: "option tag value",
+            }),
+        }
+    }
 }
 
 macro_rules! wire_tuple {
@@ -159,6 +318,13 @@ macro_rules! wire_tuple {
             }
             fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
                 Ok(($($name::decode(buf)?,)+))
+            }
+            fn stream<S: WireSink>(&self, sink: &mut S) {
+                $(self.$idx.stream(sink);)+
+            }
+            fn skip(buf: &mut &[u8]) -> Result<(), CodecError> {
+                $($name::skip(buf)?;)+
+                Ok(())
             }
         }
     };
@@ -262,6 +428,80 @@ mod tests {
         assert_eq!(encoded_len(&(0u32, 0f64)), 12);
         // Vec: 4-byte length prefix + elements.
         assert_eq!(encoded_len(&vec![0u32; 10]), 4 + 40);
+    }
+
+    fn stream_matches_encode<T: Wire>(v: T) {
+        let mut streamed = Vec::new();
+        v.stream(&mut streamed);
+        assert_eq!(streamed, encoded(&v), "stream bytes differ from encode");
+        // The streaming hasher over the value equals the buffer-level FNV-1a
+        // fold over the encoded bytes.
+        let mut hasher = FnvHasher::new();
+        v.stream(&mut hasher);
+        let mut reference = FnvHasher::new();
+        reference.write(&encoded(&v));
+        assert_eq!(hasher.finish(), reference.finish());
+        // skip() consumes exactly what decode() would.
+        let buf = encoded(&v);
+        let mut s = buf.as_slice();
+        T::skip(&mut s).unwrap();
+        assert!(s.is_empty(), "skip left trailing bytes");
+    }
+
+    #[test]
+    fn stream_and_skip_agree_with_encode_and_decode() {
+        stream_matches_encode(0u8);
+        stream_matches_encode(u64::MAX);
+        stream_matches_encode(-7i32);
+        stream_matches_encode(f64::NAN);
+        stream_matches_encode(true);
+        stream_matches_encode(usize::MAX);
+        stream_matches_encode(());
+        stream_matches_encode(String::from("hello κόσμος"));
+        stream_matches_encode(String::new());
+        stream_matches_encode(vec![1u32, 2, 3]);
+        stream_matches_encode(Vec::<f64>::new());
+        stream_matches_encode(vec![vec![1u8], vec![], vec![2, 3]]);
+        stream_matches_encode(Some(42i64));
+        stream_matches_encode(Option::<i64>::None);
+        stream_matches_encode((1u32, -2i64, 3.0f64, String::from("x")));
+        stream_matches_encode((1u8, 2u8, 3u8, 4u8, 5u8));
+    }
+
+    #[test]
+    fn skip_errors_on_truncation() {
+        let buf = encoded(&12345u64);
+        let mut s = &buf[..4];
+        assert!(u64::skip(&mut s).is_err());
+
+        let buf = encoded(&String::from("hello"));
+        let mut s = &buf[..buf.len() - 1];
+        assert!(String::skip(&mut s).is_err());
+
+        let mut s: &[u8] = &[7u8];
+        assert!(Option::<u8>::skip(&mut s).is_err());
+    }
+
+    #[test]
+    fn default_stream_falls_back_to_encode() {
+        // A custom impl that relies on the provided default `stream`.
+        #[derive(PartialEq, Debug)]
+        struct Custom(u32);
+        impl Wire for Custom {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                self.0.encode(buf);
+            }
+            fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+                Ok(Custom(u32::decode(buf)?))
+            }
+        }
+        let mut streamed = Vec::new();
+        Custom(9).stream(&mut streamed);
+        assert_eq!(streamed, encoded(&Custom(9)));
+        let buf = encoded(&Custom(9));
+        let mut s = buf.as_slice();
+        Custom::skip(&mut s).unwrap();
+        assert!(s.is_empty());
     }
 
     #[test]

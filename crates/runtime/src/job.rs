@@ -8,6 +8,12 @@
 //! key-value pair, partitions it, and sort-merges it on the reduce side,
 //! exactly mirroring Hadoop's shuffle semantics (including total ordering
 //! of keys within each reduce partition).
+//!
+//! The shuffle itself is Hadoop's sort-merge (see [`ShufflePath`]): each
+//! map task sorts every reduce partition once at spill time, producing one
+//! sorted run per (map task, partition); each reducer performs a streaming
+//! k-way heap merge over its runs and feeds values to the reduce function
+//! as the merge advances — no global re-sort, no decode-everything buffer.
 
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
@@ -17,7 +23,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::cluster::Cluster;
-use crate::codec::Wire;
+use crate::codec::{FnvHasher, Wire};
 use crate::error::RuntimeError;
 use crate::fault::{FailureKind, FaultPlan, TaskPhase};
 use crate::metrics::{AttemptStats, JobMetrics, SimBreakdown, TaskAttempt};
@@ -27,7 +33,7 @@ use crate::trace::{JobPhase, JobTrace, TraceEventKind};
 /// Context handed to map functions: typed emission into reduce partitions
 /// plus user counters.
 pub struct MapContext<'a, K, V> {
-    partitions: Vec<Vec<u8>>,
+    emission: MapEmission<K, V>,
     records: u64,
     counters: BTreeMap<&'static str, u64>,
     partitioner: &'a (dyn Fn(&K, usize) -> usize + Sync),
@@ -38,20 +44,47 @@ pub struct MapContext<'a, K, V> {
     _marker: PhantomData<fn(K, V)>,
 }
 
+/// Physical form of a map task's per-partition output, shaped by the
+/// job's [`ShufflePath`].
+enum MapEmission<K, V> {
+    /// [`ShufflePath::GlobalSort`]: records are encoded straight into the
+    /// partition's wire buffer at emit time, in emission order.
+    Bytes(Vec<Vec<u8>>),
+    /// [`ShufflePath::SortMerge`]: records are buffered decoded and
+    /// encoded exactly once at spill time, after the spill sort — like
+    /// Hadoop's in-memory collector, so the sort never has to re-decode
+    /// the serialized stream.
+    Pairs(Vec<Vec<(K, V)>>),
+}
+
+impl<K, V> MapEmission<K, V> {
+    fn reducers(&self) -> usize {
+        match self {
+            MapEmission::Bytes(parts) => parts.len(),
+            MapEmission::Pairs(parts) => parts.len(),
+        }
+    }
+}
+
 impl<K: Wire, V: Wire> MapContext<'_, K, V> {
     /// Emits a key-value pair into the shuffle. If the partitioner routes
     /// the key outside `0..reducers` the record is dropped and the job
     /// fails with [`RuntimeError::BadPartitioner`] once the task returns.
     pub fn emit(&mut self, key: K, value: V) {
-        let r = self.partitions.len();
+        let r = self.emission.reducers();
         let p = (self.partitioner)(&key, r);
         if p >= r {
             self.bad_partition.get_or_insert((p, r));
             return;
         }
-        let buf = &mut self.partitions[p];
-        key.encode(buf);
-        value.encode(buf);
+        match &mut self.emission {
+            MapEmission::Bytes(parts) => {
+                let buf = &mut parts[p];
+                key.encode(buf);
+                value.encode(buf);
+            }
+            MapEmission::Pairs(parts) => parts[p].push((key, value)),
+        }
         self.records += 1;
     }
 
@@ -90,6 +123,28 @@ pub struct JobOutput<OK, OV> {
     pub metrics: JobMetrics,
 }
 
+/// Which physical shuffle implementation a job uses.
+///
+/// Both paths are observationally identical — same output pairs in the
+/// same order, same shuffle-byte and record accounting, same trace digest
+/// structure. [`ShufflePath::SortMerge`] is the default and the fast path;
+/// [`ShufflePath::GlobalSort`] is the pre-rewrite reference kept for
+/// equivalence tests and as the `shuffle_bench` baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShufflePath {
+    /// Hadoop-faithful sort-merge: each map task sorts every reduce
+    /// partition once at spill time (stable — equal keys keep emission
+    /// order), and each reducer streams a k-way heap merge over the
+    /// pre-sorted runs, folding values into the reduce function as the
+    /// merge advances.
+    #[default]
+    SortMerge,
+    /// The reference implementation: concatenate all map outputs per
+    /// reducer, decode every pair, and globally re-sort with a stable
+    /// sort.
+    GlobalSort,
+}
+
 /// Entry point for building a job.
 pub struct JobBuilder {
     name: String,
@@ -114,6 +169,7 @@ impl JobBuilder {
             input_bytes: None,
             task_memory: None,
             combiner: None,
+            shuffle_path: ShufflePath::default(),
             _marker: PhantomData,
         }
     }
@@ -133,6 +189,7 @@ pub struct MapStage<S, K, V, F> {
     input_bytes: Option<InputSize<S>>,
     task_memory: Option<TaskMemory<S>>,
     combiner: Option<Combiner<K, V>>,
+    shuffle_path: ShufflePath,
     _marker: PhantomData<fn(S, K, V)>,
 }
 
@@ -181,6 +238,15 @@ where
         f: impl Fn(&K, &mut dyn Iterator<Item = V>) -> V + Sync + 'static,
     ) -> Self {
         self.combiner = Some(Box::new(f));
+        self
+    }
+
+    /// Selects the physical shuffle implementation (default
+    /// [`ShufflePath::SortMerge`]). The two paths are bit-identical in
+    /// output and accounting; [`ShufflePath::GlobalSort`] exists for
+    /// equivalence tests and as the benchmark baseline.
+    pub fn shuffle_path(mut self, path: ShufflePath) -> Self {
+        self.shuffle_path = path;
         self
     }
 
@@ -270,14 +336,216 @@ fn trace_task_phase(
     }
 }
 
-/// FNV-1a over the encoded key: the default partitioner.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+/// Pool of spill collection buffers shared by one job run's map tasks.
+///
+/// Pair-collection vectors live only from emission to spill within one
+/// task, so they are recycled across tasks (and scheduling waves) instead
+/// of re-growing from empty — the allocator sees O(threads × partitions)
+/// buffers, not O(tasks × partitions). Buffers lost to a panicking
+/// attempt are simply not returned; the pool re-allocates on demand.
+struct BufferPool<T> {
+    bufs: Mutex<Vec<Vec<T>>>,
+}
+
+impl<T> BufferPool<T> {
+    fn new() -> Self {
+        BufferPool {
+            bufs: Mutex::new(Vec::new()),
+        }
     }
-    h
+
+    /// A cleared buffer with at least `capacity` entries reserved —
+    /// recycled when the pool has one, freshly allocated otherwise.
+    fn take(&self, capacity: usize) -> Vec<T> {
+        let recycled = self.bufs.lock().expect("pool lock").pop();
+        match recycled {
+            Some(mut buf) => {
+                buf.clear();
+                buf.reserve(capacity);
+                buf
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    fn put(&self, buf: Vec<T>) {
+        self.bufs.lock().expect("pool lock").push(buf);
+    }
+}
+
+/// One reduce partition's physical input, shaped by the job's
+/// [`ShufflePath`].
+enum ReducerInput {
+    /// [`ShufflePath::GlobalSort`]: every map output concatenated into one
+    /// buffer, re-sorted on the reduce side.
+    Concat(Vec<u8>),
+    /// [`ShufflePath::SortMerge`]: the sorted runs, in map-task order
+    /// (empty runs dropped).
+    Runs(Vec<Vec<u8>>),
+}
+
+/// A streaming cursor over one sorted run.
+struct RunCursor<'a, K, V> {
+    rest: &'a [u8],
+    head: Option<(K, V)>,
+}
+
+impl<K: Wire, V: Wire> RunCursor<'_, K, V> {
+    /// Decodes the run's next pair into `head` (left `None` when the run
+    /// is exhausted); returns false on a decode error, after which the run
+    /// is treated as exhausted.
+    fn advance(&mut self) -> bool {
+        if self.rest.is_empty() {
+            return true;
+        }
+        match (K::decode(&mut self.rest), V::decode(&mut self.rest)) {
+            (Ok(k), Ok(v)) => {
+                self.head = Some((k, v));
+                true
+            }
+            _ => {
+                self.rest = &[];
+                false
+            }
+        }
+    }
+}
+
+/// `true` when run `a`'s head sorts strictly before run `b`'s.
+///
+/// Ties break on the run index: runs are numbered in map-task order, so
+/// equal keys drain lowest-run-first — combined with each run's internal
+/// emission order this reproduces the reference path's concatenate +
+/// stable-sort order exactly.
+fn run_less<K: Ord, V>(cursors: &[RunCursor<'_, K, V>], a: u32, b: u32) -> bool {
+    let ka = &cursors[a as usize]
+        .head
+        .as_ref()
+        .expect("heap entry has head")
+        .0;
+    let kb = &cursors[b as usize]
+        .head
+        .as_ref()
+        .expect("heap entry has head")
+        .0;
+    match ka.cmp(kb) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a < b,
+    }
+}
+
+/// Restores the min-heap property at `i` (children compared through the
+/// cursors they index, since keys are not `Clone` and stay in place).
+fn sift_down<K: Ord, V>(heap: &mut [u32], cursors: &[RunCursor<'_, K, V>], mut i: usize) {
+    loop {
+        let left = 2 * i + 1;
+        let right = 2 * i + 2;
+        let mut smallest = i;
+        if left < heap.len() && run_less(cursors, heap[left], heap[smallest]) {
+            smallest = left;
+        }
+        if right < heap.len() && run_less(cursors, heap[right], heap[smallest]) {
+            smallest = right;
+        }
+        if smallest == i {
+            return;
+        }
+        heap.swap(i, smallest);
+        i = smallest;
+    }
+}
+
+/// Streaming k-way merge over pre-sorted runs: the reduce side of
+/// [`ShufflePath::SortMerge`]. Pairs are decoded one at a time as the
+/// merge advances; nothing is buffered beyond one head pair per run.
+struct KWayMerge<'a, K, V> {
+    cursors: Vec<RunCursor<'a, K, V>>,
+    /// Min-heap of cursor indices ordered by `(head key, run index)`.
+    heap: Vec<u32>,
+    /// A run failed to decode; the job fails with a codec error once the
+    /// reduce phase completes.
+    decode_error: bool,
+}
+
+impl<'a, K: Wire + Ord, V: Wire> KWayMerge<'a, K, V> {
+    fn new(runs: &'a [Vec<u8>]) -> Self {
+        let mut decode_error = false;
+        let mut cursors: Vec<RunCursor<'a, K, V>> = Vec::with_capacity(runs.len());
+        for run in runs {
+            let mut cursor = RunCursor {
+                rest: run.as_slice(),
+                head: None,
+            };
+            decode_error |= !cursor.advance();
+            cursors.push(cursor);
+        }
+        let mut heap: Vec<u32> = (0..cursors.len() as u32)
+            .filter(|&i| cursors[i as usize].head.is_some())
+            .collect();
+        for i in (0..heap.len() / 2).rev() {
+            sift_down(&mut heap, &cursors, i);
+        }
+        KWayMerge {
+            cursors,
+            heap,
+            decode_error,
+        }
+    }
+
+    /// The next pair in merged key order, advancing its run.
+    fn pop(&mut self) -> Option<(K, V)> {
+        let &top = self.heap.first()?;
+        let cursor = &mut self.cursors[top as usize];
+        let pair = cursor.head.take().expect("heap entry has head");
+        if !cursor.advance() {
+            self.decode_error = true;
+        }
+        if self.cursors[top as usize].head.is_some() {
+            sift_down(&mut self.heap, &self.cursors, 0);
+        } else {
+            let last = self.heap.len() - 1;
+            self.heap.swap(0, last);
+            self.heap.pop();
+            sift_down(&mut self.heap, &self.cursors, 0);
+        }
+        Some(pair)
+    }
+
+    /// Whether the next pair (if any) carries exactly `key`.
+    fn peek_is(&self, key: &K) -> bool {
+        self.heap.first().is_some_and(|&i| {
+            self.cursors[i as usize]
+                .head
+                .as_ref()
+                .expect("heap entry has head")
+                .0
+                == *key
+        })
+    }
+}
+
+/// Streaming view of one key's values during the k-way merge: the reduce
+/// function consumes values as the merge produces them, so no per-group
+/// `Vec` is materialised.
+struct GroupValues<'g, 'a, K, V> {
+    key: &'g K,
+    first: Option<V>,
+    merge: &'g mut KWayMerge<'a, K, V>,
+}
+
+impl<K: Wire + Ord, V: Wire> Iterator for GroupValues<'_, '_, K, V> {
+    type Item = V;
+    fn next(&mut self) -> Option<V> {
+        if let Some(v) = self.first.take() {
+            return Some(v);
+        }
+        if self.merge.peek_is(self.key) {
+            self.merge.pop().map(|(_, v)| v)
+        } else {
+            None
+        }
+    }
 }
 
 /// Runs `f(i, &items[i])` for every item on a pool of `threads` workers,
@@ -315,6 +583,9 @@ struct MapTaskResult {
     records: u64,
     counters: BTreeMap<&'static str, u64>,
     bad_partition: Option<(usize, usize)>,
+    /// Host seconds spent sorting spills / folding the combiner (0.0 on
+    /// the reference path, which defers all sorting to the reduce side).
+    spill_secs: f64,
 }
 
 /// Best-effort rendering of a panic payload for error messages.
@@ -457,9 +728,12 @@ where
         let stage = &self.stage;
         let r = stage.reducers;
 
+        // Hadoop's `HashPartitioner`: FNV-1a over the key's wire bytes,
+        // streamed straight into the hasher — no per-record encode buffer.
         let default_partitioner = |key: &K, parts: usize| {
-            let encoded = crate::codec::encoded(key);
-            (fnv1a(&encoded) % parts as u64) as usize
+            let mut hasher = FnvHasher::new();
+            key.stream(&mut hasher);
+            (hasher.finish() % parts as u64) as usize
         };
         let partitioner: &(dyn Fn(&K, usize) -> usize + Sync) = match &stage.partitioner {
             Some(p) => p.as_ref(),
@@ -468,6 +742,14 @@ where
 
         // ---- Map phase ----
         let fault_plan = config.fault_plan.as_ref();
+        let sort_merge = stage.shuffle_path == ShufflePath::SortMerge;
+        let pair_pool: BufferPool<(K, V)> = BufferPool::new();
+        // Per-partition capacity hints — the largest sizes any finished
+        // task observed, so later tasks (and waves) reserve once instead
+        // of growing from empty: wire bytes per sorted run, and pair
+        // counts per collection buffer.
+        let partition_hints: Vec<AtomicUsize> = (0..r).map(|_| AtomicUsize::new(0)).collect();
+        let pair_hints: Vec<AtomicUsize> = (0..r).map(|_| AtomicUsize::new(0)).collect();
         let map_raw = run_indexed(config.threads, splits, |i, split| {
             // HDFS read time is charged to every attempt of the task.
             let read_secs = stage
@@ -481,8 +763,18 @@ where
                 fault_plan,
                 read_secs,
                 || {
+                    let emission = if sort_merge {
+                        MapEmission::Pairs(
+                            pair_hints
+                                .iter()
+                                .map(|h| pair_pool.take(h.load(Ordering::Relaxed)))
+                                .collect(),
+                        )
+                    } else {
+                        MapEmission::Bytes(vec![Vec::new(); r])
+                    };
                     let mut ctx = MapContext {
-                        partitions: vec![Vec::new(); r],
+                        emission,
                         records: 0,
                         counters: BTreeMap::new(),
                         partitioner,
@@ -491,41 +783,106 @@ where
                     };
                     (stage.map_fn)(split, &mut ctx);
                     let mut records = ctx.records;
-                    let mut partitions = ctx.partitions;
-                    if let Some(combiner) = &stage.combiner {
-                        // Map-side combine: decode, group, fold, re-encode.
-                        let mut combined_records = 0u64;
-                        for buf in &mut partitions {
-                            let mut pairs: Vec<(K, V)> = Vec::new();
-                            let mut slice = buf.as_slice();
-                            while !slice.is_empty() {
-                                match (K::decode(&mut slice), V::decode(&mut slice)) {
-                                    (Ok(k), Ok(v)) => pairs.push((k, v)),
-                                    _ => break,
+                    let mut spill_secs = 0.0;
+                    let partitions: Vec<Vec<u8>> = match ctx.emission {
+                        MapEmission::Pairs(parts) => {
+                            // Spill: sort (or combiner-fold) the buffered
+                            // pairs, then serialize each partition once into
+                            // a pooled wire buffer — every run leaves the
+                            // task already key-sorted.
+                            let spill_start = Instant::now();
+                            let mut out_parts = Vec::with_capacity(r);
+                            if let Some(combiner) = &stage.combiner {
+                                // Fold into an ordered map: values
+                                // accumulate per key in emission order, the
+                                // fold runs once per key, and iterating the
+                                // map writes the partition out already
+                                // sorted — the combine *is* the spill sort.
+                                let mut combined_records = 0u64;
+                                for ((mut pairs, byte_hint), pair_hint) in
+                                    parts.into_iter().zip(&partition_hints).zip(&pair_hints)
+                                {
+                                    pair_hint.fetch_max(pairs.len(), Ordering::Relaxed);
+                                    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+                                    for (k, v) in pairs.drain(..) {
+                                        groups.entry(k).or_default().push(v);
+                                    }
+                                    pair_pool.put(pairs);
+                                    let mut out =
+                                        Vec::with_capacity(byte_hint.load(Ordering::Relaxed));
+                                    for (key, values) in groups {
+                                        let folded = combiner(&key, &mut values.into_iter());
+                                        key.encode(&mut out);
+                                        folded.encode(&mut out);
+                                        combined_records += 1;
+                                    }
+                                    out_parts.push(out);
+                                }
+                                records = combined_records;
+                            } else {
+                                for ((mut pairs, byte_hint), pair_hint) in
+                                    parts.into_iter().zip(&partition_hints).zip(&pair_hints)
+                                {
+                                    pair_hint.fetch_max(pairs.len(), Ordering::Relaxed);
+                                    // Stable: equal keys keep emission order.
+                                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                                    let mut out =
+                                        Vec::with_capacity(byte_hint.load(Ordering::Relaxed));
+                                    for (k, v) in &pairs {
+                                        k.encode(&mut out);
+                                        v.encode(&mut out);
+                                    }
+                                    pairs.clear();
+                                    pair_pool.put(pairs);
+                                    out_parts.push(out);
                                 }
                             }
-                            pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                            let mut out = Vec::with_capacity(buf.len() / 2);
-                            let mut iter = pairs.into_iter().peekable();
-                            while let Some((key, first)) = iter.next() {
-                                let mut group = vec![first];
-                                while iter.peek().is_some_and(|(k2, _)| *k2 == key) {
-                                    group.push(iter.next().expect("peeked").1);
-                                }
-                                let folded = combiner(&key, &mut group.into_iter());
-                                key.encode(&mut out);
-                                folded.encode(&mut out);
-                                combined_records += 1;
+                            spill_secs = spill_start.elapsed().as_secs_f64();
+                            for (hint, buf) in partition_hints.iter().zip(&out_parts) {
+                                hint.fetch_max(buf.len(), Ordering::Relaxed);
                             }
-                            *buf = out;
+                            out_parts
                         }
-                        records = combined_records;
-                    }
+                        MapEmission::Bytes(mut parts) => {
+                            if let Some(combiner) = &stage.combiner {
+                                // Reference path: decode, sort, group, fold,
+                                // re-encode.
+                                let mut combined_records = 0u64;
+                                for buf in &mut parts {
+                                    let mut pairs: Vec<(K, V)> = Vec::new();
+                                    let mut slice = buf.as_slice();
+                                    while !slice.is_empty() {
+                                        match (K::decode(&mut slice), V::decode(&mut slice)) {
+                                            (Ok(k), Ok(v)) => pairs.push((k, v)),
+                                            _ => break,
+                                        }
+                                    }
+                                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                                    let mut out = Vec::with_capacity(buf.len() / 2);
+                                    let mut iter = pairs.into_iter().peekable();
+                                    while let Some((key, first)) = iter.next() {
+                                        let mut group = vec![first];
+                                        while iter.peek().is_some_and(|(k2, _)| *k2 == key) {
+                                            group.push(iter.next().expect("peeked").1);
+                                        }
+                                        let folded = combiner(&key, &mut group.into_iter());
+                                        key.encode(&mut out);
+                                        folded.encode(&mut out);
+                                        combined_records += 1;
+                                    }
+                                    *buf = out;
+                                }
+                                records = combined_records;
+                            }
+                            parts
+                        }
+                    };
                     MapTaskResult {
                         partitions,
                         records,
                         counters: ctx.counters,
                         bad_partition: ctx.bad_partition,
+                        spill_secs,
                     }
                 },
             )
@@ -543,7 +900,6 @@ where
             map_results.push(result);
             map_plans.push(plan);
         }
-
         let input_bytes: u64 = stage
             .input_bytes
             .as_ref()
@@ -558,19 +914,57 @@ where
             .collect();
 
         // ---- Shuffle ----
-        let mut reducer_inputs: Vec<Vec<u8>> = vec![Vec::new(); r];
+        // Sort-merge: runs move (no copy) to their reducer, in map-task
+        // order. Reference: runs are concatenated per reducer as before.
+        // Byte accounting is identical either way — spill sorting permutes
+        // records within a run but never changes their encoded length.
+        let mut reducer_inputs: Vec<ReducerInput> = (0..r)
+            .map(|_| {
+                if sort_merge {
+                    ReducerInput::Runs(Vec::new())
+                } else {
+                    ReducerInput::Concat(Vec::new())
+                }
+            })
+            .collect();
         let mut shuffle_records = 0u64;
         let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
-        for task in &map_results {
+        let mut spill_runs: Vec<u64> = Vec::new();
+        for task in &mut map_results {
             shuffle_records += task.records;
             for (name, delta) in &task.counters {
                 *counters.entry(name).or_insert(0) += delta;
             }
-            for (p, bytes) in task.partitions.iter().enumerate() {
-                reducer_inputs[p].extend_from_slice(bytes);
+            if sort_merge {
+                spill_runs.push(task.partitions.iter().filter(|b| !b.is_empty()).count() as u64);
+            }
+            for (p, buf) in task.partitions.drain(..).enumerate() {
+                match &mut reducer_inputs[p] {
+                    ReducerInput::Concat(all) => all.extend_from_slice(&buf),
+                    ReducerInput::Runs(runs) => {
+                        if !buf.is_empty() {
+                            runs.push(buf);
+                        }
+                    }
+                }
             }
         }
-        let per_reducer_bytes: Vec<u64> = reducer_inputs.iter().map(|b| b.len() as u64).collect();
+        let per_reducer_bytes: Vec<u64> = reducer_inputs
+            .iter()
+            .map(|input| match input {
+                ReducerInput::Concat(buf) => buf.len() as u64,
+                ReducerInput::Runs(runs) => runs.iter().map(|b| b.len() as u64).sum(),
+            })
+            .collect();
+        // Each reducer's merge fan-in (0 on the reference path, which
+        // fetches one concatenated buffer instead of discrete runs).
+        let per_reducer_runs: Vec<u64> = reducer_inputs
+            .iter()
+            .map(|input| match input {
+                ReducerInput::Concat(_) => 0,
+                ReducerInput::Runs(runs) => runs.len() as u64,
+            })
+            .collect();
         let shuffle_bytes: u64 = per_reducer_bytes.iter().sum();
 
         // ---- Reduce phase ----
@@ -579,7 +973,14 @@ where
             out: Vec<(OK, OV)>,
             counters: BTreeMap<&'static str, u64>,
             decode_error: bool,
+            /// Host seconds outside the user reduce function: the k-way
+            /// merge (sort-merge path) or decode + global sort + grouping
+            /// (reference path).
+            merge_secs: f64,
         }
+        // Output-capacity hint: the largest emission count any finished
+        // reduce task observed, so later tasks pre-size `ctx.out`.
+        let reduce_out_hint = AtomicUsize::new(0);
         let reduce_raw = run_indexed(config.threads, &reducer_inputs, |i, input| {
             run_attempts(
                 TaskPhase::Reduce,
@@ -588,36 +989,74 @@ where
                 fault_plan,
                 0.0,
                 || {
-                    let mut pairs: Vec<(K, V)> = Vec::new();
-                    let mut slice = input.as_slice();
-                    let mut decode_error = false;
-                    while !slice.is_empty() {
-                        match (K::decode(&mut slice), V::decode(&mut slice)) {
-                            (Ok(k), Ok(v)) => pairs.push((k, v)),
-                            _ => {
-                                decode_error = true;
-                                break;
-                            }
-                        }
-                    }
-                    // Hadoop's merge-sort: total key order within the partition.
-                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                    let task_start = Instant::now();
                     let mut ctx = ReduceContext {
-                        out: Vec::new(),
+                        out: Vec::with_capacity(reduce_out_hint.load(Ordering::Relaxed)),
                         counters: BTreeMap::new(),
                     };
-                    let mut iter = pairs.into_iter().peekable();
-                    while let Some((key, first)) = iter.next() {
-                        let mut group = vec![first];
-                        while iter.peek().is_some_and(|(k2, _)| *k2 == key) {
-                            group.push(iter.next().expect("peeked").1);
+                    let mut fn_secs = 0.0;
+                    let mut decode_error = false;
+                    match input {
+                        ReducerInput::Concat(buf) => {
+                            // Reference path: decode everything, stable
+                            // global sort, group with per-group buffers.
+                            let mut pairs: Vec<(K, V)> = Vec::new();
+                            let mut slice = buf.as_slice();
+                            while !slice.is_empty() {
+                                match (K::decode(&mut slice), V::decode(&mut slice)) {
+                                    (Ok(k), Ok(v)) => pairs.push((k, v)),
+                                    _ => {
+                                        decode_error = true;
+                                        break;
+                                    }
+                                }
+                            }
+                            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                            let mut iter = pairs.into_iter().peekable();
+                            while let Some((key, first)) = iter.next() {
+                                let mut group = vec![first];
+                                while iter.peek().is_some_and(|(k2, _)| *k2 == key) {
+                                    group.push(iter.next().expect("peeked").1);
+                                }
+                                let fn_start = Instant::now();
+                                reduce_fn(&key, &mut group.into_iter(), &mut ctx);
+                                fn_secs += fn_start.elapsed().as_secs_f64();
+                            }
                         }
-                        reduce_fn(&key, &mut group.into_iter(), &mut ctx);
+                        ReducerInput::Runs(runs) => {
+                            // Hadoop's merge-sort: the heap merge streams
+                            // pairs in total key order and the grouped
+                            // iterator feeds each key's values to the
+                            // reduce function as they surface.
+                            let mut merge = KWayMerge::<K, V>::new(runs);
+                            while let Some((key, first)) = merge.pop() {
+                                {
+                                    let mut group = GroupValues {
+                                        key: &key,
+                                        first: Some(first),
+                                        merge: &mut merge,
+                                    };
+                                    let fn_start = Instant::now();
+                                    reduce_fn(&key, &mut group, &mut ctx);
+                                    fn_secs += fn_start.elapsed().as_secs_f64();
+                                }
+                                // Drain whatever the reduce function left
+                                // unconsumed so the next group starts at
+                                // the next key.
+                                while merge.peek_is(&key) {
+                                    let _ = merge.pop();
+                                }
+                            }
+                            decode_error = merge.decode_error;
+                        }
                     }
+                    let merge_secs = (task_start.elapsed().as_secs_f64() - fn_secs).max(0.0);
+                    reduce_out_hint.fetch_max(ctx.out.len(), Ordering::Relaxed);
                     ReduceTaskResult {
                         out: ctx.out,
                         counters: ctx.counters,
                         decode_error,
+                        merge_secs,
                     }
                 },
             )
@@ -641,6 +1080,7 @@ where
             .iter()
             .map(|p| p.attempts.last().expect("non-empty plan").duration)
             .collect();
+        let merge_secs: Vec<f64> = reduce_results.iter().map(|t| t.merge_secs).collect();
         let mut pairs = Vec::new();
         for mut task in reduce_results {
             for (name, delta) in &task.counters {
@@ -748,13 +1188,16 @@ where
                     slots: 0,
                 },
             );
-            for (partition, &bytes) in per_reducer_bytes.iter().enumerate() {
+            for (partition, (&bytes, &runs)) in
+                per_reducer_bytes.iter().zip(&per_reducer_runs).enumerate()
+            {
                 tr.emit(
                     shuffle0,
                     TraceEventKind::ShufflePartition {
                         job: job.to_string(),
                         partition,
                         bytes,
+                        runs,
                     },
                 );
             }
@@ -810,6 +1253,18 @@ where
             name: stage.name.clone(),
             map_task_secs: map_secs,
             reduce_task_secs: reduce_secs,
+            spill_secs: if sort_merge {
+                map_results.iter().map(|t| t.spill_secs).collect()
+            } else {
+                Vec::new()
+            },
+            merge_secs,
+            spill_runs,
+            merge_fan_in: if sort_merge {
+                per_reducer_runs.clone()
+            } else {
+                Vec::new()
+            },
             shuffle_bytes,
             shuffle_records,
             input_bytes,
@@ -1215,5 +1670,150 @@ mod fault_tests {
         assert_eq!(clean.pairs, slow.pairs);
         assert!(slow.metrics.sim.map > clean.metrics.sim.map);
         assert!(slow.metrics.map_task_secs[0] > 10.0 * clean.metrics.map_task_secs[0].max(1e-9));
+    }
+}
+
+#[cfg(test)]
+mod shuffle_tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+
+    fn small_cluster() -> Cluster {
+        let mut cfg = ClusterConfig::with_slots(4, 2);
+        cfg.task_startup = std::time::Duration::from_millis(1);
+        cfg.job_setup = std::time::Duration::from_millis(1);
+        Cluster::new(cfg)
+    }
+
+    /// The historical default-partitioner formula: FNV-1a over the fully
+    /// encoded key bytes. The production path now streams key bytes through
+    /// [`FnvHasher`] without materialising the encoding; this test pins the
+    /// two formulations to identical partition assignments.
+    fn fnv1a_reference(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    fn assert_streaming_hash_matches<K: Wire>(key: &K) {
+        let mut encoded = Vec::new();
+        key.encode(&mut encoded);
+        let mut hasher = FnvHasher::new();
+        key.stream(&mut hasher);
+        assert_eq!(
+            hasher.finish(),
+            fnv1a_reference(&encoded),
+            "streaming FNV must equal FNV over encoded bytes"
+        );
+    }
+
+    #[test]
+    fn streaming_partitioner_matches_encoded_fnv1a() {
+        assert_streaming_hash_matches(&0u32);
+        assert_streaming_hash_matches(&u64::MAX);
+        assert_streaming_hash_matches(&-17i64);
+        assert_streaming_hash_matches(&String::from("wavelet"));
+        assert_streaming_hash_matches(&String::new());
+        assert_streaming_hash_matches(&vec![1u16, 2, 3]);
+        assert_streaming_hash_matches(&(42u32, String::from("coeff"), true));
+        assert_streaming_hash_matches(&Some(7u8));
+        assert_streaming_hash_matches(&Option::<u8>::None);
+        for k in 0u64..256 {
+            assert_streaming_hash_matches(&k);
+            // And the derived partition index for a handful of widths.
+            let mut enc = Vec::new();
+            k.encode(&mut enc);
+            let mut h = FnvHasher::new();
+            k.stream(&mut h);
+            for parts in [1usize, 2, 3, 7, 16] {
+                assert_eq!(
+                    (h.finish() % parts as u64) as usize,
+                    (fnv1a_reference(&enc) % parts as u64) as usize
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_partitioner_matches_explicit_fnv_partitioner() {
+        // The same job run with the implicit default partitioner and with an
+        // explicit partitioner spelling out the historical formula must
+        // produce identical output (grouping and order).
+        let splits: Vec<Vec<u64>> = vec![(0..50).collect(), (25..75).collect()];
+        let map_fn = |split: &Vec<u64>, ctx: &mut MapContext<u64, u64>| {
+            for &x in split {
+                ctx.emit(x, x * 2);
+            }
+        };
+        let reduce_fn =
+            |k: &u64, vals: &mut dyn Iterator<Item = u64>, ctx: &mut ReduceContext<u64, u64>| {
+                ctx.emit(*k, vals.sum());
+            };
+        let implicit = JobBuilder::new("implicit")
+            .map(map_fn)
+            .reducers(3)
+            .reduce(reduce_fn)
+            .run(&small_cluster(), &splits)
+            .unwrap();
+        let explicit = JobBuilder::new("explicit")
+            .map(map_fn)
+            .reducers(3)
+            .partition_by(|k: &u64, parts| {
+                let mut enc = Vec::new();
+                k.encode(&mut enc);
+                (fnv1a_reference(&enc) % parts as u64) as usize
+            })
+            .reduce(reduce_fn)
+            .run(&small_cluster(), &splits)
+            .unwrap();
+        assert_eq!(implicit.pairs, explicit.pairs);
+        assert_eq!(
+            implicit.metrics.shuffle_bytes,
+            explicit.metrics.shuffle_bytes
+        );
+    }
+
+    #[test]
+    fn shuffle_paths_agree_with_and_without_combiner() {
+        // Same job on both shuffle paths: identical pairs, bytes, records.
+        let splits: Vec<Vec<u32>> = vec![vec![9, 1, 9, 4], vec![4, 4, 2], vec![], vec![9]];
+        let run = |path: ShufflePath, combine: bool| {
+            let mut b = JobBuilder::new("paths")
+                .map(|split: &Vec<u32>, ctx: &mut MapContext<u32, u64>| {
+                    for &x in split {
+                        ctx.emit(x, u64::from(x));
+                    }
+                })
+                .reducers(2)
+                .shuffle_path(path);
+            if combine {
+                b = b.combine_with(|_k, vals: &mut dyn Iterator<Item = u64>| vals.sum());
+            }
+            b.reduce(|k, vals, ctx: &mut ReduceContext<u32, u64>| ctx.emit(*k, vals.sum()))
+                .run(&small_cluster(), &splits)
+                .unwrap()
+        };
+        for combine in [false, true] {
+            let merge = run(ShufflePath::SortMerge, combine);
+            let reference = run(ShufflePath::GlobalSort, combine);
+            assert_eq!(merge.pairs, reference.pairs, "combine={combine}");
+            assert_eq!(
+                merge.metrics.shuffle_bytes, reference.metrics.shuffle_bytes,
+                "combine={combine}"
+            );
+            assert_eq!(
+                merge.metrics.shuffle_records,
+                reference.metrics.shuffle_records
+            );
+            // Sort-merge populates spill/fan-in observability; the
+            // reference path leaves them empty.
+            assert_eq!(merge.metrics.spill_runs.len(), 4);
+            assert_eq!(merge.metrics.merge_fan_in.len(), 2);
+            assert!(reference.metrics.spill_runs.is_empty());
+            assert!(reference.metrics.merge_fan_in.is_empty());
+        }
     }
 }

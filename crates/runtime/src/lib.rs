@@ -94,7 +94,7 @@ pub mod trace;
 pub use cluster::{Cluster, ClusterConfig};
 pub use error::RuntimeError;
 pub use fault::{FaultPlan, Straggler, TargetedFault, TaskPhase};
-pub use job::{JobBuilder, JobOutput, MapContext, ReduceContext};
+pub use job::{JobBuilder, JobOutput, MapContext, ReduceContext, ShufflePath};
 pub use metrics::{
     AttemptKind, AttemptOutcome, AttemptStats, DriverMetrics, JobMetrics, SimTime, StageMetrics,
     TaskAttempt,

@@ -209,6 +209,20 @@ pub struct JobMetrics {
     pub map_task_secs: Vec<f64>,
     /// Measured per-reduce-task seconds.
     pub reduce_task_secs: Vec<f64>,
+    /// Per-map-task seconds spent sorting spill buffers (subset of the
+    /// task's entry in `map_task_secs`). Empty on the reference
+    /// global-sort shuffle path, which has no spill phase.
+    pub spill_secs: Vec<f64>,
+    /// Per-reduce-task seconds spent in the merge (k-way heap merge on the
+    /// sort-merge path; decode + global sort on the reference path) —
+    /// a subset of the task's entry in `reduce_task_secs`.
+    pub merge_secs: Vec<f64>,
+    /// Per-map-task count of non-empty sorted runs produced at spill time
+    /// (at most one per reduce partition). Empty on the reference path.
+    pub spill_runs: Vec<u64>,
+    /// Per-reduce-task merge fan-in: the number of sorted runs the task's
+    /// k-way merge drew from. Empty on the reference path.
+    pub merge_fan_in: Vec<u64>,
     /// Bytes crossing the map→reduce shuffle boundary (wire-encoded).
     pub shuffle_bytes: u64,
     /// Key-value records crossing the shuffle boundary.

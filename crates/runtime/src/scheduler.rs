@@ -8,8 +8,37 @@
 //! this scheduling structure, which this module reproduces with greedy
 //! (FIFO, earliest-available-slot) list scheduling.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crate::fault::{FailureKind, TaskPhase};
 use crate::metrics::{AttemptKind, AttemptOutcome, TaskAttempt};
+
+/// A slot's next-free time, ordered for the scheduling min-heap: earliest
+/// time first, lowest slot index on ties — exactly the slot a linear
+/// earliest-available scan would pick, so heap-based placement is
+/// behavior-identical to the original O(tasks × slots) loop.
+#[derive(PartialEq)]
+struct SlotFree {
+    at: f64,
+    slot: usize,
+}
+
+impl Eq for SlotFree {}
+
+impl Ord for SlotFree {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .total_cmp(&other.at)
+            .then_with(|| self.slot.cmp(&other.slot))
+    }
+}
+
+impl PartialOrd for SlotFree {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// Greedy FIFO list scheduling: assigns each task (in submission order) to
 /// the earliest-available slot; returns the makespan in seconds. Every task
@@ -17,24 +46,24 @@ use crate::metrics::{AttemptKind, AttemptOutcome, TaskAttempt};
 ///
 /// With `tasks <= slots` the makespan is simply `startup + max(duration)`;
 /// beyond that, waves form and the makespan approaches
-/// `sum(durations) / slots`.
+/// `sum(durations) / slots`. Placement is O(tasks × log slots) via a
+/// min-heap of slot free-times.
 pub fn makespan(durations: &[f64], slots: usize, startup: f64) -> f64 {
     assert!(slots > 0, "scheduler requires at least one slot");
     if durations.is_empty() {
         return 0.0;
     }
-    // A binary heap of slot free-times would be O(n log s); with the task
-    // counts of this engine (hundreds) a linear scan is simpler and fast.
-    let mut free_at = vec![0.0f64; slots.min(durations.len())];
+    let mut heap: BinaryHeap<Reverse<SlotFree>> = (0..slots.min(durations.len()))
+        .map(|slot| Reverse(SlotFree { at: 0.0, slot }))
+        .collect();
+    let mut latest = 0.0f64;
     for &d in durations {
-        let (idx, _) = free_at
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
-            .expect("non-empty slots");
-        free_at[idx] += startup + d.max(0.0);
+        let Reverse(SlotFree { at, slot }) = heap.pop().expect("non-empty slots");
+        let end = at + startup + d.max(0.0);
+        latest = latest.max(end);
+        heap.push(Reverse(SlotFree { at: end, slot }));
     }
-    free_at.iter().copied().fold(0.0, f64::max)
+    latest
 }
 
 /// Number of scheduling waves: `ceil(tasks / slots)`.

@@ -196,6 +196,11 @@ pub enum TraceEventKind {
         partition: usize,
         /// Codec-encoded bytes crossing the shuffle for this partition.
         bytes: u64,
+        /// Sorted runs fetched by this partition's reducer (its merge
+        /// fan-in): at most one non-empty run per map task on the
+        /// sort-merge shuffle path; 0 on the reference global-sort path,
+        /// which moves one concatenated buffer instead.
+        runs: u64,
     },
     /// A seeded [`crate::fault::FaultPlan`] crashed an attempt; `time` is
     /// when the failure was observed (the attempt's simulated end).
@@ -368,11 +373,12 @@ impl TraceEvent {
                 job,
                 partition,
                 bytes,
+                runs,
             } => {
                 let _ = write!(
                     s,
                     ",\"ev\":\"shuffle_partition\",\"job\":\"{}\",\"partition\":{partition},\
-                     \"bytes\":{bytes}",
+                     \"bytes\":{bytes},\"runs\":{runs}",
                     esc(job)
                 );
             }
@@ -459,6 +465,14 @@ impl TraceEvent {
                 job: field_str(&v, "job")?,
                 partition: field_u64(&v, "partition")? as usize,
                 bytes: field_u64(&v, "bytes")?,
+                // Absent in traces written before the sort-merge shuffle
+                // recorded merge fan-in; default to 0 for those.
+                runs: match v.get("runs") {
+                    None | Some(json::Value::Null) => 0,
+                    Some(other) => other.as_u64().ok_or_else(|| {
+                        TraceError("field \"runs\" is not an unsigned integer".into())
+                    })?,
+                },
             },
             "fault_injected" => TraceEventKind::FaultInjected {
                 job: field_str(&v, "job")?,
@@ -517,10 +531,13 @@ impl TraceEvent {
                 wave,
                 started,
             } => format!("wave({job} {phase} w{wave} started={started})"),
+            // `runs` is deliberately excluded: the digest is shared by both
+            // shuffle paths and pinned by golden-sequence tests.
             TraceEventKind::ShufflePartition {
                 job,
                 partition,
                 bytes,
+                ..
             } => format!("shuffle_partition({job} p{partition} bytes={bytes})"),
             TraceEventKind::FaultInjected {
                 job,
@@ -887,15 +904,16 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     esc(job)
                 ));
             }
-            TraceEventKind::ShufflePartition { job, partition, .. } => {
-                let bytes = match &e.kind {
-                    TraceEventKind::ShufflePartition { bytes, .. } => *bytes,
-                    _ => unreachable!(),
-                };
+            TraceEventKind::ShufflePartition {
+                job,
+                partition,
+                bytes,
+                runs,
+            } => {
                 lines.push(format!(
                     "{{\"ph\":\"C\",\"pid\":1,\"tid\":{TID_SHUFFLE},\"ts\":{},\
                      \"name\":\"shuffle p{partition}\",\"args\":{{\"bytes\":{bytes},\
-                     \"job\":\"{}\"}}}}",
+                     \"runs\":{runs},\"job\":\"{}\"}}}}",
                     us(e.time),
                     esc(job)
                 ));
@@ -958,6 +976,8 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
 ///   it starts, and **no two attempts of the same job phase overlap on
 ///   one slot**,
 /// * failed attempts carry a failure kind; successful/killed ones do not,
+/// * a shuffle partition's merge fan-in (`runs`) never exceeds the job's
+///   map count (a reducer draws at most one sorted run per map task),
 /// * stage begin/end events nest properly; an unclosed stage is accepted
 ///   only when a `job_aborted` event follows it (the error propagated
 ///   out of the stage).
@@ -1024,6 +1044,10 @@ pub fn validate(events: &[TraceEvent]) -> Result<(), TraceError> {
 fn validate_job(events: &[TraceEvent], begin: usize, job: &str) -> Result<usize, TraceError> {
     let err = |msg: String| Err(TraceError(msg));
     let t_begin = events[begin].time;
+    let job_maps = match &events[begin].kind {
+        TraceEventKind::JobBegin { maps, .. } => *maps as u64,
+        _ => unreachable!("validate_job is called on a job_begin event"),
+    };
     const PHASES: [JobPhase; 4] = [
         JobPhase::Setup,
         JobPhase::Map,
@@ -1141,9 +1165,18 @@ fn validate_job(events: &[TraceEvent], begin: usize, job: &str) -> Result<usize,
                 }
                 spans.push((*phase, *slot, e.time, *end));
             }
-            TraceEventKind::Wave { job: j, .. }
-            | TraceEventKind::ShufflePartition { job: j, .. }
-            | TraceEventKind::FaultInjected { job: j, .. } => {
+            TraceEventKind::ShufflePartition { job: j, runs, .. } => {
+                if j != job {
+                    return err(format!("event for {j} inside job {job}"));
+                }
+                // A reducer draws at most one sorted run per map task.
+                if *runs > job_maps {
+                    return err(format!(
+                        "{job}: shuffle partition fan-in {runs} exceeds map count {job_maps}"
+                    ));
+                }
+            }
+            TraceEventKind::Wave { job: j, .. } | TraceEventKind::FaultInjected { job: j, .. } => {
                 if j != job {
                     return err(format!("event for {j} inside job {job}"));
                 }
@@ -1220,6 +1253,7 @@ mod tests {
                     job: "j".into(),
                     partition: 0,
                     bytes: 123_456,
+                    runs: 3,
                 },
             ),
             ev(
@@ -1268,6 +1302,35 @@ mod tests {
         }
         let doc = to_jsonl(&samples);
         assert_eq!(from_jsonl(&doc).unwrap(), samples);
+    }
+
+    #[test]
+    fn shuffle_partition_lines_without_runs_parse_as_zero() {
+        // Traces written before merge fan-in was recorded lack "runs".
+        let line = "{\"seq\":4,\"t\":0.5,\"ev\":\"shuffle_partition\",\"job\":\"j\",\
+                    \"partition\":0,\"bytes\":18}";
+        let e = TraceEvent::from_jsonl(line).unwrap();
+        assert_eq!(
+            e.kind,
+            TraceEventKind::ShufflePartition {
+                job: "j".into(),
+                partition: 0,
+                bytes: 18,
+                runs: 0,
+            }
+        );
+        // The digest is independent of `runs` (golden sequences pin it).
+        let with_runs = TraceEvent {
+            kind: TraceEventKind::ShufflePartition {
+                job: "j".into(),
+                partition: 0,
+                bytes: 18,
+                runs: 7,
+            },
+            ..e.clone()
+        };
+        assert_eq!(e.digest(), with_runs.digest());
+        assert_eq!(e.digest(), "shuffle_partition(j p0 bytes=18)");
     }
 
     #[test]

@@ -301,6 +301,132 @@ mod codec_edge_cases {
     }
 }
 
+mod shuffle_equivalence {
+    //! The sort-merge shuffle (map-side sorted spills + k-way reduce merge)
+    //! must be observationally identical to the global-sort reference path:
+    //! same output pairs in the same order, same shuffle-byte accounting.
+    //! Duplicate keys across runs, empty splits, single-split jobs, and
+    //! NaN-bearing f64 payloads are all exercised by the generators.
+
+    use dwmaxerr_runtime::codec::{encoded, FnvHasher, Wire, WireSink};
+    use dwmaxerr_runtime::{
+        Cluster, ClusterConfig, JobBuilder, MapContext, ReduceContext, ShufflePath,
+    };
+    use proptest::prelude::*;
+
+    fn quiet_cluster(reducers_hint: usize) -> Cluster {
+        let mut cfg = ClusterConfig::with_slots(4.max(reducers_hint), 2.max(reducers_hint));
+        cfg.task_startup = std::time::Duration::ZERO;
+        cfg.job_setup = std::time::Duration::ZERO;
+        Cluster::new(cfg)
+    }
+
+    /// Runs the identity-grouping job on the given shuffle path and returns
+    /// (pairs-as-bits, shuffle_bytes, shuffle_records). Values are
+    /// f64-from-bits so NaN payloads stay comparable.
+    fn run_path(
+        splits: &[Vec<(u32, u64)>],
+        reducers: usize,
+        combine: bool,
+        path: ShufflePath,
+    ) -> (Vec<(u32, u64)>, u64, u64) {
+        let cluster = quiet_cluster(reducers);
+        let mut stage = JobBuilder::new("prop-shuffle-eq")
+            .map(|split: &Vec<(u32, u64)>, ctx: &mut MapContext<u32, f64>| {
+                for &(k, bits) in split {
+                    ctx.emit(k, f64::from_bits(bits));
+                }
+            })
+            .reducers(reducers)
+            .shuffle_path(path);
+        if combine {
+            // Bit-preserving combiner: keep the first value per key.
+            stage = stage.combine_with(|_k, vals: &mut dyn Iterator<Item = f64>| {
+                vals.next().expect("non-empty group")
+            });
+        }
+        let out = stage
+            .reduce(|k, vals, ctx: &mut ReduceContext<u32, f64>| {
+                for v in vals {
+                    ctx.emit(*k, v);
+                }
+            })
+            .run(&cluster, splits)
+            .unwrap();
+        let pairs = out
+            .pairs
+            .into_iter()
+            .map(|(k, v)| (k, v.to_bits()))
+            .collect();
+        (
+            pairs,
+            out.metrics.shuffle_bytes,
+            out.metrics.shuffle_records,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn sort_merge_is_bit_identical_to_global_sort(
+            // Keys collide often (0..12) so groups span runs; values are raw
+            // bit patterns, so NaNs and -0.0 appear. Splits may be empty.
+            splits in prop::collection::vec(
+                prop::collection::vec((0u32..12, any::<u64>()), 0..25),
+                1..7,
+            ),
+            reducers in 1usize..4,
+            combine in any::<bool>(),
+        ) {
+            let merge = run_path(&splits, reducers, combine, ShufflePath::SortMerge);
+            let reference = run_path(&splits, reducers, combine, ShufflePath::GlobalSort);
+            prop_assert_eq!(merge.0, reference.0, "pair streams diverge");
+            prop_assert_eq!(merge.1, reference.1, "shuffle bytes diverge");
+            prop_assert_eq!(merge.2, reference.2, "shuffle records diverge");
+        }
+
+        #[test]
+        fn single_split_jobs_agree(
+            records in prop::collection::vec((any::<u32>(), any::<u64>()), 0..40),
+        ) {
+            let splits = vec![records];
+            let merge = run_path(&splits, 2, false, ShufflePath::SortMerge);
+            let reference = run_path(&splits, 2, false, ShufflePath::GlobalSort);
+            prop_assert_eq!(merge, reference);
+        }
+
+        #[test]
+        fn streaming_encode_matches_buffered_encode(
+            key in any::<u64>(),
+            text in prop::collection::vec(any::<u8>(), 0..12)
+                .prop_map(|bs| bs.iter().map(|b| char::from(b % 26 + b'a')).collect::<String>()),
+            list in prop::collection::vec(any::<u32>(), 0..6),
+            opt in prop::option::of(any::<i64>()),
+        ) {
+            // `Wire::stream` into a Vec sink must write exactly the bytes
+            // `Wire::encode` would, and streaming into FnvHasher must hash
+            // exactly those bytes — the zero-alloc partitioner's contract.
+            fn check<T: Wire>(v: &T) {
+                let buffered = encoded(v);
+                let mut streamed = Vec::new();
+                v.stream(&mut streamed);
+                assert_eq!(streamed, buffered);
+                let mut hasher = FnvHasher::new();
+                v.stream(&mut hasher);
+                let mut reference = FnvHasher::new();
+                reference.write(&buffered);
+                assert_eq!(hasher.finish(), reference.finish());
+            }
+            check(&key);
+            check(&text);
+            check(&list);
+            check(&opt);
+            check(&(key, text.clone(), list.clone()));
+        }
+    }
+}
+
 mod corruption {
     use dwmaxerr_runtime::codec::{CodecError, Wire};
     use dwmaxerr_runtime::{

@@ -1,0 +1,162 @@
+//! Cross-path shuffle guarantees, pinned at the workspace level: the
+//! sort-merge shuffle (the default) and the global-sort reference path must
+//! be observationally indistinguishable on the same job —
+//!
+//! * identical output pair streams (grouping, order, bit patterns),
+//! * identical shuffle-byte and record accounting, in [`JobMetrics`] and in
+//!   the `shuffle_partition` trace events,
+//! * sort-merge populates its extra observability (per-map spill runs,
+//!   per-reduce merge fan-in) while the reference path leaves it empty,
+//! * traces from both paths pass [`trace::validate`].
+
+use dwmaxerr::runtime::trace::{self, TraceEvent, TraceEventKind};
+use dwmaxerr::runtime::{Cluster, ClusterConfig, JobBuilder, ShufflePath};
+use dwmaxerr::runtime::{JobOutput, MapContext, ReduceContext};
+
+fn quiet_cluster() -> Cluster {
+    let mut cfg = ClusterConfig::with_slots(4, 3);
+    cfg.task_startup = std::time::Duration::ZERO;
+    cfg.job_setup = std::time::Duration::ZERO;
+    Cluster::new(cfg)
+}
+
+/// Runs a word-count-shaped job (skewed keys, one empty split, optional
+/// combiner) on the given path; returns the output and the trace events.
+fn run_job(path: ShufflePath, combine: bool) -> (JobOutput<u64, f64>, Vec<TraceEvent>) {
+    let cluster = quiet_cluster();
+    // Skewed: key 0 dominates, some keys unique, split 2 empty.
+    let splits: Vec<Vec<u64>> = vec![
+        vec![0, 0, 0, 5, 9, 0, 3],
+        vec![0, 3, 3, 7, 0],
+        vec![],
+        vec![11, 0, 5],
+    ];
+    let mut stage = JobBuilder::new("shufsem")
+        .map(|split: &Vec<u64>, ctx: &mut MapContext<u64, f64>| {
+            for &x in split {
+                ctx.emit(x, x as f64 + 0.5);
+            }
+        })
+        .reducers(3)
+        .shuffle_path(path);
+    if combine {
+        stage = stage.combine_with(|_k, vals: &mut dyn Iterator<Item = f64>| vals.sum());
+    }
+    let out = stage
+        .reduce(|k, vals, ctx: &mut ReduceContext<u64, f64>| ctx.emit(*k, vals.sum()))
+        .run(&cluster, &splits)
+        .expect("job succeeds");
+    (out, cluster.trace_events())
+}
+
+/// Extracts (partition, bytes) for each shuffle_partition event.
+fn partition_bytes(events: &[TraceEvent]) -> Vec<(usize, u64)> {
+    events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            TraceEventKind::ShufflePartition {
+                partition, bytes, ..
+            } => Some((*partition, *bytes)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn both_paths_produce_identical_output_and_accounting() {
+    for combine in [false, true] {
+        let (merge, merge_events) = run_job(ShufflePath::SortMerge, combine);
+        let (reference, ref_events) = run_job(ShufflePath::GlobalSort, combine);
+
+        let bits = |out: &JobOutput<u64, f64>| -> Vec<(u64, u64)> {
+            out.pairs.iter().map(|&(k, v)| (k, v.to_bits())).collect()
+        };
+        assert_eq!(bits(&merge), bits(&reference), "combine={combine}");
+        assert_eq!(merge.metrics.shuffle_bytes, reference.metrics.shuffle_bytes);
+        assert_eq!(
+            merge.metrics.shuffle_records,
+            reference.metrics.shuffle_records
+        );
+        // Per-partition shuffle bytes in the trace agree too.
+        assert_eq!(partition_bytes(&merge_events), partition_bytes(&ref_events));
+    }
+}
+
+#[test]
+fn sort_merge_reports_spills_and_fan_in_reference_does_not() {
+    let (merge, merge_events) = run_job(ShufflePath::SortMerge, false);
+    let (reference, _) = run_job(ShufflePath::GlobalSort, false);
+
+    // One spill-run count per map task; one fan-in per reducer.
+    assert_eq!(merge.metrics.spill_runs.len(), 4);
+    assert_eq!(merge.metrics.merge_fan_in.len(), 3);
+    assert_eq!(merge.metrics.spill_secs.len(), 4);
+    assert_eq!(merge.metrics.merge_secs.len(), 3);
+    // The empty split produced zero runs; the others at least one.
+    assert_eq!(merge.metrics.spill_runs[2], 0);
+    assert!(merge.metrics.spill_runs.iter().sum::<u64>() > 0);
+    // Fan-in totals match: every non-empty run lands on exactly one reducer.
+    assert_eq!(
+        merge.metrics.merge_fan_in.iter().sum::<u64>(),
+        merge.metrics.spill_runs.iter().sum::<u64>()
+    );
+
+    // Reference path: no spill/fan-in observability (but merge_secs is
+    // still measured — it times the reference sort there).
+    assert!(reference.metrics.spill_runs.is_empty());
+    assert!(reference.metrics.merge_fan_in.is_empty());
+    assert!(reference.metrics.spill_secs.is_empty());
+    assert_eq!(reference.metrics.merge_secs.len(), 3);
+
+    // Trace events carry the same fan-in as the metrics.
+    let trace_runs: Vec<u64> = merge_events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            TraceEventKind::ShufflePartition { runs, .. } => Some(*runs),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(trace_runs, merge.metrics.merge_fan_in);
+}
+
+#[test]
+fn traces_from_both_paths_validate() {
+    for path in [ShufflePath::SortMerge, ShufflePath::GlobalSort] {
+        for combine in [false, true] {
+            let (_, events) = run_job(path, combine);
+            trace::validate(&events).expect("trace validates");
+        }
+    }
+}
+
+#[test]
+fn tie_order_matches_reference_under_duplicate_heavy_input() {
+    // Every split emits the same few keys many times: groups span every
+    // run, so the k-way merge's tie-break (run index = map task order) is
+    // fully exercised. Values encode (split, position) so any reordering
+    // relative to the reference path changes the observed value stream.
+    let splits: Vec<Vec<(u64, u64)>> = (0..5)
+        .map(|s| (0..30).map(|i| (i % 3, s * 1000 + i)).collect())
+        .collect();
+    let run = |path: ShufflePath| {
+        let cluster = quiet_cluster();
+        JobBuilder::new("ties")
+            .map(|split: &Vec<(u64, u64)>, ctx: &mut MapContext<u64, u64>| {
+                for &(k, v) in split {
+                    ctx.emit(k, v);
+                }
+            })
+            .reducers(2)
+            .shuffle_path(path)
+            .reduce(|k, vals, ctx: &mut ReduceContext<u64, u64>| {
+                // Emit each value so intra-group order is observable.
+                for v in vals {
+                    ctx.emit(*k, v);
+                }
+            })
+            .run(&cluster, &splits)
+            .expect("job succeeds")
+            .pairs
+    };
+    assert_eq!(run(ShufflePath::SortMerge), run(ShufflePath::GlobalSort));
+}
