@@ -1,25 +1,34 @@
 //! Wall-clock shuffle benchmark: sort-merge path vs global-sort reference
 //! on uniform and skewed key distributions.
 //!
-//! Usage: `shuffle_bench [--smoke] [--out <path>]`
+//! Usage: `shuffle_bench [--smoke] [--out <path>] [--pressure-out <path>]`
 //!
 //! * `--smoke` — CI sizes (2^14..2^18) instead of the full sweep
 //!   (2^16..2^20); also the sanity gate is what CI fails on.
 //! * `--out <path>` — where to write the JSON document (default
 //!   `BENCH_shuffle.json` in the current directory).
+//! * `--pressure-out <path>` — where to write the memory-pressure sweep
+//!   (default `BENCH_shuffle_pressure.json`).
 //!
-//! Exit status is non-zero if either sanity gate fails at the largest
-//! size:
+//! Exit status is non-zero if any sanity gate fails:
 //!
-//! 1. **Reduce-side sort burden** (both distributions): the k-way merge's
-//!    seconds must stay below the reference path's decode + global-sort
-//!    seconds. This is the structural claim of the sort-merge shuffle —
-//!    the sort moved to the map side — and it is robust to host noise.
-//! 2. **Wall clock** (uniform keys only): the sort-merge path must not
-//!    exceed the reference path by more than 15%. The tolerance absorbs
-//!    machine noise; the skewed cell is reported but not wall-gated, since
-//!    on low-cardinality keys a single duplicate-optimized sort is close
-//!    to linear and the two paths legitimately trade places.
+//! 1. **Reduce-side sort burden** (both distributions, largest size): the
+//!    k-way merge's seconds must stay below the reference path's decode +
+//!    global-sort seconds. This is the structural claim of the sort-merge
+//!    shuffle — the sort moved to the map side — and it is robust to host
+//!    noise.
+//! 2. **Wall clock** (uniform keys only, largest size): the sort-merge
+//!    path must not exceed the reference path by more than 15%. The
+//!    tolerance absorbs machine noise; the skewed cell is reported but not
+//!    wall-gated, since on low-cardinality keys a single
+//!    duplicate-optimized sort is close to linear and the two paths
+//!    legitimately trade places.
+//! 3. **Pressure correctness** (every budget level): shrinking the
+//!    per-task memory budget must leave the output digest bit-identical
+//!    to the unconstrained run, and the tightest budget must actually
+//!    exercise the external path (multiple spill passes per task plus at
+//!    least one intermediate merge pass). These are exact checks, immune
+//!    to host noise.
 
 use std::path::PathBuf;
 
@@ -31,6 +40,7 @@ const SANITY_RATIO: f64 = 1.15;
 fn main() {
     let mut smoke = false;
     let mut out_path = PathBuf::from("BENCH_shuffle.json");
+    let mut pressure_path = PathBuf::from("BENCH_shuffle_pressure.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,8 +51,17 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--pressure-out" => {
+                pressure_path = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--pressure-out requires a path argument");
+                    std::process::exit(2);
+                }));
+            }
             other => {
-                eprintln!("unknown argument {other:?} (expected --smoke / --out <path>)");
+                eprintln!(
+                    "unknown argument {other:?} (expected --smoke / --out <path> / \
+                     --pressure-out <path>)"
+                );
                 std::process::exit(2);
             }
         }
@@ -55,7 +74,18 @@ fn main() {
     };
 
     let samples = experiments::shuffle_sweep(&sizes);
-    report::print_all(&[experiments::shuffle_table(&samples)]);
+
+    // Memory-pressure sweep: skewed workload at one size, per-task budget
+    // stepped down until every map task is far below its working set
+    // (~records/8 tasks x 16 wire bytes each).
+    let pressure_records = if smoke { 1 << 14 } else { 1 << 16 };
+    let budgets: [u64; 3] = [1 << 16, 1 << 13, 1 << 10];
+    let pressure = experiments::pressure_sweep(pressure_records, &budgets);
+
+    report::print_all(&[
+        experiments::shuffle_table(&samples),
+        experiments::pressure_table(&pressure),
+    ]);
 
     let json = experiments::shuffle_json(&samples, smoke);
     if let Err(e) = std::fs::write(&out_path, json) {
@@ -63,6 +93,13 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {}", out_path.display());
+
+    let pressure_json = experiments::shuffle_pressure_json(&pressure, smoke);
+    if let Err(e) = std::fs::write(&pressure_path, pressure_json) {
+        eprintln!("failed to write {}: {e}", pressure_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", pressure_path.display());
 
     // Sanity gates at the largest size only — smaller sizes are
     // noise-bound.
@@ -85,6 +122,27 @@ fn main() {
             );
             failed = true;
         }
+    }
+    // Pressure gates: exact, noise-immune.
+    let base = &pressure[0];
+    for s in &pressure[1..] {
+        if s.digest != base.digest {
+            eprintln!(
+                "SANITY FAIL: output digest {:016x} under a {}-byte budget diverged from \
+                 the unconstrained digest {:016x} — external spills changed the bytes",
+                s.digest, s.task_memory_bytes, base.digest
+            );
+            failed = true;
+        }
+    }
+    let tight = pressure.last().expect("non-empty pressure sweep");
+    if tight.max_spill_passes < 2 || tight.merge_passes == 0 {
+        eprintln!(
+            "SANITY FAIL: tightest budget ({} bytes) spilled at most {} pass(es) per task \
+             and ran {} intermediate merge pass(es) — the external path was not exercised",
+            tight.task_memory_bytes, tight.max_spill_passes, tight.merge_passes
+        );
+        failed = true;
     }
     if failed {
         std::process::exit(1);

@@ -14,7 +14,8 @@ pub use datasets::{fig6, fig7, table3};
 pub use faults::{fault_sweep, fault_sweep_traced};
 pub use scalability::{fig5a, fig5b, fig5c, fig5d};
 pub use shuffle::{
-    merge_ratios, ratios, shuffle_sweep, shuffle_table, to_json as shuffle_json, ShuffleSample,
+    merge_ratios, pressure_sweep, pressure_table, pressure_to_json as shuffle_pressure_json,
+    ratios, shuffle_sweep, shuffle_table, to_json as shuffle_json, PressureSample, ShuffleSample,
 };
 
 use dwmaxerr_core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};

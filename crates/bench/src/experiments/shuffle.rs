@@ -9,7 +9,7 @@
 //! sorting and merging the shuffle stream.
 
 use dwmaxerr_runtime::{
-    Cluster, ClusterConfig, JobBuilder, MapContext, ReduceContext, ShufflePath,
+    Cluster, ClusterConfig, JobBuilder, MapContext, ReduceContext, ShufflePath, SpillBackend,
 };
 
 use crate::report::{bytes, secs, Table};
@@ -248,6 +248,198 @@ pub fn to_json(samples: &[ShuffleSample], smoke: bool) -> String {
     s
 }
 
+/// One measured memory-pressure cell: the same workload run under a
+/// shrinking per-task spill budget (`min(io.sort.mb, task memory)`),
+/// checking that the external shuffle degrades gracefully — more spill
+/// runs and merge passes, identical output bytes — instead of failing.
+#[derive(Debug, Clone)]
+pub struct PressureSample {
+    /// Total records emitted by the map phase.
+    pub records: usize,
+    /// Per-task memory budget in bytes (`u64::MAX` = unconstrained).
+    pub task_memory_bytes: u64,
+    /// Reduce-side merge fan-in cap (`io.sort.factor`).
+    pub sort_factor: u64,
+    /// Best-of-reps wall-clock seconds for the whole job.
+    pub wall_secs: f64,
+    /// Sum of per-map-task spill-sort seconds.
+    pub spill_secs: f64,
+    /// Sum of per-reduce-task merge/sort seconds.
+    pub merge_secs: f64,
+    /// Total sorted runs spilled by map tasks.
+    pub spill_runs: u64,
+    /// Largest spill-pass count of any map task.
+    pub max_spill_passes: u64,
+    /// Total intermediate (non-final) reduce merge passes.
+    pub merge_passes: u64,
+    /// Map-side bytes written to + read from spill storage.
+    pub disk_spill_bytes: u64,
+    /// Reduce-side bytes written + re-read by intermediate merge passes.
+    pub disk_merge_bytes: u64,
+    /// FNV-1a digest over the job's output pairs — must not vary with
+    /// the budget.
+    pub digest: u64,
+}
+
+/// FNV-1a over the little-endian encoding of output pairs; the sweep's
+/// bit-identity check.
+fn output_digest(pairs: &[(u64, f64)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &(k, v) in pairs {
+        for b in k.to_le_bytes().into_iter().chain(v.to_bits().to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Reps for pressure cells — constrained runs touch real disk, so fewer
+/// reps than the hot-path sweep.
+const PRESSURE_REPS: usize = 3;
+
+/// Runs one pressure cell: `budget == u64::MAX` leaves the cluster at its
+/// defaults (single in-memory run per task); any other value caps
+/// `task_memory_bytes`, drops `io.sort.factor` to `sort_factor`, and
+/// spills runs through the disk backend.
+pub fn measure_pressure(records: usize, budget: u64, sort_factor: u64) -> PressureSample {
+    let splits = make_splits(records, true, 0x5EED ^ records as u64);
+    let mut best: Option<PressureSample> = None;
+    for _ in 0..PRESSURE_REPS {
+        let mut cfg = ClusterConfig::with_slots(SPLITS, REDUCERS);
+        cfg.task_startup = std::time::Duration::ZERO;
+        cfg.job_setup = std::time::Duration::ZERO;
+        cfg.speculative_execution = false;
+        if budget != u64::MAX {
+            cfg.task_memory_bytes = budget;
+            cfg.io_sort_factor = sort_factor as usize;
+            cfg.spill_backend = SpillBackend::Disk;
+        }
+        let cluster = Cluster::new(cfg);
+        let (out, wall) = timed(|| {
+            JobBuilder::new("shuffle-pressure")
+                .map(|split: &Vec<(u64, f64)>, ctx: &mut MapContext<u64, f64>| {
+                    for &(k, v) in split {
+                        ctx.emit(k, v);
+                    }
+                })
+                .reducers(REDUCERS)
+                .reduce(|k, vals, ctx: &mut ReduceContext<u64, f64>| {
+                    ctx.emit(*k, vals.sum());
+                })
+                .run(&cluster, &splits)
+                .expect("pressure job degrades gracefully instead of failing")
+        });
+        let m = &out.metrics;
+        let sample = PressureSample {
+            records,
+            task_memory_bytes: budget,
+            sort_factor,
+            wall_secs: wall,
+            spill_secs: total(&m.spill_secs),
+            merge_secs: total(&m.merge_secs),
+            spill_runs: m.spill_runs.iter().sum(),
+            max_spill_passes: m.spill_passes.iter().copied().max().unwrap_or(0),
+            merge_passes: m.merge_passes.iter().sum(),
+            disk_spill_bytes: m.disk_spill_bytes,
+            disk_merge_bytes: m.disk_merge_bytes,
+            digest: output_digest(&out.pairs),
+        };
+        if best.as_ref().is_none_or(|b| sample.wall_secs < b.wall_secs) {
+            best = Some(sample);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+/// The memory-pressure sweep: the skewed workload at `records` under an
+/// unconstrained baseline and each budget in `budgets` (descending,
+/// bytes), all with merge fan-in capped at 4.
+pub fn pressure_sweep(records: usize, budgets: &[u64]) -> Vec<PressureSample> {
+    let mut samples = vec![measure_pressure(records, u64::MAX, 4)];
+    for &budget in budgets {
+        samples.push(measure_pressure(records, budget, 4));
+    }
+    samples
+}
+
+/// Renders the pressure sweep as a markdown table.
+pub fn pressure_table(samples: &[PressureSample]) -> Table {
+    let mut t = Table::new(
+        "Shuffle under memory pressure (external spills + multi-pass merge)",
+        "Shrinking the per-task budget trades memory for spill runs and \
+         merge passes; output bytes must not change",
+        &[
+            "records", "budget", "runs", "passes", "merges", "spill io", "merge io", "wall",
+            "digest",
+        ],
+    );
+    for s in samples {
+        t.row(vec![
+            s.records.to_string(),
+            if s.task_memory_bytes == u64::MAX {
+                "unbounded".to_string()
+            } else {
+                bytes(s.task_memory_bytes)
+            },
+            s.spill_runs.to_string(),
+            s.max_spill_passes.to_string(),
+            s.merge_passes.to_string(),
+            bytes(s.disk_spill_bytes),
+            bytes(s.disk_merge_bytes),
+            secs(s.wall_secs),
+            format!("{:016x}", s.digest),
+        ]);
+    }
+    if let Some(base) = samples.first() {
+        let drift = samples.iter().filter(|s| s.digest != base.digest).count();
+        t.note(if drift == 0 {
+            "all budget levels produced bit-identical output".to_string()
+        } else {
+            format!("{drift} budget level(s) DIVERGED from the unconstrained digest")
+        });
+    }
+    t
+}
+
+/// Serialises the pressure sweep as the `BENCH_shuffle_pressure.json`
+/// document. Hand-rolled JSON — the build is offline. The unconstrained
+/// baseline row reports `"task_memory_bytes": null`.
+pub fn pressure_to_json(samples: &[PressureSample], smoke: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"benchmark\": \"shuffle_pressure\",\n  \"smoke\": {smoke},\n  \"splits\": {SPLITS},\n  \"reducers\": {REDUCERS},\n  \"reps\": {PRESSURE_REPS},\n  \"samples\": [\n"
+    ));
+    for (i, x) in samples.iter().enumerate() {
+        let budget = if x.task_memory_bytes == u64::MAX {
+            "null".to_string()
+        } else {
+            x.task_memory_bytes.to_string()
+        };
+        s.push_str(&format!(
+            "    {{\"records\": {}, \"task_memory_bytes\": {}, \"sort_factor\": {}, \
+             \"wall_secs\": {:.6}, \"spill_secs\": {:.6}, \"merge_secs\": {:.6}, \
+             \"spill_runs\": {}, \"max_spill_passes\": {}, \"merge_passes\": {}, \
+             \"disk_spill_bytes\": {}, \"disk_merge_bytes\": {}, \"digest\": \"{:016x}\"}}{}\n",
+            x.records,
+            budget,
+            x.sort_factor,
+            x.wall_secs,
+            x.spill_secs,
+            x.merge_secs,
+            x.spill_runs,
+            x.max_spill_passes,
+            x.merge_passes,
+            x.disk_spill_bytes,
+            x.disk_merge_bytes,
+            x.digest,
+            if i + 1 < samples.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +487,35 @@ mod tests {
         assert_eq!(json.matches("\"records\":").count(), 4);
         let table = shuffle_table(&samples).to_markdown();
         assert!(table.contains("sort_merge"));
+    }
+
+    #[test]
+    fn pressure_sweep_degrades_without_changing_output() {
+        // 1024 records x 16 wire bytes / 8 splits = ~2 KiB per task, so a
+        // 256-byte budget forces many spills and fan-in 4 forces at least
+        // one intermediate merge pass.
+        let samples = pressure_sweep(1024, &[1 << 12, 256]);
+        assert_eq!(samples.len(), 3);
+        let base = &samples[0];
+        assert_eq!(base.task_memory_bytes, u64::MAX);
+        assert_eq!(base.max_spill_passes, 1);
+        assert_eq!(base.merge_passes, 0);
+        assert_eq!(base.disk_spill_bytes + base.disk_merge_bytes, 0);
+        for s in &samples[1..] {
+            assert_eq!(s.digest, base.digest, "budget {}", s.task_memory_bytes);
+        }
+        let tight = samples.last().unwrap();
+        assert!(tight.max_spill_passes > 1, "{tight:?}");
+        assert!(tight.spill_runs > base.spill_runs);
+        assert!(tight.merge_passes >= 1, "{tight:?}");
+        assert!(tight.disk_spill_bytes > 0 && tight.disk_merge_bytes > 0);
+
+        let json = pressure_to_json(&samples, true);
+        assert!(json.contains("\"benchmark\": \"shuffle_pressure\""));
+        assert!(json.contains("\"task_memory_bytes\": null"));
+        assert_eq!(json.matches("\"records\":").count(), 3);
+        let table = pressure_table(&samples).to_markdown();
+        assert!(table.contains("unbounded"));
+        assert!(table.contains("bit-identical"));
     }
 }

@@ -9,6 +9,22 @@ use crate::fault::FaultPlan;
 use crate::metrics::JobMetrics;
 use crate::trace::{TraceEvent, TraceSink};
 
+/// Where map-side spill runs and intermediate merge runs live.
+///
+/// The `Memory` backend keeps every run as an in-process byte buffer — fully
+/// deterministic and filesystem-free, the right choice for tests and for the
+/// simulated cost model (disk *time* is still charged either way). The `Disk`
+/// backend writes framed run files under a per-job temp dir, exercising the
+/// real external-shuffle I/O path end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpillBackend {
+    /// Runs are held in process memory (deterministic; default).
+    #[default]
+    Memory,
+    /// Runs are framed files under a per-job temporary directory.
+    Disk,
+}
+
 /// Static description of the simulated cluster.
 ///
 /// The defaults model the paper's platform (Section 6: 8 slaves, 5 map +
@@ -62,6 +78,23 @@ pub struct ClusterConfig {
     /// Deterministic fault-injection plan; `None` simulates a perfect
     /// cluster (every attempt succeeds unless the task itself panics).
     pub fault_plan: Option<FaultPlan>,
+    /// Map-side spill buffer budget in wire bytes (Hadoop's `io.sort.mb`,
+    /// default 100 MiB). A map task whose buffered emission exceeds
+    /// `min(io_sort_bytes, task_memory_bytes)` sorts and spills it as one
+    /// run per partition, then keeps mapping; the reducer merges the runs.
+    pub io_sort_bytes: u64,
+    /// Maximum merge fan-in on the reduce side (Hadoop's `io.sort.factor`,
+    /// default 100). When a partition arrives as more runs than this, the
+    /// reducer performs intermediate merge passes — each combining up to
+    /// this many runs into one — until a single final merge can stream
+    /// into the reduce function.
+    pub io_sort_factor: usize,
+    /// Local-disk throughput in bytes/second for spill writes and merge-pass
+    /// reads/writes (default 150 MiB/s — between HDFS and shuffle rates,
+    /// modelling a shared local spindle).
+    pub disk_bytes_per_sec: f64,
+    /// Where spill runs are stored; see [`SpillBackend`].
+    pub spill_backend: SpillBackend,
 }
 
 impl Default for ClusterConfig {
@@ -83,6 +116,10 @@ impl Default for ClusterConfig {
             speculative_min: Duration::from_millis(50),
             retry_backoff: Duration::ZERO,
             fault_plan: None,
+            io_sort_bytes: 100 << 20,
+            io_sort_factor: 100,
+            disk_bytes_per_sec: 150.0 * 1024.0 * 1024.0,
+            spill_backend: SpillBackend::Memory,
         }
     }
 }
@@ -124,6 +161,17 @@ impl ClusterConfig {
         if !self.speculative_slowdown.is_finite() || self.speculative_slowdown <= 1.0 {
             return Err(crate::RuntimeError::InvalidConfig(
                 "speculative_slowdown must be finite and > 1",
+            ));
+        }
+        if self.io_sort_bytes == 0 {
+            return Err(crate::RuntimeError::InvalidConfig("io_sort_bytes == 0"));
+        }
+        if self.io_sort_factor < 2 {
+            return Err(crate::RuntimeError::InvalidConfig("io_sort_factor < 2"));
+        }
+        if self.disk_bytes_per_sec.is_nan() || self.disk_bytes_per_sec <= 0.0 {
+            return Err(crate::RuntimeError::InvalidConfig(
+                "disk_bytes_per_sec must be positive",
             ));
         }
         if let Some(plan) = &self.fault_plan {
@@ -224,6 +272,31 @@ mod tests {
             ..ClusterConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn spill_knobs_validated() {
+        let c = ClusterConfig {
+            io_sort_bytes: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig {
+            io_sort_factor: 1,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig {
+            disk_bytes_per_sec: 0.0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig {
+            io_sort_factor: 2,
+            spill_backend: SpillBackend::Disk,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

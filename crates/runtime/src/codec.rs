@@ -56,6 +56,31 @@ impl WireSink for Vec<u8> {
     }
 }
 
+/// A sink that counts wire bytes without storing them.
+///
+/// Streaming a value through [`Wire::stream`] into a `CountingSink` yields
+/// exactly `codec::encoded_len(&value)` with no allocation — the map-side
+/// spill budget is tracked this way, one add per emitted record.
+#[derive(Debug, Clone, Default)]
+pub struct CountingSink {
+    /// Total bytes written so far.
+    pub bytes: usize,
+}
+
+impl CountingSink {
+    /// A sink with zero bytes counted.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+}
+
+impl WireSink for CountingSink {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.bytes += bytes.len();
+    }
+}
+
 /// Streaming FNV-1a hasher over wire bytes.
 ///
 /// Uses the same constants as the engine's buffer-level `fnv1a`, so feeding

@@ -15,18 +15,19 @@
 //! k-way heap merge over its runs and feeds values to the reduce function
 //! as the merge advances — no global re-sort, no decode-everything buffer.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::cluster::Cluster;
-use crate::codec::{FnvHasher, Wire};
+use crate::cluster::{Cluster, SpillBackend};
+use crate::codec::{CountingSink, FnvHasher, Wire};
 use crate::error::RuntimeError;
 use crate::fault::{FailureKind, FaultPlan, TaskPhase};
-use crate::metrics::{AttemptStats, JobMetrics, SimBreakdown, TaskAttempt};
+use crate::metrics::{AttemptOutcome, AttemptStats, JobMetrics, SimBreakdown, TaskAttempt};
 use crate::scheduler::{self, AttemptPlan, SpeculationPolicy, TaskPlan};
 use crate::trace::{JobPhase, JobTrace, TraceEventKind};
 
@@ -41,6 +42,10 @@ pub struct MapContext<'a, K, V> {
     /// turned into [`RuntimeError::BadPartitioner`] after the map function
     /// returns (a deterministic program bug must not burn retry attempts).
     bad_partition: Option<(usize, usize)>,
+    /// Spill budget enforcement ([`ShufflePath::SortMerge`] only): meters
+    /// buffered wire bytes at emit time and spills sorted runs to the
+    /// job's [`SpillStore`] whenever the budget is crossed.
+    spill: Option<SpillControl<'a, K, V>>,
     _marker: PhantomData<fn(K, V)>,
 }
 
@@ -66,10 +71,16 @@ impl<K, V> MapEmission<K, V> {
     }
 }
 
-impl<K: Wire, V: Wire> MapContext<'_, K, V> {
+impl<K: Wire + Ord, V: Wire> MapContext<'_, K, V> {
     /// Emits a key-value pair into the shuffle. If the partitioner routes
     /// the key outside `0..reducers` the record is dropped and the job
     /// fails with [`RuntimeError::BadPartitioner`] once the task returns.
+    ///
+    /// On the sort-merge path the pair's wire size is metered against the
+    /// task's spill budget (`io.sort.mb`); crossing it sorts and spills
+    /// the buffered pairs as one run per partition, then mapping
+    /// continues with empty buffers — emission volume is unbounded even
+    /// under a small `task_memory_bytes`.
     pub fn emit(&mut self, key: K, value: V) {
         let r = self.emission.reducers();
         let p = (self.partitioner)(&key, r);
@@ -83,7 +94,19 @@ impl<K: Wire, V: Wire> MapContext<'_, K, V> {
                 key.encode(buf);
                 value.encode(buf);
             }
-            MapEmission::Pairs(parts) => parts[p].push((key, value)),
+            MapEmission::Pairs(parts) => {
+                parts[p].push((key, value));
+                if let Some(sp) = &mut self.spill {
+                    let (k, v) = parts[p].last().expect("just pushed");
+                    let mut sink = CountingSink::new();
+                    k.stream(&mut sink);
+                    v.stream(&mut sink);
+                    sp.buffered += sink.bytes;
+                    if sp.buffered >= sp.budget {
+                        sp.spill_now(parts);
+                    }
+                }
+            }
         }
         self.records += 1;
     }
@@ -343,21 +366,66 @@ fn trace_task_phase(
 /// of re-growing from empty — the allocator sees O(threads × partitions)
 /// buffers, not O(tasks × partitions). Buffers lost to a panicking
 /// attempt are simply not returned; the pool re-allocates on demand.
+///
+/// Retention is bounded: a returned buffer whose capacity exceeds the
+/// per-buffer cap is shrunk before pooling, and the pool drops buffers
+/// outright once its total retained bytes (or buffer count) would exceed
+/// the pool-wide cap — one skewed task cannot permanently inflate the
+/// job's memory footprint to its high-water mark.
 struct BufferPool<T> {
-    bufs: Mutex<Vec<Vec<T>>>,
+    inner: Mutex<PoolInner<T>>,
+    max_buf_bytes: usize,
+    max_total_bytes: usize,
+}
+
+struct PoolInner<T> {
+    bufs: Vec<Vec<T>>,
+    total_bytes: usize,
+}
+
+/// Heap bytes a pooled buffer retains (0 for zero-sized element types,
+/// whose capacity is meaningless).
+fn buf_bytes<T>(buf: &Vec<T>) -> usize {
+    buf.capacity().saturating_mul(std::mem::size_of::<T>())
 }
 
 impl<T> BufferPool<T> {
+    /// Largest per-buffer capacity the pool retains (larger buffers are
+    /// shrunk on return).
+    const MAX_BUF_BYTES: usize = 4 << 20;
+    /// Total bytes the pool retains across all buffers (returns beyond
+    /// this are dropped).
+    const MAX_TOTAL_BYTES: usize = 32 << 20;
+    /// Buffer-count cap, the backstop for zero-sized element types whose
+    /// buffers are all 0 bytes.
+    const MAX_BUFS: usize = 256;
+
     fn new() -> Self {
+        Self::with_limits(Self::MAX_BUF_BYTES, Self::MAX_TOTAL_BYTES)
+    }
+
+    fn with_limits(max_buf_bytes: usize, max_total_bytes: usize) -> Self {
         BufferPool {
-            bufs: Mutex::new(Vec::new()),
+            inner: Mutex::new(PoolInner {
+                bufs: Vec::new(),
+                total_bytes: 0,
+            }),
+            max_buf_bytes,
+            max_total_bytes,
         }
     }
 
     /// A cleared buffer with at least `capacity` entries reserved —
     /// recycled when the pool has one, freshly allocated otherwise.
     fn take(&self, capacity: usize) -> Vec<T> {
-        let recycled = self.bufs.lock().expect("pool lock").pop();
+        let recycled = {
+            let mut inner = self.inner.lock().expect("pool lock");
+            let buf = inner.bufs.pop();
+            if let Some(buf) = &buf {
+                inner.total_bytes -= buf_bytes(buf);
+            }
+            buf
+        };
         match recycled {
             Some(mut buf) => {
                 buf.clear();
@@ -368,8 +436,177 @@ impl<T> BufferPool<T> {
         }
     }
 
-    fn put(&self, buf: Vec<T>) {
-        self.bufs.lock().expect("pool lock").push(buf);
+    fn put(&self, mut buf: Vec<T>) {
+        buf.clear();
+        if buf_bytes(&buf) > self.max_buf_bytes {
+            buf.shrink_to(self.max_buf_bytes / std::mem::size_of::<T>().max(1));
+        }
+        let mut inner = self.inner.lock().expect("pool lock");
+        let bytes = buf_bytes(&buf);
+        if inner.bufs.len() >= Self::MAX_BUFS
+            || inner.total_bytes.saturating_add(bytes) > self.max_total_bytes
+        {
+            return;
+        }
+        inner.total_bytes += bytes;
+        inner.bufs.push(buf);
+    }
+
+    /// Total heap bytes currently retained (for the regression test).
+    #[cfg(test)]
+    fn pooled_bytes(&self) -> usize {
+        self.inner.lock().expect("pool lock").total_bytes
+    }
+}
+
+/// Identifies the attempt that wrote a spill run: `(phase, task, attempt)`.
+/// Runs written by an attempt that later panics are orphans and are removed
+/// by this tag.
+type AttemptTag = (TaskPhase, usize, usize);
+
+/// Magic prefix of a framed spill-run file.
+const SPILL_FRAME_MAGIC: &[u8; 4] = b"DWR1";
+/// Frame overhead per run: 4-byte magic + 8-byte little-endian payload
+/// length. Charged to disk-byte accounting on both backends so Memory and
+/// Disk runs cost the same on the simulated clock.
+const SPILL_FRAME_BYTES: u64 = 12;
+
+/// A run stored in the job's [`SpillStore`]: an opaque id plus the
+/// payload length (kept on the handle so shuffle byte accounting never
+/// touches the backend).
+#[derive(Debug, Clone, Copy)]
+struct RunHandle {
+    id: u64,
+    len: u64,
+}
+
+/// Per-job storage for map-side spill runs and intermediate merge runs.
+///
+/// The [`SpillBackend::Memory`] backend keeps each run as an
+/// `Arc<Vec<u8>>` — reads are reference-count bumps, deterministic and
+/// filesystem-free. The [`SpillBackend::Disk`] backend writes each run as
+/// a framed file (magic + length + payload, validated on read) under a
+/// process-unique temp dir that is removed when the store drops. Either
+/// way every run is tagged with the attempt that wrote it, so a panicked
+/// attempt's orphans can be deleted before the retry runs.
+/// A stored run's ledger entry: the attempt that owns it, plus its bytes
+/// when the backend is [`SpillBackend::Memory`] (`None` on disk, where the
+/// bytes live in the run file).
+type StoredRun = (AttemptTag, Option<Arc<Vec<u8>>>);
+
+struct SpillStore {
+    backend: SpillBackend,
+    dir: PathBuf,
+    runs: Mutex<HashMap<u64, StoredRun>>,
+    next_id: AtomicU64,
+}
+
+impl SpillStore {
+    fn new(backend: SpillBackend) -> Self {
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dwmaxerr-spill-{}-{}",
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        SpillStore {
+            backend,
+            dir,
+            runs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    fn run_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("run-{id}.spill"))
+    }
+
+    /// Stores one sorted run, returning its handle. A disk-backend I/O
+    /// failure panics, which surfaces as an attempt failure and burns a
+    /// retry — the Hadoop behaviour for a task that cannot spill.
+    fn write(&self, owner: AttemptTag, payload: Vec<u8>) -> RunHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let len = payload.len() as u64;
+        let data = match self.backend {
+            SpillBackend::Memory => Some(Arc::new(payload)),
+            SpillBackend::Disk => {
+                std::fs::create_dir_all(&self.dir).expect("create spill dir");
+                let mut framed = Vec::with_capacity(payload.len() + SPILL_FRAME_BYTES as usize);
+                framed.extend_from_slice(SPILL_FRAME_MAGIC);
+                framed.extend_from_slice(&len.to_le_bytes());
+                framed.extend_from_slice(&payload);
+                std::fs::write(self.run_path(id), framed).expect("write spill run");
+                None
+            }
+        };
+        self.runs
+            .lock()
+            .expect("spill lock")
+            .insert(id, (owner, data));
+        RunHandle { id, len }
+    }
+
+    /// Fetches a run's payload. Memory reads are `Arc` clones (a retried
+    /// reduce attempt re-reads the same bytes); disk reads re-validate the
+    /// frame and panic on corruption, failing the attempt.
+    fn read(&self, handle: RunHandle) -> Arc<Vec<u8>> {
+        match self.backend {
+            SpillBackend::Memory => self
+                .runs
+                .lock()
+                .expect("spill lock")
+                .get(&handle.id)
+                .expect("live spill run")
+                .1
+                .clone()
+                .expect("memory-backend run has data"),
+            SpillBackend::Disk => {
+                let framed = std::fs::read(self.run_path(handle.id)).expect("read spill run");
+                assert!(
+                    framed.len() >= SPILL_FRAME_BYTES as usize && &framed[..4] == SPILL_FRAME_MAGIC,
+                    "corrupt spill frame"
+                );
+                let len = u64::from_le_bytes(framed[4..12].try_into().expect("8 bytes"));
+                assert_eq!(
+                    framed.len() as u64 - SPILL_FRAME_BYTES,
+                    len,
+                    "truncated spill run"
+                );
+                Arc::new(framed[SPILL_FRAME_BYTES as usize..].to_vec())
+            }
+        }
+    }
+
+    /// Deletes every run written by `owner` — called when an attempt
+    /// panics, so its partial spills never leak into the retry or outlive
+    /// the job on disk.
+    fn remove_attempt(&self, owner: AttemptTag) {
+        let mut runs = self.runs.lock().expect("spill lock");
+        let ids: Vec<u64> = runs
+            .iter()
+            .filter(|(_, (o, _))| *o == owner)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            runs.remove(&id);
+            if self.backend == SpillBackend::Disk {
+                let _ = std::fs::remove_file(self.run_path(id));
+            }
+        }
+    }
+
+    /// Number of live runs (for orphan-cleanup tests).
+    #[cfg(test)]
+    fn live_runs(&self) -> usize {
+        self.runs.lock().expect("spill lock").len()
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        if self.backend == SpillBackend::Disk {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
     }
 }
 
@@ -379,9 +616,164 @@ enum ReducerInput {
     /// [`ShufflePath::GlobalSort`]: every map output concatenated into one
     /// buffer, re-sorted on the reduce side.
     Concat(Vec<u8>),
-    /// [`ShufflePath::SortMerge`]: the sorted runs, in map-task order
-    /// (empty runs dropped).
-    Runs(Vec<Vec<u8>>),
+    /// [`ShufflePath::SortMerge`]: the sorted runs, ordered by
+    /// (map task, spill sequence) — the order that reproduces the
+    /// reference path's concatenate + stable-sort tie-breaking.
+    Runs(Vec<RunSrc>),
+}
+
+/// Where one sorted run physically lives on its way into the reduce merge.
+enum RunSrc {
+    /// The common case: the map task stayed within its spill budget and
+    /// handed the run over in memory.
+    Inline(Vec<u8>),
+    /// The map task exceeded `io_sort_bytes` and the run went through the
+    /// job's [`SpillStore`].
+    Stored(RunHandle),
+}
+
+impl RunSrc {
+    fn len(&self) -> u64 {
+        match self {
+            RunSrc::Inline(buf) => buf.len() as u64,
+            RunSrc::Stored(handle) => handle.len,
+        }
+    }
+}
+
+/// A run's bytes as materialised for the reduce-side merge: borrowed
+/// straight from the shuffle buffer, or shared out of the spill store.
+enum RunBuf<'a> {
+    Borrowed(&'a [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl RunBuf<'_> {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            RunBuf::Borrowed(slice) => slice,
+            RunBuf::Shared(arc) => arc.as_slice(),
+        }
+    }
+}
+
+/// The map-side spill: sorts (or combiner-folds) each partition's buffered
+/// pairs and serializes them into one wire buffer per partition, leaving
+/// the pair buffers cleared but with their capacity intact so mapping can
+/// continue into them. Returns the serialized partitions and the number of
+/// records after combining (meaningful only when a combiner is installed).
+///
+/// This single function backs both the in-memory fast path (one spill at
+/// task end) and mid-task budget spills, so a budget-constrained run is
+/// byte-identical per run to what the unconstrained path would have
+/// produced for the same pairs.
+fn spill_partitions<K: Wire + Ord, V: Wire>(
+    parts: &mut [Vec<(K, V)>],
+    combiner: Option<&Combiner<K, V>>,
+    partition_hints: &[AtomicUsize],
+    pair_hints: &[AtomicUsize],
+) -> (Vec<Vec<u8>>, u64) {
+    let mut out_parts = Vec::with_capacity(parts.len());
+    let mut combined_records = 0u64;
+    if let Some(combiner) = combiner {
+        // Fold into an ordered map: values accumulate per key in emission
+        // order, the fold runs once per key, and iterating the map writes
+        // the partition out already sorted — the combine *is* the spill
+        // sort. Folding per spill is Hadoop's combiner contract: the
+        // combiner must be associative, because each run carries its own
+        // partial fold.
+        for ((pairs, byte_hint), pair_hint) in parts.iter_mut().zip(partition_hints).zip(pair_hints)
+        {
+            pair_hint.fetch_max(pairs.len(), Ordering::Relaxed);
+            let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+            for (k, v) in pairs.drain(..) {
+                groups.entry(k).or_default().push(v);
+            }
+            let mut out = Vec::with_capacity(byte_hint.load(Ordering::Relaxed));
+            for (key, values) in groups {
+                let folded = combiner(&key, &mut values.into_iter());
+                key.encode(&mut out);
+                folded.encode(&mut out);
+                combined_records += 1;
+            }
+            out_parts.push(out);
+        }
+    } else {
+        for ((pairs, byte_hint), pair_hint) in parts.iter_mut().zip(partition_hints).zip(pair_hints)
+        {
+            pair_hint.fetch_max(pairs.len(), Ordering::Relaxed);
+            // Stable: equal keys keep emission order.
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut out = Vec::with_capacity(byte_hint.load(Ordering::Relaxed));
+            for (k, v) in pairs.iter() {
+                k.encode(&mut out);
+                v.encode(&mut out);
+            }
+            pairs.clear();
+            out_parts.push(out);
+        }
+    }
+    for (hint, buf) in partition_hints.iter().zip(&out_parts) {
+        hint.fetch_max(buf.len(), Ordering::Relaxed);
+    }
+    (out_parts, combined_records)
+}
+
+/// Per-attempt spill state threaded through [`MapContext`] on the
+/// sort-merge path: the `io.sort.mb` budget, the metered buffered bytes,
+/// and the runs spilled so far (per partition, in spill order).
+struct SpillControl<'a, K, V> {
+    /// Wire bytes the task may buffer before spilling
+    /// (`min(io_sort_bytes, task_memory_bytes)`).
+    budget: usize,
+    /// Wire bytes currently buffered across all partitions.
+    buffered: usize,
+    store: &'a SpillStore,
+    owner: AttemptTag,
+    combiner: Option<&'a Combiner<K, V>>,
+    partition_hints: &'a [AtomicUsize],
+    pair_hints: &'a [AtomicUsize],
+    /// Spilled runs per partition, in spill-sequence order — drained to
+    /// each reducer as (map task, spill sequence), the order that keeps
+    /// tie-breaking identical to the single-run path.
+    handles: Vec<Vec<RunHandle>>,
+    /// `(runs, bytes)` per spill pass that produced at least one run.
+    passes: Vec<(u64, u64)>,
+    /// Post-combiner record count accumulated across spills.
+    combined_records: u64,
+    /// Host seconds spent sorting/folding/serializing across spills.
+    spill_secs: f64,
+    /// Framed bytes written to the spill store (payload + frame overhead).
+    disk_bytes: u64,
+}
+
+impl<K: Wire + Ord, V: Wire> SpillControl<'_, K, V> {
+    /// Sorts and spills the buffered pairs as one run per non-empty
+    /// partition, clearing the buffers (capacity kept) and resetting the
+    /// byte meter.
+    fn spill_now(&mut self, parts: &mut [Vec<(K, V)>]) {
+        let spill_start = Instant::now();
+        let (bufs, combined) =
+            spill_partitions(parts, self.combiner, self.partition_hints, self.pair_hints);
+        self.spill_secs += spill_start.elapsed().as_secs_f64();
+        self.combined_records += combined;
+        let mut runs = 0u64;
+        let mut bytes = 0u64;
+        for (p, buf) in bufs.into_iter().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            runs += 1;
+            bytes += buf.len() as u64;
+            self.disk_bytes += buf.len() as u64 + SPILL_FRAME_BYTES;
+            let handle = self.store.write(self.owner, buf);
+            self.handles[p].push(handle);
+        }
+        if runs > 0 {
+            self.passes.push((runs, bytes));
+        }
+        self.buffered = 0;
+    }
 }
 
 /// A streaming cursor over one sorted run.
@@ -469,12 +861,12 @@ struct KWayMerge<'a, K, V> {
 }
 
 impl<'a, K: Wire + Ord, V: Wire> KWayMerge<'a, K, V> {
-    fn new(runs: &'a [Vec<u8>]) -> Self {
+    fn new(runs: impl IntoIterator<Item = &'a [u8]>) -> Self {
         let mut decode_error = false;
-        let mut cursors: Vec<RunCursor<'a, K, V>> = Vec::with_capacity(runs.len());
+        let mut cursors: Vec<RunCursor<'a, K, V>> = Vec::new();
         for run in runs {
             let mut cursor = RunCursor {
-                rest: run.as_slice(),
+                rest: run,
                 head: None,
             };
             decode_error |= !cursor.advance();
@@ -578,14 +970,30 @@ where
         .collect()
 }
 
+/// Physical form of a finished map task's output.
+enum MapOutput {
+    /// The task stayed within its spill budget (or runs on the reference
+    /// path): one wire buffer per partition, handed over in memory.
+    Buffers(Vec<Vec<u8>>),
+    /// The task crossed its budget at least once: per partition, the
+    /// spill-store handles of its runs in spill-sequence order.
+    Spilled(Vec<Vec<RunHandle>>),
+}
+
 struct MapTaskResult {
-    partitions: Vec<Vec<u8>>,
+    output: MapOutput,
     records: u64,
     counters: BTreeMap<&'static str, u64>,
     bad_partition: Option<(usize, usize)>,
     /// Host seconds spent sorting spills / folding the combiner (0.0 on
     /// the reference path, which defers all sorting to the reduce side).
     spill_secs: f64,
+    /// `(runs, bytes)` per spill pass — length 1 for a task that spilled
+    /// once at task end, longer when the budget forced mid-task spills.
+    spill_passes: Vec<(u64, u64)>,
+    /// Framed bytes written through the spill store (0 on the in-memory
+    /// fast path).
+    disk_bytes: u64,
 }
 
 /// Best-effort rendering of a panic payload for error messages.
@@ -601,22 +1009,31 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Runs one task through its attempt loop.
 ///
-/// Each attempt executes `body` under [`catch_unwind`], so a panicking map
-/// or reduce function is an attempt failure, not a process abort. The fault
-/// plan can additionally fail attempts (without re-running `body`: an
-/// injected crash is charged `fail_point ×` the attempt's duration) and
-/// slow the task down as a straggler. `extra_secs` is time every attempt
-/// pays on top of the measured function time (the map-side HDFS read).
+/// Each attempt executes `body` (which receives its 1-based attempt
+/// number, so spill-store writes can be owner-tagged) under
+/// [`catch_unwind`], so a panicking map or reduce function is an attempt
+/// failure, not a process abort; `on_panic` then runs with the attempt
+/// number to clean up the crashed attempt's side effects (orphaned spill
+/// runs) before the retry starts. The fault plan can additionally fail
+/// attempts (without re-running `body`: an injected crash is charged
+/// `fail_point ×` the attempt's duration) and slow the task down as a
+/// straggler. `extra_secs` is time every attempt pays on top of the
+/// measured function time (the map-side HDFS read); `extra_from` derives
+/// more such time from the computed value (spill/merge disk I/O, known
+/// only once the task has run).
 ///
 /// Returns the task's value and its [`TaskPlan`] for the slot simulator, or
 /// [`RuntimeError::TaskFailed`] once `max_attempts` attempts have crashed.
+#[allow(clippy::too_many_arguments)]
 fn run_attempts<T>(
     phase: TaskPhase,
     task: usize,
     max_attempts: usize,
     fault_plan: Option<&FaultPlan>,
     extra_secs: f64,
-    body: impl Fn() -> T,
+    extra_from: impl Fn(&T) -> f64,
+    on_panic: impl Fn(usize),
+    body: impl Fn(usize) -> T,
 ) -> Result<(T, TaskPlan), RuntimeError> {
     let slowdown = fault_plan.map_or(1.0, |p| p.slowdown(phase, task));
     let fail_point = fault_plan.map_or(0.5, |p| p.fail_point);
@@ -628,9 +1045,10 @@ fn run_attempts<T>(
             Some(v) => v,
             None => {
                 let start = Instant::now();
-                match catch_unwind(AssertUnwindSafe(&body)) {
+                match catch_unwind(AssertUnwindSafe(|| body(attempt))) {
                     Ok(value) => (value, start.elapsed().as_secs_f64()),
                     Err(payload) => {
+                        on_panic(attempt);
                         attempts.push(AttemptPlan {
                             duration: slowdown * (start.elapsed().as_secs_f64() + extra_secs),
                             failure: Some(FailureKind::Panic),
@@ -641,14 +1059,16 @@ fn run_attempts<T>(
                 }
             }
         };
-        let effective = slowdown * (secs + extra_secs);
+        let healthy = secs + extra_secs + extra_from(&value);
+        let effective = slowdown * healthy;
         if fault_plan.is_some_and(|p| p.injects_failure(phase, task, attempt)) {
             attempts.push(AttemptPlan {
                 duration: fail_point * effective,
                 failure: Some(FailureKind::Injected),
             });
             last_reason = "injected fault".to_string();
-            // The computed result survives for the retry; only the
+            // The computed result survives for the retry (its spill runs
+            // stay owned by the attempt that wrote them); only the
             // simulated timeline re-pays the work.
             done = Some((value, secs));
             continue;
@@ -662,7 +1082,7 @@ fn run_attempts<T>(
             TaskPlan {
                 attempts,
                 // A speculative backup lands on a healthy node: no slowdown.
-                healthy_duration: secs + extra_secs,
+                healthy_duration: healthy,
             },
         ));
     }
@@ -714,9 +1134,21 @@ where
         }
         let config = cluster.config();
         if let Some(mem) = &self.stage.task_memory {
-            for split in splits {
+            for (task, split) in splits.iter().enumerate() {
                 let needed = mem(split);
                 if needed > config.task_memory_bytes {
+                    // Record *which* task the scheduler refused before the
+                    // job aborts, so the trace timeline explains the
+                    // failure instead of showing a bare job_aborted.
+                    cluster.trace().instant(TraceEventKind::TaskAborted {
+                        job: self.stage.name.clone(),
+                        phase: TaskPhase::Map,
+                        task,
+                        reason: format!(
+                            "needs {needed} bytes, budget {}",
+                            config.task_memory_bytes
+                        ),
+                    });
                     return Err(RuntimeError::TaskOutOfMemory {
                         needed,
                         available: config.task_memory_bytes,
@@ -744,6 +1176,12 @@ where
         let fault_plan = config.fault_plan.as_ref();
         let sort_merge = stage.shuffle_path == ShufflePath::SortMerge;
         let pair_pool: BufferPool<(K, V)> = BufferPool::new();
+        // Per-job spill storage: runs written by budget-crossing map tasks
+        // and by intermediate reduce merge passes. `io.sort.mb` is further
+        // clamped to the task memory budget — a task must be able to spill
+        // before it exhausts its memory.
+        let spill_store = SpillStore::new(config.spill_backend);
+        let spill_budget = config.io_sort_bytes.min(config.task_memory_bytes).max(1) as usize;
         // Per-partition capacity hints — the largest sizes any finished
         // task observed, so later tasks (and waves) reserve once instead
         // of growing from empty: wire bytes per sorted run, and pair
@@ -752,17 +1190,23 @@ where
         let pair_hints: Vec<AtomicUsize> = (0..r).map(|_| AtomicUsize::new(0)).collect();
         let map_raw = run_indexed(config.threads, splits, |i, split| {
             // HDFS read time is charged to every attempt of the task.
-            let read_secs = stage
-                .input_bytes
-                .as_ref()
-                .map_or(0.0, |f| f(split) as f64 / config.hdfs_bytes_per_sec);
+            let read_secs = stage.input_bytes.as_ref().map_or(0.0, |f| {
+                scheduler::io_secs(f(split), config.hdfs_bytes_per_sec)
+            });
             run_attempts(
                 TaskPhase::Map,
                 i,
                 config.max_attempts,
                 fault_plan,
                 read_secs,
-                || {
+                // Spill I/O is part of the attempt's simulated duration —
+                // derived from the result because the spill volume is only
+                // known once the task has run.
+                |res: &MapTaskResult| scheduler::io_secs(res.disk_bytes, config.disk_bytes_per_sec),
+                // A crashed attempt's spill runs are orphans: delete them
+                // before the retry (which writes under its own attempt tag).
+                |attempt| spill_store.remove_attempt((TaskPhase::Map, i, attempt)),
+                |attempt| {
                     let emission = if sort_merge {
                         MapEmission::Pairs(
                             pair_hints
@@ -773,75 +1217,79 @@ where
                     } else {
                         MapEmission::Bytes(vec![Vec::new(); r])
                     };
+                    let spill = sort_merge.then(|| SpillControl {
+                        budget: spill_budget,
+                        buffered: 0,
+                        store: &spill_store,
+                        owner: (TaskPhase::Map, i, attempt),
+                        combiner: stage.combiner.as_ref(),
+                        partition_hints: &partition_hints,
+                        pair_hints: &pair_hints,
+                        handles: (0..r).map(|_| Vec::new()).collect(),
+                        passes: Vec::new(),
+                        combined_records: 0,
+                        spill_secs: 0.0,
+                        disk_bytes: 0,
+                    });
                     let mut ctx = MapContext {
                         emission,
                         records: 0,
                         counters: BTreeMap::new(),
                         partitioner,
                         bad_partition: None,
+                        spill,
                         _marker: PhantomData,
                     };
                     (stage.map_fn)(split, &mut ctx);
                     let mut records = ctx.records;
                     let mut spill_secs = 0.0;
-                    let partitions: Vec<Vec<u8>> = match ctx.emission {
-                        MapEmission::Pairs(parts) => {
-                            // Spill: sort (or combiner-fold) the buffered
-                            // pairs, then serialize each partition once into
-                            // a pooled wire buffer — every run leaves the
-                            // task already key-sorted.
-                            let spill_start = Instant::now();
-                            let mut out_parts = Vec::with_capacity(r);
-                            if let Some(combiner) = &stage.combiner {
-                                // Fold into an ordered map: values
-                                // accumulate per key in emission order, the
-                                // fold runs once per key, and iterating the
-                                // map writes the partition out already
-                                // sorted — the combine *is* the spill sort.
-                                let mut combined_records = 0u64;
-                                for ((mut pairs, byte_hint), pair_hint) in
-                                    parts.into_iter().zip(&partition_hints).zip(&pair_hints)
-                                {
-                                    pair_hint.fetch_max(pairs.len(), Ordering::Relaxed);
-                                    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
-                                    for (k, v) in pairs.drain(..) {
-                                        groups.entry(k).or_default().push(v);
-                                    }
-                                    pair_pool.put(pairs);
-                                    let mut out =
-                                        Vec::with_capacity(byte_hint.load(Ordering::Relaxed));
-                                    for (key, values) in groups {
-                                        let folded = combiner(&key, &mut values.into_iter());
-                                        key.encode(&mut out);
-                                        folded.encode(&mut out);
-                                        combined_records += 1;
-                                    }
-                                    out_parts.push(out);
+                    let mut spill_passes: Vec<(u64, u64)> = Vec::new();
+                    let mut disk_bytes = 0u64;
+                    let output: MapOutput = match ctx.emission {
+                        MapEmission::Pairs(mut parts) => {
+                            let mut sp = ctx.spill.expect("sort-merge task has spill control");
+                            if sp.handles.iter().all(|h| h.is_empty()) {
+                                // In-memory fast path: the budget was never
+                                // crossed, so this is the single spill at
+                                // task end — sort (or combiner-fold) the
+                                // buffered pairs and serialize each
+                                // partition once into a pooled wire buffer.
+                                let spill_start = Instant::now();
+                                let (bufs, combined) = spill_partitions(
+                                    &mut parts,
+                                    sp.combiner,
+                                    &partition_hints,
+                                    &pair_hints,
+                                );
+                                spill_secs = spill_start.elapsed().as_secs_f64();
+                                if sp.combiner.is_some() {
+                                    records = combined;
                                 }
-                                records = combined_records;
+                                let run_bytes: u64 = bufs.iter().map(|b| b.len() as u64).sum();
+                                let runs = bufs.iter().filter(|b| !b.is_empty()).count() as u64;
+                                if runs > 0 {
+                                    spill_passes.push((runs, run_bytes));
+                                }
+                                for pairs in parts {
+                                    pair_pool.put(pairs);
+                                }
+                                MapOutput::Buffers(bufs)
                             } else {
-                                for ((mut pairs, byte_hint), pair_hint) in
-                                    parts.into_iter().zip(&partition_hints).zip(&pair_hints)
-                                {
-                                    pair_hint.fetch_max(pairs.len(), Ordering::Relaxed);
-                                    // Stable: equal keys keep emission order.
-                                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                                    let mut out =
-                                        Vec::with_capacity(byte_hint.load(Ordering::Relaxed));
-                                    for (k, v) in &pairs {
-                                        k.encode(&mut out);
-                                        v.encode(&mut out);
-                                    }
-                                    pairs.clear();
+                                // External path: at least one mid-task
+                                // spill happened; flush the tail as a final
+                                // spill and hand over run handles.
+                                sp.spill_now(&mut parts);
+                                for pairs in parts {
                                     pair_pool.put(pairs);
-                                    out_parts.push(out);
                                 }
+                                if sp.combiner.is_some() {
+                                    records = sp.combined_records;
+                                }
+                                spill_secs = sp.spill_secs;
+                                spill_passes = sp.passes;
+                                disk_bytes = sp.disk_bytes;
+                                MapOutput::Spilled(sp.handles)
                             }
-                            spill_secs = spill_start.elapsed().as_secs_f64();
-                            for (hint, buf) in partition_hints.iter().zip(&out_parts) {
-                                hint.fetch_max(buf.len(), Ordering::Relaxed);
-                            }
-                            out_parts
                         }
                         MapEmission::Bytes(mut parts) => {
                             if let Some(combiner) = &stage.combiner {
@@ -874,15 +1322,17 @@ where
                                 }
                                 records = combined_records;
                             }
-                            parts
+                            MapOutput::Buffers(parts)
                         }
                     };
                     MapTaskResult {
-                        partitions,
+                        output,
                         records,
                         counters: ctx.counters,
                         bad_partition: ctx.bad_partition,
                         spill_secs,
+                        spill_passes,
+                        disk_bytes,
                     }
                 },
             )
@@ -930,20 +1380,43 @@ where
         let mut shuffle_records = 0u64;
         let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
         let mut spill_runs: Vec<u64> = Vec::new();
+        let mut spill_pass_counts: Vec<u64> = Vec::new();
         for task in &mut map_results {
             shuffle_records += task.records;
             for (name, delta) in &task.counters {
                 *counters.entry(name).or_insert(0) += delta;
             }
             if sort_merge {
-                spill_runs.push(task.partitions.iter().filter(|b| !b.is_empty()).count() as u64);
+                let runs = match &task.output {
+                    MapOutput::Buffers(parts) => {
+                        parts.iter().filter(|b| !b.is_empty()).count() as u64
+                    }
+                    MapOutput::Spilled(handles) => handles.iter().map(|h| h.len() as u64).sum(),
+                };
+                spill_runs.push(runs);
+                spill_pass_counts.push(task.spill_passes.len() as u64);
             }
-            for (p, buf) in task.partitions.drain(..).enumerate() {
-                match &mut reducer_inputs[p] {
-                    ReducerInput::Concat(all) => all.extend_from_slice(&buf),
-                    ReducerInput::Runs(runs) => {
-                        if !buf.is_empty() {
-                            runs.push(buf);
+            match std::mem::replace(&mut task.output, MapOutput::Buffers(Vec::new())) {
+                MapOutput::Buffers(parts) => {
+                    for (p, buf) in parts.into_iter().enumerate() {
+                        match &mut reducer_inputs[p] {
+                            ReducerInput::Concat(all) => all.extend_from_slice(&buf),
+                            ReducerInput::Runs(runs) => {
+                                if !buf.is_empty() {
+                                    runs.push(RunSrc::Inline(buf));
+                                }
+                            }
+                        }
+                    }
+                }
+                MapOutput::Spilled(handles) => {
+                    // Handles arrive per partition in spill-sequence order;
+                    // appending per map task yields the global
+                    // (map task, spill sequence) run order the tie-break
+                    // contract requires.
+                    for (p, task_runs) in handles.into_iter().enumerate() {
+                        if let ReducerInput::Runs(runs) = &mut reducer_inputs[p] {
+                            runs.extend(task_runs.into_iter().map(RunSrc::Stored));
                         }
                     }
                 }
@@ -953,7 +1426,7 @@ where
             .iter()
             .map(|input| match input {
                 ReducerInput::Concat(buf) => buf.len() as u64,
-                ReducerInput::Runs(runs) => runs.iter().map(|b| b.len() as u64).sum(),
+                ReducerInput::Runs(runs) => runs.iter().map(RunSrc::len).sum(),
             })
             .collect();
         // Each reducer's merge fan-in (0 on the reference path, which
@@ -977,7 +1450,13 @@ where
             /// merge (sort-merge path) or decode + global sort + grouping
             /// (reference path).
             merge_secs: f64,
+            /// `(fan_in, bytes)` per intermediate merge pass (empty when
+            /// the final merge handled every run directly).
+            merge_pass_info: Vec<(u64, u64)>,
+            /// Framed bytes written + read back by intermediate passes.
+            disk_bytes: u64,
         }
+        let sort_factor = config.io_sort_factor.max(2);
         // Output-capacity hint: the largest emission count any finished
         // reduce task observed, so later tasks pre-size `ctx.out`.
         let reduce_out_hint = AtomicUsize::new(0);
@@ -988,7 +1467,11 @@ where
                 config.max_attempts,
                 fault_plan,
                 0.0,
-                || {
+                |res: &ReduceTaskResult<OK, OV>| {
+                    scheduler::io_secs(res.disk_bytes, config.disk_bytes_per_sec)
+                },
+                |attempt| spill_store.remove_attempt((TaskPhase::Reduce, i, attempt)),
+                |attempt| {
                     let task_start = Instant::now();
                     let mut ctx = ReduceContext {
                         out: Vec::with_capacity(reduce_out_hint.load(Ordering::Relaxed)),
@@ -996,6 +1479,8 @@ where
                     };
                     let mut fn_secs = 0.0;
                     let mut decode_error = false;
+                    let mut merge_pass_info: Vec<(u64, u64)> = Vec::new();
+                    let mut disk_bytes = 0u64;
                     match input {
                         ReducerInput::Concat(buf) => {
                             // Reference path: decode everything, stable
@@ -1023,12 +1508,66 @@ where
                                 fn_secs += fn_start.elapsed().as_secs_f64();
                             }
                         }
-                        ReducerInput::Runs(runs) => {
-                            // Hadoop's merge-sort: the heap merge streams
-                            // pairs in total key order and the grouped
-                            // iterator feeds each key's values to the
-                            // reduce function as they surface.
-                            let mut merge = KWayMerge::<K, V>::new(runs);
+                        ReducerInput::Runs(srcs) => {
+                            // Materialise the run set: inline runs are
+                            // borrowed in place, stored runs are fetched
+                            // from the spill store.
+                            let mut run_bufs: Vec<RunBuf> = srcs
+                                .iter()
+                                .map(|src| match src {
+                                    RunSrc::Inline(buf) => RunBuf::Borrowed(buf.as_slice()),
+                                    RunSrc::Stored(h) => RunBuf::Shared(spill_store.read(*h)),
+                                })
+                                .collect();
+                            // Intermediate merge passes (Hadoop's
+                            // `io.sort.factor`): while more runs remain
+                            // than the final merge may fan in, merge
+                            // *contiguous* groups of up to `sort_factor`
+                            // runs into new stored runs. Contiguity keeps
+                            // the global (key, run index) tie order: a
+                            // merged chunk drains its equal keys
+                            // lowest-run-first and takes its chunk's
+                            // position in the run sequence.
+                            while run_bufs.len() > sort_factor {
+                                let mut next: Vec<RunBuf> = Vec::new();
+                                let mut remaining = run_bufs.into_iter();
+                                loop {
+                                    let group: Vec<RunBuf> =
+                                        remaining.by_ref().take(sort_factor).collect();
+                                    if group.is_empty() {
+                                        break;
+                                    }
+                                    if group.len() == 1 {
+                                        next.extend(group);
+                                        continue;
+                                    }
+                                    let total: usize =
+                                        group.iter().map(|g| g.as_slice().len()).sum();
+                                    let mut merge =
+                                        KWayMerge::<K, V>::new(group.iter().map(RunBuf::as_slice));
+                                    let mut out = Vec::with_capacity(total);
+                                    while let Some((k, v)) = merge.pop() {
+                                        k.encode(&mut out);
+                                        v.encode(&mut out);
+                                    }
+                                    decode_error |= merge.decode_error;
+                                    merge_pass_info.push((group.len() as u64, out.len() as u64));
+                                    // Charged twice: the pass writes the
+                                    // run out and the next pass (or the
+                                    // final merge) reads it back.
+                                    disk_bytes += 2 * (out.len() as u64 + SPILL_FRAME_BYTES);
+                                    let handle =
+                                        spill_store.write((TaskPhase::Reduce, i, attempt), out);
+                                    next.push(RunBuf::Shared(spill_store.read(handle)));
+                                }
+                                run_bufs = next;
+                            }
+                            // Final pass: Hadoop's merge-sort — the heap
+                            // merge streams pairs in total key order and
+                            // the grouped iterator feeds each key's values
+                            // to the reduce function as they surface.
+                            let mut merge =
+                                KWayMerge::<K, V>::new(run_bufs.iter().map(RunBuf::as_slice));
                             while let Some((key, first)) = merge.pop() {
                                 {
                                     let mut group = GroupValues {
@@ -1047,7 +1586,7 @@ where
                                     let _ = merge.pop();
                                 }
                             }
-                            decode_error = merge.decode_error;
+                            decode_error |= merge.decode_error;
                         }
                     }
                     let merge_secs = (task_start.elapsed().as_secs_f64() - fn_secs).max(0.0);
@@ -1057,6 +1596,8 @@ where
                         counters: ctx.counters,
                         decode_error,
                         merge_secs,
+                        merge_pass_info,
+                        disk_bytes,
                     }
                 },
             )
@@ -1081,6 +1622,12 @@ where
             .map(|p| p.attempts.last().expect("non-empty plan").duration)
             .collect();
         let merge_secs: Vec<f64> = reduce_results.iter().map(|t| t.merge_secs).collect();
+        let merge_pass_infos: Vec<Vec<(u64, u64)>> = reduce_results
+            .iter()
+            .map(|t| t.merge_pass_info.clone())
+            .collect();
+        let disk_spill_bytes: u64 = map_results.iter().map(|t| t.disk_bytes).sum();
+        let disk_merge_bytes: u64 = reduce_results.iter().map(|t| t.disk_bytes).sum();
         let mut pairs = Vec::new();
         for mut task in reduce_results {
             for (name, delta) in &task.counters {
@@ -1171,6 +1718,31 @@ where
                 &map_sched.attempts,
                 config.map_slots,
             );
+            // Spill instants — only for tasks that spilled more than once
+            // (the single task-end spill is the unconstrained default and
+            // would only add noise), stamped at the successful attempt's
+            // end, when Hadoop's spill ledger becomes visible.
+            for (t, task) in map_results.iter().enumerate() {
+                if task.spill_passes.len() > 1 {
+                    let end = map_sched
+                        .attempts
+                        .iter()
+                        .find(|a| a.task == t && a.outcome == AttemptOutcome::Succeeded)
+                        .map_or(sim.map, |a| a.sim_end);
+                    for (spill, &(runs, bytes)) in task.spill_passes.iter().enumerate() {
+                        tr.emit(
+                            map0 + end,
+                            TraceEventKind::Spill {
+                                job: job.to_string(),
+                                task: t,
+                                spill,
+                                runs,
+                                bytes,
+                            },
+                        );
+                    }
+                }
+            }
             let shuffle0 = map0 + sim.map;
             tr.emit(
                 shuffle0,
@@ -1226,6 +1798,31 @@ where
                 &reduce_sched.attempts,
                 config.reduce_slots,
             );
+            // Intermediate merge-pass instants — only when the `io.sort.factor`
+            // cap actually forced extra passes, stamped at the successful
+            // attempt's start (the merges precede the reduce function).
+            for (p, info) in merge_pass_infos.iter().enumerate() {
+                if info.is_empty() {
+                    continue;
+                }
+                let start = reduce_sched
+                    .attempts
+                    .iter()
+                    .find(|a| a.task == p && a.outcome == AttemptOutcome::Succeeded)
+                    .map_or(0.0, |a| a.sim_start);
+                for (pass, &(fan_in, bytes)) in info.iter().enumerate() {
+                    tr.emit(
+                        reduce0 + start,
+                        TraceEventKind::MergePass {
+                            job: job.to_string(),
+                            partition: p,
+                            pass,
+                            fan_in,
+                            bytes,
+                        },
+                    );
+                }
+            }
             let t_end = reduce0 + sim.reduce;
             tr.emit(
                 t_end,
@@ -1260,11 +1857,19 @@ where
             },
             merge_secs,
             spill_runs,
+            spill_passes: spill_pass_counts,
             merge_fan_in: if sort_merge {
                 per_reducer_runs.clone()
             } else {
                 Vec::new()
             },
+            merge_passes: if sort_merge {
+                merge_pass_infos.iter().map(|i| i.len() as u64).collect()
+            } else {
+                Vec::new()
+            },
+            disk_spill_bytes,
+            disk_merge_bytes,
             shuffle_bytes,
             shuffle_records,
             input_bytes,
@@ -1815,5 +2420,288 @@ mod shuffle_tests {
             assert!(reference.metrics.spill_runs.is_empty());
             assert!(reference.metrics.merge_fan_in.is_empty());
         }
+    }
+}
+
+#[cfg(test)]
+mod spill_tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::fault::FaultPlan;
+    use std::sync::atomic::AtomicBool;
+
+    fn quiet_cluster() -> ClusterConfig {
+        let mut cfg = ClusterConfig::with_slots(4, 2);
+        cfg.task_startup = std::time::Duration::ZERO;
+        cfg.job_setup = std::time::Duration::ZERO;
+        cfg
+    }
+
+    fn big_splits() -> Vec<Vec<u32>> {
+        (0..4)
+            .map(|s| (0..200u32).map(|i| (s * 37 + i * 13) % 50).collect())
+            .collect()
+    }
+
+    fn sum_job(cluster: &Cluster, splits: &[Vec<u32>]) -> JobOutput<u32, u64> {
+        JobBuilder::new("spill")
+            .map(|split: &Vec<u32>, ctx: &mut MapContext<u32, u64>| {
+                for &x in split {
+                    ctx.emit(x, u64::from(x) * 3 + 1);
+                }
+            })
+            .reducers(3)
+            .reduce(|k, vals, ctx: &mut ReduceContext<u32, u64>| ctx.emit(*k, vals.sum()))
+            .run(cluster, splits)
+            .unwrap()
+    }
+
+    #[test]
+    fn buffer_pool_caps_retained_memory() {
+        // Per-buffer cap: a skewed task's huge buffer is shrunk on return.
+        let pool: BufferPool<u64> = BufferPool::with_limits(1024, 4096);
+        pool.put(Vec::with_capacity(100_000));
+        assert!(pool.pooled_bytes() <= 1024, "{}", pool.pooled_bytes());
+        let buf = pool.take(0);
+        assert!(buf.capacity() * 8 <= 1024, "capacity {}", buf.capacity());
+        // Pool-wide cap: returns beyond the total budget are dropped, so
+        // the pool's footprint is not its high-water mark.
+        for _ in 0..100 {
+            pool.put(Vec::with_capacity(128));
+        }
+        assert!(pool.pooled_bytes() <= 4096, "{}", pool.pooled_bytes());
+        // Default limits: one 160 MB skew buffer retains at most the cap.
+        let pool: BufferPool<(u64, u64)> = BufferPool::new();
+        pool.put(Vec::with_capacity(10 << 20));
+        assert!(pool.pooled_bytes() <= BufferPool::<(u64, u64)>::MAX_BUF_BYTES);
+    }
+
+    #[test]
+    fn spill_store_removes_orphans_and_cleans_disk() {
+        for backend in [SpillBackend::Memory, SpillBackend::Disk] {
+            let store = SpillStore::new(backend);
+            let crashed = (TaskPhase::Map, 0, 1);
+            let retry = (TaskPhase::Map, 0, 2);
+            let h1 = store.write(crashed, vec![1, 2, 3]);
+            let h2 = store.write(retry, vec![4, 5]);
+            assert_eq!(store.live_runs(), 2);
+            assert_eq!(*store.read(h1), vec![1, 2, 3]);
+            store.remove_attempt(crashed);
+            assert_eq!(store.live_runs(), 1, "{backend:?}");
+            assert_eq!(*store.read(h2), vec![4, 5]);
+            if backend == SpillBackend::Disk {
+                let dir = store.dir.clone();
+                assert!(dir.exists());
+                drop(store);
+                assert!(!dir.exists(), "spill dir survived drop");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_spills_keep_output_identical() {
+        let splits = big_splits();
+        // Unconstrained: every task spills once, fully in memory.
+        let unconstrained = sum_job(&Cluster::new(quiet_cluster()), &splits);
+        assert!(unconstrained.metrics.spill_passes.iter().all(|&p| p == 1));
+        assert!(unconstrained.metrics.merge_passes.iter().all(|&p| p == 0));
+        assert_eq!(unconstrained.metrics.disk_spill_bytes, 0);
+        assert_eq!(unconstrained.metrics.disk_merge_bytes, 0);
+        for backend in [SpillBackend::Memory, SpillBackend::Disk] {
+            // 12-byte pairs against a 256-byte budget: each 200-record task
+            // is forced through many external spill passes, and fan-in 2
+            // forces intermediate reduce merges.
+            let mut cfg = quiet_cluster();
+            cfg.io_sort_bytes = 256;
+            cfg.io_sort_factor = 2;
+            cfg.spill_backend = backend;
+            let cluster = Cluster::new(cfg);
+            let constrained = sum_job(&cluster, &splits);
+            assert_eq!(constrained.pairs, unconstrained.pairs, "{backend:?}");
+            assert_eq!(
+                constrained.metrics.shuffle_bytes,
+                unconstrained.metrics.shuffle_bytes
+            );
+            assert_eq!(
+                constrained.metrics.shuffle_records,
+                unconstrained.metrics.shuffle_records
+            );
+            assert!(
+                constrained.metrics.spill_passes.iter().all(|&p| p > 1),
+                "spill_passes {:?}",
+                constrained.metrics.spill_passes
+            );
+            assert!(constrained
+                .metrics
+                .spill_runs
+                .iter()
+                .zip(&unconstrained.metrics.spill_runs)
+                .all(|(&c, &u)| c > u));
+            assert!(
+                constrained.metrics.merge_passes.iter().all(|&p| p >= 1),
+                "merge_passes {:?}",
+                constrained.metrics.merge_passes
+            );
+            assert!(constrained.metrics.disk_spill_bytes > 0);
+            assert!(constrained.metrics.disk_merge_bytes > 0);
+            crate::trace::validate(&cluster.trace_events()).unwrap();
+            // The trace carries the spill / merge-pass story.
+            let events = cluster.trace_events();
+            assert!(events
+                .iter()
+                .any(|e| matches!(e.kind, TraceEventKind::Spill { .. })));
+            assert!(events
+                .iter()
+                .any(|e| matches!(e.kind, TraceEventKind::MergePass { .. })));
+        }
+    }
+
+    #[test]
+    fn budget_spills_agree_with_combiner() {
+        // An associative combiner folded per spill must still reach the
+        // same final answer as the single-spill path.
+        let splits = big_splits();
+        let run = |io_sort_bytes: u64| {
+            let mut cfg = quiet_cluster();
+            cfg.io_sort_bytes = io_sort_bytes;
+            cfg.io_sort_factor = 3;
+            let cluster = Cluster::new(cfg);
+            JobBuilder::new("combine-spill")
+                .map(|split: &Vec<u32>, ctx: &mut MapContext<u32, u64>| {
+                    for &x in split {
+                        ctx.emit(x % 7, u64::from(x));
+                    }
+                })
+                .reducers(3)
+                .combine_with(|_k, vals: &mut dyn Iterator<Item = u64>| vals.sum())
+                .reduce(|k, vals, ctx: &mut ReduceContext<u32, u64>| ctx.emit(*k, vals.sum()))
+                .run(&cluster, &splits)
+                .unwrap()
+        };
+        let unconstrained = run(100 << 20);
+        let constrained = run(128);
+        assert_eq!(unconstrained.pairs, constrained.pairs);
+        // Per-spill folding ships more (partial) records than one
+        // task-level fold, but still far fewer than no combiner at all.
+        assert!(constrained.metrics.shuffle_records >= unconstrained.metrics.shuffle_records);
+        assert!(constrained.metrics.spill_passes.iter().all(|&p| p > 1));
+    }
+
+    #[test]
+    fn injected_retries_do_not_double_count_spill_metrics() {
+        let splits = big_splits();
+        let run = |plan: FaultPlan| {
+            let mut cfg = quiet_cluster();
+            cfg.io_sort_bytes = 256;
+            cfg.io_sort_factor = 2;
+            cfg.fault_plan = Some(plan);
+            sum_job(&Cluster::new(cfg), &splits)
+        };
+        let clean = run(FaultPlan::seeded(7));
+        let faulted = run(FaultPlan::seeded(7)
+            .with_targeted(TaskPhase::Map, 1, vec![1])
+            .with_targeted(TaskPhase::Reduce, 0, vec![1]));
+        assert_eq!(clean.pairs, faulted.pairs);
+        // Attempt-level accounting of the retried run matches the clean
+        // run exactly: nothing spilled or merged twice.
+        assert_eq!(clean.metrics.spill_runs, faulted.metrics.spill_runs);
+        assert_eq!(clean.metrics.spill_passes, faulted.metrics.spill_passes);
+        assert_eq!(clean.metrics.merge_fan_in, faulted.metrics.merge_fan_in);
+        assert_eq!(clean.metrics.merge_passes, faulted.metrics.merge_passes);
+        assert_eq!(
+            clean.metrics.disk_spill_bytes,
+            faulted.metrics.disk_spill_bytes
+        );
+        assert_eq!(
+            clean.metrics.disk_merge_bytes,
+            faulted.metrics.disk_merge_bytes
+        );
+        assert_eq!(
+            clean.metrics.shuffle_records,
+            faulted.metrics.shuffle_records
+        );
+        assert_eq!(faulted.metrics.failed_attempts(), 2);
+        assert_eq!(faulted.metrics.retried_attempts(), 2);
+    }
+
+    #[test]
+    fn panicked_attempt_spills_are_cleaned_and_retried_cleanly() {
+        let splits = big_splits();
+        let run = |panic_once: bool| {
+            let mut cfg = quiet_cluster();
+            cfg.io_sort_bytes = 256;
+            cfg.io_sort_factor = 3;
+            cfg.spill_backend = SpillBackend::Disk;
+            let cluster = Cluster::new(cfg);
+            let tripped = AtomicBool::new(!panic_once);
+            JobBuilder::new("flaky-spill")
+                .map(move |split: &Vec<u32>, ctx: &mut MapContext<u32, u64>| {
+                    for (n, &x) in split.iter().enumerate() {
+                        // Crash one attempt mid-map, after several spills
+                        // have already been written under its tag.
+                        if n == 150 && !tripped.swap(true, Ordering::SeqCst) {
+                            panic!("mid-spill crash");
+                        }
+                        ctx.emit(x, u64::from(x) * 3 + 1);
+                    }
+                })
+                .reducers(3)
+                .reduce(|k, vals, ctx: &mut ReduceContext<u32, u64>| ctx.emit(*k, vals.sum()))
+                .run(&cluster, &splits)
+                .unwrap()
+        };
+        let clean = run(false);
+        let crashed = run(true);
+        assert_eq!(clean.pairs, crashed.pairs);
+        // The crashed attempt's partial spills were orphan-removed; the
+        // retry's fresh buffers and runs produce identical accounting.
+        assert_eq!(clean.metrics.spill_runs, crashed.metrics.spill_runs);
+        assert_eq!(clean.metrics.spill_passes, crashed.metrics.spill_passes);
+        assert_eq!(
+            clean.metrics.disk_spill_bytes,
+            crashed.metrics.disk_spill_bytes
+        );
+        assert_eq!(crashed.metrics.failed_attempts(), 1);
+        assert_eq!(crashed.metrics.retried_attempts(), 1);
+    }
+
+    #[test]
+    fn oom_abort_emits_task_aborted_then_job_aborted() {
+        let mut cfg = quiet_cluster();
+        cfg.task_memory_bytes = 1000;
+        let cluster = Cluster::new(cfg);
+        let err = JobBuilder::new("oom")
+            .map(|_s: &u8, ctx: &mut MapContext<u8, u8>| ctx.emit(0, 0))
+            .task_memory(|_| 2000)
+            .reduce(|_k, _v, _c: &mut ReduceContext<u8, u8>| {})
+            .run(&cluster, &[1u8, 2u8])
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::TaskOutOfMemory { .. }));
+        let events = cluster.trace_events();
+        crate::trace::validate(&events).expect("aborted timeline is well-formed");
+        let aborted: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::TaskAborted {
+                    job,
+                    phase,
+                    task,
+                    reason,
+                } => Some((job.clone(), *phase, *task, reason.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            aborted,
+            vec![(
+                "oom".to_string(),
+                TaskPhase::Map,
+                0,
+                "needs 2000 bytes, budget 1000".to_string()
+            )]
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(&e.kind, TraceEventKind::JobAborted { job, .. } if job == "oom")));
     }
 }

@@ -91,7 +91,7 @@ pub mod pipeline;
 pub mod scheduler;
 pub mod trace;
 
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, SpillBackend};
 pub use error::RuntimeError;
 pub use fault::{FaultPlan, Straggler, TargetedFault, TaskPhase};
 pub use job::{JobBuilder, JobOutput, MapContext, ReduceContext, ShufflePath};

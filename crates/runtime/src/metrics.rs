@@ -218,11 +218,30 @@ pub struct JobMetrics {
     /// a subset of the task's entry in `reduce_task_secs`.
     pub merge_secs: Vec<f64>,
     /// Per-map-task count of non-empty sorted runs produced at spill time
-    /// (at most one per reduce partition). Empty on the reference path.
+    /// (one per reduce partition per spill pass; a task that stays under
+    /// the `io_sort_bytes` budget spills exactly once). Empty on the
+    /// reference path.
     pub spill_runs: Vec<u64>,
-    /// Per-reduce-task merge fan-in: the number of sorted runs the task's
-    /// k-way merge drew from. Empty on the reference path.
+    /// Per-map-task count of spill passes (1 unless the task's buffered
+    /// emission crossed the `io_sort_bytes` budget mid-map). Empty on the
+    /// reference path.
+    pub spill_passes: Vec<u64>,
+    /// Per-reduce-task merge fan-in: the number of sorted runs fetched
+    /// from the shuffle for the task's k-way merge (before any
+    /// intermediate passes collapse them). Empty on the reference path.
     pub merge_fan_in: Vec<u64>,
+    /// Per-reduce-task count of *intermediate* merge passes run because
+    /// the fetched run count exceeded `io_sort_factor` (0 when the final
+    /// streaming merge handled all runs directly). Empty on the reference
+    /// path.
+    pub merge_passes: Vec<u64>,
+    /// Wire bytes written to local disk by map-side spills (framed run
+    /// payloads; 0 when every task stayed within one spill and the run
+    /// handoff is in-memory).
+    pub disk_spill_bytes: u64,
+    /// Wire bytes written + re-read by intermediate reduce merge passes
+    /// (each pass writes its merged run and the next pass reads it back).
+    pub disk_merge_bytes: u64,
     /// Bytes crossing the map→reduce shuffle boundary (wire-encoded).
     pub shuffle_bytes: u64,
     /// Key-value records crossing the shuffle boundary.

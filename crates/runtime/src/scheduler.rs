@@ -66,6 +66,18 @@ pub fn makespan(durations: &[f64], slots: usize, startup: f64) -> f64 {
     latest
 }
 
+/// Simulated seconds to move `bytes` through a device with the given
+/// throughput — the one formula behind every I/O charge in the cost model
+/// (HDFS reads, shuffle fetches, and spill/merge disk traffic), kept in one
+/// place so all charges stay dimensionally consistent.
+pub fn io_secs(bytes: u64, bytes_per_sec: f64) -> f64 {
+    debug_assert!(
+        bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+        "throughput must be positive"
+    );
+    bytes as f64 / bytes_per_sec
+}
+
 /// Number of scheduling waves: `ceil(tasks / slots)`.
 pub fn waves(tasks: usize, slots: usize) -> usize {
     assert!(slots > 0);
@@ -377,6 +389,12 @@ mod tests {
     fn single_wave_is_max_duration() {
         let m = makespan(&[1.0, 2.0, 3.0], 4, 0.0);
         assert!((m - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn io_secs_is_bytes_over_rate() {
+        assert!((io_secs(1500, 1000.0) - 1.5).abs() < 1e-12);
+        assert_eq!(io_secs(0, 150.0 * 1024.0 * 1024.0), 0.0);
     }
 
     #[test]

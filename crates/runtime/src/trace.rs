@@ -197,10 +197,61 @@ pub enum TraceEventKind {
         /// Codec-encoded bytes crossing the shuffle for this partition.
         bytes: u64,
         /// Sorted runs fetched by this partition's reducer (its merge
-        /// fan-in): at most one non-empty run per map task on the
-        /// sort-merge shuffle path; 0 on the reference global-sort path,
-        /// which moves one concatenated buffer instead.
+        /// fan-in): at most one non-empty run per map-task spill pass on
+        /// the sort-merge shuffle path (one per map task unless the spill
+        /// budget forced extra passes); 0 on the reference global-sort
+        /// path, which moves one concatenated buffer instead.
         runs: u64,
+    },
+    /// A map task's buffered emission crossed the spill budget
+    /// (`io_sort_bytes`) and was sorted and written out as one run per
+    /// non-empty partition. Emitted only for tasks that spilled more than
+    /// once — single-spill tasks are the memory-resident common case and
+    /// keep the golden event sequences unchanged. `time` is the owning
+    /// attempt's simulated end.
+    Spill {
+        /// Owning job name.
+        job: String,
+        /// Map task index.
+        task: usize,
+        /// 0-based spill sequence number within the task.
+        spill: usize,
+        /// Non-empty partition runs written by this spill pass.
+        runs: u64,
+        /// Wire-encoded payload bytes written by this spill pass.
+        bytes: u64,
+    },
+    /// An intermediate merge pass: a reducer whose partition arrived as
+    /// more runs than `io_sort_factor` merged up to that many runs into
+    /// one new run. Emitted only when intermediate passes actually
+    /// happened (fan-in below run count); the final streaming merge is
+    /// not an event. `time` is the owning attempt's simulated start.
+    MergePass {
+        /// Owning job name.
+        job: String,
+        /// Reduce partition index.
+        partition: usize,
+        /// 0-based merge pass number within the partition.
+        pass: usize,
+        /// Number of runs merged by this pass.
+        fan_in: u64,
+        /// Wire-encoded payload bytes written by this pass (read back once
+        /// more by the next pass, so disk traffic is 2× this).
+        bytes: u64,
+    },
+    /// A task was rejected before any attempt ran (e.g. its declared
+    /// working set exceeds `task_memory_bytes`); the job aborts without a
+    /// phase timeline. Always followed by a [`TraceEventKind::JobAborted`]
+    /// for the same job.
+    TaskAborted {
+        /// Owning job name.
+        job: String,
+        /// Map or reduce.
+        phase: TaskPhase,
+        /// Task index within the phase.
+        task: usize,
+        /// Why the task could not be admitted.
+        reason: String,
     },
     /// A seeded [`crate::fault::FaultPlan`] crashed an attempt; `time` is
     /// when the failure was observed (the attempt's simulated end).
@@ -382,6 +433,49 @@ impl TraceEvent {
                     esc(job)
                 );
             }
+            TraceEventKind::Spill {
+                job,
+                task,
+                spill,
+                runs,
+                bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"ev\":\"spill\",\"job\":\"{}\",\"task\":{task},\"spill\":{spill},\
+                     \"runs\":{runs},\"bytes\":{bytes}",
+                    esc(job)
+                );
+            }
+            TraceEventKind::MergePass {
+                job,
+                partition,
+                pass,
+                fan_in,
+                bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"ev\":\"merge_pass\",\"job\":\"{}\",\"partition\":{partition},\
+                     \"pass\":{pass},\"fan_in\":{fan_in},\"bytes\":{bytes}",
+                    esc(job)
+                );
+            }
+            TraceEventKind::TaskAborted {
+                job,
+                phase,
+                task,
+                reason,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"ev\":\"task_aborted\",\"job\":\"{}\",\"phase\":\"{}\",\"task\":{task},\
+                     \"reason\":\"{}\"",
+                    esc(job),
+                    phase.as_str(),
+                    esc(reason)
+                );
+            }
             TraceEventKind::FaultInjected {
                 job,
                 phase,
@@ -474,6 +568,26 @@ impl TraceEvent {
                     })?,
                 },
             },
+            "spill" => TraceEventKind::Spill {
+                job: field_str(&v, "job")?,
+                task: field_u64(&v, "task")? as usize,
+                spill: field_u64(&v, "spill")? as usize,
+                runs: field_u64(&v, "runs")?,
+                bytes: field_u64(&v, "bytes")?,
+            },
+            "merge_pass" => TraceEventKind::MergePass {
+                job: field_str(&v, "job")?,
+                partition: field_u64(&v, "partition")? as usize,
+                pass: field_u64(&v, "pass")? as usize,
+                fan_in: field_u64(&v, "fan_in")?,
+                bytes: field_u64(&v, "bytes")?,
+            },
+            "task_aborted" => TraceEventKind::TaskAborted {
+                job: field_str(&v, "job")?,
+                phase: parse_task_phase(&field_str(&v, "phase")?)?,
+                task: field_u64(&v, "task")? as usize,
+                reason: field_str(&v, "reason")?,
+            },
             "fault_injected" => TraceEventKind::FaultInjected {
                 job: field_str(&v, "job")?,
                 phase: parse_task_phase(&field_str(&v, "phase")?)?,
@@ -539,6 +653,23 @@ impl TraceEvent {
                 bytes,
                 ..
             } => format!("shuffle_partition({job} p{partition} bytes={bytes})"),
+            TraceEventKind::Spill {
+                job,
+                task,
+                spill,
+                runs,
+                bytes,
+            } => format!("spill({job} m{task} s{spill} runs={runs} bytes={bytes})"),
+            TraceEventKind::MergePass {
+                job,
+                partition,
+                pass,
+                fan_in,
+                bytes,
+            } => format!("merge_pass({job} p{partition} pass{pass} fan_in={fan_in} bytes={bytes})"),
+            TraceEventKind::TaskAborted {
+                job, phase, task, ..
+            } => format!("task_aborted({job} {phase}{task})"),
             TraceEventKind::FaultInjected {
                 job,
                 phase,
@@ -918,6 +1049,52 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     esc(job)
                 ));
             }
+            TraceEventKind::Spill {
+                job,
+                task,
+                spill,
+                runs,
+                bytes,
+            } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{TID_DRIVER},\"ts\":{},\"s\":\"p\",\
+                     \"name\":\"spill m{task} s{spill}\",\"cat\":\"spill\",\
+                     \"args\":{{\"job\":\"{}\",\"runs\":{runs},\"bytes\":{bytes}}}}}",
+                    us(e.time),
+                    esc(job)
+                ));
+            }
+            TraceEventKind::MergePass {
+                job,
+                partition,
+                pass,
+                fan_in,
+                bytes,
+            } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{TID_DRIVER},\"ts\":{},\"s\":\"p\",\
+                     \"name\":\"merge p{partition} pass{pass}\",\"cat\":\"merge\",\
+                     \"args\":{{\"job\":\"{}\",\"fan_in\":{fan_in},\"bytes\":{bytes}}}}}",
+                    us(e.time),
+                    esc(job)
+                ));
+            }
+            TraceEventKind::TaskAborted {
+                job,
+                phase,
+                task,
+                reason,
+            } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{TID_DRIVER},\"ts\":{},\"s\":\"p\",\
+                     \"name\":\"task aborted {}{task}\",\"cat\":\"fault\",\
+                     \"args\":{{\"job\":\"{}\",\"reason\":\"{}\"}}}}",
+                    us(e.time),
+                    phase.as_str(),
+                    esc(job),
+                    esc(reason)
+                ));
+            }
             TraceEventKind::FaultInjected {
                 job,
                 phase,
@@ -977,7 +1154,14 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
 ///   one slot**,
 /// * failed attempts carry a failure kind; successful/killed ones do not,
 /// * a shuffle partition's merge fan-in (`runs`) never exceeds the job's
-///   map count (a reducer draws at most one sorted run per map task),
+///   map count plus the number of recorded extra spill passes (a reducer
+///   draws at most one sorted run per map-task spill pass, and single-spill
+///   tasks emit no `spill` events),
+/// * `spill` events lie inside the map phase and name a valid map task;
+///   `merge_pass` events lie inside the reduce phase and name a valid
+///   reduce partition,
+/// * every `task_aborted` event is followed by a `job_aborted` for the
+///   same job (task admission failures abort the whole job),
 /// * stage begin/end events nest properly; an unclosed stage is accepted
 ///   only when a `job_aborted` event follows it (the error propagated
 ///   out of the stage).
@@ -1026,6 +1210,19 @@ pub fn validate(events: &[TraceEvent]) -> Result<(), TraceError> {
                 let consumed = validate_job(events, i, job)?;
                 i = consumed;
             }
+            TraceEventKind::TaskAborted { job, .. } => {
+                let aborted = events.iter().any(|later| {
+                    later.seq > e.seq
+                        && matches!(&later.kind,
+                            TraceEventKind::JobAborted { job: j, .. } if j == job)
+                });
+                if !aborted {
+                    return err(format!(
+                        "task_aborted({job}) without a following job_aborted"
+                    ));
+                }
+                i += 1;
+            }
             _ => {
                 i += 1;
             }
@@ -1044,8 +1241,8 @@ pub fn validate(events: &[TraceEvent]) -> Result<(), TraceError> {
 fn validate_job(events: &[TraceEvent], begin: usize, job: &str) -> Result<usize, TraceError> {
     let err = |msg: String| Err(TraceError(msg));
     let t_begin = events[begin].time;
-    let job_maps = match &events[begin].kind {
-        TraceEventKind::JobBegin { maps, .. } => *maps as u64,
+    let (job_maps, job_reducers) = match &events[begin].kind {
+        TraceEventKind::JobBegin { maps, reducers, .. } => (*maps as u64, *reducers as u64),
         _ => unreachable!("validate_job is called on a job_begin event"),
     };
     const PHASES: [JobPhase; 4] = [
@@ -1057,6 +1254,9 @@ fn validate_job(events: &[TraceEvent], begin: usize, job: &str) -> Result<usize,
     let mut next_phase = 0usize; // index into PHASES of the next expected begin
     let mut open_phase: Option<(JobPhase, f64)> = None;
     let mut phase_sum = 0.0f64;
+    // Spill events recorded in this job's map phase; each one is an extra
+    // spill pass, loosening the per-partition fan-in bound accordingly.
+    let mut extra_spills = 0u64;
     // (slot, start, end) per open task phase, for overlap checking.
     let mut spans: Vec<(TaskPhase, usize, f64, f64)> = Vec::new();
     let mut i = begin + 1;
@@ -1169,10 +1369,40 @@ fn validate_job(events: &[TraceEvent], begin: usize, job: &str) -> Result<usize,
                 if j != job {
                     return err(format!("event for {j} inside job {job}"));
                 }
-                // A reducer draws at most one sorted run per map task.
-                if *runs > job_maps {
+                // A reducer draws at most one sorted run per map-task spill
+                // pass; single-spill tasks emit no spill events, so the
+                // bound is map count plus recorded extra passes.
+                if *runs > job_maps + extra_spills {
                     return err(format!(
-                        "{job}: shuffle partition fan-in {runs} exceeds map count {job_maps}"
+                        "{job}: shuffle partition fan-in {runs} exceeds map count {job_maps} \
+                         plus {extra_spills} recorded spills"
+                    ));
+                }
+            }
+            TraceEventKind::Spill { job: j, task, .. } => {
+                if j != job {
+                    return err(format!("event for {j} inside job {job}"));
+                }
+                if !matches!(open_phase, Some((JobPhase::Map, _))) {
+                    return err(format!("{job}: spill event outside the map phase"));
+                }
+                if *task as u64 >= job_maps {
+                    return err(format!("{job}: spill names map task {task} of {job_maps}"));
+                }
+                extra_spills += 1;
+            }
+            TraceEventKind::MergePass {
+                job: j, partition, ..
+            } => {
+                if j != job {
+                    return err(format!("event for {j} inside job {job}"));
+                }
+                if !matches!(open_phase, Some((JobPhase::Reduce, _))) {
+                    return err(format!("{job}: merge_pass event outside the reduce phase"));
+                }
+                if *partition as u64 >= job_reducers {
+                    return err(format!(
+                        "{job}: merge_pass names partition {partition} of {job_reducers}"
                     ));
                 }
             }
@@ -1294,6 +1524,38 @@ mod tests {
             ev(9, 0.8, TraceEventKind::StageBegin { stage: "s".into() }),
             ev(10, 0.9, TraceEventKind::StageEnd { stage: "s".into() }),
             ev(11, 0.9, TraceEventKind::Glue),
+            ev(
+                12,
+                0.95,
+                TraceEventKind::Spill {
+                    job: "j".into(),
+                    task: 2,
+                    spill: 1,
+                    runs: 3,
+                    bytes: 4096,
+                },
+            ),
+            ev(
+                13,
+                0.96,
+                TraceEventKind::MergePass {
+                    job: "j".into(),
+                    partition: 1,
+                    pass: 0,
+                    fan_in: 3,
+                    bytes: 8192,
+                },
+            ),
+            ev(
+                14,
+                0.97,
+                TraceEventKind::TaskAborted {
+                    job: "j".into(),
+                    phase: TaskPhase::Map,
+                    task: 0,
+                    reason: "needs 2000 bytes, budget 1000".into(),
+                },
+            ),
         ];
         for e in &samples {
             let line = e.to_jsonl();

@@ -365,8 +365,76 @@ mod shuffle_equivalence {
         )
     }
 
+    /// Like [`run_path`] (no combiner) but with explicit spill knobs, so
+    /// tiny `io.sort.mb` budgets force multi-run external spills and small
+    /// `io.sort.factor` fan-ins force intermediate merge passes.
+    fn run_constrained(
+        splits: &[Vec<(u32, u64)>],
+        reducers: usize,
+        io_sort_bytes: u64,
+        io_sort_factor: usize,
+        path: ShufflePath,
+    ) -> (Vec<(u32, u64)>, u64, u64) {
+        let mut cfg = ClusterConfig::with_slots(4.max(reducers), 2.max(reducers));
+        cfg.task_startup = std::time::Duration::ZERO;
+        cfg.job_setup = std::time::Duration::ZERO;
+        cfg.io_sort_bytes = io_sort_bytes;
+        cfg.io_sort_factor = io_sort_factor;
+        let cluster = Cluster::new(cfg);
+        let out = JobBuilder::new("prop-multi-pass")
+            .map(|split: &Vec<(u32, u64)>, ctx: &mut MapContext<u32, f64>| {
+                for &(k, bits) in split {
+                    ctx.emit(k, f64::from_bits(bits));
+                }
+            })
+            .reducers(reducers)
+            .shuffle_path(path)
+            .reduce(|k, vals, ctx: &mut ReduceContext<u32, f64>| {
+                for v in vals {
+                    ctx.emit(*k, v);
+                }
+            })
+            .run(&cluster, splits)
+            .unwrap();
+        let pairs = out
+            .pairs
+            .into_iter()
+            .map(|(k, v)| (k, v.to_bits()))
+            .collect();
+        (
+            pairs,
+            out.metrics.shuffle_bytes,
+            out.metrics.shuffle_records,
+        )
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn multi_pass_merge_is_bit_identical_to_single_pass(
+            // Duplicate-heavy keys (0..6) so groups span many runs, raw bit
+            // patterns so NaN payloads appear, and possibly-empty splits so
+            // empty runs appear. A 32-byte budget against 12-byte pairs
+            // forces multi-run spills on any split with a few records.
+            splits in prop::collection::vec(
+                prop::collection::vec((0u32..6, any::<u64>()), 0..40),
+                1..7,
+            ),
+            reducers in 1usize..4,
+            fan_in in 2usize..4,
+        ) {
+            let multi = run_constrained(&splits, reducers, 32, fan_in, ShufflePath::SortMerge);
+            let single =
+                run_constrained(&splits, reducers, 100 << 20, 100, ShufflePath::SortMerge);
+            let reference =
+                run_constrained(&splits, reducers, 100 << 20, 100, ShufflePath::GlobalSort);
+            prop_assert_eq!(&multi.0, &single.0, "multi-pass pairs diverge from single-pass");
+            prop_assert_eq!(multi.1, single.1, "multi-pass shuffle bytes diverge");
+            prop_assert_eq!(multi.2, single.2, "multi-pass shuffle records diverge");
+            prop_assert_eq!(&single.0, &reference.0, "sort-merge diverges from reference");
+            prop_assert_eq!(single.1, reference.1);
+        }
 
         #[test]
         fn sort_merge_is_bit_identical_to_global_sort(

@@ -160,3 +160,74 @@ fn tie_order_matches_reference_under_duplicate_heavy_input() {
     };
     assert_eq!(run(ShufflePath::SortMerge), run(ShufflePath::GlobalSort));
 }
+
+#[test]
+fn constrained_memory_runs_externally_and_stays_bit_identical() {
+    // The acceptance scenario for the external shuffle: with the spill
+    // budget far below a map task's working set, the job must complete via
+    // multi-run external spills (no TaskFailed), report >1 spill pass per
+    // non-empty task and intermediate merge passes when fan-in < run
+    // count, and produce byte-identical output to the unconstrained run.
+    use dwmaxerr::runtime::SpillBackend;
+
+    let splits: Vec<Vec<(u64, u64)>> = (0..5)
+        .map(|s| (0..120).map(|i| (i % 9, s * 1000 + i)).collect())
+        .collect();
+    let run = |constrain: bool, backend: SpillBackend| {
+        let mut cfg = ClusterConfig::with_slots(4, 3);
+        cfg.task_startup = std::time::Duration::ZERO;
+        cfg.job_setup = std::time::Duration::ZERO;
+        if constrain {
+            cfg.io_sort_bytes = 200; // 16-byte pairs: spill every ~12 emits
+            cfg.io_sort_factor = 2;
+            cfg.spill_backend = backend;
+        }
+        let cluster = Cluster::new(cfg);
+        let out = JobBuilder::new("pressure")
+            .map(|split: &Vec<(u64, u64)>, ctx: &mut MapContext<u64, u64>| {
+                for &(k, v) in split {
+                    ctx.emit(k, v);
+                }
+            })
+            .reducers(3)
+            .reduce(|k, vals, ctx: &mut ReduceContext<u64, u64>| {
+                for v in vals {
+                    ctx.emit(*k, v);
+                }
+            })
+            .run(&cluster, &splits)
+            .expect("constrained job completes instead of failing");
+        (out, cluster.trace_events())
+    };
+
+    let (unconstrained, _) = run(false, SpillBackend::Memory);
+    assert_eq!(unconstrained.metrics.disk_spill_bytes, 0);
+    for backend in [SpillBackend::Memory, SpillBackend::Disk] {
+        let (constrained, events) = run(true, backend);
+        assert_eq!(constrained.pairs, unconstrained.pairs, "{backend:?}");
+        assert_eq!(
+            constrained.metrics.shuffle_bytes,
+            unconstrained.metrics.shuffle_bytes
+        );
+        // Every task crossed the budget repeatedly...
+        assert!(constrained.metrics.spill_passes.iter().all(|&p| p > 1));
+        assert!(constrained
+            .metrics
+            .spill_runs
+            .iter()
+            .zip(&unconstrained.metrics.spill_runs)
+            .all(|(&c, &u)| c > u));
+        // ...and fan-in 2 forced intermediate merge passes everywhere.
+        assert!(constrained.metrics.merge_passes.iter().all(|&p| p >= 1));
+        assert!(constrained.metrics.disk_spill_bytes > 0);
+        assert!(constrained.metrics.disk_merge_bytes > 0);
+        // The timeline records the spill/merge story and still validates.
+        trace::validate(&events).expect("constrained trace validates");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::Spill { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::MergePass { .. })));
+    }
+}
