@@ -26,6 +26,7 @@ fn main() {
         ("Figure 10", experiments::fig10),
         ("Figure 11", experiments::fig11),
         ("Fault sweep", experiments::fault_sweep),
+        ("Node-failure sweep", experiments::node_fault_tables),
     ];
     let mut all = String::from("# Experiment suite output\n\n");
     all.push_str(&format!("Scale: {scale:?}\n\n"));

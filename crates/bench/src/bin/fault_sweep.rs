@@ -1,20 +1,34 @@
-//! Fault-tolerance sweep: DGreedyAbs under injected failures and
-//! stragglers. `DWM_SCALE=full` for larger sizes.
+//! Fault-tolerance sweeps: DGreedyAbs under injected attempt failures and
+//! stragglers, then under whole-node kills (lost map outputs, corrupt
+//! spill runs). `DWM_SCALE=full` for larger sizes.
 //!
-//! Pass `--trace-dir <dir>` (or set `DWM_TRACE_DIR`) to export the
-//! highest-failure-rate run's execution trace next to the report:
-//! `fault_sweep.trace.jsonl` (structured event log) and
-//! `fault_sweep.trace.json` (Chrome trace-event format — open at
-//! <https://ui.perfetto.dev>).
+//! Flags and environment:
+//!
+//! * `--smoke` — force the quick scale and assert the sweep's invariants
+//!   (bit-identical outputs, visible re-execution on every killed-node
+//!   cell) instead of merely reporting them; the CI entry point.
+//! * `DWM_FAULT_SEED=<u64>` — override the seed every cell's `FaultPlan`
+//!   derives from (default 41). The effective seed and its source are
+//!   printed and stamped into the JSON document.
+//! * `--out <path>` — where to write the node sweep's results
+//!   (default `BENCH_fault_nodes.json`).
+//! * `--trace-dir <dir>` (or `DWM_TRACE_DIR`) — export execution traces
+//!   next to the report: `fault_sweep.trace.jsonl`/`.json` from the
+//!   highest-failure-rate attempt-sweep run and
+//!   `fault_sweep_nodes.trace.jsonl`/`.json` from the heaviest node-kill
+//!   cell (Chrome traces open at <https://ui.perfetto.dev>).
 use std::path::PathBuf;
 
 use dwmaxerr_bench::{experiments, report, setup::Scale};
 
 fn main() {
     let mut trace_dir: Option<PathBuf> = std::env::var_os("DWM_TRACE_DIR").map(PathBuf::from);
+    let mut out = PathBuf::from("BENCH_fault_nodes.json");
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--smoke" => smoke = true,
             "--trace-dir" => {
                 let dir = args.next().unwrap_or_else(|| {
                     eprintln!("--trace-dir requires a directory argument");
@@ -22,12 +36,81 @@ fn main() {
                 });
                 trace_dir = Some(PathBuf::from(dir));
             }
+            "--out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a file argument");
+                    std::process::exit(2);
+                });
+                out = PathBuf::from(path);
+            }
             other => {
-                eprintln!("unknown argument {other:?} (expected --trace-dir <dir>)");
+                eprintln!(
+                    "unknown argument {other:?} \
+                     (expected --smoke, --out <file>, --trace-dir <dir>)"
+                );
                 std::process::exit(2);
             }
         }
     }
-    let tables = experiments::fault_sweep_traced(Scale::from_env(), trace_dir.as_deref());
+
+    let (seed, source) = match std::env::var("DWM_FAULT_SEED") {
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(v) => (v, "from DWM_FAULT_SEED"),
+            Err(_) => {
+                eprintln!("DWM_FAULT_SEED={raw:?} is not a u64");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => (experiments::DEFAULT_FAULT_SEED, "default"),
+    };
+    println!("fault seed: {seed} ({source})");
+
+    let scale = if smoke {
+        Scale::Quick
+    } else {
+        Scale::from_env()
+    };
+    let tables = experiments::fault_sweep_traced(scale, seed, trace_dir.as_deref());
     report::print_all(&tables);
+
+    let sweep = experiments::node_fault_sweep(scale, seed, trace_dir.as_deref());
+    report::print_all(&sweep.tables);
+    if smoke {
+        // Smoke gates: every cell recovered bit-identically, every
+        // killed-node cell shows the recovery machinery actually firing.
+        for s in &sweep.samples {
+            assert!(
+                s.identical,
+                "cell (kills={}, corruption={}) was not bit-identical",
+                s.nodes_killed, s.corruption
+            );
+            if s.nodes_killed > 0 {
+                assert!(
+                    s.recovery.nodes_failed >= s.nodes_killed as u64,
+                    "cell kills={} saw only {} node failures",
+                    s.nodes_killed,
+                    s.recovery.nodes_failed
+                );
+                assert!(
+                    s.recovery.maps_reexecuted > 0 && s.recovery.fetch_retries > 0,
+                    "cell kills={} shows no re-execution: {:?}",
+                    s.nodes_killed,
+                    s.recovery
+                );
+            }
+            if s.corruption {
+                assert!(
+                    s.recovery.corrupt_runs > 0,
+                    "corruption cell detected no corrupt runs: {:?}",
+                    s.recovery
+                );
+            }
+        }
+        println!(
+            "smoke OK: {} node-sweep cells recovered bit-identically",
+            sweep.samples.len()
+        );
+    }
+    std::fs::write(&out, sweep.to_json(smoke)).expect("write BENCH_fault_nodes.json");
+    println!("wrote {}", out.display());
 }

@@ -10,8 +10,11 @@
 //!   `traceEvents` array, and every entry has the keys a viewer needs
 //!   (`ph`, `pid`, `tid`, `name`, plus `ts`/`dur` on spans) — the
 //!   loadability contract for Perfetto / `chrome://tracing`,
-//! * with `--require-recovery`, the trace must contain at least one retry
-//!   attempt and one speculative attempt (the fault-sweep smoke check).
+//! * with `--require-recovery`, the trace must show recovery actually
+//!   happening: either attempt-level recovery (at least one retry *and*
+//!   one speculative attempt — the attempt-sweep smoke check) or
+//!   node-level recovery (at least one `node_down` *and* one
+//!   `map_reexecuted` instant — the node-sweep smoke check).
 //!
 //! Exits non-zero with a message on the first violation.
 use std::path::Path;
@@ -51,13 +54,27 @@ fn check_jsonl(path: &Path, require_recovery: bool) -> Result<Vec<TraceEvent>, S
         };
         let retries = kind_count(AttemptKind::Retry);
         let speculative = kind_count(AttemptKind::Speculative);
-        if retries == 0 {
-            return Err("no retry attempts in trace (--require-recovery)".to_string());
+        let node_down = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::NodeDown { .. }))
+            .count();
+        let reexecuted = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::MapReexecuted { .. }))
+            .count();
+        let attempt_recovery = retries > 0 && speculative > 0;
+        let node_recovery = node_down > 0 && reexecuted > 0;
+        if !attempt_recovery && !node_recovery {
+            return Err(format!(
+                "no recovery in trace (--require-recovery): {retries} retries, \
+                 {speculative} speculative, {node_down} node_down, \
+                 {reexecuted} map_reexecuted"
+            ));
         }
-        if speculative == 0 {
-            return Err("no speculative attempts in trace (--require-recovery)".to_string());
-        }
-        println!("  recovery: {retries} retries, {speculative} speculative attempts");
+        println!(
+            "  recovery: {retries} retries, {speculative} speculative attempts, \
+             {node_down} node_down, {reexecuted} map_reexecuted"
+        );
     }
     Ok(events)
 }

@@ -1,12 +1,19 @@
-//! Fault-tolerance sweep: the paper's algorithms on a cluster that loses
-//! task attempts and hosts stragglers.
+//! Fault-tolerance sweeps: the paper's algorithms on a cluster that loses
+//! task attempts, hosts stragglers, and loses whole *nodes*.
 //!
 //! Hadoop treats task failure as routine (4 attempts per task, speculative
-//! execution on), and the paper's jobs inherit that robustness. This
-//! experiment injects seeded failures at increasing rates — plus two
-//! deterministic stragglers — and shows that (a) the synopses are
-//! bit-identical to the fault-free run, and (b) the recovery cost appears
-//! as extra simulated makespan and wasted (failed/killed) slot seconds.
+//! execution on), and the paper's jobs inherit that robustness. The
+//! attempt-level sweep ([`fault_sweep`]) injects seeded failures at
+//! increasing rates — plus two deterministic stragglers — and shows that
+//! (a) the synopses are bit-identical to the fault-free run, and (b) the
+//! recovery cost appears as extra simulated makespan and wasted
+//! (failed/killed) slot seconds.
+//!
+//! The node-level sweep ([`node_fault_sweep`]) kills 0→3 whole nodes
+//! *after* the map waves complete — taking every completed map output
+//! they hosted with them — optionally corrupting stored runs on top, and
+//! measures the recovery overhead: fetch retries, map re-executions, and
+//! the extra simulated time they serialize into the makespan.
 
 use std::path::Path;
 
@@ -14,30 +21,39 @@ use dwmaxerr_core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};
 use dwmaxerr_core::CoreError;
 use dwmaxerr_datagen::synthetic::uniform;
 use dwmaxerr_runtime::metrics::DriverMetrics;
-use dwmaxerr_runtime::trace::{self, TraceEvent};
-use dwmaxerr_runtime::{AttemptStats, Cluster, ClusterConfig, FaultPlan, TaskPhase};
+use dwmaxerr_runtime::trace::{self, summary, TraceEvent};
+use dwmaxerr_runtime::{AttemptStats, Cluster, ClusterConfig, FaultPlan, RecoveryStats, TaskPhase};
 
 use crate::report::{
-    critical_path_table, secs, shuffle_structure_table, slot_utilisation_table, stage_breakdown,
-    Table,
+    cluster_stamp, critical_path_table, secs, shuffle_structure_table, slot_utilisation_table,
+    stage_breakdown, Table,
 };
 use crate::setup::Scale;
 
-/// A paper-shaped cluster carrying the given fault plan. HDFS is slowed to
-/// 80 KiB/s so map durations are dominated by the *deterministic* simulated
-/// read (~100 ms per 8 KiB split): stragglers then outrun the speculation
-/// floor (50 ms) and the sweep's timings are reproducible, not host noise.
-fn faulty_cluster(plan: Option<FaultPlan>) -> Cluster {
-    Cluster::new(ClusterConfig {
+/// Seed every sweep's [`FaultPlan`] derives from unless the `fault_sweep`
+/// binary's `DWM_FAULT_SEED` override supplies another one.
+pub const DEFAULT_FAULT_SEED: u64 = 41;
+
+/// A paper-shaped cluster config carrying the given fault plan. HDFS is
+/// slowed to 80 KiB/s so map durations are dominated by the
+/// *deterministic* simulated read (~100 ms per 8 KiB split): stragglers
+/// then outrun the speculation floor (50 ms) and the sweep's timings are
+/// reproducible, not host noise.
+fn faulty_config(plan: Option<FaultPlan>) -> ClusterConfig {
+    ClusterConfig {
         fault_plan: plan,
         hdfs_bytes_per_sec: 80.0 * 1024.0,
         ..ClusterConfig::default()
-    })
+    }
+}
+
+fn faulty_cluster(plan: Option<FaultPlan>) -> Cluster {
+    Cluster::new(faulty_config(plan))
 }
 
 /// Fault sweep over DGreedyAbs: failure rate vs recovery cost.
 pub fn fault_sweep(scale: Scale) -> Vec<Table> {
-    fault_sweep_traced(scale, None)
+    fault_sweep_traced(scale, DEFAULT_FAULT_SEED, None)
 }
 
 /// [`fault_sweep`], additionally exporting the highest-failure-rate
@@ -49,7 +65,7 @@ pub fn fault_sweep(scale: Scale) -> Vec<Table> {
 /// trace-event format — open it at <https://ui.perfetto.dev>), and the
 /// returned tables gain trace-derived slot-utilisation and critical-path
 /// summaries.
-pub fn fault_sweep_traced(scale: Scale, trace_dir: Option<&Path>) -> Vec<Table> {
+pub fn fault_sweep_traced(scale: Scale, seed: u64, trace_dir: Option<&Path>) -> Vec<Table> {
     let n: usize = 1 << scale.pick(15, 18);
     let b = n / 8;
     let s = (n / 32).max(1 << 10);
@@ -97,7 +113,7 @@ pub fn fault_sweep_traced(scale: Scale, trace_dir: Option<&Path>) -> Vec<Table> 
     );
     let mut breakdown_metrics: Option<(f64, DriverMetrics, Vec<TraceEvent>)> = None;
     for prob in [0.0, 0.05, 0.10, 0.20] {
-        let plan = FaultPlan::seeded(41)
+        let plan = FaultPlan::seeded(seed)
             .with_failure_prob(prob)
             .with_straggler(TaskPhase::Map, 0, 6.0)
             .with_straggler(TaskPhase::Map, 1, 4.0);
@@ -198,4 +214,279 @@ pub fn fault_sweep_traced(scale: Scale, trace_dir: Option<&Path>) -> Vec<Table> 
         tables.push(shuffle);
     }
     tables
+}
+
+/// One (nodes killed, corruption) cell of [`node_fault_sweep`].
+#[derive(Debug, Clone)]
+pub struct NodeFaultSample {
+    /// Nodes killed permanently after the map waves complete.
+    pub nodes_killed: usize,
+    /// Whether seeded stored-run corruption was injected on top.
+    pub corruption: bool,
+    /// Simulated pipeline makespan in seconds.
+    pub sim_secs: f64,
+    /// Recovery counters summed over the pipeline's jobs.
+    pub recovery: RecoveryStats,
+    /// Whether the synopsis was bit-identical to the fault-free run.
+    pub identical: bool,
+}
+
+/// Output of [`node_fault_sweep`]: report tables plus the raw samples the
+/// `BENCH_fault_nodes.json` document is built from.
+#[derive(Debug, Clone)]
+pub struct NodeFaultSweep {
+    /// Recovery-overhead sweep table plus the heaviest cell's per-job
+    /// recovery summary.
+    pub tables: Vec<Table>,
+    /// One sample per (nodes killed, corruption) cell, lightest first.
+    pub samples: Vec<NodeFaultSample>,
+    /// Fault-free baseline simulated seconds.
+    pub clean_secs: f64,
+    /// Seed every cell's [`FaultPlan`] was built from.
+    pub seed: u64,
+}
+
+impl NodeFaultSweep {
+    /// Serialises the sweep as the `BENCH_fault_nodes.json` document,
+    /// stamped with the cluster/node topology and the fault seed.
+    /// Hand-rolled JSON — the build is offline.
+    pub fn to_json(&self, smoke: bool) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"benchmark\": \"fault_nodes\",\n  \"smoke\": {smoke},\n  \
+             \"fault_seed\": {},\n  \"cluster\": {},\n  \
+             \"clean_sim_secs\": {:.6},\n  \"samples\": [\n",
+            self.seed,
+            cluster_stamp(&faulty_config(None)),
+            self.clean_secs,
+        ));
+        for (i, x) in self.samples.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"nodes_killed\": {}, \"corruption\": {}, \"sim_secs\": {:.6}, \
+                 \"overhead_pct\": {:.2}, \"nodes_failed\": {}, \"maps_reexecuted\": {}, \
+                 \"fetch_retries\": {}, \"corrupt_runs\": {}, \"nodes_blacklisted\": {}, \
+                 \"identical\": {}}}{}\n",
+                x.nodes_killed,
+                x.corruption,
+                x.sim_secs,
+                (x.sim_secs / self.clean_secs - 1.0) * 100.0,
+                x.recovery.nodes_failed,
+                x.recovery.maps_reexecuted,
+                x.recovery.fetch_retries,
+                x.recovery.corrupt_runs,
+                x.recovery.nodes_blacklisted,
+                x.identical,
+                if i + 1 < self.samples.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Node-failure sweep over DGreedyAbs: 0→3 of the 8 nodes are killed
+/// permanently at simulated time 1000 s — far past every map end, so no
+/// attempt is cut mid-flight but every completed map output the dead
+/// nodes hosted is gone when the reducers fetch. The corruption variants
+/// additionally flip bytes in stored runs (one targeted + a seeded 5%
+/// draw), which the checksum footers surface as lost outputs. Recovery —
+/// capped-backoff fetch retries, then re-executing the owning maps on
+/// survivors — must reproduce the synopsis bit-identically, paying only
+/// simulated time.
+///
+/// With `trace_dir` set, the heaviest cell's trace (3 nodes killed +
+/// corruption) is validated and written as `fault_sweep_nodes.trace.jsonl`
+/// and `fault_sweep_nodes.trace.json` (Chrome trace-event format).
+pub fn node_fault_sweep(scale: Scale, seed: u64, trace_dir: Option<&Path>) -> NodeFaultSweep {
+    const KILL_TIME: f64 = 1000.0;
+    let n: usize = 1 << scale.pick(14, 17);
+    let b = n / 8;
+    let s = (n / 32).max(1 << 10);
+    let data = uniform(n, 1_000.0, 62);
+    let cfg = DGreedyAbsConfig {
+        base_leaves: s,
+        bucket_width: 1.0,
+        reducers: 4,
+        max_candidates: None,
+    };
+    let run = |plan: Option<FaultPlan>| {
+        let cluster = faulty_cluster(plan);
+        // Node loss after map completion is always recoverable while a
+        // node survives, so unlike the attempt sweep no cell may fail.
+        let res = dgreedy_abs(&cluster, &data, b, &cfg).expect("node-kill recovery succeeds");
+        (
+            res.synopsis.reconstruct_all(),
+            res.metrics.total_simulated().secs(),
+            res.metrics.total_recovery_stats(),
+            cluster.trace_events(),
+        )
+    };
+    let (clean_recon, clean_secs, _, _) = run(None);
+
+    let mut t = Table::new(
+        format!(
+            "Node-failure sweep — DGreedyAbs losing whole nodes after the map waves \
+             (N=2^{}, B=N/8, 8-node topology)",
+            n.trailing_zeros()
+        ),
+        "losing a node loses its completed map outputs; fetch retries plus map \
+         re-execution on survivors recover bit-identically, paying only simulated time",
+        &[
+            "nodes killed",
+            "corruption",
+            "sim time",
+            "vs fault-free",
+            "nodes failed",
+            "maps re-executed",
+            "fetch retries",
+            "corrupt runs",
+            "output identical",
+        ],
+    );
+    let mut samples = Vec::new();
+    let mut heaviest_events: Vec<TraceEvent> = Vec::new();
+    for corruption in [false, true] {
+        for kills in 0..=3usize {
+            let mut plan = FaultPlan::seeded(seed).with_blacklist_after(3);
+            for node in 0..kills {
+                plan = plan.with_node_failure(node, KILL_TIME);
+            }
+            if corruption {
+                plan = plan.with_corrupt_run(0).with_corrupt_run_prob(0.05);
+            }
+            let (recon, sim_secs, recovery, events) = run(Some(plan));
+            let identical = recon == clean_recon;
+            t.row(vec![
+                kills.to_string(),
+                if corruption { "yes" } else { "no" }.to_string(),
+                secs(sim_secs),
+                format!("{:+.1}%", (sim_secs / clean_secs - 1.0) * 100.0),
+                recovery.nodes_failed.to_string(),
+                recovery.maps_reexecuted.to_string(),
+                recovery.fetch_retries.to_string(),
+                recovery.corrupt_runs.to_string(),
+                if identical { "yes" } else { "NO" }.to_string(),
+            ]);
+            samples.push(NodeFaultSample {
+                nodes_killed: kills,
+                corruption,
+                sim_secs,
+                recovery,
+                identical,
+            });
+            heaviest_events = events;
+        }
+    }
+    t.note(format!(
+        "seeded FaultPlan (seed {seed}): nodes 0..k killed permanently at sim t={KILL_TIME} s \
+         (after every map end), corruption rows add one targeted corrupt run plus a 5% \
+         per-run draw; blacklist threshold 3; Hadoop fetch semantics: \
+         {} retries with capped exponential backoff, then map re-execution.",
+        faulty_config(None).fetch_retries,
+    ));
+    let mut tables = vec![t];
+
+    // The last cell iterated is the heaviest (3 kills + corruption): use
+    // its trace for the per-job recovery summary and the exported files.
+    trace::validate(&heaviest_events).expect("node-sweep trace is well-formed");
+    let mut rt = Table::new(
+        "Per-job recovery — DGreedyAbs with 3 nodes killed + corruption (trace-derived)",
+        "node loss is visible per pipeline job: node_down instants, fetch failures, \
+         map re-executions on survivors, blacklistings",
+        &[
+            "job",
+            "nodes down",
+            "permanent",
+            "fetch failures",
+            "maps re-executed",
+            "blacklisted",
+        ],
+    );
+    for r in summary::recovery_summary(&heaviest_events) {
+        rt.row(vec![
+            r.job.clone(),
+            r.nodes_down.to_string(),
+            r.permanent.to_string(),
+            r.fetch_failures.to_string(),
+            r.maps_reexecuted.to_string(),
+            r.nodes_blacklisted.to_string(),
+        ]);
+    }
+    if let Some(dir) = trace_dir {
+        std::fs::create_dir_all(dir).expect("create trace dir");
+        let jsonl_path = dir.join("fault_sweep_nodes.trace.jsonl");
+        let chrome_path = dir.join("fault_sweep_nodes.trace.json");
+        std::fs::write(&jsonl_path, trace::to_jsonl(&heaviest_events)).expect("write JSONL trace");
+        std::fs::write(&chrome_path, trace::chrome_trace(&heaviest_events))
+            .expect("write Chrome trace");
+        rt.note(format!(
+            "trace written to {} (JSONL) and {} (Chrome trace-event; open at \
+             https://ui.perfetto.dev).",
+            jsonl_path.display(),
+            chrome_path.display()
+        ));
+    }
+    tables.push(rt);
+
+    NodeFaultSweep {
+        tables,
+        samples,
+        clean_secs,
+        seed,
+    }
+}
+
+/// [`node_fault_sweep`] shaped for the combined experiment suite.
+pub fn node_fault_tables(scale: Scale) -> Vec<Table> {
+    node_fault_sweep(scale, DEFAULT_FAULT_SEED, None).tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_sweep_json_is_stamped_and_shaped() {
+        let sweep = NodeFaultSweep {
+            tables: Vec::new(),
+            samples: vec![
+                NodeFaultSample {
+                    nodes_killed: 0,
+                    corruption: false,
+                    sim_secs: 2.0,
+                    recovery: RecoveryStats::default(),
+                    identical: true,
+                },
+                NodeFaultSample {
+                    nodes_killed: 3,
+                    corruption: true,
+                    sim_secs: 3.0,
+                    recovery: RecoveryStats {
+                        nodes_failed: 3,
+                        maps_reexecuted: 7,
+                        fetch_retries: 21,
+                        corrupt_runs: 2,
+                        nodes_blacklisted: 0,
+                    },
+                    identical: true,
+                },
+            ],
+            clean_secs: 2.0,
+            seed: 9,
+        };
+        let json = sweep.to_json(true);
+        assert!(json.contains("\"benchmark\": \"fault_nodes\""));
+        assert!(json.contains("\"fault_seed\": 9"));
+        // Topology stamp matches the paper cluster the sweep runs on.
+        assert!(json.contains(
+            "\"cluster\": {\"map_slots\": 40, \"reduce_slots\": 16, \"nodes\": 8, \
+             \"maps_per_node\": 5, \"reduces_per_node\": 2, \"spill_backend\": \"memory\"}"
+        ));
+        assert_eq!(json.matches("\"nodes_killed\":").count(), 2);
+        assert!(json.contains("\"overhead_pct\": 50.00"));
+        assert!(json.contains("\"maps_reexecuted\": 7"));
+        // Trailing-comma discipline: one separator between the two samples.
+        assert!(json.contains("\"identical\": true},\n"));
+        assert!(json.ends_with("\"identical\": true}\n  ]\n}\n"));
+    }
 }

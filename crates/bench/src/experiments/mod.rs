@@ -11,7 +11,10 @@ mod shuffle;
 pub use comparison::{fig8, fig9};
 pub use conventional::{fig10, fig11};
 pub use datasets::{fig6, fig7, table3};
-pub use faults::{fault_sweep, fault_sweep_traced};
+pub use faults::{
+    fault_sweep, fault_sweep_traced, node_fault_sweep, node_fault_tables, NodeFaultSample,
+    NodeFaultSweep, DEFAULT_FAULT_SEED,
+};
 pub use scalability::{fig5a, fig5b, fig5c, fig5d};
 pub use shuffle::{
     merge_ratios, pressure_sweep, pressure_table, pressure_to_json as shuffle_pressure_json,

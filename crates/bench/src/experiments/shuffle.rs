@@ -12,7 +12,7 @@ use dwmaxerr_runtime::{
     Cluster, ClusterConfig, JobBuilder, MapContext, ReduceContext, ShufflePath, SpillBackend,
 };
 
-use crate::report::{bytes, secs, Table};
+use crate::report::{bytes, cluster_stamp, secs, Table};
 use crate::setup::timed;
 
 /// One measured (size, distribution, path) cell: best-of-reps wall time
@@ -80,12 +80,18 @@ fn make_splits(records: usize, skewed: bool, seed: u64) -> Vec<Vec<(u64, f64)>> 
     splits
 }
 
-fn bench_cluster() -> Cluster {
+/// The topology every cell runs on; also the source of the `"cluster"`
+/// stamp in the JSON documents.
+fn bench_config() -> ClusterConfig {
     let mut cfg = ClusterConfig::with_slots(SPLITS, REDUCERS);
     cfg.task_startup = std::time::Duration::ZERO;
     cfg.job_setup = std::time::Duration::ZERO;
     cfg.speculative_execution = false;
-    Cluster::new(cfg)
+    cfg
+}
+
+fn bench_cluster() -> Cluster {
+    Cluster::new(bench_config())
 }
 
 /// Sums a metric vector; `+ 0.0` normalises the `-0.0` an empty float
@@ -222,7 +228,8 @@ fn paired(
 pub fn to_json(samples: &[ShuffleSample], smoke: bool) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!(
-        "  \"benchmark\": \"shuffle\",\n  \"smoke\": {smoke},\n  \"splits\": {SPLITS},\n  \"reducers\": {REDUCERS},\n  \"reps\": {REPS},\n  \"samples\": [\n"
+        "  \"benchmark\": \"shuffle\",\n  \"smoke\": {smoke},\n  \"splits\": {SPLITS},\n  \"reducers\": {REDUCERS},\n  \"reps\": {REPS},\n  \"cluster\": {},\n  \"fault_seed\": null,\n  \"samples\": [\n",
+        cluster_stamp(&bench_config()),
     ));
     for (i, x) in samples.iter().enumerate() {
         s.push_str(&format!(
@@ -407,8 +414,13 @@ pub fn pressure_table(samples: &[PressureSample]) -> Table {
 /// baseline row reports `"task_memory_bytes": null`.
 pub fn pressure_to_json(samples: &[PressureSample], smoke: bool) -> String {
     let mut s = String::from("{\n");
+    // Constrained cells run their spills through the disk backend, so the
+    // stamp records that; the unconstrained baseline stays in memory.
+    let mut stamp_cfg = bench_config();
+    stamp_cfg.spill_backend = SpillBackend::Disk;
     s.push_str(&format!(
-        "  \"benchmark\": \"shuffle_pressure\",\n  \"smoke\": {smoke},\n  \"splits\": {SPLITS},\n  \"reducers\": {REDUCERS},\n  \"reps\": {PRESSURE_REPS},\n  \"samples\": [\n"
+        "  \"benchmark\": \"shuffle_pressure\",\n  \"smoke\": {smoke},\n  \"splits\": {SPLITS},\n  \"reducers\": {REDUCERS},\n  \"reps\": {PRESSURE_REPS},\n  \"cluster\": {},\n  \"fault_seed\": null,\n  \"samples\": [\n",
+        cluster_stamp(&stamp_cfg),
     ));
     for (i, x) in samples.iter().enumerate() {
         let budget = if x.task_memory_bytes == u64::MAX {
@@ -485,6 +497,10 @@ mod tests {
         let json = to_json(&samples, true);
         assert!(json.contains("\"benchmark\": \"shuffle\""));
         assert_eq!(json.matches("\"records\":").count(), 4);
+        // Reproducibility stamp: topology + (absent) fault seed.
+        assert!(json.contains(&format!("\"cluster\": {{\"map_slots\": {SPLITS}")));
+        assert!(json.contains("\"spill_backend\": \"memory\""));
+        assert!(json.contains("\"fault_seed\": null"));
         let table = shuffle_table(&samples).to_markdown();
         assert!(table.contains("sort_merge"));
     }
@@ -514,6 +530,8 @@ mod tests {
         assert!(json.contains("\"benchmark\": \"shuffle_pressure\""));
         assert!(json.contains("\"task_memory_bytes\": null"));
         assert_eq!(json.matches("\"records\":").count(), 3);
+        assert!(json.contains("\"spill_backend\": \"disk\""));
+        assert!(json.contains("\"fault_seed\": null"));
         let table = pressure_table(&samples).to_markdown();
         assert!(table.contains("unbounded"));
         assert!(table.contains("bit-identical"));

@@ -4,6 +4,7 @@ use std::fmt::Write as _;
 
 use dwmaxerr_runtime::metrics::DriverMetrics;
 use dwmaxerr_runtime::trace::{summary, TraceEvent, TraceEventKind};
+use dwmaxerr_runtime::ClusterConfig;
 
 /// One experiment output table.
 #[derive(Debug, Clone)]
@@ -80,6 +81,23 @@ impl Table {
         }
         out
     }
+}
+
+/// JSON object describing the cluster/node topology a benchmark ran on.
+/// Stamped into every `BENCH_*.json` (next to a `fault_seed` field) so a
+/// recorded result can be tied back to the exact simulated cluster that
+/// produced it.
+pub fn cluster_stamp(cfg: &ClusterConfig) -> String {
+    format!(
+        "{{\"map_slots\": {}, \"reduce_slots\": {}, \"nodes\": {}, \
+         \"maps_per_node\": {}, \"reduces_per_node\": {}, \"spill_backend\": \"{}\"}}",
+        cfg.map_slots,
+        cfg.reduce_slots,
+        cfg.nodes,
+        cfg.maps_per_node(),
+        cfg.reduces_per_node(),
+        cfg.spill_backend.as_str(),
+    )
 }
 
 /// Formats seconds compactly.
@@ -400,6 +418,7 @@ mod tests {
                     kind: AttemptKind::Regular,
                     outcome: AttemptOutcome::Succeeded,
                     slot: 0,
+                    node: 0,
                     end: 2.0,
                     failure: None,
                 },

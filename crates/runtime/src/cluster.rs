@@ -25,6 +25,27 @@ pub enum SpillBackend {
     Disk,
 }
 
+impl SpillBackend {
+    /// Reads the `DWM_SPILL_BACKEND` environment variable (`memory` or
+    /// `disk`, case-insensitive); unset or unrecognised values fall back
+    /// to the default `Memory` backend. Lets test suites and CI legs run
+    /// the same scenarios against both backends without code changes.
+    pub fn from_env() -> Self {
+        match std::env::var("DWM_SPILL_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("disk") => SpillBackend::Disk,
+            _ => SpillBackend::Memory,
+        }
+    }
+
+    /// Stable lower-case name (matches the `DWM_SPILL_BACKEND` values).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpillBackend::Memory => "memory",
+            SpillBackend::Disk => "disk",
+        }
+    }
+}
+
 /// Static description of the simulated cluster.
 ///
 /// The defaults model the paper's platform (Section 6: 8 slaves, 5 map +
@@ -95,6 +116,22 @@ pub struct ClusterConfig {
     pub disk_bytes_per_sec: f64,
     /// Where spill runs are stored; see [`SpillBackend`].
     pub spill_backend: SpillBackend,
+    /// Number of nodes the slots are spread across (paper default: 8
+    /// slaves). Slots map to nodes round-robin in contiguous blocks:
+    /// node `n` owns map slots `[n * maps_per_node(), ...)` and likewise
+    /// for reduce slots, so the cluster-wide totals stay the source of
+    /// truth and slot numbering is unchanged from earlier versions.
+    pub nodes: usize,
+    /// Reduce-side fetch retries before a lost/corrupt map output
+    /// triggers map re-execution (Hadoop's
+    /// `mapreduce.reduce.shuffle.maxfetchfailures`-shaped knob).
+    pub fetch_retries: usize,
+    /// Initial reduce-fetch retry backoff, doubled per retry (Hadoop's
+    /// `mapreduce.reduce.shuffle.retry-delay.base-ms`; scaled default
+    /// 10 ms).
+    pub fetch_retry_initial: Duration,
+    /// Cap on the exponential fetch retry backoff (scaled default 80 ms).
+    pub fetch_retry_cap: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -120,6 +157,10 @@ impl Default for ClusterConfig {
             io_sort_factor: 100,
             disk_bytes_per_sec: 150.0 * 1024.0 * 1024.0,
             spill_backend: SpillBackend::Memory,
+            nodes: 8,
+            fetch_retries: 3,
+            fetch_retry_initial: Duration::from_millis(10),
+            fetch_retry_cap: Duration::from_millis(80),
         }
     }
 }
@@ -133,6 +174,17 @@ impl ClusterConfig {
             reduce_slots,
             ..ClusterConfig::default()
         }
+    }
+
+    /// Map slots hosted per node (`ceil(map_slots / nodes)`; the last
+    /// node may own fewer when the division is uneven).
+    pub fn maps_per_node(&self) -> usize {
+        self.map_slots.div_ceil(self.nodes)
+    }
+
+    /// Reduce slots hosted per node (`ceil(reduce_slots / nodes)`).
+    pub fn reduces_per_node(&self) -> usize {
+        self.reduce_slots.div_ceil(self.nodes)
     }
 
     /// Validates the configuration.
@@ -174,8 +226,32 @@ impl ClusterConfig {
                 "disk_bytes_per_sec must be positive",
             ));
         }
+        if self.nodes == 0 {
+            return Err(crate::RuntimeError::InvalidConfig("nodes == 0"));
+        }
+        if self.fetch_retries == 0 {
+            return Err(crate::RuntimeError::InvalidConfig("fetch_retries == 0"));
+        }
+        if self.fetch_retry_initial.is_zero() || self.fetch_retry_cap < self.fetch_retry_initial {
+            return Err(crate::RuntimeError::InvalidConfig(
+                "fetch retry backoff must be positive and cap >= initial",
+            ));
+        }
         if let Some(plan) = &self.fault_plan {
             plan.validate()?;
+            // A job can only recover if at least one node survives every
+            // permanent failure in the plan.
+            let permanent: std::collections::HashSet<usize> = plan
+                .node_events(self.nodes)
+                .iter()
+                .filter(|f| f.permanent)
+                .map(|f| f.node)
+                .collect();
+            if permanent.len() >= self.nodes {
+                return Err(crate::RuntimeError::InvalidConfig(
+                    "fault plan permanently kills every node in the topology",
+                ));
+            }
         }
         Ok(())
     }
@@ -257,7 +333,61 @@ mod tests {
         let c = ClusterConfig::default();
         assert_eq!(c.map_slots, 40);
         assert_eq!(c.reduce_slots, 16);
+        // 8 slaves × (5 map + 2 reduce) slots, as in the paper's Section 6.
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.maps_per_node(), 5);
+        assert_eq!(c.reduces_per_node(), 2);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn node_and_fetch_knobs_validated() {
+        let c = ClusterConfig {
+            nodes: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig {
+            fetch_retries: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig {
+            fetch_retry_cap: Duration::from_millis(1),
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+        // Killing every node permanently leaves nowhere to recover.
+        let mut plan = FaultPlan::seeded(1);
+        for n in 0..4 {
+            plan = plan.with_node_failure(n, 0.1);
+        }
+        let c = ClusterConfig {
+            nodes: 4,
+            fault_plan: Some(plan.clone()),
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig {
+            nodes: 5,
+            fault_plan: Some(plan),
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn spill_backend_env_parsing() {
+        // from_env is read-only; exercise the parse paths via set/remove.
+        std::env::remove_var("DWM_SPILL_BACKEND");
+        assert_eq!(SpillBackend::from_env(), SpillBackend::Memory);
+        std::env::set_var("DWM_SPILL_BACKEND", "Disk");
+        assert_eq!(SpillBackend::from_env(), SpillBackend::Disk);
+        std::env::set_var("DWM_SPILL_BACKEND", "bogus");
+        assert_eq!(SpillBackend::from_env(), SpillBackend::Memory);
+        std::env::remove_var("DWM_SPILL_BACKEND");
+        assert_eq!(SpillBackend::Memory.as_str(), "memory");
+        assert_eq!(SpillBackend::Disk.as_str(), "disk");
     }
 
     #[test]

@@ -35,6 +35,18 @@ pub enum RuntimeError {
         /// Human-readable cause of the final attempt's failure.
         reason: String,
     },
+    /// A reducer exhausted its shuffle fetch retries against a lost or
+    /// corrupt map output and no surviving node was left to re-execute
+    /// the owning map task on (every node has a permanent failure in the
+    /// job's fault plan).
+    FetchFailed {
+        /// Reduce partition whose fetch failed.
+        partition: usize,
+        /// Map task whose output was lost or corrupt.
+        map_task: usize,
+        /// Fetch retries paid before giving up.
+        retries: u64,
+    },
     /// The user partitioner routed a key outside `0..reducers`. This is a
     /// deterministic program bug, so the job fails immediately without
     /// burning retry attempts.
@@ -64,6 +76,15 @@ impl fmt::Display for RuntimeError {
             } => write!(
                 f,
                 "{phase} task {task} failed all {attempts} attempts: {reason}"
+            ),
+            RuntimeError::FetchFailed {
+                partition,
+                map_task,
+                retries,
+            } => write!(
+                f,
+                "reducer {partition} could not fetch map {map_task}'s output after \
+                 {retries} retries and no surviving node can re-execute it"
             ),
             RuntimeError::BadPartitioner {
                 partition,

@@ -15,7 +15,7 @@
 //! k-way heap merge over its runs and feeds values to the reduce function
 //! as the merge advances — no global re-sort, no decode-everything buffer.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -26,9 +26,13 @@ use std::time::Instant;
 use crate::cluster::{Cluster, SpillBackend};
 use crate::codec::{CountingSink, FnvHasher, Wire};
 use crate::error::RuntimeError;
-use crate::fault::{FailureKind, FaultPlan, TaskPhase};
-use crate::metrics::{AttemptOutcome, AttemptStats, JobMetrics, SimBreakdown, TaskAttempt};
-use crate::scheduler::{self, AttemptPlan, SpeculationPolicy, TaskPlan};
+use crate::fault::{FailureKind, FaultPlan, NodeFailure, TaskPhase};
+use crate::metrics::{
+    AttemptOutcome, AttemptStats, JobMetrics, RecoveryStats, SimBreakdown, TaskAttempt,
+};
+use crate::scheduler::{
+    self, AttemptPlan, NodeEvent, NodeFaults, NodeTopology, SpeculationPolicy, TaskPlan,
+};
 use crate::trace::{JobPhase, JobTrace, TraceEventKind};
 
 /// Context handed to map functions: typed emission into reduce partitions
@@ -341,6 +345,7 @@ fn trace_task_phase(
                 kind: a.kind,
                 outcome: a.outcome,
                 slot: a.slot,
+                node: a.node,
                 end: phase0 + a.sim_end,
                 failure: a.failure,
             },
@@ -464,12 +469,23 @@ impl<T> BufferPool<T> {
 /// by this tag.
 type AttemptTag = (TaskPhase, usize, usize);
 
-/// Magic prefix of a framed spill-run file.
-const SPILL_FRAME_MAGIC: &[u8; 4] = b"DWR1";
+/// Magic prefix of a framed spill-run file (`DWR2`: the checksummed
+/// revision of the original `DWR1` frame).
+const SPILL_FRAME_MAGIC: &[u8; 4] = b"DWR2";
 /// Frame overhead per run: 4-byte magic + 8-byte little-endian payload
-/// length. Charged to disk-byte accounting on both backends so Memory and
-/// Disk runs cost the same on the simulated clock.
-const SPILL_FRAME_BYTES: u64 = 12;
+/// length + 8-byte little-endian FNV-1a checksum footer. Charged to
+/// disk-byte accounting on both backends so Memory and Disk runs cost the
+/// same on the simulated clock.
+const SPILL_FRAME_BYTES: u64 = 20;
+
+/// FNV-1a over a payload — the spill-frame checksum and the inline-run
+/// integrity hash share one definition with the default partitioner.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hasher = FnvHasher::new();
+    use crate::codec::WireSink;
+    hasher.write(bytes);
+    hasher.finish()
+}
 
 /// A run stored in the job's [`SpillStore`]: an opaque id plus the
 /// payload length (kept on the handle so shuffle byte accounting never
@@ -489,10 +505,17 @@ struct RunHandle {
 /// process-unique temp dir that is removed when the store drops. Either
 /// way every run is tagged with the attempt that wrote it, so a panicked
 /// attempt's orphans can be deleted before the retry runs.
-/// A stored run's ledger entry: the attempt that owns it, plus its bytes
-/// when the backend is [`SpillBackend::Memory`] (`None` on disk, where the
-/// bytes live in the run file).
-type StoredRun = (AttemptTag, Option<Arc<Vec<u8>>>);
+/// A stored run's ledger entry: the attempt that owns it, its bytes when
+/// the backend is [`SpillBackend::Memory`] (`None` on disk, where the
+/// bytes live in the run file), and the FNV-1a checksum of the payload as
+/// written — verified on every read on both backends.
+type StoredRun = (AttemptTag, Option<Arc<Vec<u8>>>, u64);
+
+/// A stored run whose payload no longer matches its checksum footer —
+/// surfaced by [`SpillStore::read`] so the fetch layer can treat the run
+/// as a lost map output instead of crashing the merge.
+#[derive(Debug)]
+struct CorruptRun;
 
 struct SpillStore {
     backend: SpillBackend,
@@ -521,12 +544,15 @@ impl SpillStore {
         self.dir.join(format!("run-{id}.spill"))
     }
 
-    /// Stores one sorted run, returning its handle. A disk-backend I/O
-    /// failure panics, which surfaces as an attempt failure and burns a
-    /// retry — the Hadoop behaviour for a task that cannot spill.
+    /// Stores one sorted run, returning its handle. The payload's FNV-1a
+    /// checksum is recorded on both backends (on disk as the frame's
+    /// footer) and verified on every read. A disk-backend I/O failure
+    /// panics, which surfaces as an attempt failure and burns a retry —
+    /// the Hadoop behaviour for a task that cannot spill.
     fn write(&self, owner: AttemptTag, payload: Vec<u8>) -> RunHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let len = payload.len() as u64;
+        let checksum = fnv1a(&payload);
         let data = match self.backend {
             SpillBackend::Memory => Some(Arc::new(payload)),
             SpillBackend::Disk => {
@@ -535,6 +561,7 @@ impl SpillStore {
                 framed.extend_from_slice(SPILL_FRAME_MAGIC);
                 framed.extend_from_slice(&len.to_le_bytes());
                 framed.extend_from_slice(&payload);
+                framed.extend_from_slice(&checksum.to_le_bytes());
                 std::fs::write(self.run_path(id), framed).expect("write spill run");
                 None
             }
@@ -542,24 +569,26 @@ impl SpillStore {
         self.runs
             .lock()
             .expect("spill lock")
-            .insert(id, (owner, data));
+            .insert(id, (owner, data, checksum));
         RunHandle { id, len }
     }
 
-    /// Fetches a run's payload. Memory reads are `Arc` clones (a retried
-    /// reduce attempt re-reads the same bytes); disk reads re-validate the
-    /// frame and panic on corruption, failing the attempt.
-    fn read(&self, handle: RunHandle) -> Arc<Vec<u8>> {
-        match self.backend {
-            SpillBackend::Memory => self
-                .runs
-                .lock()
-                .expect("spill lock")
-                .get(&handle.id)
-                .expect("live spill run")
-                .1
-                .clone()
-                .expect("memory-backend run has data"),
+    /// Fetches a run's payload, verifying it against the checksum recorded
+    /// at write time. Memory reads are `Arc` clones (a retried reduce
+    /// attempt re-reads the same bytes); disk reads re-validate the frame.
+    /// A frame whose structure is broken panics (a store bug, not a data
+    /// fault); a structurally intact frame whose payload hashes differently
+    /// returns [`CorruptRun`] so the fetch layer can recover.
+    fn read(&self, handle: RunHandle) -> Result<Arc<Vec<u8>>, CorruptRun> {
+        let (payload, checksum) = match self.backend {
+            SpillBackend::Memory => {
+                let runs = self.runs.lock().expect("spill lock");
+                let (_, data, checksum) = runs.get(&handle.id).expect("live spill run");
+                (
+                    data.clone().expect("memory-backend run has data"),
+                    *checksum,
+                )
+            }
             SpillBackend::Disk => {
                 let framed = std::fs::read(self.run_path(handle.id)).expect("read spill run");
                 assert!(
@@ -572,7 +601,40 @@ impl SpillStore {
                     len,
                     "truncated spill run"
                 );
-                Arc::new(framed[SPILL_FRAME_BYTES as usize..].to_vec())
+                let footer = framed.len() - 8;
+                let checksum = u64::from_le_bytes(framed[footer..].try_into().expect("8 bytes"));
+                (Arc::new(framed[12..footer].to_vec()), checksum)
+            }
+        };
+        if fnv1a(&payload) != checksum {
+            return Err(CorruptRun);
+        }
+        Ok(payload)
+    }
+
+    /// Flips one payload byte of a stored run without touching its
+    /// recorded checksum — the seeded [`crate::fault::FaultKind::CorruptRun`]
+    /// injection, detected by the next [`SpillStore::read`].
+    fn corrupt(&self, handle: RunHandle) {
+        match self.backend {
+            SpillBackend::Memory => {
+                let mut runs = self.runs.lock().expect("spill lock");
+                let (_, data, _) = runs.get_mut(&handle.id).expect("live spill run");
+                let arc = data.as_mut().expect("memory-backend run has data");
+                let mut bytes = (**arc).clone();
+                if let Some(last) = bytes.last_mut() {
+                    *last ^= 0xFF;
+                }
+                *arc = Arc::new(bytes);
+            }
+            SpillBackend::Disk => {
+                let path = self.run_path(handle.id);
+                let mut framed = std::fs::read(&path).expect("read spill run");
+                let payload_end = framed.len() - 8;
+                if payload_end > SPILL_FRAME_BYTES as usize - 8 {
+                    framed[payload_end - 1] ^= 0xFF;
+                }
+                std::fs::write(&path, framed).expect("rewrite spill run");
             }
         }
     }
@@ -584,7 +646,7 @@ impl SpillStore {
         let mut runs = self.runs.lock().expect("spill lock");
         let ids: Vec<u64> = runs
             .iter()
-            .filter(|(_, (o, _))| *o == owner)
+            .filter(|(_, (o, ..))| *o == owner)
             .map(|(&id, _)| id)
             .collect();
         for id in ids {
@@ -619,7 +681,24 @@ enum ReducerInput {
     /// [`ShufflePath::SortMerge`]: the sorted runs, ordered by
     /// (map task, spill sequence) — the order that reproduces the
     /// reference path's concatenate + stable-sort tie-breaking.
-    Runs(Vec<RunSrc>),
+    Runs(Vec<ShuffleRun>),
+}
+
+/// One sorted run as routed to a reducer, tagged with the map task that
+/// produced it — the fault domain a fetch failure maps back to. Keeping
+/// the logical `(map task, seq)` identity on every run is what lets a
+/// re-executed map's output be substituted positionally, so the k-way
+/// merge tie-break (run index == map-task order) is untouched by recovery.
+struct ShuffleRun {
+    src: RunSrc,
+    /// Logical map task that produced the run.
+    map_task: usize,
+    /// Spill sequence of the run within `(map_task, partition)`.
+    seq: usize,
+    /// FNV-1a of the payload as shipped by the map side — populated for
+    /// inline runs when node faults are active (stored runs carry their
+    /// checksum in the spill store); `None` means "not verified at fetch".
+    checksum: Option<u64>,
 }
 
 /// Where one sorted run physically lives on its way into the reduce merge.
@@ -1188,6 +1267,143 @@ where
         // counts per collection buffer.
         let partition_hints: Vec<AtomicUsize> = (0..r).map(|_| AtomicUsize::new(0)).collect();
         let pair_hints: Vec<AtomicUsize> = (0..r).map(|_| AtomicUsize::new(0)).collect();
+        // The map-task body, factored out of the attempt loop so the fetch
+        // recovery path can re-execute a *completed* map task whose outputs
+        // were lost to a node failure (or failed their checksum). Map
+        // functions are deterministic over their split, and re-execution
+        // reuses the same spill budget and combiner, so the regenerated
+        // runs are byte-identical per (partition, seq) to the originals.
+        let map_body = |i: usize, split: &S, attempt: usize| -> MapTaskResult {
+            {
+                let emission = if sort_merge {
+                    MapEmission::Pairs(
+                        pair_hints
+                            .iter()
+                            .map(|h| pair_pool.take(h.load(Ordering::Relaxed)))
+                            .collect(),
+                    )
+                } else {
+                    MapEmission::Bytes(vec![Vec::new(); r])
+                };
+                let spill = sort_merge.then(|| SpillControl {
+                    budget: spill_budget,
+                    buffered: 0,
+                    store: &spill_store,
+                    owner: (TaskPhase::Map, i, attempt),
+                    combiner: stage.combiner.as_ref(),
+                    partition_hints: &partition_hints,
+                    pair_hints: &pair_hints,
+                    handles: (0..r).map(|_| Vec::new()).collect(),
+                    passes: Vec::new(),
+                    combined_records: 0,
+                    spill_secs: 0.0,
+                    disk_bytes: 0,
+                });
+                let mut ctx = MapContext {
+                    emission,
+                    records: 0,
+                    counters: BTreeMap::new(),
+                    partitioner,
+                    bad_partition: None,
+                    spill,
+                    _marker: PhantomData,
+                };
+                (stage.map_fn)(split, &mut ctx);
+                let mut records = ctx.records;
+                let mut spill_secs = 0.0;
+                let mut spill_passes: Vec<(u64, u64)> = Vec::new();
+                let mut disk_bytes = 0u64;
+                let output: MapOutput = match ctx.emission {
+                    MapEmission::Pairs(mut parts) => {
+                        let mut sp = ctx.spill.expect("sort-merge task has spill control");
+                        if sp.handles.iter().all(|h| h.is_empty()) {
+                            // In-memory fast path: the budget was never
+                            // crossed, so this is the single spill at
+                            // task end — sort (or combiner-fold) the
+                            // buffered pairs and serialize each
+                            // partition once into a pooled wire buffer.
+                            let spill_start = Instant::now();
+                            let (bufs, combined) = spill_partitions(
+                                &mut parts,
+                                sp.combiner,
+                                &partition_hints,
+                                &pair_hints,
+                            );
+                            spill_secs = spill_start.elapsed().as_secs_f64();
+                            if sp.combiner.is_some() {
+                                records = combined;
+                            }
+                            let run_bytes: u64 = bufs.iter().map(|b| b.len() as u64).sum();
+                            let runs = bufs.iter().filter(|b| !b.is_empty()).count() as u64;
+                            if runs > 0 {
+                                spill_passes.push((runs, run_bytes));
+                            }
+                            for pairs in parts {
+                                pair_pool.put(pairs);
+                            }
+                            MapOutput::Buffers(bufs)
+                        } else {
+                            // External path: at least one mid-task
+                            // spill happened; flush the tail as a final
+                            // spill and hand over run handles.
+                            sp.spill_now(&mut parts);
+                            for pairs in parts {
+                                pair_pool.put(pairs);
+                            }
+                            if sp.combiner.is_some() {
+                                records = sp.combined_records;
+                            }
+                            spill_secs = sp.spill_secs;
+                            spill_passes = sp.passes;
+                            disk_bytes = sp.disk_bytes;
+                            MapOutput::Spilled(sp.handles)
+                        }
+                    }
+                    MapEmission::Bytes(mut parts) => {
+                        if let Some(combiner) = &stage.combiner {
+                            // Reference path: decode, sort, group, fold,
+                            // re-encode.
+                            let mut combined_records = 0u64;
+                            for buf in &mut parts {
+                                let mut pairs: Vec<(K, V)> = Vec::new();
+                                let mut slice = buf.as_slice();
+                                while !slice.is_empty() {
+                                    match (K::decode(&mut slice), V::decode(&mut slice)) {
+                                        (Ok(k), Ok(v)) => pairs.push((k, v)),
+                                        _ => break,
+                                    }
+                                }
+                                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                                let mut out = Vec::with_capacity(buf.len() / 2);
+                                let mut iter = pairs.into_iter().peekable();
+                                while let Some((key, first)) = iter.next() {
+                                    let mut group = vec![first];
+                                    while iter.peek().is_some_and(|(k2, _)| *k2 == key) {
+                                        group.push(iter.next().expect("peeked").1);
+                                    }
+                                    let folded = combiner(&key, &mut group.into_iter());
+                                    key.encode(&mut out);
+                                    folded.encode(&mut out);
+                                    combined_records += 1;
+                                }
+                                *buf = out;
+                            }
+                            records = combined_records;
+                        }
+                        MapOutput::Buffers(parts)
+                    }
+                };
+                MapTaskResult {
+                    output,
+                    records,
+                    counters: ctx.counters,
+                    bad_partition: ctx.bad_partition,
+                    spill_secs,
+                    spill_passes,
+                    disk_bytes,
+                }
+            }
+        };
         let map_raw = run_indexed(config.threads, splits, |i, split| {
             // HDFS read time is charged to every attempt of the task.
             let read_secs = stage.input_bytes.as_ref().map_or(0.0, |f| {
@@ -1206,135 +1422,7 @@ where
                 // A crashed attempt's spill runs are orphans: delete them
                 // before the retry (which writes under its own attempt tag).
                 |attempt| spill_store.remove_attempt((TaskPhase::Map, i, attempt)),
-                |attempt| {
-                    let emission = if sort_merge {
-                        MapEmission::Pairs(
-                            pair_hints
-                                .iter()
-                                .map(|h| pair_pool.take(h.load(Ordering::Relaxed)))
-                                .collect(),
-                        )
-                    } else {
-                        MapEmission::Bytes(vec![Vec::new(); r])
-                    };
-                    let spill = sort_merge.then(|| SpillControl {
-                        budget: spill_budget,
-                        buffered: 0,
-                        store: &spill_store,
-                        owner: (TaskPhase::Map, i, attempt),
-                        combiner: stage.combiner.as_ref(),
-                        partition_hints: &partition_hints,
-                        pair_hints: &pair_hints,
-                        handles: (0..r).map(|_| Vec::new()).collect(),
-                        passes: Vec::new(),
-                        combined_records: 0,
-                        spill_secs: 0.0,
-                        disk_bytes: 0,
-                    });
-                    let mut ctx = MapContext {
-                        emission,
-                        records: 0,
-                        counters: BTreeMap::new(),
-                        partitioner,
-                        bad_partition: None,
-                        spill,
-                        _marker: PhantomData,
-                    };
-                    (stage.map_fn)(split, &mut ctx);
-                    let mut records = ctx.records;
-                    let mut spill_secs = 0.0;
-                    let mut spill_passes: Vec<(u64, u64)> = Vec::new();
-                    let mut disk_bytes = 0u64;
-                    let output: MapOutput = match ctx.emission {
-                        MapEmission::Pairs(mut parts) => {
-                            let mut sp = ctx.spill.expect("sort-merge task has spill control");
-                            if sp.handles.iter().all(|h| h.is_empty()) {
-                                // In-memory fast path: the budget was never
-                                // crossed, so this is the single spill at
-                                // task end — sort (or combiner-fold) the
-                                // buffered pairs and serialize each
-                                // partition once into a pooled wire buffer.
-                                let spill_start = Instant::now();
-                                let (bufs, combined) = spill_partitions(
-                                    &mut parts,
-                                    sp.combiner,
-                                    &partition_hints,
-                                    &pair_hints,
-                                );
-                                spill_secs = spill_start.elapsed().as_secs_f64();
-                                if sp.combiner.is_some() {
-                                    records = combined;
-                                }
-                                let run_bytes: u64 = bufs.iter().map(|b| b.len() as u64).sum();
-                                let runs = bufs.iter().filter(|b| !b.is_empty()).count() as u64;
-                                if runs > 0 {
-                                    spill_passes.push((runs, run_bytes));
-                                }
-                                for pairs in parts {
-                                    pair_pool.put(pairs);
-                                }
-                                MapOutput::Buffers(bufs)
-                            } else {
-                                // External path: at least one mid-task
-                                // spill happened; flush the tail as a final
-                                // spill and hand over run handles.
-                                sp.spill_now(&mut parts);
-                                for pairs in parts {
-                                    pair_pool.put(pairs);
-                                }
-                                if sp.combiner.is_some() {
-                                    records = sp.combined_records;
-                                }
-                                spill_secs = sp.spill_secs;
-                                spill_passes = sp.passes;
-                                disk_bytes = sp.disk_bytes;
-                                MapOutput::Spilled(sp.handles)
-                            }
-                        }
-                        MapEmission::Bytes(mut parts) => {
-                            if let Some(combiner) = &stage.combiner {
-                                // Reference path: decode, sort, group, fold,
-                                // re-encode.
-                                let mut combined_records = 0u64;
-                                for buf in &mut parts {
-                                    let mut pairs: Vec<(K, V)> = Vec::new();
-                                    let mut slice = buf.as_slice();
-                                    while !slice.is_empty() {
-                                        match (K::decode(&mut slice), V::decode(&mut slice)) {
-                                            (Ok(k), Ok(v)) => pairs.push((k, v)),
-                                            _ => break,
-                                        }
-                                    }
-                                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                                    let mut out = Vec::with_capacity(buf.len() / 2);
-                                    let mut iter = pairs.into_iter().peekable();
-                                    while let Some((key, first)) = iter.next() {
-                                        let mut group = vec![first];
-                                        while iter.peek().is_some_and(|(k2, _)| *k2 == key) {
-                                            group.push(iter.next().expect("peeked").1);
-                                        }
-                                        let folded = combiner(&key, &mut group.into_iter());
-                                        key.encode(&mut out);
-                                        folded.encode(&mut out);
-                                        combined_records += 1;
-                                    }
-                                    *buf = out;
-                                }
-                                records = combined_records;
-                            }
-                            MapOutput::Buffers(parts)
-                        }
-                    };
-                    MapTaskResult {
-                        output,
-                        records,
-                        counters: ctx.counters,
-                        bad_partition: ctx.bad_partition,
-                        spill_secs,
-                        spill_passes,
-                        disk_bytes,
-                    }
-                },
+                |attempt| map_body(i, split, attempt),
             )
         });
         let mut map_results: Vec<MapTaskResult> = Vec::with_capacity(splits.len());
@@ -1363,6 +1451,50 @@ where
             .map(|p| p.attempts.last().expect("non-empty plan").duration)
             .collect();
 
+        // ---- Node fault context & map scheduling ----
+        // Node events live on the job-absolute simulated clock (seconds
+        // from submission); each phase schedule sees them offset to its
+        // own phase start. The map schedule is computed *before* the
+        // shuffle because fetch recovery needs to know which node hosted
+        // each map task's winning attempt.
+        let setup_secs = config.job_setup.as_secs_f64();
+        let startup = config.task_startup.as_secs_f64();
+        let backoff = config.retry_backoff.as_secs_f64();
+        let speculation = config.speculative_execution.then_some(SpeculationPolicy {
+            threshold: config.speculative_slowdown,
+            min_secs: config.speculative_min.as_secs_f64(),
+        });
+        let node_events: Vec<NodeFailure> =
+            fault_plan.map_or_else(Vec::new, |p| p.node_events(config.nodes));
+        let blacklist_after = fault_plan.and_then(|p| p.blacklist_after);
+        // Fetch-side verification and recovery only engage when the plan
+        // can actually lose or corrupt map outputs.
+        let recovery_active = fault_plan.is_some_and(|p| p.has_node_faults());
+        let map_faults = NodeFaults {
+            topology: NodeTopology {
+                nodes: config.nodes,
+                slots_per_node: config.maps_per_node(),
+            },
+            events: node_events
+                .iter()
+                .map(|f| NodeEvent {
+                    node: f.node,
+                    at: f.sim_time - setup_secs,
+                    permanent: f.permanent,
+                })
+                .collect(),
+            blacklist_after,
+        };
+        let map_sched = scheduler::schedule_attempts_on(
+            TaskPhase::Map,
+            &map_plans,
+            config.map_slots,
+            startup,
+            backoff,
+            speculation,
+            &map_faults,
+        );
+
         // ---- Shuffle ----
         // Sort-merge: runs move (no copy) to their reducer, in map-task
         // order. Reference: runs are concatenated per reducer as before.
@@ -1381,7 +1513,7 @@ where
         let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
         let mut spill_runs: Vec<u64> = Vec::new();
         let mut spill_pass_counts: Vec<u64> = Vec::new();
-        for task in &mut map_results {
+        for (t, task) in map_results.iter_mut().enumerate() {
             shuffle_records += task.records;
             for (name, delta) in &task.counters {
                 *counters.entry(name).or_insert(0) += delta;
@@ -1398,12 +1530,30 @@ where
             }
             match std::mem::replace(&mut task.output, MapOutput::Buffers(Vec::new())) {
                 MapOutput::Buffers(parts) => {
-                    for (p, buf) in parts.into_iter().enumerate() {
+                    for (p, mut buf) in parts.into_iter().enumerate() {
                         match &mut reducer_inputs[p] {
                             ReducerInput::Concat(all) => all.extend_from_slice(&buf),
                             ReducerInput::Runs(runs) => {
                                 if !buf.is_empty() {
-                                    runs.push(RunSrc::Inline(buf));
+                                    // Checksum the run at the map/reduce
+                                    // boundary it crosses; a seeded
+                                    // corruption flips a byte *after* the
+                                    // checksum is taken, so the fetch
+                                    // verification catches it.
+                                    let checksum = recovery_active.then(|| fnv1a(&buf));
+                                    if recovery_active
+                                        && fault_plan.is_some_and(|pl| pl.corrupts_run(t, p, 0))
+                                    {
+                                        if let Some(last) = buf.last_mut() {
+                                            *last ^= 0xFF;
+                                        }
+                                    }
+                                    runs.push(ShuffleRun {
+                                        src: RunSrc::Inline(buf),
+                                        map_task: t,
+                                        seq: 0,
+                                        checksum,
+                                    });
                                 }
                             }
                         }
@@ -1416,7 +1566,19 @@ where
                     // contract requires.
                     for (p, task_runs) in handles.into_iter().enumerate() {
                         if let ReducerInput::Runs(runs) = &mut reducer_inputs[p] {
-                            runs.extend(task_runs.into_iter().map(RunSrc::Stored));
+                            for (seq, handle) in task_runs.into_iter().enumerate() {
+                                if recovery_active
+                                    && fault_plan.is_some_and(|pl| pl.corrupts_run(t, p, seq))
+                                {
+                                    spill_store.corrupt(handle);
+                                }
+                                runs.push(ShuffleRun {
+                                    src: RunSrc::Stored(handle),
+                                    map_task: t,
+                                    seq,
+                                    checksum: None,
+                                });
+                            }
                         }
                     }
                 }
@@ -1426,7 +1588,7 @@ where
             .iter()
             .map(|input| match input {
                 ReducerInput::Concat(buf) => buf.len() as u64,
-                ReducerInput::Runs(runs) => runs.iter().map(RunSrc::len).sum(),
+                ReducerInput::Runs(runs) => runs.iter().map(|run| run.src.len()).sum(),
             })
             .collect();
         // Each reducer's merge fan-in (0 on the reference path, which
@@ -1439,6 +1601,152 @@ where
             })
             .collect();
         let shuffle_bytes: u64 = per_reducer_bytes.iter().sum();
+        let shuffle_secs = per_reducer_bytes
+            .iter()
+            .map(|&b| b as f64 / config.shuffle_bytes_per_sec)
+            .fold(0.0, f64::max);
+
+        // ---- Fetch verification & recovery ----
+        // The reduce side of the fault story: before a reducer may merge,
+        // every run it was promised must actually be fetchable. A run is
+        // unfetchable when the node hosting its (completed) map task died
+        // after the task finished, or when its payload no longer matches
+        // the checksum recorded at write time. Each affected reducer pays
+        // the shuffle's capped exponential fetch backoff
+        // (`fetch_retries` × min(initial·2ᵏ, cap)) plus the re-executed
+        // map's duration; the driver re-executes each lost map task once,
+        // on a surviving node, and substitutes its regenerated runs
+        // positionally — keyed by logical (map task, seq) — so the merge
+        // order, and therefore the job output, is byte-identical to a
+        // fault-free run. Recovery is modelled on the sort-merge path only
+        // (the reference path's concatenated fetch has no per-run
+        // identity to recover).
+        let mut recovery = RecoveryStats::default();
+        let mut recovery_secs = vec![0.0f64; r];
+        // `(partition, map task, retries paid)` per failed fetch group.
+        let mut fetch_failures: Vec<(usize, usize, u64)> = Vec::new();
+        // `(map task, node re-executed on)` in re-execution order.
+        let mut reexec_log: Vec<(usize, usize)> = Vec::new();
+        let mut reexec_disk_bytes = 0u64;
+        if recovery_active {
+            recovery.nodes_failed = node_events
+                .iter()
+                .map(|f| f.node)
+                .collect::<HashSet<_>>()
+                .len() as u64;
+            // Map tasks whose winning attempt ran on a node that failed
+            // after the attempt finished: their hosted outputs are gone.
+            // A restarting node loses its local dirs too, so transient
+            // failures lose outputs just like permanent ones.
+            let lost_tasks: HashSet<usize> = (0..splits.len())
+                .filter(|&t| {
+                    map_sched
+                        .attempts
+                        .iter()
+                        .find(|a| a.task == t && a.outcome == AttemptOutcome::Succeeded)
+                        .is_some_and(|w| {
+                            node_events
+                                .iter()
+                                .any(|f| f.node == w.node && f.sim_time - setup_secs >= w.sim_end)
+                        })
+                })
+                .collect();
+            // Simulated cost of one failed fetch group: every retry of the
+            // capped exponential backoff, paid before the reducer gives up
+            // and reports the map output lost.
+            let retry_cost: f64 = {
+                let cap = config.fetch_retry_cap.as_secs_f64();
+                let mut delay = config.fetch_retry_initial.as_secs_f64();
+                let mut total = 0.0;
+                for _ in 0..config.fetch_retries {
+                    total += delay.min(cap);
+                    delay = (delay * 2.0).min(cap);
+                }
+                total
+            };
+            // Re-executions land on the first node with no permanent
+            // failure; if the plan killed every node there is nowhere
+            // left to re-run lost maps, surfaced as a typed error below.
+            let reexec_node = (0..config.nodes)
+                .find(|&n| !node_events.iter().any(|f| f.node == n && f.permanent));
+            let mut need_reexec: BTreeSet<usize> = BTreeSet::new();
+            // Verify every reducer's runs in fetch order, grouping failures
+            // per (reducer, owning map task) — Hadoop reports one fetch
+            // failure per map output, not per spill file.
+            for (p, input) in reducer_inputs.iter().enumerate() {
+                let ReducerInput::Runs(runs) = input else {
+                    continue;
+                };
+                let mut bad_tasks: BTreeSet<usize> = BTreeSet::new();
+                for run in runs {
+                    let corrupt = match &run.src {
+                        RunSrc::Inline(buf) => run.checksum.is_some_and(|sum| fnv1a(buf) != sum),
+                        RunSrc::Stored(handle) => spill_store.read(*handle).is_err(),
+                    };
+                    if corrupt {
+                        recovery.corrupt_runs += 1;
+                    }
+                    if corrupt || lost_tasks.contains(&run.map_task) {
+                        bad_tasks.insert(run.map_task);
+                    }
+                }
+                for &t in &bad_tasks {
+                    recovery.fetch_retries += config.fetch_retries as u64;
+                    recovery_secs[p] += retry_cost + startup + map_plans[t].healthy_duration;
+                    fetch_failures.push((p, t, config.fetch_retries as u64));
+                    need_reexec.insert(t);
+                }
+            }
+            let reexec_node = match reexec_node {
+                Some(n) => n,
+                None => {
+                    if let Some(&(partition, map_task, retries)) = fetch_failures.first() {
+                        return Err(RuntimeError::FetchFailed {
+                            partition,
+                            map_task,
+                            retries,
+                        });
+                    }
+                    0
+                }
+            };
+            // Re-execute each lost/corrupt map task once, then substitute
+            // its regenerated runs for the originals in every partition.
+            for &t in &need_reexec {
+                let result = map_body(t, &splits[t], config.max_attempts + 1);
+                reexec_disk_bytes += result.disk_bytes;
+                // Regenerated run sources per [partition][seq].
+                let mut regen: Vec<Vec<Option<RunSrc>>> = match result.output {
+                    MapOutput::Buffers(parts) => parts
+                        .into_iter()
+                        .map(|buf| {
+                            if buf.is_empty() {
+                                Vec::new()
+                            } else {
+                                vec![Some(RunSrc::Inline(buf))]
+                            }
+                        })
+                        .collect(),
+                    MapOutput::Spilled(handles) => handles
+                        .into_iter()
+                        .map(|hs| hs.into_iter().map(|h| Some(RunSrc::Stored(h))).collect())
+                        .collect(),
+                };
+                for (p, input) in reducer_inputs.iter_mut().enumerate() {
+                    let ReducerInput::Runs(runs) = input else {
+                        continue;
+                    };
+                    for run in runs.iter_mut().filter(|run| run.map_task == t) {
+                        run.src = regen[p][run.seq]
+                            .take()
+                            .expect("re-executed map regenerates every run");
+                        run.checksum = None;
+                    }
+                }
+                recovery.maps_reexecuted += 1;
+                reexec_log.push((t, reexec_node));
+            }
+        }
 
         // ---- Reduce phase ----
         let reduce_fn = &self.reduce_fn;
@@ -1466,7 +1774,9 @@ where
                 i,
                 config.max_attempts,
                 fault_plan,
-                0.0,
+                // Fetch-failure backoff and re-executed-map wait time are
+                // charged to every attempt of the affected reducer.
+                recovery_secs[i],
                 |res: &ReduceTaskResult<OK, OV>| {
                     scheduler::io_secs(res.disk_bytes, config.disk_bytes_per_sec)
                 },
@@ -1514,9 +1824,13 @@ where
                             // from the spill store.
                             let mut run_bufs: Vec<RunBuf> = srcs
                                 .iter()
-                                .map(|src| match src {
+                                .map(|run| match &run.src {
                                     RunSrc::Inline(buf) => RunBuf::Borrowed(buf.as_slice()),
-                                    RunSrc::Stored(h) => RunBuf::Shared(spill_store.read(*h)),
+                                    RunSrc::Stored(h) => RunBuf::Shared(
+                                        spill_store
+                                            .read(*h)
+                                            .expect("map-side runs verified at fetch"),
+                                    ),
                                 })
                                 .collect();
                             // Intermediate merge passes (Hadoop's
@@ -1558,7 +1872,9 @@ where
                                     disk_bytes += 2 * (out.len() as u64 + SPILL_FRAME_BYTES);
                                     let handle =
                                         spill_store.write((TaskPhase::Reduce, i, attempt), out);
-                                    next.push(RunBuf::Shared(spill_store.read(handle)));
+                                    next.push(RunBuf::Shared(
+                                        spill_store.read(handle).expect("just-written merge run"),
+                                    ));
                                 }
                                 run_bufs = next;
                             }
@@ -1626,7 +1942,8 @@ where
             .iter()
             .map(|t| t.merge_pass_info.clone())
             .collect();
-        let disk_spill_bytes: u64 = map_results.iter().map(|t| t.disk_bytes).sum();
+        let disk_spill_bytes: u64 =
+            map_results.iter().map(|t| t.disk_bytes).sum::<u64>() + reexec_disk_bytes;
         let disk_merge_bytes: u64 = reduce_results.iter().map(|t| t.disk_bytes).sum();
         let mut pairs = Vec::new();
         for mut task in reduce_results {
@@ -1637,37 +1954,41 @@ where
         }
 
         // ---- Simulated wall clock ----
-        let startup = config.task_startup.as_secs_f64();
-        let backoff = config.retry_backoff.as_secs_f64();
-        let speculation = config.speculative_execution.then_some(SpeculationPolicy {
-            threshold: config.speculative_slowdown,
-            min_secs: config.speculative_min.as_secs_f64(),
-        });
-        let map_sched = scheduler::schedule_attempts(
-            TaskPhase::Map,
-            &map_plans,
-            config.map_slots,
-            startup,
-            backoff,
-            speculation,
-        );
-        let reduce_sched = scheduler::schedule_attempts(
+        // The reduce phase starts after setup + map + shuffle; node events
+        // are offset accordingly, so a node that died during the map phase
+        // is already down (its reduce slots gone) when reducers launch.
+        let reduce_faults = NodeFaults {
+            topology: NodeTopology {
+                nodes: config.nodes,
+                slots_per_node: config.reduces_per_node(),
+            },
+            events: node_events
+                .iter()
+                .map(|f| NodeEvent {
+                    node: f.node,
+                    at: f.sim_time - (setup_secs + map_sched.makespan + shuffle_secs),
+                    permanent: f.permanent,
+                })
+                .collect(),
+            blacklist_after,
+        };
+        let reduce_sched = scheduler::schedule_attempts_on(
             TaskPhase::Reduce,
             &reduce_plans,
             config.reduce_slots,
             startup,
             backoff,
             speculation,
+            &reduce_faults,
         );
         let sim = SimBreakdown {
-            setup: config.job_setup.as_secs_f64(),
+            setup: setup_secs,
             map: map_sched.makespan,
-            shuffle: per_reducer_bytes
-                .iter()
-                .map(|&b| b as f64 / config.shuffle_bytes_per_sec)
-                .fold(0.0, f64::max),
+            shuffle: shuffle_secs,
             reduce: reduce_sched.makespan,
         };
+        recovery.nodes_blacklisted =
+            (map_sched.blacklisted.len() + reduce_sched.blacklisted.len()) as u64;
         // ---- Trace emission ----
         // One batch under one lock: the job's events are contiguous in the
         // sink, timestamped on the global sim clock. Phase starts are
@@ -1685,6 +2006,20 @@ where
                     reducers: r,
                 },
             );
+            // Node failures, stamped at their plan time clamped into the
+            // job's window (an event past the job end still appears, at
+            // the end, so every planned failure is visible in the trace).
+            let job_end_t = t0 + sim.total().secs();
+            for f in &node_events {
+                tr.emit(
+                    (t0 + f.sim_time.max(0.0)).min(job_end_t),
+                    TraceEventKind::NodeDown {
+                        job: job.to_string(),
+                        node: f.node,
+                        permanent: f.permanent,
+                    },
+                );
+            }
             tr.emit(
                 t0,
                 TraceEventKind::PhaseBegin {
@@ -1718,6 +2053,16 @@ where
                 &map_sched.attempts,
                 config.map_slots,
             );
+            for &(node, at) in &map_sched.blacklisted {
+                tr.emit(
+                    map0 + at,
+                    TraceEventKind::NodeBlacklisted {
+                        job: job.to_string(),
+                        node,
+                        failures: blacklist_after.unwrap_or(0),
+                    },
+                );
+            }
             // Spill instants — only for tasks that spilled more than once
             // (the single task-end spill is the unconstrained default and
             // would only add noise), stamped at the successful attempt's
@@ -1798,6 +2143,46 @@ where
                 &reduce_sched.attempts,
                 config.reduce_slots,
             );
+            for &(node, at) in &reduce_sched.blacklisted {
+                tr.emit(
+                    reduce0 + at,
+                    TraceEventKind::NodeBlacklisted {
+                        job: job.to_string(),
+                        node,
+                        failures: blacklist_after.unwrap_or(0),
+                    },
+                );
+            }
+            // Fetch failures surface when the affected reducer runs; the
+            // re-execution it forces is stamped at the reduce phase start
+            // (the driver relaunches the map as soon as the loss is
+            // reported).
+            for &(partition, map_task, retries) in &fetch_failures {
+                let at = reduce_sched
+                    .attempts
+                    .iter()
+                    .find(|a| a.task == partition && a.outcome == AttemptOutcome::Succeeded)
+                    .map_or(0.0, |a| a.sim_start);
+                tr.emit(
+                    reduce0 + at,
+                    TraceEventKind::FetchFailed {
+                        job: job.to_string(),
+                        partition,
+                        map_task,
+                        retries,
+                    },
+                );
+            }
+            for &(task, node) in &reexec_log {
+                tr.emit(
+                    reduce0,
+                    TraceEventKind::MapReexecuted {
+                        job: job.to_string(),
+                        task,
+                        node,
+                    },
+                );
+            }
             // Intermediate merge-pass instants — only when the `io.sort.factor`
             // cap actually forced extra passes, stamped at the successful
             // attempt's start (the merges precede the reduce function).
@@ -1880,6 +2265,7 @@ where
             counters,
             attempts,
             attempt_stats,
+            recovery,
         };
         cluster.record(metrics.clone());
         Ok(JobOutput { pairs, metrics })
@@ -2276,6 +2662,135 @@ mod fault_tests {
         assert!(slow.metrics.sim.map > clean.metrics.sim.map);
         assert!(slow.metrics.map_task_secs[0] > 10.0 * clean.metrics.map_task_secs[0].max(1e-9));
     }
+
+    #[test]
+    fn node_kill_after_maps_reexecutes_with_identical_output() {
+        let clean = sum_job(&faulty_cluster(FaultPlan::seeded(0)), &[1, 2, 3, 4]).unwrap();
+        // Node 0 dies long after every map attempt has finished: no attempt
+        // is cut, but the outputs it hosted are gone when reducers fetch.
+        let plan = FaultPlan::seeded(0).with_node_failure(0, 1000.0);
+        let cluster = faulty_cluster(plan);
+        let out = sum_job(&cluster, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(clean.pairs, out.pairs, "recovery must be byte-identical");
+        assert_eq!(out.metrics.nodes_failed(), 1);
+        assert!(out.metrics.maps_reexecuted() >= 1);
+        assert!(out.metrics.fetch_retries() > 0);
+        assert_eq!(out.metrics.corrupt_runs(), 0);
+        // Fetch backoff plus the re-executed map show up on the clock.
+        assert!(out.metrics.simulated() > clean.metrics.simulated());
+        // The trace tells the whole story and stays well-formed.
+        let events = cluster.trace_events();
+        crate::trace::validate(&events).expect("recovery timeline is well-formed");
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            TraceEventKind::NodeDown {
+                node: 0,
+                permanent: true,
+                ..
+            }
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::FetchFailed { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::MapReexecuted { .. })));
+    }
+
+    #[test]
+    fn transient_node_restart_loses_outputs_but_recovers() {
+        let clean = sum_job(&faulty_cluster(FaultPlan::seeded(0)), &[1, 2, 3, 4]).unwrap();
+        // A tasktracker restart wipes local dirs: hosted map outputs are
+        // lost even though the node keeps accepting placements.
+        let plan = FaultPlan::seeded(0).with_transient_node_failure(0, 1000.0);
+        let cluster = faulty_cluster(plan);
+        let out = sum_job(&cluster, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(clean.pairs, out.pairs);
+        assert_eq!(out.metrics.nodes_failed(), 1);
+        assert!(out.metrics.maps_reexecuted() >= 1);
+        let events = cluster.trace_events();
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            TraceEventKind::NodeDown {
+                node: 0,
+                permanent: false,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn corrupt_run_is_detected_and_reexecuted() {
+        let clean = sum_job(&faulty_cluster(FaultPlan::seeded(0)), &[1, 2, 3, 4]).unwrap();
+        let plan = FaultPlan::seeded(0).with_corrupt_run(0);
+        let cluster = faulty_cluster(plan);
+        let out = sum_job(&cluster, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(clean.pairs, out.pairs, "corruption must not reach output");
+        assert!(out.metrics.corrupt_runs() >= 1);
+        assert!(out.metrics.maps_reexecuted() >= 1);
+        assert_eq!(out.metrics.nodes_failed(), 0, "no node died");
+        let events = cluster.trace_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::FetchFailed { map_task: 0, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::MapReexecuted { task: 0, .. })));
+    }
+
+    #[test]
+    fn node_kill_with_corruption_recovers_both() {
+        let clean = sum_job(&faulty_cluster(FaultPlan::seeded(0)), &[1, 2, 3, 4]).unwrap();
+        let plan = FaultPlan::seeded(0)
+            .with_node_failure(1, 1000.0)
+            .with_corrupt_run(0);
+        let out = sum_job(&faulty_cluster(plan), &[1, 2, 3, 4]).unwrap();
+        assert_eq!(clean.pairs, out.pairs);
+        assert_eq!(out.metrics.nodes_failed(), 1);
+        assert!(out.metrics.corrupt_runs() >= 1);
+        // Both the corrupt task and the killed node's tasks re-execute.
+        assert!(out.metrics.maps_reexecuted() >= 2);
+    }
+
+    #[test]
+    fn healthy_run_has_zero_recovery_counters() {
+        let out = sum_job(&faulty_cluster(FaultPlan::seeded(0)), &[1, 2, 3]).unwrap();
+        assert_eq!(out.metrics.recovery, RecoveryStats::default());
+    }
+
+    #[test]
+    fn blacklisted_node_is_counted_and_traced() {
+        // One injected failure with a threshold of 1: whichever node hosted
+        // the failed attempt is blacklisted, and the retry lands elsewhere.
+        let plan = FaultPlan::seeded(0)
+            .with_targeted(TaskPhase::Map, 0, vec![1])
+            .with_blacklist_after(1);
+        let cluster = faulty_cluster(plan);
+        let clean = sum_job(&faulty_cluster(FaultPlan::seeded(0)), &[1, 2, 3, 4]).unwrap();
+        let out = sum_job(&cluster, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(clean.pairs, out.pairs);
+        assert_eq!(out.metrics.recovery.nodes_blacklisted, 1);
+        let events = cluster.trace_events();
+        crate::trace::validate(&events).expect("blacklist timeline is well-formed");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::NodeBlacklisted { failures: 1, .. })));
+    }
+
+    #[test]
+    fn plan_killing_every_node_is_rejected_at_config_validation() {
+        let mut plan = FaultPlan::seeded(0);
+        let mut cfg = ClusterConfig::with_slots(2, 1);
+        for n in 0..cfg.nodes {
+            plan = plan.with_node_failure(n, 0.5);
+        }
+        cfg.fault_plan = Some(plan);
+        let err = Cluster::try_new(cfg).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::InvalidConfig(_)),
+            "expected InvalidConfig, got {err:?}"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -2485,10 +3000,10 @@ mod spill_tests {
             let h1 = store.write(crashed, vec![1, 2, 3]);
             let h2 = store.write(retry, vec![4, 5]);
             assert_eq!(store.live_runs(), 2);
-            assert_eq!(*store.read(h1), vec![1, 2, 3]);
+            assert_eq!(*store.read(h1).expect("clean run"), vec![1, 2, 3]);
             store.remove_attempt(crashed);
             assert_eq!(store.live_runs(), 1, "{backend:?}");
-            assert_eq!(*store.read(h2), vec![4, 5]);
+            assert_eq!(*store.read(h2).expect("clean run"), vec![4, 5]);
             if backend == SpillBackend::Disk {
                 let dir = store.dir.clone();
                 assert!(dir.exists());
@@ -2496,6 +3011,97 @@ mod spill_tests {
                 assert!(!dir.exists(), "spill dir survived drop");
             }
         }
+    }
+
+    #[test]
+    fn checksum_mismatch_is_surfaced_as_corrupt_run() {
+        for backend in [SpillBackend::Memory, SpillBackend::Disk] {
+            let store = SpillStore::new(backend);
+            let owner = (TaskPhase::Map, 0, 1);
+            let run = store.write(owner, vec![9, 8, 7, 6]);
+            assert_eq!(*store.read(run).expect("clean run"), vec![9, 8, 7, 6]);
+            store.corrupt(run);
+            assert!(
+                store.read(run).is_err(),
+                "{backend:?}: flipped byte must fail the checksum"
+            );
+            // Corruption is per-run: a sibling run still reads clean.
+            let sibling = store.write(owner, vec![1, 2]);
+            assert_eq!(*store.read(sibling).expect("clean run"), vec![1, 2]);
+        }
+    }
+
+    /// Regression test: a job that errors out mid-flight (attempt
+    /// exhaustion, bad partitioner) after other tasks already spilled to
+    /// disk must not leak its `dwmaxerr-spill-*` temp dir — the store
+    /// drops with the early return. Leaks are detected by diffing the temp
+    /// dir against a pre-test snapshot; concurrent tests' live stores are
+    /// transient, so the check retries before declaring a leak.
+    #[test]
+    fn disk_spill_dirs_are_removed_on_abort_paths() {
+        let prefix = format!("dwmaxerr-spill-{}-", std::process::id());
+        let snapshot = || -> std::collections::BTreeSet<PathBuf> {
+            std::fs::read_dir(std::env::temp_dir())
+                .map(|rd| {
+                    rd.filter_map(|e| e.ok().map(|e| e.path()))
+                        .filter(|p| {
+                            p.file_name()
+                                .and_then(|n| n.to_str())
+                                .is_some_and(|n| n.starts_with(&prefix))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let before = snapshot();
+
+        // Attempt exhaustion: task 0 fails every attempt while the other
+        // tasks spill many runs to disk, then the job errors.
+        let splits = big_splits();
+        let mut cfg = quiet_cluster();
+        cfg.io_sort_bytes = 256;
+        cfg.spill_backend = SpillBackend::Disk;
+        cfg.fault_plan =
+            Some(FaultPlan::seeded(0).with_targeted(TaskPhase::Map, 0, vec![1, 2, 3, 4]));
+        let err = JobBuilder::new("doomed-spill")
+            .map(|split: &Vec<u32>, ctx: &mut MapContext<u32, u64>| {
+                for &x in split {
+                    ctx.emit(x, u64::from(x));
+                }
+            })
+            .reducers(3)
+            .reduce(|k, vals, ctx: &mut ReduceContext<u32, u64>| ctx.emit(*k, vals.sum()))
+            .run(&Cluster::new(cfg), &splits)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::TaskFailed { .. }));
+
+        // Bad partitioner: deterministic abort right after the map phase,
+        // again with disk spills already written.
+        let mut cfg = quiet_cluster();
+        cfg.io_sort_bytes = 256;
+        cfg.spill_backend = SpillBackend::Disk;
+        let err = JobBuilder::new("bad-part-spill")
+            .map(|split: &Vec<u32>, ctx: &mut MapContext<u32, u64>| {
+                for &x in split {
+                    ctx.emit(x, u64::from(x));
+                }
+            })
+            .reducers(3)
+            .partition_by(|_k, _parts| 99)
+            .reduce(|k, vals, ctx: &mut ReduceContext<u32, u64>| ctx.emit(*k, vals.sum()))
+            .run(&Cluster::new(cfg), &splits)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::BadPartitioner { .. }));
+
+        let mut leaked: Vec<PathBuf> = snapshot().difference(&before).cloned().collect();
+        for _ in 0..100 {
+            if leaked.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            leaked = snapshot().difference(&before).cloned().collect();
+        }
+        assert!(leaked.is_empty(), "leaked spill dirs: {leaked:?}");
     }
 
     #[test]

@@ -93,11 +93,14 @@ pub mod trace;
 
 pub use cluster::{Cluster, ClusterConfig, SpillBackend};
 pub use error::RuntimeError;
-pub use fault::{FaultPlan, Straggler, TargetedFault, TaskPhase};
+pub use fault::{
+    FailureKind, FaultKind, FaultPlan, NodeFailure, Straggler, TargetedFault, TaskPhase,
+};
 pub use job::{JobBuilder, JobOutput, MapContext, ReduceContext, ShufflePath};
 pub use metrics::{
-    AttemptKind, AttemptOutcome, AttemptStats, DriverMetrics, JobMetrics, SimTime, StageMetrics,
-    TaskAttempt,
+    AttemptKind, AttemptOutcome, AttemptStats, DriverMetrics, JobMetrics, RecoveryStats, SimTime,
+    StageMetrics, TaskAttempt,
 };
 pub use pipeline::Pipeline;
+pub use scheduler::{NodeEvent, NodeFaults, NodeTopology};
 pub use trace::{TraceEvent, TraceEventKind, TraceSink};

@@ -137,6 +137,9 @@ pub struct TaskAttempt {
     /// Slot index (`0..slots`) the attempt occupied on the simulated
     /// cluster — the basis for slot-occupancy timelines.
     pub slot: usize,
+    /// Node hosting the slot (see [`crate::ClusterConfig::nodes`]); the
+    /// fault domain an attempt shares with its co-located spill runs.
+    pub node: usize,
     /// Why the attempt crashed; `None` unless `outcome` is
     /// [`AttemptOutcome::Failed`].
     pub failure: Option<FailureKind>,
@@ -197,6 +200,34 @@ impl AddAssign for AttemptStats {
         self.retried += rhs.retried;
         self.speculative += rhs.speculative;
         self.wasted_secs += rhs.wasted_secs;
+    }
+}
+
+/// Node-failure recovery accounting for one job (all zero on a healthy
+/// run — these counters only move under node-level faults).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Distinct nodes that failed during the job.
+    pub nodes_failed: u64,
+    /// Completed map tasks re-executed because their outputs were lost
+    /// or corrupt when a reducer tried to fetch them.
+    pub maps_reexecuted: u64,
+    /// Reduce-side fetch retries paid (capped exponential backoff) before
+    /// giving up on lost runs and requesting re-execution.
+    pub fetch_retries: u64,
+    /// Stored runs whose checksum footer failed verification at fetch.
+    pub corrupt_runs: u64,
+    /// Nodes blacklisted after crossing the failure threshold.
+    pub nodes_blacklisted: u64,
+}
+
+impl AddAssign for RecoveryStats {
+    fn add_assign(&mut self, rhs: RecoveryStats) {
+        self.nodes_failed += rhs.nodes_failed;
+        self.maps_reexecuted += rhs.maps_reexecuted;
+        self.fetch_retries += rhs.fetch_retries;
+        self.corrupt_runs += rhs.corrupt_runs;
+        self.nodes_blacklisted += rhs.nodes_blacklisted;
     }
 }
 
@@ -264,6 +295,8 @@ pub struct JobMetrics {
     /// Aggregate attempt accounting (failures, retries, speculation,
     /// wasted simulated seconds).
     pub attempt_stats: AttemptStats,
+    /// Node-failure recovery accounting (all zero on a healthy run).
+    pub recovery: RecoveryStats,
 }
 
 impl JobMetrics {
@@ -306,6 +339,26 @@ impl JobMetrics {
     pub fn wasted_secs(&self) -> f64 {
         self.attempt_stats.wasted_secs
     }
+
+    /// Distinct nodes that failed during the job.
+    pub fn nodes_failed(&self) -> u64 {
+        self.recovery.nodes_failed
+    }
+
+    /// Completed map tasks re-executed after fetch failures.
+    pub fn maps_reexecuted(&self) -> u64 {
+        self.recovery.maps_reexecuted
+    }
+
+    /// Reduce-side fetch retries paid before map re-execution.
+    pub fn fetch_retries(&self) -> u64 {
+        self.recovery.fetch_retries
+    }
+
+    /// Stored runs that failed checksum verification at fetch.
+    pub fn corrupt_runs(&self) -> u64 {
+        self.recovery.corrupt_runs
+    }
 }
 
 /// Aggregate metrics for one named pipeline stage.
@@ -329,6 +382,8 @@ pub struct StageMetrics {
     /// Aggregate attempt accounting (failures, retries, speculation,
     /// wasted simulated seconds) across the stage's runs.
     pub attempt_stats: AttemptStats,
+    /// Aggregate node-failure recovery accounting across the stage's runs.
+    pub recovery: RecoveryStats,
 }
 
 /// Accumulates metrics across the jobs of a multi-job driver program.
@@ -380,6 +435,15 @@ impl DriverMetrics {
         s
     }
 
+    /// Aggregate node-failure recovery accounting across all jobs.
+    pub fn total_recovery_stats(&self) -> RecoveryStats {
+        let mut s = RecoveryStats::default();
+        for j in &self.jobs {
+            s += j.recovery;
+        }
+        s
+    }
+
     /// Appends all of `other`'s jobs, preserving execution order — how a
     /// driver folds a sub-pipeline's ledger (e.g. one DMHaarSpace probe of
     /// DIndirectHaar's binary search) into its own.
@@ -407,6 +471,7 @@ impl DriverMetrics {
                         shuffle_bytes: 0,
                         input_bytes: 0,
                         attempt_stats: AttemptStats::default(),
+                        recovery: RecoveryStats::default(),
                     });
                     stages.last_mut().expect("just pushed")
                 }
@@ -416,6 +481,7 @@ impl DriverMetrics {
             stage.shuffle_bytes += j.shuffle_bytes;
             stage.input_bytes += j.input_bytes;
             stage.attempt_stats += j.attempt_stats;
+            stage.recovery += j.recovery;
         }
         stages
     }
@@ -522,5 +588,33 @@ mod tests {
     fn counters_default_zero() {
         let m = JobMetrics::default();
         assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn recovery_stats_accumulate_across_jobs_and_stages() {
+        let mut d = DriverMetrics::new();
+        for (name, reexec, retries) in [("a", 2, 5), ("a", 1, 3), ("b", 0, 0)] {
+            let mut j = JobMetrics {
+                name: name.into(),
+                ..JobMetrics::default()
+            };
+            j.recovery.maps_reexecuted = reexec;
+            j.recovery.fetch_retries = retries;
+            j.recovery.nodes_failed = u64::from(reexec > 0);
+            d.push(j);
+        }
+        let total = d.total_recovery_stats();
+        assert_eq!(total.maps_reexecuted, 3);
+        assert_eq!(total.fetch_retries, 8);
+        assert_eq!(total.nodes_failed, 2);
+        let stages = d.per_stage();
+        assert_eq!(stages[0].recovery.maps_reexecuted, 3);
+        assert_eq!(stages[1].recovery, RecoveryStats::default());
+        // The stage rows partition the recovery ledger too.
+        let mut sum = RecoveryStats::default();
+        for s in &stages {
+            sum += s.recovery;
+        }
+        assert_eq!(sum, total);
     }
 }

@@ -141,6 +141,79 @@ pub struct SpeculationPolicy {
     pub min_secs: f64,
 }
 
+/// How the phase's slots are spread over physical nodes: node `n` owns the
+/// contiguous slot block `[n * slots_per_node, (n + 1) * slots_per_node)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeTopology {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Slots hosted per node (the last node may own fewer when the
+    /// cluster-wide slot count is not an exact multiple).
+    pub slots_per_node: usize,
+}
+
+impl NodeTopology {
+    /// A degenerate single-node topology hosting all `slots` — the
+    /// behaviour of the engine before nodes became fault domains.
+    pub fn single(slots: usize) -> Self {
+        NodeTopology {
+            nodes: 1,
+            slots_per_node: slots.max(1),
+        }
+    }
+
+    /// The node hosting a slot.
+    pub fn node_of(&self, slot: usize) -> usize {
+        (slot / self.slots_per_node).min(self.nodes.saturating_sub(1))
+    }
+}
+
+/// One node failing at a phase-relative simulated time.
+///
+/// An event at or before the phase start (`at <= 0`) means the node was
+/// already down when the phase began: permanent events make its slots
+/// unusable from the start, transient ones are no-ops for scheduling (the
+/// restart wiped storage before anything ran here).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeEvent {
+    /// Node index in the topology.
+    pub node: usize,
+    /// Seconds from the phase start.
+    pub at: f64,
+    /// Whether the node's slots are gone for the rest of the phase.
+    pub permanent: bool,
+}
+
+/// Node-level fault context for a phase schedule: topology, failure
+/// events, and the optional blacklist threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeFaults {
+    /// Slot-to-node mapping.
+    pub topology: NodeTopology,
+    /// Node failures within this phase, any order.
+    pub events: Vec<NodeEvent>,
+    /// Blacklist a node once this many *task* failures (panics and
+    /// injected faults — not node deaths) land on it; `None` disables.
+    pub blacklist_after: Option<usize>,
+}
+
+impl NodeFaults {
+    /// No node faults: a single-node topology with no events.
+    pub fn none(slots: usize) -> Self {
+        NodeFaults {
+            topology: NodeTopology::single(slots),
+            events: Vec::new(),
+            blacklist_after: None,
+        }
+    }
+
+    /// Whether the context can alter scheduling relative to a fault-free
+    /// single-node run.
+    fn is_active(&self) -> bool {
+        !self.events.is_empty() || self.blacklist_after.is_some()
+    }
+}
+
 /// Result of simulating one phase's attempt schedule.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseSchedule {
@@ -148,6 +221,9 @@ pub struct PhaseSchedule {
     pub makespan: f64,
     /// Every attempt as placed on the slot timeline.
     pub attempts: Vec<TaskAttempt>,
+    /// Nodes blacklisted during the phase, as `(node, sim_time)` in
+    /// trigger order.
+    pub blacklisted: Vec<(usize, f64)>,
 }
 
 /// Entry in the ready queue of the attempt simulator.
@@ -190,11 +266,46 @@ pub fn schedule_attempts(
     backoff: f64,
     speculation: Option<SpeculationPolicy>,
 ) -> PhaseSchedule {
+    schedule_attempts_on(
+        phase,
+        plans,
+        slots,
+        startup,
+        backoff,
+        speculation,
+        &NodeFaults::none(slots),
+    )
+}
+
+/// [`schedule_attempts`] with node-level fault domains.
+///
+/// Slots map to nodes through `faults.topology`; each attempt record
+/// carries the node it ran on. A [`NodeEvent`] at time `t` cuts every
+/// attempt spanning `t` on that node — the attempt fails with
+/// [`FailureKind::NodeLost`] at `t` and its retry (which does *not*
+/// consume the task's planned attempt) joins the ready queue after the
+/// backoff, landing on a surviving node. Permanent events additionally
+/// make the node's slots unusable for new placements; speculative backups
+/// that would span their node's death are simply not launched. With
+/// `blacklist_after = Some(k)`, a node accumulating `k` *task* failures
+/// (panics and injected faults; node deaths don't count — a dead tracker
+/// is removed, not blacklisted) stops receiving new placements, unless it
+/// is the last usable node.
+pub fn schedule_attempts_on(
+    phase: TaskPhase,
+    plans: &[TaskPlan],
+    slots: usize,
+    startup: f64,
+    backoff: f64,
+    speculation: Option<SpeculationPolicy>,
+    faults: &NodeFaults,
+) -> PhaseSchedule {
     assert!(slots > 0, "scheduler requires at least one slot");
     if plans.is_empty() {
         return PhaseSchedule {
             makespan: 0.0,
             attempts: Vec::new(),
+            blacklisted: Vec::new(),
         };
     }
 
@@ -205,8 +316,33 @@ pub fn schedule_attempts(
         ds[ds.len() / 2]
     };
     let trigger = speculation.map(|s| (s.threshold * median).max(s.min_secs));
+    let topo = faults.topology;
 
-    let mut free_at = vec![0.0f64; slots.min(plans.len())];
+    // Without node faults the slot vector is truncated to the plan count
+    // (unused slots can never win placement, and keeping the historical
+    // truncation preserves exact slot indices in traces). With node
+    // faults, every slot stays addressable so retries can migrate off a
+    // dead node.
+    let active = faults.is_active();
+    let slot_count = if active {
+        slots
+    } else {
+        slots.min(plans.len())
+    };
+    let mut free_at = vec![0.0f64; slot_count];
+    // When a node dies permanently, from when (for placement rejection).
+    let mut perm_down: Vec<Option<f64>> = vec![None; topo.nodes];
+    for e in &faults.events {
+        if e.permanent && e.node < topo.nodes {
+            let at = e.at.max(0.0);
+            let entry = &mut perm_down[e.node];
+            *entry = Some(entry.map_or(at, |t: f64| t.min(at)));
+        }
+    }
+    let mut blacklisted_at: Vec<Option<f64>> = vec![None; topo.nodes];
+    let mut node_failures: Vec<usize> = vec![0; topo.nodes];
+    let mut blacklist_log: Vec<(usize, f64)> = Vec::new();
+
     let mut records: Vec<TaskAttempt> = Vec::new();
     // Slot and natural end of each task's successful regular attempt,
     // consulted when its speculative backup launches.
@@ -225,6 +361,44 @@ pub fn schedule_attempts(
         seq += 1;
     }
 
+    // Picks the earliest-free usable slot for a launch at or after
+    // `ready`; slots on dead or blacklisted nodes are retired (free time
+    // set to infinity) as they surface.
+    let pick_slot = |free_at: &mut [f64],
+                     perm_down: &[Option<f64>],
+                     blacklisted_at: &[Option<f64>],
+                     ready: f64|
+     -> (usize, f64) {
+        loop {
+            let (slot, &slot_free) = free_at
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty slots");
+            assert!(
+                slot_free.is_finite(),
+                "no usable slot survives the node fault plan"
+            );
+            let start = slot_free.max(ready);
+            let node = topo.node_of(slot);
+            let unusable = |down: Option<f64>| down.is_some_and(|t| start >= t);
+            if unusable(perm_down[node]) || unusable(blacklisted_at[node]) {
+                free_at[slot] = f64::INFINITY;
+                continue;
+            }
+            return (slot, start);
+        }
+    };
+    // Earliest node event cutting an attempt that occupies `node` over
+    // `(start, end)`.
+    let cutting_event = |node: usize, start: f64, end: f64| -> Option<&NodeEvent> {
+        faults
+            .events
+            .iter()
+            .filter(|e| e.node == node && e.at > start && e.at < end)
+            .min_by(|a, b| a.at.total_cmp(&b.at))
+    };
+
     while !pending.is_empty() {
         // Pop the earliest-ready attempt (FIFO among ties). Linear scan:
         // attempt counts here are hundreds, not millions.
@@ -239,17 +413,18 @@ pub fn schedule_attempts(
         if item.kind == AttemptKind::Speculative {
             // `idx` points at the regular attempt's record.
             let reg_end = records[item.idx].sim_end;
-            let (slot, &slot_free) = free_at
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.total_cmp(b.1))
-                .expect("non-empty slots");
-            let start = slot_free.max(item.ready);
+            let (slot, start) = pick_slot(&mut free_at, &perm_down, &blacklisted_at, item.ready);
             if start >= reg_end {
                 // The straggler finished before a backup could launch.
                 continue;
             }
+            let node = topo.node_of(slot);
             let natural_end = start + startup + plans[item.task].healthy_duration.max(0.0);
+            if cutting_event(node, start, natural_end.min(reg_end)).is_some() {
+                // The backup's node dies while it would still be running;
+                // launching it buys nothing, so it never starts.
+                continue;
+            }
             if natural_end < reg_end {
                 // Backup wins: the regular attempt is killed at the
                 // backup's finish time, freeing its slot early.
@@ -264,6 +439,7 @@ pub fn schedule_attempts(
                     kind: AttemptKind::Speculative,
                     outcome: AttemptOutcome::Succeeded,
                     slot,
+                    node,
                     failure: None,
                     sim_start: start,
                     sim_end: natural_end,
@@ -278,6 +454,7 @@ pub fn schedule_attempts(
                     kind: AttemptKind::Speculative,
                     outcome: AttemptOutcome::Killed,
                     slot,
+                    node,
                     failure: None,
                     sim_start: start,
                     sim_end: reg_end,
@@ -288,13 +465,38 @@ pub fn schedule_attempts(
 
         let plan = &plans[item.task];
         let ap = plan.attempts[item.idx];
-        let (slot, &slot_free) = free_at
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .expect("non-empty slots");
-        let start = slot_free.max(item.ready);
+        let (slot, start) = pick_slot(&mut free_at, &perm_down, &blacklisted_at, item.ready);
+        let node = topo.node_of(slot);
         let end = start + startup + ap.duration.max(0.0);
+
+        if let Some(cut) = cutting_event(node, start, end) {
+            // The node dies under the attempt: it fails at the cut, and
+            // the retry re-runs the *same* planned attempt elsewhere (a
+            // node death does not consume the task's attempt budget).
+            records.push(TaskAttempt {
+                phase,
+                task: item.task,
+                attempt: item.attempt,
+                kind: item.kind,
+                outcome: AttemptOutcome::Failed,
+                slot,
+                node,
+                failure: Some(FailureKind::NodeLost),
+                sim_start: start,
+                sim_end: cut.at,
+            });
+            free_at[slot] = if cut.permanent { f64::INFINITY } else { cut.at };
+            pending.push(Ready {
+                ready: cut.at + backoff,
+                seq,
+                task: item.task,
+                attempt: item.attempt + 1,
+                kind: AttemptKind::Retry,
+                idx: item.idx,
+            });
+            seq += 1;
+            continue;
+        }
         free_at[slot] = end;
 
         if ap.fails() {
@@ -305,11 +507,26 @@ pub fn schedule_attempts(
                 kind: item.kind,
                 outcome: AttemptOutcome::Failed,
                 slot,
+                node,
                 failure: ap.failure,
                 sim_start: start,
                 sim_end: end,
             });
             debug_assert!(item.idx + 1 < plan.attempts.len(), "plan ends in failure");
+            node_failures[node] += 1;
+            if let Some(k) = faults.blacklist_after {
+                if blacklisted_at[node].is_none() && node_failures[node] >= k {
+                    // Never blacklist the last usable node: some slot must
+                    // keep accepting work or the job can't finish.
+                    let usable_elsewhere = (0..topo.nodes).any(|n| {
+                        n != node && perm_down[n].is_none() && blacklisted_at[n].is_none()
+                    });
+                    if usable_elsewhere {
+                        blacklisted_at[node] = Some(end);
+                        blacklist_log.push((node, end));
+                    }
+                }
+            }
             pending.push(Ready {
                 ready: end + backoff,
                 seq,
@@ -328,6 +545,7 @@ pub fn schedule_attempts(
                 kind: item.kind,
                 outcome: AttemptOutcome::Succeeded,
                 slot,
+                node,
                 failure: None,
                 sim_start: start,
                 sim_end: end,
@@ -355,6 +573,7 @@ pub fn schedule_attempts(
     PhaseSchedule {
         makespan,
         attempts: records,
+        blacklisted: blacklist_log,
     }
 }
 
@@ -612,5 +831,239 @@ mod tests {
         let sched = schedule_attempts(TaskPhase::Reduce, &[], 4, 0.1, 0.0, None);
         assert_eq!(sched.makespan, 0.0);
         assert!(sched.attempts.is_empty());
+    }
+
+    #[test]
+    fn node_of_maps_contiguous_blocks() {
+        let topo = NodeTopology {
+            nodes: 8,
+            slots_per_node: 5,
+        };
+        assert_eq!(topo.node_of(0), 0);
+        assert_eq!(topo.node_of(4), 0);
+        assert_eq!(topo.node_of(5), 1);
+        assert_eq!(topo.node_of(39), 7);
+        // Degenerate single-node topology hosts everything on node 0.
+        let single = NodeTopology::single(4);
+        assert_eq!(single.node_of(3), 0);
+    }
+
+    #[test]
+    fn wrapper_matches_node_free_schedule_and_tags_node_zero() {
+        let plans: Vec<TaskPlan> = [1.0, 2.0, 0.5]
+            .iter()
+            .map(|&d| TaskPlan::healthy(d))
+            .collect();
+        let a = schedule_attempts(TaskPhase::Map, &plans, 2, 0.1, 0.0, None);
+        let b = schedule_attempts_on(
+            TaskPhase::Map,
+            &plans,
+            2,
+            0.1,
+            0.0,
+            None,
+            &NodeFaults::none(2),
+        );
+        assert_eq!(a, b);
+        assert!(a.attempts.iter().all(|r| r.node == 0));
+        assert!(a.blacklisted.is_empty());
+    }
+
+    #[test]
+    fn node_death_cuts_running_attempt_and_retries_on_survivor() {
+        // 2 nodes × 1 slot, two 1 s tasks, node hosting slot 1 dies
+        // permanently at 0.5 s. The attempt there fails with NodeLost at
+        // the cut, and its retry (same planned attempt) lands on the
+        // surviving node after that node's own task finishes.
+        let plans = vec![TaskPlan::healthy(1.0), TaskPlan::healthy(1.0)];
+        let faults = NodeFaults {
+            topology: NodeTopology {
+                nodes: 2,
+                slots_per_node: 1,
+            },
+            events: vec![NodeEvent {
+                node: 1,
+                at: 0.5,
+                permanent: true,
+            }],
+            blacklist_after: None,
+        };
+        let sched = schedule_attempts_on(TaskPhase::Map, &plans, 2, 0.0, 0.0, None, &faults);
+        let cut: Vec<_> = sched
+            .attempts
+            .iter()
+            .filter(|a| a.failure == Some(FailureKind::NodeLost))
+            .collect();
+        assert_eq!(cut.len(), 1);
+        assert_eq!(cut[0].node, 1);
+        assert_eq!(cut[0].outcome, AttemptOutcome::Failed);
+        assert!((cut[0].sim_end - 0.5).abs() < 1e-12);
+        let retry: Vec<_> = sched
+            .attempts
+            .iter()
+            .filter(|a| a.kind == AttemptKind::Retry)
+            .collect();
+        assert_eq!(retry.len(), 1);
+        assert_eq!(retry[0].node, 0, "retry must land on the survivor");
+        assert_eq!(retry[0].outcome, AttemptOutcome::Succeeded);
+        // Survivor runs its own task (0..1), then the retry (1..2).
+        assert!((sched.makespan - 2.0).abs() < 1e-12);
+        // Exactly one success per task.
+        for task in 0..2 {
+            assert_eq!(
+                sched
+                    .attempts
+                    .iter()
+                    .filter(|a| a.task == task && a.outcome == AttemptOutcome::Succeeded)
+                    .count(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn transient_restart_keeps_node_usable() {
+        let plans = vec![TaskPlan::healthy(1.0), TaskPlan::healthy(1.0)];
+        let faults = NodeFaults {
+            topology: NodeTopology {
+                nodes: 2,
+                slots_per_node: 1,
+            },
+            events: vec![NodeEvent {
+                node: 1,
+                at: 0.5,
+                permanent: false,
+            }],
+            blacklist_after: None,
+        };
+        let sched = schedule_attempts_on(TaskPhase::Map, &plans, 2, 0.0, 0.0, None, &faults);
+        // The cut attempt's retry may return to node 1 — it restarted.
+        let retry = sched
+            .attempts
+            .iter()
+            .find(|a| a.kind == AttemptKind::Retry)
+            .expect("cut attempt retried");
+        assert_eq!(retry.node, 1);
+        assert!((retry.sim_start - 0.5).abs() < 1e-12);
+        assert!((sched.makespan - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_dead_before_phase_start_receives_no_placements() {
+        let plans: Vec<TaskPlan> = (0..4).map(|_| TaskPlan::healthy(1.0)).collect();
+        let faults = NodeFaults {
+            topology: NodeTopology {
+                nodes: 2,
+                slots_per_node: 2,
+            },
+            events: vec![NodeEvent {
+                node: 0,
+                at: -3.0,
+                permanent: true,
+            }],
+            blacklist_after: None,
+        };
+        let sched = schedule_attempts_on(TaskPhase::Map, &plans, 4, 0.0, 0.0, None, &faults);
+        assert!(sched.attempts.iter().all(|a| a.node == 1));
+        // All four tasks serialize onto node 1's two slots: two waves.
+        assert!((sched.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blacklisted_node_stops_receiving_placements() {
+        // 2 nodes × 2 slots; six tasks whose first attempts all fail.
+        // With blacklist_after = 2, whichever node eats two failures first
+        // is blacklisted and every later launch starts elsewhere.
+        let plans: Vec<TaskPlan> = (0..6).map(|_| failing(&[0.5], 1.0)).collect();
+        let faults = NodeFaults {
+            topology: NodeTopology {
+                nodes: 2,
+                slots_per_node: 2,
+            },
+            events: Vec::new(),
+            blacklist_after: Some(2),
+        };
+        let sched = schedule_attempts_on(TaskPhase::Map, &plans, 4, 0.0, 0.0, None, &faults);
+        assert_eq!(sched.blacklisted.len(), 1, "one node crosses the bar");
+        let (node, at) = sched.blacklisted[0];
+        assert!(sched
+            .attempts
+            .iter()
+            .all(|a| a.node != node || a.sim_start < at));
+        // Every task still completes exactly once.
+        for task in 0..6 {
+            assert_eq!(
+                sched
+                    .attempts
+                    .iter()
+                    .filter(|a| a.task == task && a.outcome == AttemptOutcome::Succeeded)
+                    .count(),
+                1,
+                "task {task}"
+            );
+        }
+    }
+
+    #[test]
+    fn last_usable_node_is_never_blacklisted() {
+        // Single node: failures pile up but the node must keep working.
+        let plans: Vec<TaskPlan> = (0..4).map(|_| failing(&[0.5], 1.0)).collect();
+        let faults = NodeFaults {
+            topology: NodeTopology::single(2),
+            events: Vec::new(),
+            blacklist_after: Some(1),
+        };
+        let sched = schedule_attempts_on(TaskPhase::Map, &plans, 2, 0.0, 0.0, None, &faults);
+        assert!(sched.blacklisted.is_empty());
+        assert_eq!(
+            sched
+                .attempts
+                .iter()
+                .filter(|a| a.outcome == AttemptOutcome::Succeeded)
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn speculative_backup_skipped_when_its_node_would_die() {
+        // One straggler; the only spare slot is on a node that dies while
+        // the backup would still run, so no backup launches and the
+        // straggler finishes naturally.
+        let mut plans: Vec<TaskPlan> = (0..3).map(|_| TaskPlan::healthy(1.0)).collect();
+        plans.push(TaskPlan {
+            attempts: vec![AttemptPlan {
+                duration: 10.0,
+                failure: None,
+            }],
+            healthy_duration: 1.0,
+        });
+        let faults = NodeFaults {
+            topology: NodeTopology {
+                nodes: 2,
+                slots_per_node: 4,
+            },
+            // FIFO placement puts the four busy tasks on node 0 (slots
+            // 0..4), so the backup's slot would be on node 1. Node 1 dies
+            // at 2 s — inside the backup's (1.5, 2.5) window — so no
+            // backup launches and the straggler finishes naturally.
+            events: vec![NodeEvent {
+                node: 1,
+                at: 2.0,
+                permanent: true,
+            }],
+            blacklist_after: None,
+        };
+        let policy = SpeculationPolicy {
+            threshold: 1.5,
+            min_secs: 0.0,
+        };
+        let sched =
+            schedule_attempts_on(TaskPhase::Map, &plans, 8, 0.0, 0.0, Some(policy), &faults);
+        assert!(sched
+            .attempts
+            .iter()
+            .all(|a| a.kind != AttemptKind::Speculative));
+        assert!((sched.makespan - 10.0).abs() < 1e-12);
     }
 }

@@ -16,8 +16,10 @@
 //!   appear as begin/end span pairs, and every task attempt — including
 //!   failed, retried, and speculative ones — is a span on its simulated
 //!   slot,
-//! * wave boundaries, per-partition shuffle volumes, injected faults, and
-//!   pipeline stage/glue transitions are instant events.
+//! * wave boundaries, per-partition shuffle volumes, injected faults,
+//!   node-level fault and recovery milestones (`node_down`,
+//!   `fetch_failed`, `map_reexecuted`, `node_blacklisted`), and pipeline
+//!   stage/glue transitions are instant events.
 //!
 //! Recording is lock-cheap: a job's events are appended under a single
 //! mutex acquisition after the job has finished executing, so tracing adds
@@ -170,6 +172,9 @@ pub enum TraceEventKind {
         outcome: AttemptOutcome,
         /// Slot index the attempt occupied.
         slot: usize,
+        /// Node hosting the slot (0 on single-node topologies and in
+        /// traces written before node fault domains existed).
+        node: usize,
         /// Simulated end time (absolute, same timebase as `time`).
         end: f64,
         /// Why it crashed, when `outcome` is failed.
@@ -264,6 +269,53 @@ pub enum TraceEventKind {
         task: usize,
         /// 1-based attempt number that was crashed.
         attempt: usize,
+    },
+    /// A node-level fault from the job's [`crate::fault::FaultPlan`]:
+    /// every attempt running on the node at `time` fails with
+    /// [`FailureKind::NodeLost`], and completed map outputs hosted there
+    /// are lost for the shuffle.
+    NodeDown {
+        /// Owning job name.
+        job: String,
+        /// Node index that went down.
+        node: usize,
+        /// Whether the node's slots are gone for the rest of the job
+        /// (`true`) or the node restarts with its local state wiped
+        /// (`false`).
+        permanent: bool,
+    },
+    /// A reducer exhausted its fetch retries against one map task's lost
+    /// or corrupt output; `time` is the reducer attempt's simulated start.
+    FetchFailed {
+        /// Owning job name.
+        job: String,
+        /// Reduce partition whose fetch failed.
+        partition: usize,
+        /// Map task whose output could not be fetched.
+        map_task: usize,
+        /// Retries spent (the configured cap) before giving up.
+        retries: u64,
+    },
+    /// A completed map task was re-executed on a surviving node because
+    /// its output was lost or corrupt; its regenerated runs substitute
+    /// bit-identically into every reducer's merge.
+    MapReexecuted {
+        /// Owning job name.
+        job: String,
+        /// Map task index that re-ran.
+        task: usize,
+        /// Surviving node the re-execution landed on.
+        node: usize,
+    },
+    /// A node crossed the failure threshold and stopped receiving new
+    /// attempts for the rest of the phase (Hadoop node blacklisting).
+    NodeBlacklisted {
+        /// Owning job name.
+        job: String,
+        /// Blacklisted node index.
+        node: usize,
+        /// The configured failure threshold it crossed.
+        failures: usize,
     },
     /// A pipeline stage starts (wraps the stage's job span).
     StageBegin {
@@ -387,6 +439,7 @@ impl TraceEvent {
                 kind,
                 outcome,
                 slot,
+                node,
                 end,
                 failure,
             } => {
@@ -394,7 +447,7 @@ impl TraceEvent {
                     s,
                     ",\"ev\":\"attempt\",\"job\":\"{}\",\"phase\":\"{}\",\"task\":{task},\
                      \"attempt\":{attempt},\"kind\":\"{}\",\"outcome\":\"{}\",\"slot\":{slot},\
-                     \"end\":{},\"failure\":{}",
+                     \"node\":{node},\"end\":{},\"failure\":{}",
                     esc(job),
                     phase.as_str(),
                     kind.as_str(),
@@ -490,6 +543,49 @@ impl TraceEvent {
                     phase.as_str()
                 );
             }
+            TraceEventKind::NodeDown {
+                job,
+                node,
+                permanent,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"ev\":\"node_down\",\"job\":\"{}\",\"node\":{node},\"permanent\":{permanent}",
+                    esc(job)
+                );
+            }
+            TraceEventKind::FetchFailed {
+                job,
+                partition,
+                map_task,
+                retries,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"ev\":\"fetch_failed\",\"job\":\"{}\",\"partition\":{partition},\
+                     \"map_task\":{map_task},\"retries\":{retries}",
+                    esc(job)
+                );
+            }
+            TraceEventKind::MapReexecuted { job, task, node } => {
+                let _ = write!(
+                    s,
+                    ",\"ev\":\"map_reexecuted\",\"job\":\"{}\",\"task\":{task},\"node\":{node}",
+                    esc(job)
+                );
+            }
+            TraceEventKind::NodeBlacklisted {
+                job,
+                node,
+                failures,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"ev\":\"node_blacklisted\",\"job\":\"{}\",\"node\":{node},\
+                     \"failures\":{failures}",
+                    esc(job)
+                );
+            }
             TraceEventKind::StageBegin { stage } => {
                 let _ = write!(s, ",\"ev\":\"stage_begin\",\"stage\":\"{}\"", esc(stage));
             }
@@ -542,6 +638,14 @@ impl TraceEvent {
                 kind: parse_attempt_kind(&field_str(&v, "kind")?)?,
                 outcome: parse_outcome(&field_str(&v, "outcome")?)?,
                 slot: field_u64(&v, "slot")? as usize,
+                // Absent in traces written before node fault domains;
+                // those ran on a single implicit node 0.
+                node: match v.get("node") {
+                    None | Some(json::Value::Null) => 0,
+                    Some(other) => other.as_u64().ok_or_else(|| {
+                        TraceError("field \"node\" is not an unsigned integer".into())
+                    })? as usize,
+                },
                 end: field_f64(&v, "end")?,
                 failure: match v.get("failure") {
                     None | Some(json::Value::Null) => None,
@@ -593,6 +697,29 @@ impl TraceEvent {
                 phase: parse_task_phase(&field_str(&v, "phase")?)?,
                 task: field_u64(&v, "task")? as usize,
                 attempt: field_u64(&v, "attempt")? as usize,
+            },
+            "node_down" => TraceEventKind::NodeDown {
+                job: field_str(&v, "job")?,
+                node: field_u64(&v, "node")? as usize,
+                permanent: field(&v, "permanent")?
+                    .as_bool()
+                    .ok_or_else(|| TraceError("field \"permanent\" is not a boolean".into()))?,
+            },
+            "fetch_failed" => TraceEventKind::FetchFailed {
+                job: field_str(&v, "job")?,
+                partition: field_u64(&v, "partition")? as usize,
+                map_task: field_u64(&v, "map_task")? as usize,
+                retries: field_u64(&v, "retries")?,
+            },
+            "map_reexecuted" => TraceEventKind::MapReexecuted {
+                job: field_str(&v, "job")?,
+                task: field_u64(&v, "task")? as usize,
+                node: field_u64(&v, "node")? as usize,
+            },
+            "node_blacklisted" => TraceEventKind::NodeBlacklisted {
+                job: field_str(&v, "job")?,
+                node: field_u64(&v, "node")? as usize,
+                failures: field_u64(&v, "failures")? as usize,
             },
             "stage_begin" => TraceEventKind::StageBegin {
                 stage: field_str(&v, "stage")?,
@@ -676,6 +803,25 @@ impl TraceEvent {
                 task,
                 attempt,
             } => format!("fault_injected({job} {phase}{task} a{attempt})"),
+            TraceEventKind::NodeDown {
+                job,
+                node,
+                permanent,
+            } => format!("node_down({job} n{node} permanent={permanent})"),
+            TraceEventKind::FetchFailed {
+                job,
+                partition,
+                map_task,
+                retries,
+            } => format!("fetch_failed({job} p{partition} m{map_task} retries={retries})"),
+            TraceEventKind::MapReexecuted { job, task, node } => {
+                format!("map_reexecuted({job} m{task} n{node})")
+            }
+            TraceEventKind::NodeBlacklisted {
+                job,
+                node,
+                failures,
+            } => format!("node_blacklisted({job} n{node} failures={failures})"),
             TraceEventKind::StageBegin { stage } => format!("stage_begin({stage})"),
             TraceEventKind::StageEnd { stage } => format!("stage_end({stage})"),
             TraceEventKind::Glue => "glue".to_string(),
@@ -713,6 +859,7 @@ fn parse_failure(s: &str) -> Result<FailureKind, TraceError> {
     match s {
         "panic" => Ok(FailureKind::Panic),
         "injected" => Ok(FailureKind::Injected),
+        "node_lost" => Ok(FailureKind::NodeLost),
         other => Err(TraceError(format!("unknown failure kind {other:?}"))),
     }
 }
@@ -992,6 +1139,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                 kind,
                 outcome,
                 slot,
+                node,
                 end,
                 failure,
             } => {
@@ -1008,7 +1156,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\
                      \"name\":\"{short}{task} a{attempt}{suffix}\",\"cat\":\"task,{},{}\",\
                      \"args\":{{\"job\":\"{}\",\"task\":{task},\"attempt\":{attempt},\
-                     \"kind\":\"{}\",\"outcome\":\"{}\",\"failure\":\"{}\"}}}}",
+                     \"node\":{node},\"kind\":\"{}\",\"outcome\":\"{}\",\"failure\":\"{}\"}}}}",
                     slot_tid(*phase, *slot),
                     us(e.time),
                     us(end - e.time),
@@ -1110,6 +1258,56 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     esc(job)
                 ));
             }
+            TraceEventKind::NodeDown {
+                job,
+                node,
+                permanent,
+            } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{TID_DRIVER},\"ts\":{},\"s\":\"g\",\
+                     \"name\":\"node {node} down{}\",\"cat\":\"fault\",\
+                     \"args\":{{\"job\":\"{}\",\"permanent\":{permanent}}}}}",
+                    us(e.time),
+                    if *permanent { " (permanent)" } else { "" },
+                    esc(job)
+                ));
+            }
+            TraceEventKind::FetchFailed {
+                job,
+                partition,
+                map_task,
+                retries,
+            } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{TID_SHUFFLE},\"ts\":{},\"s\":\"p\",\
+                     \"name\":\"fetch failed p{partition} ← m{map_task}\",\"cat\":\"fault\",\
+                     \"args\":{{\"job\":\"{}\",\"retries\":{retries}}}}}",
+                    us(e.time),
+                    esc(job)
+                ));
+            }
+            TraceEventKind::MapReexecuted { job, task, node } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{TID_DRIVER},\"ts\":{},\"s\":\"p\",\
+                     \"name\":\"re-exec m{task} on n{node}\",\"cat\":\"recovery\",\
+                     \"args\":{{\"job\":\"{}\"}}}}",
+                    us(e.time),
+                    esc(job)
+                ));
+            }
+            TraceEventKind::NodeBlacklisted {
+                job,
+                node,
+                failures,
+            } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{TID_DRIVER},\"ts\":{},\"s\":\"p\",\
+                     \"name\":\"node {node} blacklisted\",\"cat\":\"fault\",\
+                     \"args\":{{\"job\":\"{}\",\"failures\":{failures}}}}}",
+                    us(e.time),
+                    esc(job)
+                ));
+            }
             TraceEventKind::StageBegin { stage } => open_stages.push((stage.clone(), e.time)),
             TraceEventKind::StageEnd { stage } => {
                 if let Some(pos) = open_stages.iter().rposition(|(s, _)| s == stage) {
@@ -1161,7 +1359,11 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
 ///   `merge_pass` events lie inside the reduce phase and name a valid
 ///   reduce partition,
 /// * every `task_aborted` event is followed by a `job_aborted` for the
-///   same job (task admission failures abort the whole job),
+///   same job (task admission failures abort the whole job), and no
+///   `task_aborted` appears after its job's end span — an aborted task
+///   means the job never produced a timeline,
+/// * node-fault instants (`node_down`, `fetch_failed`, `map_reexecuted`,
+///   `node_blacklisted`) name the job whose block they appear in,
 /// * stage begin/end events nest properly; an unclosed stage is accepted
 ///   only when a `job_aborted` event follows it (the error propagated
 ///   out of the stage).
@@ -1220,6 +1422,17 @@ pub fn validate(events: &[TraceEvent]) -> Result<(), TraceError> {
                     return err(format!(
                         "task_aborted({job}) without a following job_aborted"
                     ));
+                }
+                // An aborted task means the job never produced a
+                // timeline: a task_aborted after the job's end span is
+                // incoherent.
+                let ended_before = events.iter().any(|earlier| {
+                    earlier.seq < e.seq
+                        && matches!(&earlier.kind,
+                            TraceEventKind::JobEnd { job: j, .. } if j == job)
+                });
+                if ended_before {
+                    return err(format!("task_aborted({job}) after its job's end span"));
                 }
                 i += 1;
             }
@@ -1406,7 +1619,12 @@ fn validate_job(events: &[TraceEvent], begin: usize, job: &str) -> Result<usize,
                     ));
                 }
             }
-            TraceEventKind::Wave { job: j, .. } | TraceEventKind::FaultInjected { job: j, .. } => {
+            TraceEventKind::Wave { job: j, .. }
+            | TraceEventKind::FaultInjected { job: j, .. }
+            | TraceEventKind::NodeDown { job: j, .. }
+            | TraceEventKind::FetchFailed { job: j, .. }
+            | TraceEventKind::MapReexecuted { job: j, .. }
+            | TraceEventKind::NodeBlacklisted { job: j, .. } => {
                 if j != job {
                     return err(format!("event for {j} inside job {job}"));
                 }
@@ -1462,6 +1680,7 @@ mod tests {
                     kind: AttemptKind::Retry,
                     outcome: AttemptOutcome::Failed,
                     slot: 3,
+                    node: 1,
                     end: 0.375,
                     failure: Some(FailureKind::Injected),
                 },
@@ -1556,6 +1775,43 @@ mod tests {
                     reason: "needs 2000 bytes, budget 1000".into(),
                 },
             ),
+            ev(
+                15,
+                0.98,
+                TraceEventKind::NodeDown {
+                    job: "j".into(),
+                    node: 3,
+                    permanent: true,
+                },
+            ),
+            ev(
+                16,
+                0.98,
+                TraceEventKind::FetchFailed {
+                    job: "j".into(),
+                    partition: 1,
+                    map_task: 2,
+                    retries: 3,
+                },
+            ),
+            ev(
+                17,
+                0.99,
+                TraceEventKind::MapReexecuted {
+                    job: "j".into(),
+                    task: 2,
+                    node: 0,
+                },
+            ),
+            ev(
+                18,
+                0.99,
+                TraceEventKind::NodeBlacklisted {
+                    job: "j".into(),
+                    node: 5,
+                    failures: 3,
+                },
+            ),
         ];
         for e in &samples {
             let line = e.to_jsonl();
@@ -1593,6 +1849,26 @@ mod tests {
         };
         assert_eq!(e.digest(), with_runs.digest());
         assert_eq!(e.digest(), "shuffle_partition(j p0 bytes=18)");
+    }
+
+    #[test]
+    fn attempt_lines_without_node_parse_as_zero() {
+        // Traces written before node fault domains lack "node".
+        let line = "{\"seq\":2,\"t\":0.25,\"ev\":\"attempt\",\"job\":\"j\",\"phase\":\"map\",\
+                    \"task\":1,\"attempt\":1,\"kind\":\"regular\",\"outcome\":\"ok\",\
+                    \"slot\":3,\"end\":0.375,\"failure\":null}";
+        let e = TraceEvent::from_jsonl(line).unwrap();
+        let TraceEventKind::Attempt { node, .. } = &e.kind else {
+            panic!("wrong kind");
+        };
+        assert_eq!(*node, 0);
+        // The digest is independent of `node` (golden sequences pin it).
+        let mut moved = e.clone();
+        if let TraceEventKind::Attempt { node, .. } = &mut moved.kind {
+            *node = 7;
+        }
+        assert_eq!(e.digest(), moved.digest());
+        assert_eq!(e.digest(), "attempt(j map1 a1 regular ok -)");
     }
 
     #[test]
@@ -1667,6 +1943,7 @@ mod tests {
                     kind: AttemptKind::Regular,
                     outcome: AttemptOutcome::Succeeded,
                     slot,
+                    node: 0,
                     end,
                     failure: None,
                 },
@@ -1773,6 +2050,122 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_task_aborted_after_job_end() {
+        let job = "j".to_string();
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                TraceEventKind::JobBegin {
+                    job: job.clone(),
+                    maps: 1,
+                    reducers: 1,
+                },
+            ),
+            ev(
+                1,
+                0.0,
+                TraceEventKind::PhaseBegin {
+                    job: job.clone(),
+                    phase: JobPhase::Setup,
+                    slots: 0,
+                },
+            ),
+            ev(
+                2,
+                0.0,
+                TraceEventKind::PhaseEnd {
+                    job: job.clone(),
+                    phase: JobPhase::Setup,
+                    sim_secs: 0.0,
+                },
+            ),
+            ev(
+                3,
+                0.0,
+                TraceEventKind::PhaseBegin {
+                    job: job.clone(),
+                    phase: JobPhase::Map,
+                    slots: 1,
+                },
+            ),
+            ev(
+                4,
+                0.0,
+                TraceEventKind::PhaseEnd {
+                    job: job.clone(),
+                    phase: JobPhase::Map,
+                    sim_secs: 0.0,
+                },
+            ),
+            ev(
+                5,
+                0.0,
+                TraceEventKind::PhaseBegin {
+                    job: job.clone(),
+                    phase: JobPhase::Shuffle,
+                    slots: 0,
+                },
+            ),
+            ev(
+                6,
+                0.0,
+                TraceEventKind::PhaseEnd {
+                    job: job.clone(),
+                    phase: JobPhase::Shuffle,
+                    sim_secs: 0.0,
+                },
+            ),
+            ev(
+                7,
+                0.0,
+                TraceEventKind::PhaseBegin {
+                    job: job.clone(),
+                    phase: JobPhase::Reduce,
+                    slots: 1,
+                },
+            ),
+            ev(
+                8,
+                0.0,
+                TraceEventKind::PhaseEnd {
+                    job: job.clone(),
+                    phase: JobPhase::Reduce,
+                    sim_secs: 0.0,
+                },
+            ),
+            ev(
+                9,
+                0.0,
+                TraceEventKind::JobEnd {
+                    job: job.clone(),
+                    sim_secs: 0.0,
+                },
+            ),
+            ev(
+                10,
+                0.0,
+                TraceEventKind::TaskAborted {
+                    job: job.clone(),
+                    phase: TaskPhase::Map,
+                    task: 0,
+                    reason: "late".into(),
+                },
+            ),
+            ev(
+                11,
+                0.0,
+                TraceEventKind::JobAborted {
+                    job: job.clone(),
+                    reason: "late".into(),
+                },
+            ),
+        ];
+        let e = validate(&events).unwrap_err();
+        assert!(e.0.contains("after its job's end span"), "{e}");
+    }
+
+    #[test]
     fn chrome_trace_is_valid_json_with_expected_tracks() {
         let events = vec![
             ev(
@@ -1795,6 +2188,7 @@ mod tests {
                     kind: AttemptKind::Regular,
                     outcome: AttemptOutcome::Succeeded,
                     slot: 2,
+                    node: 0,
                     end: 1.0,
                     failure: None,
                 },

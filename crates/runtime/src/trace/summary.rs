@@ -273,6 +273,73 @@ pub fn critical_path(events: &[TraceEvent]) -> Vec<CriticalPath> {
     rows
 }
 
+/// Per-job-name roll-up of node-fault and recovery instants.
+///
+/// All five counters are recomputable from the JSONL export; a row is
+/// emitted only for job names that saw at least one such event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Job (stage) name.
+    pub job: String,
+    /// `node_down` instants recorded for the job.
+    pub nodes_down: usize,
+    /// The subset of `nodes_down` whose slots never came back.
+    pub permanent: usize,
+    /// `fetch_failed` instants (reducer × lost/corrupt map output pairs
+    /// that exhausted their retries).
+    pub fetch_failures: usize,
+    /// `map_reexecuted` instants (completed maps re-run on a survivor).
+    pub maps_reexecuted: usize,
+    /// `node_blacklisted` instants.
+    pub nodes_blacklisted: usize,
+}
+
+/// Counts node-fault and recovery instants per job name, in
+/// first-appearance order.
+pub fn recovery_summary(events: &[TraceEvent]) -> Vec<RecoverySummary> {
+    let mut rows: Vec<RecoverySummary> = Vec::new();
+    let idx = |rows: &mut Vec<RecoverySummary>, job: &str| -> usize {
+        if let Some(i) = rows.iter().position(|r| r.job == job) {
+            i
+        } else {
+            rows.push(RecoverySummary {
+                job: job.to_string(),
+                nodes_down: 0,
+                permanent: 0,
+                fetch_failures: 0,
+                maps_reexecuted: 0,
+                nodes_blacklisted: 0,
+            });
+            rows.len() - 1
+        }
+    };
+    for e in events {
+        match &e.kind {
+            TraceEventKind::NodeDown { job, permanent, .. } => {
+                let i = idx(&mut rows, job);
+                rows[i].nodes_down += 1;
+                if *permanent {
+                    rows[i].permanent += 1;
+                }
+            }
+            TraceEventKind::FetchFailed { job, .. } => {
+                let i = idx(&mut rows, job);
+                rows[i].fetch_failures += 1;
+            }
+            TraceEventKind::MapReexecuted { job, .. } => {
+                let i = idx(&mut rows, job);
+                rows[i].maps_reexecuted += 1;
+            }
+            TraceEventKind::NodeBlacklisted { job, .. } => {
+                let i = idx(&mut rows, job);
+                rows[i].nodes_blacklisted += 1;
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +371,7 @@ mod tests {
                     kind: AttemptKind::Regular,
                     outcome: AttemptOutcome::Failed,
                     slot: 0,
+                    node: 0,
                     end: 1.0,
                     failure: Some(FailureKind::Injected),
                 },
@@ -319,6 +387,7 @@ mod tests {
                     kind: AttemptKind::Retry,
                     outcome: AttemptOutcome::Succeeded,
                     slot: 0,
+                    node: 0,
                     end: 4.0,
                     failure: None,
                 },
@@ -384,6 +453,68 @@ mod tests {
         assert_eq!(map.makespan_secs, 4.0);
         // 4 busy seconds over 2 slots × 4s capacity.
         assert!((map.utilisation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_summary_counts_per_job() {
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                TraceEventKind::NodeDown {
+                    job: "j".into(),
+                    node: 2,
+                    permanent: true,
+                },
+            ),
+            ev(
+                1,
+                0.1,
+                TraceEventKind::NodeDown {
+                    job: "j".into(),
+                    node: 3,
+                    permanent: false,
+                },
+            ),
+            ev(
+                2,
+                0.2,
+                TraceEventKind::FetchFailed {
+                    job: "j".into(),
+                    partition: 0,
+                    map_task: 1,
+                    retries: 3,
+                },
+            ),
+            ev(
+                3,
+                0.3,
+                TraceEventKind::MapReexecuted {
+                    job: "j".into(),
+                    task: 1,
+                    node: 0,
+                },
+            ),
+            ev(
+                4,
+                0.4,
+                TraceEventKind::NodeBlacklisted {
+                    job: "k".into(),
+                    node: 1,
+                    failures: 3,
+                },
+            ),
+        ];
+        let rows = recovery_summary(&events);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].job, "j");
+        assert_eq!(rows[0].nodes_down, 2);
+        assert_eq!(rows[0].permanent, 1);
+        assert_eq!(rows[0].fetch_failures, 1);
+        assert_eq!(rows[0].maps_reexecuted, 1);
+        assert_eq!(rows[0].nodes_blacklisted, 0);
+        assert_eq!(rows[1].job, "k");
+        assert_eq!(rows[1].nodes_blacklisted, 1);
     }
 
     #[test]

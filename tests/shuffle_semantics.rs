@@ -10,13 +10,16 @@
 //! * traces from both paths pass [`trace::validate`].
 
 use dwmaxerr::runtime::trace::{self, TraceEvent, TraceEventKind};
-use dwmaxerr::runtime::{Cluster, ClusterConfig, JobBuilder, ShufflePath};
+use dwmaxerr::runtime::{Cluster, ClusterConfig, JobBuilder, ShufflePath, SpillBackend};
 use dwmaxerr::runtime::{JobOutput, MapContext, ReduceContext};
 
+/// Backend comes from `DWM_SPILL_BACKEND` (default memory) so a CI leg
+/// can replay the whole suite against the on-disk spill store.
 fn quiet_cluster() -> Cluster {
     let mut cfg = ClusterConfig::with_slots(4, 3);
     cfg.task_startup = std::time::Duration::ZERO;
     cfg.job_setup = std::time::Duration::ZERO;
+    cfg.spill_backend = SpillBackend::from_env();
     Cluster::new(cfg)
 }
 
@@ -168,8 +171,6 @@ fn constrained_memory_runs_externally_and_stays_bit_identical() {
     // multi-run external spills (no TaskFailed), report >1 spill pass per
     // non-empty task and intermediate merge passes when fan-in < run
     // count, and produce byte-identical output to the unconstrained run.
-    use dwmaxerr::runtime::SpillBackend;
-
     let splits: Vec<Vec<(u64, u64)>> = (0..5)
         .map(|s| (0..120).map(|i| (i % 9, s * 1000 + i)).collect())
         .collect();
