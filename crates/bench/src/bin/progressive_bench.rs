@@ -1,0 +1,106 @@
+//! Progressive-serving benchmark: staleness window, refinement latency
+//! and jobs-re-run vs dirty-subtree count for the phased incremental
+//! driver.
+//!
+//! Usage: `progressive_bench [--smoke] [--out <path>] [--trace-dir <dir>]`
+//!
+//! * `--smoke` — CI sizes (4 Ki window) instead of the full sweep
+//!   (16 Ki); also turns on the sanity gates CI fails on.
+//! * `--out <path>` — where to write the JSON document (default
+//!   `BENCH_progressive.json` in the current directory).
+//! * `--trace-dir <dir>` — export the heaviest run's execution trace as
+//!   `progressive.trace.jsonl` (+ Chrome-format `.json`) for
+//!   `trace_check`.
+//!
+//! Smoke gates (exact, immune to host noise):
+//!
+//! 1. every steady-state tick's exact answer is bit-identical to a
+//!    one-shot DGreedyAbs build of the same window;
+//! 2. at the smallest append size the background refinement re-runs
+//!    strictly fewer map tasks than the full rebuild — the work must
+//!    scale with the dirty sub-trees, not the window;
+//! 3. the staleness window is positive: the coarse answer really is
+//!    served before the exact one lands.
+
+use std::path::PathBuf;
+
+use dwmaxerr_bench::{experiments, report};
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = PathBuf::from("BENCH_progressive.json");
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path argument");
+                    std::process::exit(2);
+                }));
+            }
+            "--trace-dir" => {
+                trace_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-dir requires a directory argument");
+                    std::process::exit(2);
+                })));
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?} (expected --smoke / --out <path> / \
+                     --trace-dir <dir>)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sweep = experiments::progressive_sweep(smoke, trace_dir.as_deref());
+    report::print_all(&[sweep.table()]);
+
+    if let Err(e) = std::fs::write(&out_path, sweep.to_json(smoke)) {
+        eprintln!("failed to write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", out_path.display());
+
+    if smoke {
+        let mut failed = false;
+        for s in &sweep.samples {
+            if !s.identical {
+                eprintln!(
+                    "SANITY FAIL: append={} served an exact synopsis that diverged from \
+                     the one-shot build",
+                    s.append
+                );
+                failed = true;
+            }
+            if s.staleness_secs <= 0.0 {
+                eprintln!(
+                    "SANITY FAIL: append={} shows a non-positive staleness window \
+                     ({:.6}s) — the coarse snapshot never preceded the exact one",
+                    s.append, s.staleness_secs
+                );
+                failed = true;
+            }
+        }
+        let smallest = &sweep.samples[0];
+        if smallest.background_tasks >= smallest.full_rebuild_tasks as f64 {
+            eprintln!(
+                "SANITY FAIL: smallest append ({} values) re-ran {:.1} background map \
+                 tasks, not below the full rebuild's {} — incremental maintenance \
+                 is not saving work",
+                smallest.append, smallest.background_tasks, smallest.full_rebuild_tasks
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "smoke OK: {} append sizes, all ticks bit-identical to one-shot builds",
+            sweep.samples.len()
+        );
+    }
+}

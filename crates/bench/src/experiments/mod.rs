@@ -5,6 +5,7 @@ mod comparison;
 mod conventional;
 mod datasets;
 mod faults;
+mod progressive;
 mod scalability;
 mod shuffle;
 
@@ -15,6 +16,7 @@ pub use faults::{
     fault_sweep, fault_sweep_traced, node_fault_sweep, node_fault_tables, NodeFaultSample,
     NodeFaultSweep, DEFAULT_FAULT_SEED,
 };
+pub use progressive::{progressive_sweep, ProgressiveSample, ProgressiveSweep};
 pub use scalability::{fig5a, fig5b, fig5c, fig5d};
 pub use shuffle::{
     merge_ratios, pressure_sweep, pressure_table, pressure_to_json as shuffle_pressure_json,

@@ -103,18 +103,28 @@ impl Broadcast {
     }
 
     fn bucket(&self, error: f64) -> i64 {
-        (error / self.bucket_width).floor() as i64
+        bucket_of(error, self.bucket_width)
     }
+}
+
+/// The error bucket of `error` at bucket width `width` (Algorithm 3).
+/// Shared with the incremental driver so cached and fresh runs bucket
+/// identically.
+pub(crate) fn bucket_of(error: f64, width: f64) -> i64 {
+    (error / width).floor() as i64
 }
 
 /// Batches a removal trace into `(running-max bucket, count)` histogram
 /// entries (Algorithm 3's `discardNode`, histogram form).
-fn histogram_batches(trace: &[dwmaxerr_algos::Removal], ctx: &Broadcast) -> Vec<(i64, u32)> {
+pub(crate) fn histogram_batches(
+    trace: &[dwmaxerr_algos::Removal],
+    bucket_width: f64,
+) -> Vec<(i64, u32)> {
     let mut out = Vec::new();
     let mut max_bucket = i64::MIN;
     let mut count = 0u32;
     for r in trace {
-        let b = ctx.bucket(r.error_after);
+        let b = bucket_of(r.error_after, bucket_width);
         if b <= max_bucket {
             count += 1;
         } else {
@@ -219,7 +229,7 @@ pub fn dgreedy_abs(
                 for (_, (e, ks)) in by_err {
                     let mut g = GreedyAbs::new_subtree(&details, e).expect("valid subtree");
                     let trace = g.run_to_empty();
-                    let batches = histogram_batches(&trace, bc);
+                    let batches = histogram_batches(&trace, bc.bucket_width);
                     ctx.add_counter("greedy_runs", 1);
                     for &k in &ks {
                         for &(bucket, count) in &batches {
@@ -261,7 +271,10 @@ pub fn dgreedy_abs(
             for (k, cut_bucket) in pairs {
                 let cut = cut_bucket * cfg.bucket_width;
                 let total = cut.max(rho[k as usize]);
-                if total < best_err {
+                // Canonical tie-break on the smaller candidate, so the
+                // winner is independent of the reduce output order (the
+                // incremental driver re-derives it iterating k ascending).
+                if total < best_err || (total == best_err && (k as usize) < best_k) {
                     best_err = total;
                     best_k = k as usize;
                     best_cut = cut;
@@ -434,13 +447,6 @@ mod tests {
 
     #[test]
     fn histogram_batches_compact_monotone_runs() {
-        let bc = Broadcast {
-            partition: BasePartition::new(4, 2).unwrap(),
-            root_coeffs: vec![0.0, 0.0],
-            removal_order: vec![1, 0],
-            max_k: 0,
-            bucket_width: 1.0,
-        };
         let trace: Vec<dwmaxerr_algos::Removal> = [1.2, 1.7, 3.5, 3.0, 4.2]
             .iter()
             .enumerate()
@@ -450,6 +456,6 @@ mod tests {
             })
             .collect();
         // Buckets: 1,1,3,3(<=max),4 -> batches (1,2),(3,2),(4,1).
-        assert_eq!(histogram_batches(&trace, &bc), vec![(1, 2), (3, 2), (4, 1)]);
+        assert_eq!(histogram_batches(&trace, 1.0), vec![(1, 2), (3, 2), (4, 1)]);
     }
 }

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! The paper's contribution: distributed wavelet thresholding for maximum
 //! error metrics (SIGMOD'16).
@@ -27,6 +27,7 @@
 //! | [`mod@dhaar_plus`]     | DHaarPlus: the Haar+ tree variant of the layered framework |
 //! | [`mod@dmin_rel_var`]   | DMinRelVar: relative-variance DP on the layered framework |
 //! | [`conventional`]       | Appendix-A baselines: CON, Send-V, Send-Coef(-combined), H-WTopk |
+//! | [`progressive`]        | Streaming windows, incremental CON/DGreedyAbs maintenance, phased serving driver |
 //! | [`error`]              | [`CoreError`]: algorithm-level failures wrapping runtime errors |
 
 pub mod conventional;
@@ -38,6 +39,7 @@ pub mod dmin_haar_space;
 pub mod dmin_rel_var;
 pub mod error;
 pub mod partition;
+pub mod progressive;
 pub mod splits;
 
 pub use dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig, DGreedyAbsResult};
@@ -48,3 +50,7 @@ pub use dmin_haar_space::{dmin_haar_space, DmhsConfig, DmhsResult};
 pub use dmin_rel_var::{dmin_rel_var, DmrvConfig, DmrvResult};
 pub use error::CoreError;
 pub use partition::{BasePartition, LayerPlan};
+pub use progressive::{
+    IncrementalConventional, IncrementalDGreedyAbs, PhasedSynopsisDriver, ServedSynopsis,
+    StreamWindow, TickReport,
+};

@@ -2266,6 +2266,7 @@ where
             attempts,
             attempt_stats,
             recovery,
+            phase: None,
         };
         cluster.record(metrics.clone());
         Ok(JobOutput { pairs, metrics })

@@ -77,7 +77,7 @@
 //! | [`fault`]     | Seeded [`FaultPlan`]: targeted/probabilistic attempt failures and stragglers |
 //! | [`job`]       | [`JobBuilder`] → typed map/reduce jobs; executes phases and emits metrics + trace |
 //! | [`metrics`]   | Per-job [`JobMetrics`] / per-driver [`DriverMetrics`] aggregates, attempt records |
-//! | [`pipeline`]  | Declarative multi-stage [`Pipeline`] driver with glue and loops |
+//! | [`pipeline`]  | Declarative multi-stage [`Pipeline`] driver with glue, loops, and phased execution ([`Progressive`] snapshot handles) |
 //! | [`scheduler`] | Slot-limited wave scheduler: attempts → simulated makespan |
 //! | [`trace`]     | Structured event log: task/shuffle/fault spans, JSONL + Chrome exporters |
 
@@ -98,9 +98,9 @@ pub use fault::{
 };
 pub use job::{JobBuilder, JobOutput, MapContext, ReduceContext, ShufflePath};
 pub use metrics::{
-    AttemptKind, AttemptOutcome, AttemptStats, DriverMetrics, JobMetrics, RecoveryStats, SimTime,
-    StageMetrics, TaskAttempt,
+    AttemptKind, AttemptOutcome, AttemptStats, DriverMetrics, JobMetrics, Phase, PhaseMetrics,
+    RecoveryStats, SimTime, StageMetrics, TaskAttempt,
 };
-pub use pipeline::Pipeline;
+pub use pipeline::{Pipeline, Progressive, Snapshot};
 pub use scheduler::{NodeEvent, NodeFaults, NodeTopology};
 pub use trace::{TraceEvent, TraceEventKind, TraceSink};

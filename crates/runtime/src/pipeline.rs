@@ -23,6 +23,13 @@
 //!   stages while a predicate over the threaded value holds — the shape of
 //!   the layered bottom-up jobs and of IndirectHaar's binary-search
 //!   probes.
+//! * **Plans can be phased.** [`Pipeline::enter_phase`] tags the stages
+//!   that follow as [`Phase::Foreground`] work or
+//!   [`Phase::Background`] refinement, [`Pipeline::checkpoint`] publishes
+//!   a usable intermediate result into a [`Progressive`] handle, and
+//!   [`Pipeline::publish`] atomically swaps refined snapshots into that
+//!   handle as later stages land on the simulated clock. Consumers serve
+//!   the latest [`Snapshot`] while refinement runs behind it.
 //!
 //! # Example
 //!
@@ -68,12 +75,92 @@
 //! assert_eq!(stages[1].name, "histogram");
 //! ```
 
+use std::sync::{Arc, RwLock};
+
 use crate::cluster::Cluster;
 use crate::codec::Wire;
 use crate::error::RuntimeError;
 use crate::job::{Job, MapContext, ReduceContext};
 use crate::metrics::{DriverMetrics, JobMetrics};
 use crate::trace::TraceEventKind;
+
+pub use crate::metrics::Phase;
+
+/// One published state of a [`Progressive`] handle: the value together
+/// with its position on the simulated timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot<T> {
+    /// The published value.
+    pub value: T,
+    /// 1-based publish count for the handle's label.
+    pub version: u64,
+    /// Simulated time (seconds on the cluster trace clock) at which this
+    /// snapshot became servable. The gap between consecutive versions'
+    /// `published_at` is the staleness window a phase-1 consumer observes.
+    pub published_at: f64,
+    /// Execution phase of the publishing plan at publish time (`None`
+    /// when the plan never entered a phase).
+    pub phase: Option<Phase>,
+}
+
+/// A shared handle to the latest published result of a phased plan.
+///
+/// [`Pipeline::checkpoint`] creates one and publishes the plan's current
+/// value into it; later [`Pipeline::publish`] calls atomically swap in
+/// refined versions while background stages keep running on the simulated
+/// clock. Clones share state, so a serving thread can hold the handle and
+/// always read a complete, immutable [`Snapshot`] — readers are never
+/// blocked by an in-flight refinement, they simply keep the `Arc` they
+/// already fetched.
+#[derive(Debug)]
+pub struct Progressive<T> {
+    label: Arc<str>,
+    latest: Arc<RwLock<Option<Arc<Snapshot<T>>>>>,
+}
+
+impl<T> Clone for Progressive<T> {
+    fn clone(&self) -> Self {
+        Progressive {
+            label: Arc::clone(&self.label),
+            latest: Arc::clone(&self.latest),
+        }
+    }
+}
+
+impl<T> Progressive<T> {
+    /// An empty handle with no published snapshot yet; the first
+    /// [`Pipeline::publish`] into it creates version 1.
+    pub fn empty(label: &str) -> Self {
+        Progressive {
+            label: Arc::from(label),
+            latest: Arc::new(RwLock::new(None)),
+        }
+    }
+
+    /// The handle's label (identifies it in `snapshot_published` trace
+    /// events).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The latest published snapshot, or `None` before the first publish.
+    /// The returned `Arc` stays valid (and immutable) across later swaps.
+    pub fn latest(&self) -> Option<Arc<Snapshot<T>>> {
+        self.latest.read().expect("progressive lock").clone()
+    }
+
+    /// The latest published version (0 before the first publish).
+    pub fn version(&self) -> u64 {
+        self.latest().map_or(0, |s| s.version)
+    }
+
+    /// Swaps in `snapshot` as the new latest version and returns it.
+    fn swap(&self, snapshot: Snapshot<T>) -> Arc<Snapshot<T>> {
+        let snap = Arc::new(snapshot);
+        *self.latest.write().expect("progressive lock") = Some(Arc::clone(&snap));
+        snap
+    }
+}
 
 /// The pipeline produced by [`Pipeline::stage`]: the previous threaded
 /// value paired with the stage's output pairs.
@@ -94,6 +181,7 @@ pub struct Pipeline<'c, T> {
     cluster: &'c Cluster,
     metrics: DriverMetrics,
     value: T,
+    phase: Option<Phase>,
 }
 
 impl<'c> Pipeline<'c, ()> {
@@ -103,6 +191,7 @@ impl<'c> Pipeline<'c, ()> {
             cluster,
             metrics: DriverMetrics::new(),
             value: (),
+            phase: None,
         }
     }
 }
@@ -114,6 +203,7 @@ impl<'c, T> Pipeline<'c, T> {
             cluster,
             metrics: DriverMetrics::new(),
             value,
+            phase: None,
         }
     }
 
@@ -163,11 +253,14 @@ impl<'c, T> Pipeline<'c, T> {
         self.cluster.trace().instant(TraceEventKind::StageEnd {
             stage: job.name().to_string(),
         });
-        self.metrics.push(out.metrics);
+        let mut job_metrics = out.metrics;
+        job_metrics.phase = self.phase;
+        self.metrics.push(job_metrics);
         Ok(Pipeline {
             cluster: self.cluster,
             metrics: self.metrics,
             value: (self.value, out.pairs),
+            phase: self.phase,
         })
     }
 
@@ -184,6 +277,7 @@ impl<'c, T> Pipeline<'c, T> {
             cluster: self.cluster,
             metrics: self.metrics,
             value: f(self.value),
+            phase: self.phase,
         }
     }
 
@@ -194,7 +288,84 @@ impl<'c, T> Pipeline<'c, T> {
             cluster: self.cluster,
             metrics: self.metrics,
             value: f(self.value)?,
+            phase: self.phase,
         })
+    }
+
+    /// Opens an execution phase: every stage that follows is tagged with
+    /// `phase` in the metrics ledger (see [`JobMetrics::phase`] and
+    /// [`crate::metrics::StageMetrics`]) and the trace records a
+    /// `phase_started` marker at the current simulated instant.
+    ///
+    /// A phased plan's shape is `enter_phase(Foreground) → stages →
+    /// checkpoint → enter_phase(Background(p)) → refinement stages →
+    /// publish`: the foreground phase builds the result a caller waits
+    /// on, `checkpoint` makes it servable, and background stages continue
+    /// on the same simulated clock — their cost is real and traced, but a
+    /// consumer holding the [`Progressive`] handle is already serving the
+    /// phase-1 snapshot. Plans that never call this method emit no phase
+    /// events and record `phase: None` everywhere, keeping pre-phase
+    /// ledgers and golden traces bit-identical.
+    pub fn enter_phase(self, phase: Phase) -> Self {
+        self.cluster
+            .trace()
+            .instant(TraceEventKind::PhaseStarted { phase });
+        Pipeline {
+            cluster: self.cluster,
+            metrics: self.metrics,
+            value: self.value,
+            phase: Some(phase),
+        }
+    }
+
+    /// The execution phase stages currently run under (`None` before the
+    /// first [`Pipeline::enter_phase`]).
+    pub fn phase(&self) -> Option<Phase> {
+        self.phase
+    }
+
+    /// Publishes the current threaded value as the first snapshot of a
+    /// new [`Progressive`] handle and keeps building.
+    ///
+    /// The returned handle already holds version 1 — a usable intermediate
+    /// result stamped with the current simulated time — while the
+    /// returned pipeline continues into its background stages. Equivalent
+    /// to [`Progressive::empty`] followed by [`Pipeline::publish`].
+    pub fn checkpoint(self, label: &str) -> (Progressive<T>, Self)
+    where
+        T: Clone,
+    {
+        let handle = Progressive::empty(label);
+        let this = self.publish(&handle);
+        (handle, this)
+    }
+
+    /// Atomically swaps the current threaded value into `handle` as its
+    /// next snapshot version.
+    ///
+    /// The snapshot is stamped with the cluster's simulated clock and the
+    /// plan's current phase, and the trace records a `snapshot_published`
+    /// instant. Consumers holding the handle (or a clone) see the new
+    /// version on their next [`Progressive::latest`] call; snapshots they
+    /// already fetched stay untouched.
+    pub fn publish(self, handle: &Progressive<T>) -> Self
+    where
+        T: Clone,
+    {
+        let version = handle.version() + 1;
+        handle.swap(Snapshot {
+            value: self.value.clone(),
+            version,
+            published_at: self.cluster.trace().now(),
+            phase: self.phase,
+        });
+        self.cluster
+            .trace()
+            .instant(TraceEventKind::SnapshotPublished {
+                label: handle.label().to_string(),
+                version,
+            });
+        self
     }
 
     /// Runs `body` — itself a sequence of stages — while `cond` holds on
@@ -370,6 +541,120 @@ mod tests {
             .reduce(|_k, _v, _c: &mut ReduceContext<u8, u64>| {});
         let result = Pipeline::on(&cluster).stage(&job, &[]);
         assert!(matches!(result, Err(RuntimeError::NoInput)));
+    }
+
+    #[test]
+    fn phased_plan_tags_metrics_and_publishes_snapshots() {
+        let cluster = small_cluster();
+        let sum = JobBuilder::new("sum")
+            .map(|s: &u64, ctx: &mut MapContext<u8, u64>| ctx.emit(0, *s))
+            .reduce(|k, vals, ctx: &mut ReduceContext<u8, u64>| ctx.emit(*k, vals.sum()));
+        let refine = JobBuilder::new("sum")
+            .map(|s: &u64, ctx: &mut MapContext<u8, u64>| ctx.emit(0, s * 10))
+            .reduce(|k, vals, ctx: &mut ReduceContext<u8, u64>| ctx.emit(*k, vals.sum()));
+
+        let pipe = Pipeline::on(&cluster)
+            .enter_phase(Phase::Foreground)
+            .stage(&sum, &[1, 2, 3])
+            .unwrap()
+            .then(|(_, pairs)| pairs[0].1);
+        let (handle, pipe) = pipe.checkpoint("total");
+
+        // The phase-1 snapshot is already servable while refinement runs.
+        let coarse = handle.latest().expect("published");
+        assert_eq!(coarse.value, 6);
+        assert_eq!(coarse.version, 1);
+        assert_eq!(coarse.phase, Some(Phase::Foreground));
+
+        let (_, metrics) = pipe
+            .enter_phase(Phase::Background(0))
+            .stage(&refine, &[1, 2, 3])
+            .unwrap()
+            .then(|(_, pairs)| pairs[0].1)
+            .publish(&handle)
+            .finish();
+
+        // The handle atomically swapped to the refined version, stamped
+        // later on the simulated clock than the checkpoint.
+        let exact = handle.latest().expect("refined");
+        assert_eq!(exact.value, 60);
+        assert_eq!(exact.version, 2);
+        assert_eq!(exact.phase, Some(Phase::Background(0)));
+        assert!(exact.published_at > coarse.published_at);
+        assert_eq!(handle.version(), 2);
+        // An old snapshot fetched before the swap is untouched.
+        assert_eq!(coarse.value, 6);
+
+        // Same job name, different phases: separate stage rows.
+        assert_eq!(metrics.job_count(), 2);
+        assert_eq!(metrics.jobs[0].phase, Some(Phase::Foreground));
+        assert_eq!(metrics.jobs[1].phase, Some(Phase::Background(0)));
+        let stages = metrics.per_stage();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(
+            (stages[0].name.as_str(), stages[0].phase),
+            ("sum", Some(Phase::Foreground))
+        );
+        assert_eq!(
+            (stages[1].name.as_str(), stages[1].phase),
+            ("sum", Some(Phase::Background(0)))
+        );
+
+        // The trace understands the phased plan.
+        let events = cluster.trace().snapshot();
+        crate::trace::validate(&events).unwrap();
+        let digests: Vec<String> = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceEventKind::PhaseStarted { .. } | TraceEventKind::SnapshotPublished { .. }
+                )
+            })
+            .map(|e| e.digest())
+            .collect();
+        assert_eq!(
+            digests,
+            vec![
+                "phase_started(foreground)",
+                "snapshot_published(total v1)",
+                "phase_started(background(0))",
+                "snapshot_published(total v2)",
+            ]
+        );
+    }
+
+    #[test]
+    fn unphased_plans_emit_no_phase_events() {
+        let cluster = small_cluster();
+        let job = JobBuilder::new("sum")
+            .map(|s: &u64, ctx: &mut MapContext<u8, u64>| ctx.emit(0, *s))
+            .reduce(|k, vals, ctx: &mut ReduceContext<u8, u64>| ctx.emit(*k, vals.sum()));
+        let (_, metrics) = Pipeline::on(&cluster)
+            .stage(&job, &[1, 2])
+            .unwrap()
+            .finish();
+        assert_eq!(metrics.jobs[0].phase, None);
+        assert_eq!(metrics.per_stage()[0].phase, None);
+        assert!(cluster.trace().snapshot().iter().all(|e| !matches!(
+            e.kind,
+            TraceEventKind::PhaseStarted { .. } | TraceEventKind::SnapshotPublished { .. }
+        )));
+    }
+
+    #[test]
+    fn progressive_clones_share_the_swap() {
+        let cluster = small_cluster();
+        let handle: Progressive<u32> = Progressive::empty("shared");
+        let reader = handle.clone();
+        assert_eq!(reader.label(), "shared");
+        assert!(reader.latest().is_none());
+        assert_eq!(reader.version(), 0);
+        let pipe = Pipeline::with(&cluster, 41u32).publish(&handle);
+        assert_eq!(reader.latest().expect("v1").value, 41);
+        let _ = pipe.then(|v| v + 1).publish(&handle).finish();
+        assert_eq!(reader.latest().expect("v2").value, 42);
+        assert_eq!(reader.version(), 2);
     }
 
     #[test]

@@ -18,8 +18,11 @@
 //!   slot,
 //! * wave boundaries, per-partition shuffle volumes, injected faults,
 //!   node-level fault and recovery milestones (`node_down`,
-//!   `fetch_failed`, `map_reexecuted`, `node_blacklisted`), and pipeline
-//!   stage/glue transitions are instant events.
+//!   `fetch_failed`, `map_reexecuted`, `node_blacklisted`), pipeline
+//!   stage/glue transitions, and phased-driver markers (`phase_started`
+//!   when a plan enters a foreground/background phase,
+//!   `snapshot_published` when a [`crate::Progressive`] handle swaps in a
+//!   refined result) are instant events.
 //!
 //! Recording is lock-cheap: a job's events are appended under a single
 //! mutex acquisition after the job has finished executing, so tracing adds
@@ -63,7 +66,7 @@ use std::fmt::Write as _;
 use std::sync::Mutex;
 
 use crate::fault::{FailureKind, TaskPhase};
-use crate::metrics::{AttemptKind, AttemptOutcome};
+use crate::metrics::{AttemptKind, AttemptOutcome, Phase};
 
 pub mod json;
 
@@ -331,6 +334,25 @@ pub enum TraceEventKind {
     /// `try_then`). Glue is free on the simulated clock; the event marks
     /// the transition point in the plan.
     Glue,
+    /// The pipeline driver opened an execution phase
+    /// ([`crate::Pipeline::enter_phase`]): stages that follow run under
+    /// this tag until the next `phase_started`. Only phased plans emit it,
+    /// so linear plans keep their golden event sequences unchanged.
+    PhaseStarted {
+        /// The phase being entered (foreground or background refinement).
+        phase: Phase,
+    },
+    /// A usable intermediate result was atomically swapped into a
+    /// [`crate::Progressive`] handle ([`crate::Pipeline::checkpoint`] /
+    /// [`crate::Pipeline::publish`]); `time` is the simulated instant the
+    /// snapshot became servable.
+    SnapshotPublished {
+        /// The progressive handle's label.
+        label: String,
+        /// 1-based publish count for the label; [`validate`] checks it
+        /// increments by one per label across the trace.
+        version: u64,
+    },
 }
 
 /// One recorded event: a global sequence number, a simulated-time
@@ -595,6 +617,20 @@ impl TraceEvent {
             TraceEventKind::Glue => {
                 s.push_str(",\"ev\":\"glue\"");
             }
+            TraceEventKind::PhaseStarted { phase } => {
+                let _ = write!(
+                    s,
+                    ",\"ev\":\"phase_started\",\"phase\":\"{}\"",
+                    phase.label()
+                );
+            }
+            TraceEventKind::SnapshotPublished { label, version } => {
+                let _ = write!(
+                    s,
+                    ",\"ev\":\"snapshot_published\",\"label\":\"{}\",\"version\":{version}",
+                    esc(label)
+                );
+            }
         }
         s.push('}');
         s
@@ -728,6 +764,17 @@ impl TraceEvent {
                 stage: field_str(&v, "stage")?,
             },
             "glue" => TraceEventKind::Glue,
+            "phase_started" => TraceEventKind::PhaseStarted {
+                phase: {
+                    let label = field_str(&v, "phase")?;
+                    Phase::parse_label(&label)
+                        .ok_or_else(|| TraceError(format!("unknown pipeline phase {label:?}")))?
+                },
+            },
+            "snapshot_published" => TraceEventKind::SnapshotPublished {
+                label: field_str(&v, "label")?,
+                version: field_u64(&v, "version")?,
+            },
             other => return Err(TraceError(format!("unknown event type {other:?}"))),
         };
         Ok(TraceEvent { seq, time, kind })
@@ -825,6 +872,12 @@ impl TraceEvent {
             TraceEventKind::StageBegin { stage } => format!("stage_begin({stage})"),
             TraceEventKind::StageEnd { stage } => format!("stage_end({stage})"),
             TraceEventKind::Glue => "glue".to_string(),
+            TraceEventKind::PhaseStarted { phase } => {
+                format!("phase_started({})", phase.label())
+            }
+            TraceEventKind::SnapshotPublished { label, version } => {
+                format!("snapshot_published({label} v{version})")
+            }
         }
     }
 }
@@ -1328,6 +1381,23 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     us(e.time)
                 ));
             }
+            TraceEventKind::PhaseStarted { phase } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{TID_PIPELINE},\"ts\":{},\"s\":\"t\",\
+                     \"name\":\"phase {}\",\"cat\":\"phase\",\"args\":{{}}}}",
+                    us(e.time),
+                    phase.label()
+                ));
+            }
+            TraceEventKind::SnapshotPublished { label, version } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{TID_PIPELINE},\"ts\":{},\"s\":\"p\",\
+                     \"name\":\"publish {} v{version}\",\"cat\":\"snapshot\",\
+                     \"args\":{{\"version\":{version}}}}}",
+                    us(e.time),
+                    esc(label)
+                ));
+            }
         }
     }
     format!(
@@ -1366,7 +1436,11 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
 ///   `node_blacklisted`) name the job whose block they appear in,
 /// * stage begin/end events nest properly; an unclosed stage is accepted
 ///   only when a `job_aborted` event follows it (the error propagated
-///   out of the stage).
+///   out of the stage),
+/// * `phase_started` and `snapshot_published` markers appear only between
+///   jobs (they are driver instants; one inside a job's contiguous block
+///   is an error), and each progressive label's snapshot versions count
+///   `1, 2, 3, …` in trace order.
 pub fn validate(events: &[TraceEvent]) -> Result<(), TraceError> {
     let err = |msg: String| Err(TraceError(msg));
     let mut last_seq: Option<u64> = None;
@@ -1386,6 +1460,8 @@ pub fn validate(events: &[TraceEvent]) -> Result<(), TraceError> {
     // until the matching job_end.
     let mut i = 0usize;
     let mut stage_stack: Vec<(&str, u64)> = Vec::new();
+    // Last snapshot version seen per progressive label.
+    let mut snapshots: Vec<(&str, u64)> = Vec::new();
     let aborted_after = |seq: u64| {
         events
             .iter()
@@ -1411,6 +1487,30 @@ pub fn validate(events: &[TraceEvent]) -> Result<(), TraceError> {
             TraceEventKind::JobBegin { job, .. } => {
                 let consumed = validate_job(events, i, job)?;
                 i = consumed;
+            }
+            // Driver phase markers carry no structure of their own beyond
+            // being driver-side instants: validate_job rejects one inside
+            // a job's contiguous block.
+            TraceEventKind::PhaseStarted { .. } => {
+                i += 1;
+            }
+            TraceEventKind::SnapshotPublished { label, version } => {
+                let expected = match snapshots.iter_mut().find(|(l, _)| l == label) {
+                    Some(entry) => {
+                        entry.1 += 1;
+                        entry.1
+                    }
+                    None => {
+                        snapshots.push((label, 1));
+                        1
+                    }
+                };
+                if *version != expected {
+                    return err(format!(
+                        "snapshot_published({label}) version {version}, expected {expected}"
+                    ));
+                }
+                i += 1;
             }
             TraceEventKind::TaskAborted { job, .. } => {
                 let aborted = events.iter().any(|later| {
@@ -1812,6 +1912,21 @@ mod tests {
                     failures: 3,
                 },
             ),
+            ev(
+                19,
+                1.0,
+                TraceEventKind::PhaseStarted {
+                    phase: Phase::Background(2),
+                },
+            ),
+            ev(
+                20,
+                1.0,
+                TraceEventKind::SnapshotPublished {
+                    label: "synopsis \"v2\"".into(),
+                    version: 3,
+                },
+            ),
         ];
         for e in &samples {
             let line = e.to_jsonl();
@@ -1902,6 +2017,73 @@ mod tests {
             TraceEvent::from_jsonl("{\"seq\":0,\"t\":0,\"ev\":\"job_begin\",\"job\":\"x\"}")
                 .is_err()
         );
+    }
+
+    #[test]
+    fn snapshot_versions_must_count_up_per_label() {
+        let publish = |seq, label: &str, version| {
+            ev(
+                seq,
+                0.0,
+                TraceEventKind::SnapshotPublished {
+                    label: label.into(),
+                    version,
+                },
+            )
+        };
+        // Independent labels each count from 1; interleaving is fine.
+        let good = vec![
+            ev(
+                0,
+                0.0,
+                TraceEventKind::PhaseStarted {
+                    phase: Phase::Foreground,
+                },
+            ),
+            publish(1, "syn", 1),
+            publish(2, "hist", 1),
+            ev(
+                3,
+                0.0,
+                TraceEventKind::PhaseStarted {
+                    phase: Phase::Background(0),
+                },
+            ),
+            publish(4, "syn", 2),
+            publish(5, "hist", 2),
+        ];
+        validate(&good).unwrap();
+        // A skipped version is rejected.
+        let skipped = vec![publish(0, "syn", 1), publish(1, "syn", 3)];
+        let msg = validate(&skipped).unwrap_err().0;
+        assert!(msg.contains("expected 2"), "{msg}");
+        // A label's first publish must be version 1.
+        let late_start = vec![publish(0, "syn", 2)];
+        assert!(validate(&late_start).is_err());
+    }
+
+    #[test]
+    fn phase_markers_inside_a_job_block_are_rejected() {
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                TraceEventKind::JobBegin {
+                    job: "j".into(),
+                    maps: 1,
+                    reducers: 1,
+                },
+            ),
+            ev(
+                1,
+                0.0,
+                TraceEventKind::PhaseStarted {
+                    phase: Phase::Foreground,
+                },
+            ),
+        ];
+        let msg = validate(&events).unwrap_err().0;
+        assert!(msg.contains("inside job block"), "{msg}");
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Derived summaries over a recorded trace: per-job span totals,
-//! per-phase slot utilisation, and a critical-path decomposition.
+//! per-phase slot utilisation, a critical-path decomposition, and
+//! phased-execution roll-ups (phase spans, snapshot publishes, and the
+//! refinement lag between consecutive snapshot versions).
 //!
 //! These are pure functions of the event log — everything they report is
 //! recomputable by any external consumer of the JSONL export; they exist
@@ -8,7 +10,7 @@
 
 use super::{JobPhase, TraceEvent, TraceEventKind};
 use crate::fault::TaskPhase;
-use crate::metrics::{AttemptKind, AttemptOutcome};
+use crate::metrics::{AttemptKind, AttemptOutcome, Phase};
 
 /// Total simulated seconds attributed to each distinct job name.
 ///
@@ -340,6 +342,142 @@ pub fn recovery_summary(events: &[TraceEvent]) -> Vec<RecoverySummary> {
     rows
 }
 
+/// One execution phase's span on the driver timeline.
+///
+/// A span opens at a `phase_started` marker and closes at the next one
+/// (or at the last event in the trace). Jobs and snapshot publishes are
+/// attributed to the span whose marker most recently preceded them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpan {
+    /// The declared phase.
+    pub phase: Phase,
+    /// Simulated time of the `phase_started` marker.
+    pub begin: f64,
+    /// Simulated time of the next marker, or of the trace's last event.
+    pub end: f64,
+    /// Completed jobs inside the span.
+    pub jobs: usize,
+    /// Summed simulated seconds of those jobs.
+    pub sim_secs: f64,
+    /// `snapshot_published` instants inside the span.
+    pub snapshots: usize,
+}
+
+/// Tiles the driver timeline into phase spans, in marker order.
+///
+/// Returns one row per `phase_started` marker (the same phase may appear
+/// more than once if the driver re-enters it); events before the first
+/// marker belong to no span, matching the unphased-prefix semantics of
+/// [`crate::pipeline::Pipeline::enter_phase`].
+pub fn phase_spans(events: &[TraceEvent]) -> Vec<PhaseSpan> {
+    let mut rows: Vec<PhaseSpan> = Vec::new();
+    let last_time = events.last().map_or(0.0, |e| e.time);
+    for e in events {
+        match &e.kind {
+            TraceEventKind::PhaseStarted { phase } => {
+                if let Some(prev) = rows.last_mut() {
+                    prev.end = e.time;
+                }
+                rows.push(PhaseSpan {
+                    phase: *phase,
+                    begin: e.time,
+                    end: last_time,
+                    jobs: 0,
+                    sim_secs: 0.0,
+                    snapshots: 0,
+                });
+            }
+            TraceEventKind::JobEnd { sim_secs, .. } => {
+                if let Some(span) = rows.last_mut() {
+                    span.jobs += 1;
+                    span.sim_secs += sim_secs;
+                }
+            }
+            TraceEventKind::SnapshotPublished { .. } => {
+                if let Some(span) = rows.last_mut() {
+                    span.snapshots += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// One `snapshot_published` instant, in trace order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotPublish {
+    /// The [`crate::pipeline::Progressive`] handle's label.
+    pub label: String,
+    /// Monotone 1-based version for the label.
+    pub version: u64,
+    /// Simulated publish time.
+    pub time: f64,
+    /// The phase the publish happened in, if any marker preceded it.
+    pub phase: Option<Phase>,
+}
+
+/// Lists every snapshot publish with the phase it landed in.
+pub fn snapshot_publishes(events: &[TraceEvent]) -> Vec<SnapshotPublish> {
+    let mut rows: Vec<SnapshotPublish> = Vec::new();
+    let mut current: Option<Phase> = None;
+    for e in events {
+        match &e.kind {
+            TraceEventKind::PhaseStarted { phase } => current = Some(*phase),
+            TraceEventKind::SnapshotPublished { label, version } => rows.push(SnapshotPublish {
+                label: label.clone(),
+                version: *version,
+                time: e.time,
+                phase: current,
+            }),
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// The staleness window between two consecutive versions of one
+/// progressive result: a consumer that read `from_version` at its publish
+/// instant held it for `secs` simulated seconds before `to_version`
+/// superseded it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinementLag {
+    /// The [`crate::pipeline::Progressive`] handle's label.
+    pub label: String,
+    /// The superseded version.
+    pub from_version: u64,
+    /// The superseding version.
+    pub to_version: u64,
+    /// Simulated seconds between the two publishes.
+    pub secs: f64,
+}
+
+/// Computes per-label gaps between consecutive snapshot publishes, in
+/// publish order. Labels with a single publish produce no rows.
+pub fn refinement_lags(events: &[TraceEvent]) -> Vec<RefinementLag> {
+    let mut rows: Vec<RefinementLag> = Vec::new();
+    // (label, last version, last publish time), first-appearance order.
+    let mut last: Vec<(String, u64, f64)> = Vec::new();
+    for e in events {
+        if let TraceEventKind::SnapshotPublished { label, version } = &e.kind {
+            match last.iter_mut().find(|(l, _, _)| l == label) {
+                Some((l, v, t)) => {
+                    rows.push(RefinementLag {
+                        label: l.clone(),
+                        from_version: *v,
+                        to_version: *version,
+                        secs: e.time - *t,
+                    });
+                    *v = *version;
+                    *t = e.time;
+                }
+                None => last.push((label.clone(), *version, e.time)),
+            }
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +653,129 @@ mod tests {
         assert_eq!(rows[0].nodes_blacklisted, 0);
         assert_eq!(rows[1].job, "k");
         assert_eq!(rows[1].nodes_blacklisted, 1);
+    }
+
+    fn phased_trace() -> Vec<TraceEvent> {
+        vec![
+            // Pre-phase job: belongs to no span.
+            ev(
+                0,
+                0.5,
+                TraceEventKind::JobEnd {
+                    job: "warmup".into(),
+                    sim_secs: 0.5,
+                },
+            ),
+            ev(
+                1,
+                1.0,
+                TraceEventKind::PhaseStarted {
+                    phase: Phase::Foreground,
+                },
+            ),
+            ev(
+                2,
+                3.0,
+                TraceEventKind::JobEnd {
+                    job: "sketch".into(),
+                    sim_secs: 2.0,
+                },
+            ),
+            ev(
+                3,
+                3.0,
+                TraceEventKind::SnapshotPublished {
+                    label: "synopsis".into(),
+                    version: 1,
+                },
+            ),
+            ev(
+                4,
+                3.0,
+                TraceEventKind::PhaseStarted {
+                    phase: Phase::Background(0),
+                },
+            ),
+            ev(
+                5,
+                7.0,
+                TraceEventKind::JobEnd {
+                    job: "exact".into(),
+                    sim_secs: 4.0,
+                },
+            ),
+            ev(
+                6,
+                7.5,
+                TraceEventKind::SnapshotPublished {
+                    label: "synopsis".into(),
+                    version: 2,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn phase_spans_tile_the_timeline() {
+        let spans = phase_spans(&phased_trace());
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].phase, Phase::Foreground);
+        assert_eq!(spans[0].begin, 1.0);
+        assert_eq!(spans[0].end, 3.0);
+        assert_eq!(spans[0].jobs, 1);
+        assert_eq!(spans[0].sim_secs, 2.0);
+        assert_eq!(spans[0].snapshots, 1);
+        assert_eq!(spans[1].phase, Phase::Background(0));
+        assert_eq!(spans[1].begin, 3.0);
+        assert_eq!(spans[1].end, 7.5); // trace's last event
+        assert_eq!(spans[1].jobs, 1);
+        assert_eq!(spans[1].snapshots, 1);
+        // The warmup job before any marker is attributed to no span.
+        assert_eq!(spans[0].jobs + spans[1].jobs, 2);
+    }
+
+    #[test]
+    fn snapshot_publishes_carry_their_phase() {
+        let rows = snapshot_publishes(&phased_trace());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "synopsis");
+        assert_eq!(rows[0].version, 1);
+        assert_eq!(rows[0].phase, Some(Phase::Foreground));
+        assert_eq!(rows[1].version, 2);
+        assert_eq!(rows[1].phase, Some(Phase::Background(0)));
+        assert_eq!(rows[1].time, 7.5);
+    }
+
+    #[test]
+    fn refinement_lags_measure_gaps_per_label() {
+        let mut events = phased_trace();
+        events.push(ev(
+            7,
+            8.0,
+            TraceEventKind::SnapshotPublished {
+                label: "other".into(),
+                version: 1,
+            },
+        ));
+        events.push(ev(
+            8,
+            9.25,
+            TraceEventKind::SnapshotPublished {
+                label: "synopsis".into(),
+                version: 3,
+            },
+        ));
+        let lags = refinement_lags(&events);
+        assert_eq!(lags.len(), 2);
+        assert_eq!(lags[0].label, "synopsis");
+        assert_eq!(lags[0].from_version, 1);
+        assert_eq!(lags[0].to_version, 2);
+        assert_eq!(lags[0].secs, 4.5);
+        assert_eq!(lags[1].from_version, 2);
+        assert_eq!(lags[1].to_version, 3);
+        assert_eq!(lags[1].secs, 1.75);
+        // "other" has a single publish: no lag row.
+        assert!(lags.iter().all(|l| l.label == "synopsis"));
     }
 
     #[test]

@@ -1,56 +1,84 @@
-//! Deterministic error guarantees on sensor data: the dual problem.
+//! A live sensor feed served with phased refinement.
 //!
-//! Wind-direction sensors (the paper's WD dataset) need a synopsis whose
-//! *every* reading is within a known tolerance. This is Problem 2: given
-//! an error bound ε, minimize the synopsis size — solved by the
-//! distributed DMHaarSpace DP. The example sweeps tolerances and then uses
-//! DIndirectHaar to answer the inverse question ("what is the best
-//! tolerance a 1/16 budget buys?").
+//! Wind-direction sensors (the paper's WD dataset) keep appending
+//! readings; a dashboard wants a synopsis of the last `n` readings *now*,
+//! not after the exact thresholding finishes. Each tick of the loop below
+//! appends a batch of readings into a [`StreamWindow`] and runs one
+//! phased plan on the simulated cluster:
+//!
+//! 1. a **foreground** phase incrementally rebuilds the cheap
+//!    conventional (L2) synopsis — only the base sub-trees the batch
+//!    touched re-run — and publishes it immediately;
+//! 2. a **background** phase incrementally rebuilds the exact DGreedyAbs
+//!    synopsis and atomically swaps it into the same serving handle.
+//!
+//! The printed staleness column is the (simulated) time a consumer spends
+//! reading the coarse answer before the exact one supersedes it, and the
+//! error columns compare what that consumer was served (measured max-abs
+//! of the coarse synopsis) against the guarantee the exact synopsis
+//! arrives with.
 //!
 //! Run with: `cargo run --release --example sensor_stream`
 
-use dwmaxerr::algos::min_haar_space::MhsParams;
-use dwmaxerr::core::dindirect_haar::{dindirect_haar, DIndirectHaarConfig};
-use dwmaxerr::core::dmin_haar_space::{dmin_haar_space, DmhsConfig};
+use dwmaxerr::core::dgreedy_abs::DGreedyAbsConfig;
+use dwmaxerr::core::progressive::PhasedSynopsisDriver;
 use dwmaxerr::datagen::wd_like;
 use dwmaxerr::runtime::{Cluster, ClusterConfig};
 
 fn main() {
-    let n = 1 << 13; // 8 192 readings
-    let data = wd_like(n, 2e-4, 7);
-    let cluster = Cluster::new(ClusterConfig::default());
-    let probe = DmhsConfig {
-        base_leaves: 1 << 9,
-        fan_in: 4,
+    let n = 1 << 12; // window: the last 4 096 readings
+    let batch = n / 16; // 256 readings arrive per tick
+    let budget = n / 16;
+    let cfg = DGreedyAbsConfig {
+        base_leaves: 1 << 8,
+        bucket_width: 1e-6,
+        reducers: 2,
+        max_candidates: None,
     };
+    let cluster = Cluster::new(ClusterConfig::default());
+    let mut driver = PhasedSynopsisDriver::new(n, budget, &cfg).expect("window setup");
+    let handle = driver.handle(); // what a dashboard would hold
 
-    println!("Problem 2: minimal synopsis size per error tolerance (δ = 0.5°)");
+    // One long simulated feed, appended batch by batch. The first tick
+    // fills the whole window (a full build); later ticks slide it.
+    let feed = wd_like(4 * n, 2e-4, 7);
+    let mut offset = 0usize;
+
     println!(
-        "{:>10} {:>10} {:>12} {:>14}",
-        "ε (deg)", "size", "actual err", "compression"
+        "{:>4} {:>6} {:>6} {:>9} {:>12} {:>12} {:>9}",
+        "tick", "dirty", "tasks", "stale(s)", "coarse err", "exact err", "version"
     );
-    for eps in [5.0, 10.0, 20.0, 45.0, 90.0] {
-        let params = MhsParams::new(eps, 0.5).unwrap();
-        let sol = dmin_haar_space(&cluster, &data, &params, &probe).expect("DP probe");
-        assert!(sol.actual_error <= eps + 1e-9, "guarantee violated");
+    let mut first = true;
+    while offset < feed.len() {
+        let take = if first { n } else { batch };
+        let chunk = &feed[offset..(offset + take).min(feed.len())];
+        offset += chunk.len();
+        first = false;
+
+        let report = driver.tick(&cluster, chunk).expect("tick");
         println!(
-            "{eps:>10.0} {:>10} {:>12.2} {:>13.1}x",
-            sol.size,
-            sol.actual_error,
-            n as f64 / sol.size.max(1) as f64
+            "{:>4} {:>6} {:>6} {:>9.3} {:>11.2}° {:>11.2}° {:>9}",
+            report.exact_version / 2,
+            report.dirty_bases,
+            report.foreground_tasks + report.background_tasks,
+            report.staleness_secs,
+            report.coarse_error,
+            report.exact_error,
+            report.exact_version,
         );
     }
 
-    // Problem 1 via the dual: best error for a fixed budget.
-    let b = n / 16;
-    let cfg = DIndirectHaarConfig { delta: 1.0, probe };
-    let res = dindirect_haar(&cluster, &data, b, &cfg).expect("binary search");
+    let latest = handle.latest().expect("at least one tick ran");
+    assert!(latest.value.exact);
     println!(
-        "\nDIndirectHaar: budget {b} -> max_abs {:.2}° with {} coefficients \
-         ({} DP probes, simulated cluster time {})",
-        res.error,
-        res.synopsis.size(),
-        res.probes,
-        res.metrics.total_simulated(),
+        "\nServed synopsis: {} coefficients, guaranteed max_abs {:.2}° \
+         (window of {} readings, {} appended in total)",
+        latest.value.synopsis.size(),
+        latest
+            .value
+            .guaranteed_error
+            .expect("exact answers carry a bound"),
+        n,
+        offset,
     );
 }

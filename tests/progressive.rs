@@ -1,0 +1,276 @@
+//! Acceptance tests for phased execution and incremental maintenance
+//! (the progressive serving layer).
+//!
+//! Three guarantees are pinned here:
+//!
+//! 1. **Golden digest** — the phased driver's *final* (background) synopsis
+//!    is bit-identical to a one-shot `dgreedy_abs` build of the same
+//!    window, on both spill backends, with and without injected faults.
+//! 2. **Proportional work** — after appending ≤ 1/16 of the window, the
+//!    background refinement re-runs map tasks proportional to the dirty
+//!    subtrees (far fewer than a full rebuild), verified through
+//!    `TickReport` counters, phase-tagged `DriverMetrics`, and the trace.
+//! 3. **Incremental ≡ from-scratch** — property tests drive random
+//!    append/slide schedules (power-of-two fills and ragged zero-padded
+//!    tails alike) and require the incrementally maintained CON and
+//!    DGreedyAbs synopses to equal from-scratch builds bit for bit.
+
+use std::time::Duration;
+
+use dwmaxerr::core::conventional::con;
+use dwmaxerr::core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};
+use dwmaxerr::core::progressive::{
+    IncrementalConventional, IncrementalDGreedyAbs, PhasedSynopsisDriver, StreamWindow,
+};
+use dwmaxerr::runtime::trace::{self, summary};
+use dwmaxerr::runtime::{
+    Cluster, ClusterConfig, FaultPlan, Phase, Pipeline, SpillBackend, TaskPhase,
+};
+use dwmaxerr::wavelet::Synopsis;
+use proptest::prelude::*;
+
+const N: usize = 256;
+const BASE: usize = 16; // 16 bases of 16 leaves
+
+fn cluster_on(backend: SpillBackend, plan: Option<FaultPlan>) -> Cluster {
+    let mut cfg = ClusterConfig::with_slots(4, 2);
+    cfg.task_startup = Duration::from_millis(1);
+    cfg.job_setup = Duration::from_millis(1);
+    cfg.spill_backend = backend;
+    cfg.fault_plan = plan;
+    Cluster::new(cfg)
+}
+
+fn dg_cfg() -> DGreedyAbsConfig {
+    DGreedyAbsConfig {
+        base_leaves: BASE,
+        bucket_width: 1e-9,
+        reducers: 2,
+        max_candidates: None,
+    }
+}
+
+/// Integer-valued workload: float sums are exact regardless of
+/// association, so a mean-preserving overwrite reproduces the base
+/// average bit for bit.
+fn int_data(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(2_862_933_555) ^ seed) % 97)
+        .map(|v| v as f64)
+        .collect()
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn syn_digest(s: &Synopsis) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &(i, v) in s.entries() {
+        fnv1a(&mut h, &i.to_le_bytes());
+        fnv1a(&mut h, &v.to_bits().to_le_bytes());
+    }
+    h
+}
+
+fn hostile_plan() -> FaultPlan {
+    FaultPlan::seeded(23)
+        .with_failure_prob(0.12)
+        .with_straggler(TaskPhase::Map, 0, 5.0)
+        .with_straggler(TaskPhase::Map, 2, 3.0)
+}
+
+/// Satellite 1: the phased path's final synopsis is bit-identical to a
+/// one-shot DGreedyAbs build — on both spill backends, clean and under
+/// injected faults — and every produced trace validates.
+#[test]
+fn phased_final_synopsis_matches_one_shot_on_both_backends() {
+    let data = int_data(N, 41);
+    let budget = N / 8;
+    let reference = dgreedy_abs(
+        &cluster_on(SpillBackend::Memory, None),
+        &data,
+        budget,
+        &dg_cfg(),
+    )
+    .unwrap();
+    let golden = syn_digest(&reference.synopsis);
+
+    for backend in [SpillBackend::Memory, SpillBackend::Disk] {
+        for plan in [None, Some(hostile_plan())] {
+            let faulty = plan.is_some();
+            let cluster = cluster_on(backend, plan);
+            let mut driver = PhasedSynopsisDriver::new(N, budget, &dg_cfg()).unwrap();
+            let report = driver.tick(&cluster, &data).unwrap();
+            let latest = driver.latest().unwrap();
+            assert!(latest.value.exact, "{backend:?} faulty={faulty}");
+            assert_eq!(
+                syn_digest(&latest.value.synopsis),
+                golden,
+                "final synopsis diverged on {backend:?} faulty={faulty}"
+            );
+            assert_eq!(
+                latest.value.guaranteed_error,
+                Some(reference.estimated_error),
+                "{backend:?} faulty={faulty}"
+            );
+            assert!(report.staleness_secs > 0.0);
+            let events = cluster.trace().snapshot();
+            trace::validate(&events)
+                .unwrap_or_else(|e| panic!("trace invalid on {backend:?} faulty={faulty}: {e}"));
+        }
+    }
+}
+
+/// Acceptance: appending 1/16 of the window (one of 16 base slices,
+/// mean-preserving so the root configuration is stable) re-runs map
+/// tasks proportional to the single dirty subtree — an order of
+/// magnitude below the full rebuild — while the final synopsis stays
+/// bit-identical to a one-shot build of the updated window.
+#[test]
+fn incremental_tick_work_is_proportional_to_dirty_subtrees() {
+    let cluster = cluster_on(SpillBackend::from_env(), None);
+    let data = int_data(N, 7);
+    let budget = N / 8;
+    let mut driver = PhasedSynopsisDriver::new(N, budget, &dg_cfg()).unwrap();
+
+    // Tick 1: full build, every base dirty.
+    let full = driver.tick(&cluster, &data).unwrap();
+    assert_eq!(full.dirty_bases, N / BASE);
+    assert!(full.background_tasks >= 3 * (N / BASE) - 2);
+
+    // Tick 2: overwrite exactly one base slice (1/16 of the window) with
+    // new values of identical integer sum — the averages, and therefore
+    // the root configuration and every clean base's incoming error, are
+    // reproduced bit for bit.
+    let old = &data[..BASE];
+    let sum: f64 = old.iter().sum();
+    let mut fresh: Vec<f64> = (0..BASE - 1).map(|i| ((i * 13) % 29) as f64).collect();
+    fresh.push(sum - fresh.iter().sum::<f64>());
+    let inc = driver.tick(&cluster, &fresh).unwrap();
+    assert_eq!(inc.dirty_bases, 1);
+
+    // Proportional work: one averages task + one errhist task + one
+    // synopsis task for the dirty base. The full rebuild ran ~3R tasks.
+    assert!(
+        inc.background_tasks <= 3,
+        "incremental tick ran {} background map tasks (full rebuild: {})",
+        inc.background_tasks,
+        full.background_tasks
+    );
+    assert!(inc.background_tasks * 8 <= full.background_tasks);
+    assert!(inc.greedy_runs <= full.greedy_runs / 8);
+    assert_eq!(inc.foreground_tasks, 1);
+
+    // Phase-tagged metrics agree with the counters.
+    let phases = inc.metrics.per_phase();
+    let bg = phases
+        .iter()
+        .find(|p| p.phase == Some(Phase::Background(0)))
+        .expect("background phase recorded");
+    assert_eq!(bg.map_tasks, inc.background_tasks);
+
+    // Bit-identity: the served exact synopsis equals a one-shot build of
+    // the updated window.
+    let reference = dgreedy_abs(
+        &cluster_on(SpillBackend::Memory, None),
+        driver.window().data(),
+        budget,
+        &dg_cfg(),
+    )
+    .unwrap();
+    let latest = driver.latest().unwrap();
+    assert_eq!(
+        syn_digest(&latest.value.synopsis),
+        syn_digest(&reference.synopsis)
+    );
+    assert_eq!(
+        latest.value.guaranteed_error.unwrap().to_bits(),
+        reference.estimated_error.to_bits()
+    );
+
+    // The trace tells the same story: two ticks → four publishes with
+    // monotone versions, phased spans, and a positive refinement lag.
+    let events = cluster.trace().snapshot();
+    trace::validate(&events).unwrap();
+    let publishes = summary::snapshot_publishes(&events);
+    assert_eq!(publishes.len(), 4);
+    assert_eq!(
+        publishes.iter().map(|p| p.version).collect::<Vec<_>>(),
+        vec![1, 2, 3, 4]
+    );
+    let lags = summary::refinement_lags(&events);
+    assert!(lags.iter().all(|l| l.secs > 0.0));
+    assert!(!summary::phase_spans(&events).is_empty());
+}
+
+/// Arbitrary window shape plus an append schedule: initial fill length
+/// (possibly ragged), then 1..4 appends of 1..=2·BASE values each.
+fn append_schedule() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<f64>>)> {
+    let n = 64usize;
+    (1usize..=n).prop_flat_map(move |fill| {
+        (
+            prop::collection::vec(-100.0..100.0f64, fill..=fill),
+            prop::collection::vec(prop::collection::vec(-100.0..100.0f64, 1..=16), 1..=3),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Satellite 2 (exact path): after every random append/slide the
+    // incremental DGreedyAbs equals a from-scratch build bit for bit —
+    // coefficient set and guaranteed error alike — through ragged
+    // zero-padded prefixes and full ring wrap-around.
+    #[test]
+    fn incremental_dgreedy_equals_from_scratch((fill, appends) in append_schedule()) {
+        let n = 64;
+        let cfg = DGreedyAbsConfig { base_leaves: 8, bucket_width: 1e-9, reducers: 2, max_candidates: None };
+        let cluster = cluster_on(SpillBackend::from_env(), None);
+        let mut window = StreamWindow::new(n, 8).unwrap();
+        let mut inc = IncrementalDGreedyAbs::new(n, 12, &cfg).unwrap();
+        window.push(&fill);
+        for chunk in std::iter::once(Vec::new()).chain(appends) {
+            window.push(&chunk);
+            for j in window.take_dirty_bases() {
+                inc.invalidate(j);
+            }
+            let (pipe, up) = inc.update(Pipeline::on(&cluster), window.data()).unwrap();
+            let _ = pipe.into_metrics();
+            let batch = dgreedy_abs(
+                &cluster_on(SpillBackend::Memory, None),
+                window.data(),
+                12,
+                &cfg,
+            ).unwrap();
+            prop_assert_eq!(up.synopsis.entries(), batch.synopsis.entries());
+            prop_assert_eq!(up.estimated_error.to_bits(), batch.estimated_error.to_bits());
+            prop_assert_eq!(up.best_croot_size, batch.best_croot_size);
+        }
+    }
+
+    // Satellite 2 (coarse path): the incrementally maintained CON
+    // synopsis equals a from-scratch `con` run after every append.
+    #[test]
+    fn incremental_conventional_equals_from_scratch((fill, appends) in append_schedule()) {
+        let n = 64;
+        let cluster = cluster_on(SpillBackend::from_env(), None);
+        let mut window = StreamWindow::new(n, 8).unwrap();
+        let mut inc = IncrementalConventional::new(n, 12, 8).unwrap();
+        window.push(&fill);
+        for chunk in std::iter::once(Vec::new()).chain(appends) {
+            window.push(&chunk);
+            for j in window.take_dirty_bases() {
+                inc.invalidate(j);
+            }
+            let (pipe, up) = inc.update(Pipeline::on(&cluster), window.data()).unwrap();
+            let _ = pipe.into_metrics();
+            let (batch, _) = con(&cluster_on(SpillBackend::Memory, None), window.data(), 12, 8).unwrap();
+            prop_assert_eq!(up.synopsis.entries(), batch.entries());
+        }
+    }
+}
