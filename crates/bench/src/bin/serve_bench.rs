@@ -1,0 +1,104 @@
+//! Serving-layer benchmark: sustained QPS of the sharded synopsis store
+//! under uniform and zipf query mixes vs shard count and batch size.
+//!
+//! Usage: `serve_bench [--smoke] [--out <path>]`
+//!
+//! * `--smoke` — CI sizes (4 Ki window, 20 K queries per cell) instead
+//!   of the full sweep (64 Ki window, 200 K queries); also turns on the
+//!   sanity gates CI fails on.
+//! * `--out <path>` — where to write the JSON document (default
+//!   `BENCH_serve.json` in the current directory).
+//!
+//! Smoke gates:
+//!
+//! 1. **zero bound violations** — every answer in every cell must be
+//!    within its advertised `err_abs` of the exact value computed from
+//!    the raw window (the store's whole contract);
+//! 2. **QPS sanity floor** — each cell must sustain at least 10 000
+//!    queries per second. The floor is set an order of magnitude below
+//!    what a single core achieves so it only trips on a real read-path
+//!    regression (an accidental O(n) scan per query), never on host
+//!    noise;
+//! 3. the zipf mix at the largest batch size must show a non-zero memo
+//!    hit rate — the skew-exploiting fast path must actually engage.
+
+use std::path::PathBuf;
+
+use dwmaxerr_bench::{experiments, report};
+
+/// Minimum sustained QPS any cell may report in smoke mode.
+const SMOKE_QPS_FLOOR: f64 = 10_000.0;
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = PathBuf::from("BENCH_serve.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path argument");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (expected --smoke / --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sweep = experiments::serve_sweep(smoke);
+    report::print_all(&[sweep.table()]);
+
+    if let Err(e) = std::fs::write(&out_path, sweep.to_json(smoke)) {
+        eprintln!("failed to write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", out_path.display());
+
+    if smoke {
+        let mut failed = false;
+        for s in &sweep.samples {
+            if s.bound_violations > 0 {
+                eprintln!(
+                    "SANITY FAIL: mix={} shards={} batch={} served {} answers outside \
+                     the advertised err_abs bound",
+                    s.mix, s.shards, s.batch, s.bound_violations
+                );
+                failed = true;
+            }
+            if s.qps < SMOKE_QPS_FLOOR {
+                eprintln!(
+                    "SANITY FAIL: mix={} shards={} batch={} sustained only {:.0} QPS \
+                     (floor {SMOKE_QPS_FLOOR:.0}) — the read path has regressed",
+                    s.mix, s.shards, s.batch, s.qps
+                );
+                failed = true;
+            }
+        }
+        let zipf_batched = sweep
+            .samples
+            .iter()
+            .filter(|s| s.mix == "zipf")
+            .max_by_key(|s| s.batch)
+            .expect("zipf cells present");
+        if zipf_batched.memo_hit_rate <= 0.0 {
+            eprintln!(
+                "SANITY FAIL: zipf mix at batch={} shows zero memo hits — the \
+                 skew-exploiting batch path is not engaging",
+                zipf_batched.batch
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "smoke OK: {} cells, all answers within bound, all above {:.0} QPS",
+            sweep.samples.len(),
+            SMOKE_QPS_FLOOR
+        );
+    }
+}

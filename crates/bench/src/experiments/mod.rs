@@ -7,6 +7,7 @@ mod datasets;
 mod faults;
 mod progressive;
 mod scalability;
+mod serve;
 mod shuffle;
 
 pub use comparison::{fig8, fig9};
@@ -18,6 +19,7 @@ pub use faults::{
 };
 pub use progressive::{progressive_sweep, ProgressiveSample, ProgressiveSweep};
 pub use scalability::{fig5a, fig5b, fig5c, fig5d};
+pub use serve::{serve_sweep, ServeSample, ServeSweep};
 pub use shuffle::{
     merge_ratios, pressure_sweep, pressure_table, pressure_to_json as shuffle_pressure_json,
     ratios, shuffle_sweep, shuffle_table, to_json as shuffle_json, PressureSample, ShuffleSample,

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Benchmark harness regenerating every table and figure of the paper's
 //! evaluation (Section 6 and Appendix A.5).
 //!

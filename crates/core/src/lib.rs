@@ -28,6 +28,7 @@
 //! | [`mod@dmin_rel_var`]   | DMinRelVar: relative-variance DP on the layered framework |
 //! | [`conventional`]       | Appendix-A baselines: CON, Send-V, Send-Coef(-combined), H-WTopk |
 //! | [`progressive`]        | Streaming windows, incremental CON/DGreedyAbs maintenance, phased serving driver |
+//! | [`query`]              | Bounded point/range-sum query API: every answer carries its error guarantee |
 //! | [`error`]              | [`CoreError`]: algorithm-level failures wrapping runtime errors |
 
 pub mod conventional;
@@ -40,6 +41,7 @@ pub mod dmin_rel_var;
 pub mod error;
 pub mod partition;
 pub mod progressive;
+pub mod query;
 pub mod splits;
 
 pub use dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig, DGreedyAbsResult};
@@ -54,3 +56,4 @@ pub use progressive::{
     IncrementalConventional, IncrementalDGreedyAbs, PhasedSynopsisDriver, ServedSynopsis,
     StreamWindow, TickReport,
 };
+pub use query::{point_answer, range_answer, range_bound, Answer, ErrorBound, RelBound};

@@ -1,0 +1,293 @@
+//! Point and range-sum queries over synopses, with guaranteed error
+//! bounds attached to every answer.
+//!
+//! A thresholded synopsis is only useful to a consumer if each answer
+//! says *how wrong it can be*. This module defines the error-bound
+//! contract shared by the one-shot CLI, the examples, and the sharded
+//! serving layer (`dwmaxerr-serve`):
+//!
+//! * [`ErrorBound`] — what the *build* guarantees about the synopsis:
+//!   an absolute per-point bound (`err_abs`, from DGreedyAbs), a
+//!   relative per-point bound (`err_rel` with its sanity constant, from
+//!   DGreedyRel), either, both, or neither (the conventional L2
+//!   synopsis guarantees nothing per point).
+//! * [`Answer`] — one query result: the value, the bound scaled to
+//!   *this* query, and the snapshot version it was computed from.
+//! * [`point_answer`] / [`range_answer`] — the reference (unsharded)
+//!   query evaluators over a plain [`Synopsis`]. The sharded store in
+//!   `dwmaxerr-serve` must agree with these up to floating-point
+//!   summation order.
+//!
+//! # How bounds scale per query
+//!
+//! For a **point query** `d̂_x` the build guarantees transfer directly:
+//! `|d̂_x - d_x| <= err_abs` and `|d̂_x - d_x| <= err_rel ·
+//! max(|d_x|, sanity)`.
+//!
+//! For a **range sum** `d̂(l:h)` the absolute bound composes additively:
+//! each of the `h - l + 1` reconstructed points is off by at most
+//! `err_abs`, so the sum is off by at most `(h - l + 1) · err_abs`. The
+//! relative bound does **not** compose without knowing the data (the
+//! per-point slack `err_rel · max(|d_j|, sanity)` depends on every
+//! `|d_j|` in the range), so range answers carry `err_rel: None` — this
+//! asymmetry is part of the contract, not an implementation gap.
+
+use dwmaxerr_wavelet::reconstruct::range_sum_synopsis;
+use dwmaxerr_wavelet::Synopsis;
+
+use crate::dgreedy_abs::{DGreedyAbsConfig, DGreedyAbsResult};
+use crate::dgreedy_rel::{DGreedyRelConfig, DGreedyRelResult};
+
+/// The per-point guarantee a synopsis build established, attached to the
+/// synopsis when it enters a serving layer.
+///
+/// Both bounds are *upper* bounds: a missing bound (`None`) means the
+/// build made no such promise, not that the error is zero.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorBound {
+    /// Guaranteed maximum absolute error per reconstructed point
+    /// (Eq. 2): `|d̂_j - d_j| <= err_abs` for every `j`.
+    pub err_abs: Option<f64>,
+    /// Guaranteed maximum relative error per reconstructed point
+    /// (Eq. 3): `|d̂_j - d_j| <= err_rel · max(|d_j|, sanity)`.
+    pub err_rel: Option<RelBound>,
+}
+
+/// A relative-error guarantee together with the sanity constant it was
+/// established against (Eq. 3's `s`; without it a relative bound is
+/// meaningless on near-zero data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelBound {
+    /// The guaranteed maximum relative error.
+    pub epsilon: f64,
+    /// The sanity constant `s > 0` of Eq. 3.
+    pub sanity: f64,
+}
+
+impl ErrorBound {
+    /// No guarantee at all (the conventional / L2 synopsis).
+    pub fn none() -> Self {
+        ErrorBound::default()
+    }
+
+    /// An absolute-only guarantee.
+    pub fn abs(err_abs: f64) -> Self {
+        ErrorBound {
+            err_abs: Some(err_abs),
+            err_rel: None,
+        }
+    }
+
+    /// A relative-only guarantee with its sanity constant.
+    pub fn rel(epsilon: f64, sanity: f64) -> Self {
+        ErrorBound {
+            err_abs: None,
+            err_rel: Some(RelBound { epsilon, sanity }),
+        }
+    }
+
+    /// The guarantee established by a [`dgreedy_abs`](crate::dgreedy_abs::dgreedy_abs)
+    /// build.
+    ///
+    /// `estimated_error` is exact only up to the error-histogram bucket
+    /// width `e_b` (Algorithm 3 floor-buckets running-max errors, so the
+    /// cut it reads can under-report by strictly less than one bucket);
+    /// widening by `e_b` turns the estimate into a safe upper bound.
+    /// `tests/end_to_end.rs` pins `|actual - estimated| <= e_b`.
+    pub fn from_dgreedy_abs(result: &DGreedyAbsResult, cfg: &DGreedyAbsConfig) -> Self {
+        ErrorBound::abs(result.estimated_error + cfg.bucket_width)
+    }
+
+    /// The guarantee established by a [`dgreedy_rel`](crate::dgreedy_rel::dgreedy_rel)
+    /// build. Its `error` field is the *measured* exact maximum relative
+    /// error (a distributed evaluation job computes it against the data),
+    /// so no widening is needed.
+    pub fn from_dgreedy_rel(result: &DGreedyRelResult, cfg: &DGreedyRelConfig) -> Self {
+        ErrorBound::rel(result.error, cfg.sanity)
+    }
+
+    /// True when neither bound is present.
+    pub fn is_none(&self) -> bool {
+        self.err_abs.is_none() && self.err_rel.is_none()
+    }
+}
+
+/// One query answer: the reconstructed value plus the error bound scaled
+/// to this specific query (see the module docs for the scaling rules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Answer {
+    /// The reconstructed value (point) or reconstructed sum (range).
+    pub value: f64,
+    /// Guaranteed absolute bound for **this** answer: per-point
+    /// `err_abs` for point queries, `(h - l + 1) · err_abs` for range
+    /// sums. `None` when the build made no absolute promise.
+    pub err_abs: Option<f64>,
+    /// Guaranteed relative bound for this answer. Point queries inherit
+    /// the build's [`RelBound`]; range sums always carry `None`.
+    pub err_rel: Option<RelBound>,
+    /// Version of the snapshot the answer was computed from (0 for
+    /// direct evaluation outside a versioned store).
+    pub version: u64,
+}
+
+impl Answer {
+    /// The half-width of the certain interval around `value` when the
+    /// exact value is known to be `exact`-ish: checks the answer against
+    /// ground truth. Returns true when `exact` is consistent with every
+    /// bound the answer carries (used by tests and the bench verifier;
+    /// `slack` absorbs floating-point noise).
+    pub fn bounds_hold(&self, exact: f64, slack: f64) -> bool {
+        let diff = (self.value - exact).abs();
+        if let Some(b) = self.err_abs {
+            if diff > b + slack {
+                return false;
+            }
+        }
+        if let Some(RelBound { epsilon, sanity }) = self.err_rel {
+            if diff > epsilon * exact.abs().max(sanity) + slack {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Scales a build-level bound to a range query of `width` points:
+/// absolute bounds compose additively, relative bounds are dropped.
+pub fn range_bound(bound: &ErrorBound, width: usize) -> ErrorBound {
+    ErrorBound {
+        err_abs: bound.err_abs.map(|e| e * width as f64),
+        err_rel: None,
+    }
+}
+
+/// Reference point query: reconstructs `d̂_x` from the synopsis in
+/// `O(log n + log B)` and attaches the build's per-point bound.
+///
+/// # Panics
+/// Panics when `x >= synopsis.data_len()`.
+pub fn point_answer(synopsis: &Synopsis, bound: &ErrorBound, x: usize) -> Answer {
+    assert!(x < synopsis.data_len(), "point query out of range");
+    Answer {
+        value: synopsis.reconstruct_value(x),
+        err_abs: bound.err_abs,
+        err_rel: bound.err_rel,
+        version: 0,
+    }
+}
+
+/// Reference range-sum query: reconstructs `d̂(l:h)` (inclusive) via the
+/// path-union rule of Section 2.2 and attaches the additively-composed
+/// absolute bound.
+///
+/// # Panics
+/// Panics when `l > h` or `h >= synopsis.data_len()`.
+pub fn range_answer(synopsis: &Synopsis, bound: &ErrorBound, l: usize, h: usize) -> Answer {
+    assert!(
+        l <= h && h < synopsis.data_len(),
+        "range query out of range"
+    );
+    let scaled = range_bound(bound, h - l + 1);
+    Answer {
+        value: range_sum_synopsis(synopsis, l, h),
+        err_abs: scaled.err_abs,
+        err_rel: None,
+        version: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwmaxerr_wavelet::transform::forward;
+
+    const PAPER_DATA: [f64; 8] = [5.0, 5.0, 0.0, 26.0, 1.0, 3.0, 14.0, 2.0];
+
+    fn paper_synopsis() -> Synopsis {
+        let w = forward(&PAPER_DATA).unwrap();
+        Synopsis::retain_indices(&w, &[0, 3, 5]).unwrap()
+    }
+
+    #[test]
+    fn point_answers_carry_the_per_point_bound() {
+        let syn = paper_synopsis();
+        let approx = syn.reconstruct_all();
+        let max_abs = dwmaxerr_wavelet::metrics::max_abs(&PAPER_DATA, &approx);
+        let bound = ErrorBound::abs(max_abs);
+        for (j, &d) in PAPER_DATA.iter().enumerate() {
+            let a = point_answer(&syn, &bound, j);
+            assert_eq!(a.value, approx[j]);
+            assert_eq!(a.err_abs, Some(max_abs));
+            assert!(a.bounds_hold(d, 1e-12), "point {j}");
+        }
+    }
+
+    #[test]
+    fn range_answers_scale_the_absolute_bound() {
+        let syn = paper_synopsis();
+        let approx = syn.reconstruct_all();
+        let max_abs = dwmaxerr_wavelet::metrics::max_abs(&PAPER_DATA, &approx);
+        let bound = ErrorBound {
+            err_abs: Some(max_abs),
+            err_rel: Some(RelBound {
+                epsilon: 0.5,
+                sanity: 1.0,
+            }),
+        };
+        for l in 0..8 {
+            for h in l..8 {
+                let a = range_answer(&syn, &bound, l, h);
+                let exact: f64 = PAPER_DATA[l..=h].iter().sum();
+                assert_eq!(a.err_abs, Some(max_abs * (h - l + 1) as f64));
+                assert_eq!(a.err_rel, None, "relative bounds never scale to ranges");
+                assert!(a.bounds_hold(exact, 1e-9), "range {l}..={h}");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_bounds_hold_with_sanity_floor() {
+        let syn = paper_synopsis();
+        let approx = syn.reconstruct_all();
+        let sanity = 2.0;
+        let eps = dwmaxerr_wavelet::metrics::max_rel(&PAPER_DATA, &approx, sanity);
+        let bound = ErrorBound::rel(eps, sanity);
+        for (j, &d) in PAPER_DATA.iter().enumerate() {
+            let a = point_answer(&syn, &bound, j);
+            assert!(a.bounds_hold(d, 1e-12), "point {j}");
+        }
+    }
+
+    #[test]
+    fn bounds_hold_rejects_violations() {
+        let a = Answer {
+            value: 10.0,
+            err_abs: Some(1.0),
+            err_rel: None,
+            version: 0,
+        };
+        assert!(a.bounds_hold(9.5, 0.0));
+        assert!(!a.bounds_hold(8.0, 0.0));
+        let r = Answer {
+            value: 10.0,
+            err_abs: None,
+            err_rel: Some(RelBound {
+                epsilon: 0.1,
+                sanity: 1.0,
+            }),
+            version: 0,
+        };
+        assert!(r.bounds_hold(9.5, 0.0)); // 0.5 <= 0.1 * 9.5
+        assert!(!r.bounds_hold(5.0, 0.0));
+    }
+
+    #[test]
+    fn none_bound_promises_nothing_and_never_fails() {
+        let syn = paper_synopsis();
+        let bound = ErrorBound::none();
+        assert!(bound.is_none());
+        let a = point_answer(&syn, &bound, 0);
+        assert_eq!(a.err_abs, None);
+        assert!(a.bounds_hold(f64::MAX, 0.0));
+    }
+}

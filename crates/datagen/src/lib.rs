@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Workload generators for the SIGMOD'16 evaluation.
 //!

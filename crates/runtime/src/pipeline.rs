@@ -160,6 +160,34 @@ impl<T> Progressive<T> {
         *self.latest.write().expect("progressive lock") = Some(Arc::clone(&snap));
         snap
     }
+
+    /// Atomically swaps `value` in as the next snapshot version without a
+    /// running pipeline — the *snapshot handoff* path.
+    ///
+    /// [`Pipeline::publish`] is the producer-side entry point: it stamps
+    /// the cluster's simulated clock and emits a `snapshot_published`
+    /// trace event. A serving layer that derives a new representation
+    /// from an already-published snapshot (e.g. re-sharding a synopsis
+    /// for the query path) has no pipeline in hand; this method performs
+    /// the same atomic version-counted swap, stamped with the caller's
+    /// `published_at` (normally the source snapshot's own timestamp so
+    /// staleness accounting stays on the simulated clock). No trace event
+    /// is emitted — the handoff is driver-side glue, not cluster work.
+    ///
+    /// The swap is a single `RwLock` write; readers holding previously
+    /// fetched `Arc<Snapshot>`s are never blocked or invalidated.
+    pub fn publish_value(&self, value: T, published_at: f64) -> Arc<Snapshot<T>> {
+        let mut guard = self.latest.write().expect("progressive lock");
+        let version = guard.as_ref().map_or(0, |s| s.version) + 1;
+        let snap = Arc::new(Snapshot {
+            value,
+            version,
+            published_at,
+            phase: None,
+        });
+        *guard = Some(Arc::clone(&snap));
+        snap
+    }
 }
 
 /// The pipeline produced by [`Pipeline::stage`]: the previous threaded

@@ -1,0 +1,72 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+use dwmaxerr_core::CoreError;
+use dwmaxerr_wavelet::WaveletError;
+
+/// Errors from the sharded serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Shard-shape error: shard count and data length are incompatible
+    /// (both must be powers of two with `1 <= shards <= n / 2`).
+    BadShardCount {
+        /// The requested shard count.
+        shards: usize,
+        /// The synopsis data length it must divide into `>= 2`-leaf slices.
+        n: usize,
+    },
+    /// A query addressed a leaf or range outside the served data.
+    OutOfRange {
+        /// The offending index (`x` for points, `h` for ranges).
+        index: usize,
+        /// The served data length.
+        n: usize,
+    },
+    /// A range query with `l > h`.
+    EmptyRange {
+        /// Lower bound of the offending query.
+        l: usize,
+        /// Upper bound of the offending query.
+        h: usize,
+    },
+    /// The store has never been published to — there is no snapshot to
+    /// read.
+    EmptyStore,
+    /// An underlying synopsis/tree shape error.
+    Wavelet(WaveletError),
+    /// An underlying build/driver error.
+    Core(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadShardCount { shards, n } => write!(
+                f,
+                "bad shard count {shards} for n = {n}: need powers of two with 1 <= shards <= n/2"
+            ),
+            ServeError::OutOfRange { index, n } => {
+                write!(f, "query index {index} out of range for n = {n}")
+            }
+            ServeError::EmptyRange { l, h } => write!(f, "empty range query {l}..={h}"),
+            ServeError::EmptyStore => write!(f, "store has no published snapshot"),
+            ServeError::Wavelet(e) => write!(f, "{e}"),
+            ServeError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WaveletError> for ServeError {
+    fn from(e: WaveletError) -> Self {
+        ServeError::Wavelet(e)
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}

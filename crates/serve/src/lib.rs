@@ -1,0 +1,47 @@
+#![deny(missing_docs)]
+
+//! The synopsis-serving query layer: the "millions of users" read path.
+//!
+//! Everything upstream of this crate *builds* synopses; this crate
+//! *serves* them. A long-running process keeps a sharded in-memory
+//! [`SynopsisStore`] — shards are the paper's error-tree base
+//! partitions — and answers point and range-sum queries from immutable,
+//! `Arc`-swapped snapshots, so the query path never takes a lock and a
+//! rebuild never tears a reader. Every answer carries the build's
+//! max-error guarantee, scaled to the query (see
+//! [`dwmaxerr_core::query`] for the bound contract).
+//!
+//! The flow:
+//!
+//! ```text
+//! PhasedSynopsisDriver ──tick──▶ exact Synopsis + guaranteed_error
+//!          │                               │
+//!          ▼                               ▼
+//!   (PR 7 build loop)            ShardedSynopsis::build
+//!                                          │  atomic swap
+//!                                          ▼
+//!                                   SynopsisStore ──reader()──▶ pinned
+//!                                                               queries
+//! ```
+//!
+//! # Module map
+//!
+//! | Module         | Role |
+//! |----------------|------|
+//! | [`shard`]      | [`ShardedSynopsis`]: the retained-coefficient representation re-cut along error-tree partitions, with per-shard pre-summed root paths |
+//! | [`store`]      | [`SynopsisStore`] / [`StoreReader`]: versioned atomic-swap store and lock-free pinned readers |
+//! | [`batch`]      | [`Query`] and the shard-grouped, memoizing batch executor |
+//! | [`serve_loop`] | [`ServeDriver`]: build→publish→serve glue over `PhasedSynopsisDriver` |
+//! | [`error`]      | [`ServeError`] |
+
+pub mod batch;
+pub mod error;
+pub mod serve_loop;
+pub mod shard;
+pub mod store;
+
+pub use batch::{execute, execute_with_stats, BatchStats, Query};
+pub use error::ServeError;
+pub use serve_loop::{ServeDriver, ServeTickReport};
+pub use shard::{ShardedSynopsis, SynopsisShard};
+pub use store::{StoreReader, SynopsisStore};

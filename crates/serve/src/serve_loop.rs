@@ -1,0 +1,181 @@
+//! The build→publish→serve loop: drives `PhasedSynopsisDriver` and
+//! swaps each exact rebuild into the query store.
+//!
+//! [`ServeDriver`] owns both halves of the serving story. On every
+//! [`tick`](ServeDriver::tick) it (1) runs the phased incremental
+//! rebuild over the appended values (PR 7's foreground/background
+//! machinery), then (2) re-shards the resulting *exact* DGreedyAbs
+//! synopsis and atomically swaps it into the [`SynopsisStore`] with a
+//! safe error guarantee attached:
+//!
+//! ```text
+//! err_abs = guaranteed_error + bucket_width
+//! ```
+//!
+//! The `bucket_width` widening turns DGreedyAbs's bucket-quantized
+//! error estimate into a true upper bound (the error histogram floors
+//! errors into buckets of width `e_b`, so the estimate can under-report
+//! by strictly less than one bucket — see
+//! [`ErrorBound::from_dgreedy_abs`]).
+//!
+//! Only the exact (background) snapshot is published to the query
+//! store: the coarse foreground answer carries no max-error guarantee,
+//! and the store's contract is that every answer does. The store swap
+//! reuses the producer snapshot's simulated-clock timestamp, so
+//! staleness measured through the store equals staleness measured at
+//! the build.
+
+use dwmaxerr_core::dgreedy_abs::DGreedyAbsConfig;
+use dwmaxerr_core::progressive::{PhasedSynopsisDriver, TickReport};
+use dwmaxerr_core::query::ErrorBound;
+use dwmaxerr_runtime::Cluster;
+
+use crate::error::ServeError;
+use crate::store::SynopsisStore;
+
+/// What one [`ServeDriver::tick`] did: the build-side report plus the
+/// store swap it triggered.
+#[derive(Debug, Clone)]
+pub struct ServeTickReport {
+    /// The phased rebuild's own report (versions, staleness, task
+    /// counts).
+    pub build: TickReport,
+    /// The store version the re-sharded exact synopsis was published
+    /// as.
+    pub store_version: u64,
+    /// The error guarantee attached to every answer served from this
+    /// version.
+    pub bound: ErrorBound,
+}
+
+/// Drives the phased incremental build and publishes each exact result
+/// into a sharded query store.
+#[derive(Debug)]
+pub struct ServeDriver {
+    driver: PhasedSynopsisDriver,
+    store: SynopsisStore,
+    bucket_width: f64,
+}
+
+impl ServeDriver {
+    /// Creates a serve loop over an `n`-value sliding window with
+    /// synopsis budget `b`, re-sharding each rebuild into `num_shards`
+    /// error-tree partitions.
+    pub fn new(
+        n: usize,
+        b: usize,
+        cfg: &DGreedyAbsConfig,
+        num_shards: usize,
+        label: &str,
+    ) -> Result<Self, ServeError> {
+        Ok(ServeDriver {
+            driver: PhasedSynopsisDriver::new(n, b, cfg)?,
+            store: SynopsisStore::new(label, num_shards),
+            bucket_width: cfg.bucket_width,
+        })
+    }
+
+    /// The query store. Clone it (cheap handle clone) and hand it to
+    /// query threads; they take [`readers`](SynopsisStore::reader)
+    /// independently of the build loop.
+    #[inline]
+    pub fn store(&self) -> &SynopsisStore {
+        &self.store
+    }
+
+    /// The underlying phased build driver (window access, producer-side
+    /// snapshot handle).
+    #[inline]
+    pub fn driver(&self) -> &PhasedSynopsisDriver {
+        &self.driver
+    }
+
+    /// Appends `values`, runs the phased rebuild, and swaps the exact
+    /// result into the query store with its widened error bound.
+    pub fn tick(
+        &mut self,
+        cluster: &Cluster,
+        values: &[f64],
+    ) -> Result<ServeTickReport, ServeError> {
+        let build = self.driver.tick(cluster, values)?;
+        let latest = self
+            .driver
+            .latest()
+            .expect("tick always publishes a snapshot");
+        debug_assert!(latest.value.exact, "tick's final publish is the exact one");
+        let bound = match latest.value.guaranteed_error {
+            Some(e) => ErrorBound::abs(e + self.bucket_width),
+            None => ErrorBound::none(),
+        };
+        let snap = self.store.publish(
+            &latest.value.synopsis,
+            bound,
+            latest.published_at,
+            latest.version,
+        )?;
+        Ok(ServeTickReport {
+            build,
+            store_version: snap.version,
+            bound,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    use dwmaxerr_runtime::{Cluster, ClusterConfig};
+
+    fn cluster() -> Cluster {
+        let mut cfg = ClusterConfig::with_slots(4, 2);
+        cfg.task_startup = Duration::from_millis(1);
+        cfg.job_setup = Duration::from_millis(1);
+        Cluster::new(cfg)
+    }
+
+    fn dg_cfg() -> DGreedyAbsConfig {
+        DGreedyAbsConfig {
+            base_leaves: 16,
+            bucket_width: 1e-9,
+            reducers: 2,
+            max_candidates: None,
+        }
+    }
+
+    fn int_data(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i as u64).wrapping_mul(2_862_933_555) ^ seed) % 97)
+            .map(|v| v as f64)
+            .collect()
+    }
+
+    #[test]
+    fn tick_publishes_bounded_store_version() {
+        let n = 128;
+        let cluster = cluster();
+        let mut sd = ServeDriver::new(n, n / 8, &dg_cfg(), 8, "serve-test").unwrap();
+        let data = int_data(n, 3);
+        let report = sd.tick(&cluster, &data).unwrap();
+        assert_eq!(report.store_version, 1);
+        let err = report.bound.err_abs.expect("exact build carries a bound");
+        assert!((err - (report.build.exact_error + 1e-9)).abs() < 1e-15);
+
+        // Every served point is within the advertised bound of the
+        // window's true values.
+        let reader = sd.store().reader().unwrap();
+        assert_eq!(reader.version(), 1);
+        for (j, &d) in sd.driver().window().data().iter().enumerate() {
+            let a = reader.point(j).unwrap();
+            assert!(a.bounds_hold(d, 1e-9), "point {j}");
+        }
+
+        // A second tick appends fresh data and swaps in version 2; the
+        // old reader stays pinned.
+        let report2 = sd.tick(&cluster, &int_data(16, 9)).unwrap();
+        assert_eq!(report2.store_version, 2);
+        assert_eq!(reader.version(), 1);
+        assert_eq!(sd.store().reader().unwrap().version(), 2);
+    }
+}

@@ -1,0 +1,412 @@
+//! The sharded retained-coefficient representation served on the read
+//! path.
+//!
+//! A [`ShardedSynopsis`] re-cuts a built [`Synopsis`] along the paper's
+//! locality-preserving error-tree partitioning ([`BasePartition`]): the
+//! retained coefficients of the **root sub-tree** (node ids `< R`) are
+//! held once, shared, and the retained coefficients of each **base
+//! sub-tree** `j` land in shard `j` together with a precomputed
+//! `root_incoming` scalar — the signed sum of retained root coefficients
+//! along base `j`'s root path. Self-similarity makes that scalar uniform
+//! across *every* leaf of base `j` (it is exactly
+//! [`BasePartition::incoming_value`]), so a point query touches one
+//! shard and replaces its `O(log R)` root-path descent with one add:
+//!
+//! ```text
+//! d̂_x = root_incoming[x / S]  +  Σ  sign(i, x) · c_i
+//!                               i ∈ path(x), i ≥ R, retained
+//! ```
+//!
+//! A range sum `d̂(l:h)` needs only the coefficients on
+//! `path_l ∪ path_h` (interior details cancel, Section 2.2), so it
+//! touches at most the two shards owning `l` and `h` plus the shared
+//! root entries.
+//!
+//! The struct is immutable after [`ShardedSynopsis::build`]; the store
+//! (see [`crate::store`]) swaps whole instances atomically, so readers
+//! never lock.
+//!
+//! Floating-point note: the sharded summation order differs from
+//! [`Synopsis::reconstruct_value`]'s path order, so answers agree with
+//! the reference evaluators to ~1e-9 relative, not bit for bit.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use dwmaxerr_core::partition::BasePartition;
+use dwmaxerr_core::query::{range_bound, Answer, ErrorBound};
+use dwmaxerr_wavelet::reconstruct::range_multiplier;
+use dwmaxerr_wavelet::tree::TreeTopology;
+use dwmaxerr_wavelet::Synopsis;
+
+use crate::error::ServeError;
+
+/// One shard: the retained coefficients of a single base sub-tree plus
+/// the precomputed incoming value from the retained root coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynopsisShard {
+    /// Retained `(global node id, value)` pairs owned by this base
+    /// sub-tree, sorted by id.
+    entries: Vec<(u32, f64)>,
+    /// `Σ sign(a, j) · c_a` over retained root nodes `a < R` — the
+    /// contribution of the whole root path, identical for every leaf of
+    /// this base sub-tree.
+    root_incoming: f64,
+    /// The data range this shard serves.
+    span: Range<usize>,
+}
+
+impl SynopsisShard {
+    /// Retained coefficients in this shard (excluding shared root
+    /// entries).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the shard retains no local coefficients (its leaves
+    /// reconstruct from the root path alone).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The data range this shard serves.
+    #[inline]
+    pub fn span(&self) -> Range<usize> {
+        self.span.clone()
+    }
+
+    /// The precomputed root-path contribution shared by all leaves.
+    #[inline]
+    pub fn root_incoming(&self) -> f64 {
+        self.root_incoming
+    }
+
+    #[inline]
+    fn value(&self, id: usize) -> f64 {
+        match self.entries.binary_search_by_key(&(id as u32), |&(k, _)| k) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+}
+
+/// An immutable synopsis re-sharded along error-tree partitions for the
+/// query path. See the [module docs](self) for the layout and routing
+/// rules.
+#[derive(Debug, Clone)]
+pub struct ShardedSynopsis {
+    n: usize,
+    partition: BasePartition,
+    topo: TreeTopology,
+    /// Retained root-sub-tree entries (ids `< R`), sorted; shared across
+    /// clones of the snapshot rather than copied per shard.
+    root_entries: Arc<Vec<(u32, f64)>>,
+    shards: Vec<SynopsisShard>,
+    bound: ErrorBound,
+    source_version: u64,
+}
+
+impl ShardedSynopsis {
+    /// Re-shards `synopsis` into `shards` base sub-trees (`shards` a
+    /// power of two with `1 <= shards <= n / 2`), attaching the build's
+    /// error guarantee and the version of the snapshot it came from.
+    pub fn build(
+        synopsis: &Synopsis,
+        shards: usize,
+        bound: ErrorBound,
+        source_version: u64,
+    ) -> Result<Self, ServeError> {
+        let n = synopsis.data_len();
+        if shards == 0 || !shards.is_power_of_two() || shards > n / 2 {
+            return Err(ServeError::BadShardCount { shards, n });
+        }
+        let partition = BasePartition::new(n, n / shards)
+            .map_err(|_| ServeError::BadShardCount { shards, n })?;
+        let topo = TreeTopology::new(n)?;
+        let r = partition.num_base();
+
+        let mut root_entries = Vec::new();
+        let mut per_shard: Vec<Vec<(u32, f64)>> = vec![Vec::new(); r];
+        for &(id, v) in synopsis.entries() {
+            if (id as usize) < r {
+                root_entries.push((id, v));
+            } else {
+                per_shard[partition.owner_of(id as usize)].push((id, v));
+            }
+        }
+
+        let root_topo = partition.root_topology();
+        let shards = per_shard
+            .into_iter()
+            .enumerate()
+            .map(|(j, entries)| SynopsisShard {
+                entries,
+                root_incoming: root_entries
+                    .iter()
+                    .map(|&(a, v)| f64::from(root_topo.sign(a as usize, j)) * v)
+                    .sum(),
+                span: partition.base_span(j),
+            })
+            .collect();
+
+        Ok(ShardedSynopsis {
+            n,
+            partition,
+            topo,
+            root_entries: Arc::new(root_entries),
+            shards,
+            bound,
+            source_version,
+        })
+    }
+
+    /// The served data length `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of shards (base sub-trees).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, indexed by base sub-tree.
+    #[inline]
+    pub fn shards(&self) -> &[SynopsisShard] {
+        &self.shards
+    }
+
+    /// The error guarantee the build attached (per-point; scaled per
+    /// query by the answer constructors).
+    #[inline]
+    pub fn bound(&self) -> &ErrorBound {
+        &self.bound
+    }
+
+    /// Version of the producer-side snapshot this representation was
+    /// derived from.
+    #[inline]
+    pub fn source_version(&self) -> u64 {
+        self.source_version
+    }
+
+    /// Total retained coefficients: shared root entries plus all shard
+    /// entries (equals the source synopsis size).
+    pub fn size(&self) -> usize {
+        self.root_entries.len() + self.shards.iter().map(SynopsisShard::len).sum::<usize>()
+    }
+
+    /// Which shard serves leaf `x` — the query→shard routing rule.
+    #[inline]
+    pub fn shard_of_leaf(&self, x: usize) -> usize {
+        debug_assert!(x < self.n);
+        x / self.partition.base_leaves()
+    }
+
+    /// The (at most two) shards a range query `l..=h` touches.
+    #[inline]
+    pub fn shards_of_range(&self, l: usize, h: usize) -> (usize, usize) {
+        (self.shard_of_leaf(l), self.shard_of_leaf(h))
+    }
+
+    #[inline]
+    fn root_value(&self, id: usize) -> f64 {
+        match self
+            .root_entries
+            .binary_search_by_key(&(id as u32), |&(k, _)| k)
+        {
+            Ok(pos) => self.root_entries[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Reconstructs `d̂_x`: one shard's `root_incoming` plus the in-shard
+    /// path suffix. `O(log S · log B_j)`; the root path is pre-summed.
+    ///
+    /// # Panics
+    /// Panics when `x >= n` (the store-level API returns
+    /// [`ServeError::OutOfRange`] instead).
+    pub fn point_value(&self, x: usize) -> f64 {
+        assert!(x < self.n, "point query out of range");
+        let r = self.partition.num_base();
+        let shard = &self.shards[self.shard_of_leaf(x)];
+        shard.root_incoming
+            + self
+                .topo
+                .path_of_leaf(x)
+                .filter(|&(id, _)| id >= r)
+                .map(|(id, s)| f64::from(s) * shard.value(id))
+                .sum::<f64>()
+    }
+
+    /// Reconstructs the range sum `d̂(l:h)` (inclusive) from
+    /// `path_l ∪ path_h`, reading the shared root entries plus at most
+    /// two shards.
+    ///
+    /// # Panics
+    /// Panics when `l > h` or `h >= n`.
+    pub fn range_value(&self, l: usize, h: usize) -> f64 {
+        assert!(l <= h && h < self.n, "range query out of range");
+        let r = self.partition.num_base();
+        let mut seen = Vec::with_capacity(2 * self.topo.levels() as usize + 2);
+        for (id, _) in self.topo.path_of_leaf(l).chain(self.topo.path_of_leaf(h)) {
+            if !seen.contains(&id) {
+                seen.push(id);
+            }
+        }
+        seen.iter()
+            .map(|&id| {
+                let c = if id < r {
+                    self.root_value(id)
+                } else {
+                    self.shards[self.partition.owner_of(id)].value(id)
+                };
+                range_multiplier(&self.topo, id, l, h) as f64 * c
+            })
+            .sum()
+    }
+
+    /// Point query with the build's per-point bound attached;
+    /// `answer.version` is the producer-side source version (the store
+    /// reader re-stamps it with the store snapshot version).
+    pub fn point(&self, x: usize) -> Result<Answer, ServeError> {
+        if x >= self.n {
+            return Err(ServeError::OutOfRange {
+                index: x,
+                n: self.n,
+            });
+        }
+        Ok(Answer {
+            value: self.point_value(x),
+            err_abs: self.bound.err_abs,
+            err_rel: self.bound.err_rel,
+            version: self.source_version,
+        })
+    }
+
+    /// Range-sum query with the additively-scaled absolute bound
+    /// attached (relative bounds do not compose to ranges — see
+    /// [`dwmaxerr_core::query`]).
+    pub fn range_sum(&self, l: usize, h: usize) -> Result<Answer, ServeError> {
+        if l > h {
+            return Err(ServeError::EmptyRange { l, h });
+        }
+        if h >= self.n {
+            return Err(ServeError::OutOfRange {
+                index: h,
+                n: self.n,
+            });
+        }
+        let scaled = range_bound(&self.bound, h - l + 1);
+        Ok(Answer {
+            value: self.range_value(l, h),
+            err_abs: scaled.err_abs,
+            err_rel: None,
+            version: self.source_version,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwmaxerr_wavelet::transform::forward;
+
+    const PAPER_DATA: [f64; 8] = [5.0, 5.0, 0.0, 26.0, 1.0, 3.0, 14.0, 2.0];
+
+    fn sharded(keep: &[u32], shards: usize) -> (Synopsis, ShardedSynopsis) {
+        let w = forward(&PAPER_DATA).unwrap();
+        let syn = Synopsis::retain_indices(&w, keep).unwrap();
+        let sh = ShardedSynopsis::build(&syn, shards, ErrorBound::abs(9.0), 7).unwrap();
+        (syn, sh)
+    }
+
+    #[test]
+    fn points_match_reference_reconstruction() {
+        for shards in [1usize, 2, 4] {
+            let (syn, sh) = sharded(&[0, 1, 3, 5, 6], shards);
+            assert_eq!(sh.num_shards(), shards);
+            assert_eq!(sh.size(), syn.size());
+            for x in 0..8 {
+                let got = sh.point_value(x);
+                let want = syn.reconstruct_value(x);
+                assert!((got - want).abs() < 1e-12, "shards={shards} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_match_reference_reconstruction() {
+        for shards in [1usize, 2, 4] {
+            let (syn, sh) = sharded(&[0, 2, 3, 4, 7], shards);
+            for l in 0..8 {
+                for h in l..8 {
+                    let got = sh.range_value(l, h);
+                    let want = dwmaxerr_wavelet::reconstruct::range_sum_synopsis(&syn, l, h);
+                    assert!((got - want).abs() < 1e-9, "shards={shards} {l}..={h}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn answers_carry_scaled_bounds_and_version() {
+        let (_, sh) = sharded(&[0, 3, 5], 4);
+        let p = sh.point(6).unwrap();
+        assert_eq!(p.err_abs, Some(9.0));
+        assert_eq!(p.version, 7);
+        let r = sh.range_sum(2, 5).unwrap();
+        assert_eq!(r.err_abs, Some(36.0));
+        assert_eq!(r.err_rel, None);
+    }
+
+    #[test]
+    fn routing_touches_expected_shards() {
+        let (_, sh) = sharded(&[0], 4);
+        assert_eq!(sh.shard_of_leaf(0), 0);
+        assert_eq!(sh.shard_of_leaf(7), 3);
+        assert_eq!(sh.shards_of_range(1, 6), (0, 3));
+        for (j, shard) in sh.shards().iter().enumerate() {
+            assert_eq!(shard.span(), 2 * j..2 * (j + 1));
+        }
+    }
+
+    #[test]
+    fn root_incoming_matches_partition_incoming_value() {
+        let w = forward(&PAPER_DATA).unwrap();
+        let syn = Synopsis::retain_indices(&w, &[0, 1, 2, 3]).unwrap();
+        let sh = ShardedSynopsis::build(&syn, 4, ErrorBound::none(), 0).unwrap();
+        let p = BasePartition::new(8, 2).unwrap();
+        let retained: Vec<usize> = vec![0, 1, 2, 3];
+        for j in 0..4 {
+            let want = p.incoming_value(&w[..4], &retained, j);
+            let got = sh.shards()[j].root_incoming();
+            assert!((got - want).abs() < 1e-12, "base {j}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_queries() {
+        let (_, sh) = sharded(&[0], 2);
+        assert!(matches!(
+            sh.point(8),
+            Err(ServeError::OutOfRange { index: 8, n: 8 })
+        ));
+        assert!(matches!(
+            sh.range_sum(5, 3),
+            Err(ServeError::EmptyRange { l: 5, h: 3 })
+        ));
+        let w = forward(&PAPER_DATA).unwrap();
+        let syn = Synopsis::retain_indices(&w, &[0]).unwrap();
+        for bad in [0usize, 3, 8, 16] {
+            assert!(matches!(
+                ShardedSynopsis::build(&syn, bad, ErrorBound::none(), 0),
+                Err(ServeError::BadShardCount { .. })
+            ));
+        }
+    }
+}

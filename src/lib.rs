@@ -14,6 +14,9 @@
 //!   baselines CON, Send-V, Send-Coef and H-WTopk.
 //! * [`datagen`] — synthetic and real-dataset-surrogate workload
 //!   generators.
+//! * [`serve`] — the sharded synopsis-serving query layer: lock-free
+//!   point/range-sum reads with guaranteed error bounds, batched
+//!   execution, and atomic store swap on rebuild.
 //!
 //! ## Quickstart
 //!
@@ -29,4 +32,5 @@ pub use dwmaxerr_algos as algos;
 pub use dwmaxerr_core as core;
 pub use dwmaxerr_datagen as datagen;
 pub use dwmaxerr_runtime as runtime;
+pub use dwmaxerr_serve as serve;
 pub use dwmaxerr_wavelet as wavelet;

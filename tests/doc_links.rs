@@ -1,0 +1,163 @@
+//! Documentation cross-reference checker (offline `cargo doc`
+//! link-check companion).
+//!
+//! `RUSTDOCFLAGS=-D warnings cargo doc` already verifies rustdoc intra-
+//! doc links; this test covers the hand-written markdown the rustdoc
+//! gate can't see. For `README.md`, `DESIGN.md`, `EXPERIMENTS.md`,
+//! `ROADMAP.md`, and `CHANGES.md` it verifies that
+//!
+//! 1. every markdown link `[text](path)` to a relative path resolves to
+//!    a file in the repository (external URLs and pure anchors are
+//!    skipped),
+//! 2. every backticked source path (`` `foo/bar.rs` `` and friends)
+//!    exists, either repo-relative or under `crates/` (the docs
+//!    abbreviate `crates/bench/...` as `bench/...`) — generated
+//!    artifacts like `BENCH_*.json` and exported traces are exempt, and
+//! 3. every `§N` reference on a line that names `DESIGN.md` points at a
+//!    real `## N.`-numbered DESIGN section, so section renumbering
+//!    can't silently strand the README/EXPERIMENTS cross-references.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+const DOCS: &[&str] = &[
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+];
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Generated-at-runtime artifacts the docs legitimately name before
+/// they exist in a fresh checkout.
+fn is_generated(path: &str) -> bool {
+    let name = path.rsplit('/').next().unwrap_or(path);
+    name.starts_with("BENCH_")
+        || name.ends_with(".trace.json")
+        || name.ends_with(".trace.jsonl")
+        || path.starts_with("target/")
+        || path.starts_with("traces/")
+}
+
+fn path_resolves(path: &str) -> bool {
+    let root = repo_root();
+    root.join(path).exists() || root.join("crates").join(path).exists()
+}
+
+/// Extracts `(capture, rest_of_line)` pairs for a crude single-line
+/// pattern: every occurrence of text between `open` and `close`.
+fn between<'a>(line: &'a str, open: &str, close: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(start) = rest.find(open) {
+        rest = &rest[start + open.len()..];
+        if let Some(end) = rest.find(close) {
+            out.push(&rest[..end]);
+            rest = &rest[end + close.len()..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+#[test]
+fn markdown_links_resolve() {
+    let mut broken = Vec::new();
+    for doc in DOCS {
+        let text = std::fs::read_to_string(repo_root().join(doc)).expect(doc);
+        for (lineno, line) in text.lines().enumerate() {
+            for target in between(line, "](", ")") {
+                let target = target.split_whitespace().next().unwrap_or("");
+                if target.is_empty()
+                    || target.starts_with('#')
+                    || target.contains("://")
+                    || target.starts_with("mailto:")
+                {
+                    continue;
+                }
+                let path = target.split('#').next().unwrap_or(target);
+                if !is_generated(path) && !path_resolves(path) {
+                    broken.push(format!("{doc}:{}: broken link to {path}", lineno + 1));
+                }
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken markdown links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn backticked_source_paths_exist() {
+    let exts = [".rs", ".md", ".toml", ".json", ".jsonl"];
+    let mut broken = Vec::new();
+    for doc in DOCS {
+        let text = std::fs::read_to_string(repo_root().join(doc)).expect(doc);
+        for (lineno, line) in text.lines().enumerate() {
+            for tick in between(line, "`", "`") {
+                if !exts.iter().any(|e| tick.ends_with(e))
+                    || tick.contains(char::is_whitespace)
+                    || tick.contains('*')
+                {
+                    continue;
+                }
+                if !is_generated(tick) && !path_resolves(tick) {
+                    broken.push(format!("{doc}:{}: missing file `{tick}`", lineno + 1));
+                }
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "stale file references:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn design_section_references_resolve() {
+    let design = std::fs::read_to_string(repo_root().join("DESIGN.md")).expect("DESIGN.md");
+    let sections: BTreeSet<u32> = design
+        .lines()
+        .filter_map(|l| l.strip_prefix("## "))
+        .filter_map(|h| h.split(['.', ' ']).next().and_then(|n| n.parse().ok()))
+        .collect();
+    assert!(
+        sections.contains(&13),
+        "sanity: DESIGN.md numbering changed shape ({sections:?})"
+    );
+
+    let mut broken = Vec::new();
+    for doc in DOCS {
+        let text = std::fs::read_to_string(repo_root().join(doc)).expect(doc);
+        for (lineno, line) in text.lines().enumerate() {
+            if !line.contains("DESIGN.md") {
+                continue;
+            }
+            for chunk in line.split('§').skip(1) {
+                let digits: String = chunk.chars().take_while(char::is_ascii_digit).collect();
+                let Ok(n) = digits.parse::<u32>() else {
+                    continue;
+                };
+                if !sections.contains(&n) {
+                    broken.push(format!(
+                        "{doc}:{}: §{n} does not match any '## {n}.' DESIGN.md section",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "stale DESIGN.md section references:\n{}",
+        broken.join("\n")
+    );
+}
