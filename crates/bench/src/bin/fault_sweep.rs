@@ -75,7 +75,14 @@ fn main() {
 
     let sweep = experiments::node_fault_sweep(scale, seed, trace_dir.as_deref());
     report::print_all(&sweep.tables);
+
+    let exec = experiments::executor_threads_sweep(scale, seed);
+    report::print_all(std::slice::from_ref(&exec.table));
     if smoke {
+        assert!(
+            exec.identical,
+            "executor-threads sweep diverged: some thread count rebuilt a different synopsis"
+        );
         // Smoke gates: every cell recovered bit-identically, every
         // killed-node cell shows the recovery machinery actually firing.
         for s in &sweep.samples {

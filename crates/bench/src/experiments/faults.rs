@@ -25,10 +25,10 @@ use dwmaxerr_runtime::trace::{self, summary, TraceEvent};
 use dwmaxerr_runtime::{AttemptStats, Cluster, ClusterConfig, FaultPlan, RecoveryStats, TaskPhase};
 
 use crate::report::{
-    cluster_stamp, critical_path_table, secs, shuffle_structure_table, slot_utilisation_table,
-    stage_breakdown, Table,
+    cluster_stamp, critical_path_table, host_cores, secs, shuffle_structure_table,
+    slot_utilisation_table, stage_breakdown, Table,
 };
-use crate::setup::Scale;
+use crate::setup::{timed, Scale};
 
 /// Seed every sweep's [`FaultPlan`] derives from unless the `fault_sweep`
 /// binary's `DWM_FAULT_SEED` override supplies another one.
@@ -441,6 +441,96 @@ pub fn node_fault_tables(scale: Scale) -> Vec<Table> {
     node_fault_sweep(scale, DEFAULT_FAULT_SEED, None).tables
 }
 
+/// Result of [`executor_threads_sweep`]: the rendered table plus the
+/// exact bit-identity verdict the smoke gate enforces.
+pub struct ExecutorThreadsSweep {
+    /// Wall-clock-vs-threads table.
+    pub table: Table,
+    /// Whether every thread count reconstructed the serial synopsis bit
+    /// for bit.
+    pub identical: bool,
+}
+
+/// Wall-clock scaling of the hostile attempt-failure cell across executor
+/// thread counts: the same DGreedyAbs build under a 10% failure rate plus
+/// two stragglers, with the work-stealing pool pinned to 1, 2, 4 (and the
+/// host's own core count when larger) threads. Recovery replays
+/// deterministically on the pool, so every row must reconstruct the
+/// serial row's synopsis bit for bit; only the wall clock may move.
+pub fn executor_threads_sweep(scale: Scale, seed: u64) -> ExecutorThreadsSweep {
+    let n: usize = 1 << scale.pick(15, 18);
+    let b = n / 8;
+    let s = (n / 32).max(1 << 10);
+    let data = uniform(n, 1_000.0, 61);
+    let cfg = DGreedyAbsConfig {
+        base_leaves: s,
+        bucket_width: 1.0,
+        reducers: 4,
+        max_candidates: None,
+    };
+    let plan = || {
+        FaultPlan::seeded(seed)
+            .with_failure_prob(0.10)
+            .with_straggler(TaskPhase::Map, 0, 6.0)
+            .with_straggler(TaskPhase::Map, 1, 4.0)
+    };
+
+    let mut counts = vec![1usize, 2, 4];
+    let cores = host_cores();
+    if cores > 4 {
+        counts.push(cores);
+    }
+
+    let mut t = Table::new(
+        format!(
+            "Fault sweep — wall clock vs executor threads (N=2^{}, 10% failures + stragglers)",
+            n.trailing_zeros()
+        ),
+        "recovery replays deterministically on the work-stealing pool: every \
+         thread count rebuilds the same synopsis bit for bit, only wall time moves",
+        &["threads", "wall", "speedup", "sim time", "output identical"],
+    );
+    let mut identical = true;
+    let mut serial: Option<(f64, Vec<u64>)> = None;
+    for &threads in &counts {
+        let mut config = faulty_config(Some(plan()));
+        config.threads = threads;
+        let cluster = Cluster::new(config);
+        let (res, wall) = timed(|| {
+            dgreedy_abs(&cluster, &data, b, &cfg).expect("recovers under injected faults")
+        });
+        let recon: Vec<u64> = res
+            .synopsis
+            .reconstruct_all()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        let sim = res.metrics.total_simulated().secs();
+        let (base_wall, same) = match &serial {
+            None => {
+                serial = Some((wall, recon));
+                (wall, true)
+            }
+            Some((w, base)) => (*w, *base == recon),
+        };
+        identical &= same;
+        t.row(vec![
+            threads.to_string(),
+            secs(wall),
+            format!("{:.2}x", base_wall / wall.max(1e-12)),
+            secs(sim),
+            if same { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t.note(format!(
+        "host exposes {cores} core(s); speedup beyond 1.0x requires >1 physical core"
+    ));
+    ExecutorThreadsSweep {
+        table: t,
+        identical,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,11 +567,15 @@ mod tests {
         let json = sweep.to_json(true);
         assert!(json.contains("\"benchmark\": \"fault_nodes\""));
         assert!(json.contains("\"fault_seed\": 9"));
-        // Topology stamp matches the paper cluster the sweep runs on.
+        // Topology stamp matches the paper cluster the sweep runs on. The
+        // trailing executor-thread and host-core fields are host-dependent,
+        // so the assertion stops at the field names.
         assert!(json.contains(
             "\"cluster\": {\"map_slots\": 40, \"reduce_slots\": 16, \"nodes\": 8, \
-             \"maps_per_node\": 5, \"reduces_per_node\": 2, \"spill_backend\": \"memory\"}"
+             \"maps_per_node\": 5, \"reduces_per_node\": 2, \"spill_backend\": \"memory\", \
+             \"threads\": "
         ));
+        assert!(json.contains("\"host_cores\": "));
         assert_eq!(json.matches("\"nodes_killed\":").count(), 2);
         assert!(json.contains("\"overhead_pct\": 50.00"));
         assert!(json.contains("\"maps_reexecuted\": 7"));

@@ -14,15 +14,17 @@ pub use comparison::{fig8, fig9};
 pub use conventional::{fig10, fig11};
 pub use datasets::{fig6, fig7, table3};
 pub use faults::{
-    fault_sweep, fault_sweep_traced, node_fault_sweep, node_fault_tables, NodeFaultSample,
-    NodeFaultSweep, DEFAULT_FAULT_SEED,
+    executor_threads_sweep, fault_sweep, fault_sweep_traced, node_fault_sweep, node_fault_tables,
+    ExecutorThreadsSweep, NodeFaultSample, NodeFaultSweep, DEFAULT_FAULT_SEED,
 };
 pub use progressive::{progressive_sweep, ProgressiveSample, ProgressiveSweep};
 pub use scalability::{fig5a, fig5b, fig5c, fig5d};
 pub use serve::{serve_sweep, ServeSample, ServeSweep};
 pub use shuffle::{
     merge_ratios, pressure_sweep, pressure_table, pressure_to_json as shuffle_pressure_json,
-    ratios, shuffle_sweep, shuffle_table, to_json as shuffle_json, PressureSample, ShuffleSample,
+    ratios, shuffle_sweep, shuffle_table, thread_speedups, threads_sweep, threads_table,
+    threads_to_json as shuffle_threads_json, to_json as shuffle_json, PressureSample,
+    ShuffleSample, ThreadsSample,
 };
 
 use dwmaxerr_core::dgreedy_abs::{dgreedy_abs, DGreedyAbsConfig};

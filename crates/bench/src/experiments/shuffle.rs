@@ -452,6 +452,156 @@ pub fn pressure_to_json(samples: &[PressureSample], smoke: bool) -> String {
     s
 }
 
+/// One measured executor-scaling cell: the skewed sort-merge workload
+/// re-run with the cluster's work-stealing executor pinned to `threads`
+/// host threads. The output digest must be bit-identical at every thread
+/// count — the executor contract — so only the wall clock may move.
+#[derive(Debug, Clone)]
+pub struct ThreadsSample {
+    /// Total records emitted by the map phase.
+    pub records: usize,
+    /// Executor threads the cell ran with (`ClusterConfig::threads`).
+    pub threads: usize,
+    /// Best-of-reps wall-clock seconds for the whole job.
+    pub wall_secs: f64,
+    /// Sum of per-map-task spill-sort seconds of the best rep.
+    pub spill_secs: f64,
+    /// Sum of per-reduce-task merge seconds of the best rep.
+    pub merge_secs: f64,
+    /// FNV-1a digest over the job's output pairs.
+    pub digest: u64,
+}
+
+/// Runs one executor-scaling cell [`REPS`] times, keeping the best wall
+/// time. Same skewed workload and topology as the hot-path sweep; only
+/// `ClusterConfig::threads` varies.
+pub fn measure_threads(records: usize, threads: usize) -> ThreadsSample {
+    let splits = make_splits(records, true, 0x5EED ^ records as u64);
+    let mut best: Option<ThreadsSample> = None;
+    for _ in 0..REPS {
+        let mut cfg = bench_config();
+        cfg.threads = threads;
+        let cluster = Cluster::new(cfg);
+        let (out, wall) = timed(|| {
+            JobBuilder::new("shuffle-threads")
+                .map(|split: &Vec<(u64, f64)>, ctx: &mut MapContext<u64, f64>| {
+                    for &(k, v) in split {
+                        ctx.emit(k, v);
+                    }
+                })
+                .reducers(REDUCERS)
+                .reduce(|k, vals, ctx: &mut ReduceContext<u64, f64>| {
+                    ctx.emit(*k, vals.sum());
+                })
+                .run(&cluster, &splits)
+                .expect("threads cell succeeds")
+        });
+        let m = &out.metrics;
+        let sample = ThreadsSample {
+            records,
+            threads,
+            wall_secs: wall,
+            spill_secs: total(&m.spill_secs),
+            merge_secs: total(&m.merge_secs),
+            digest: output_digest(&out.pairs),
+        };
+        if best.as_ref().is_none_or(|b| sample.wall_secs < b.wall_secs) {
+            best = Some(sample);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+/// The executor-scaling sweep: one workload size across `counts` thread
+/// counts (callers should lead with 1 — speedups are reported against the
+/// first sample).
+pub fn threads_sweep(records: usize, counts: &[usize]) -> Vec<ThreadsSample> {
+    counts
+        .iter()
+        .map(|&t| measure_threads(records, t))
+        .collect()
+}
+
+/// `(threads, speedup)` pairs: the sweep's first (serial) wall time over
+/// each sample's wall time; > 1.0 means the pool is winning.
+pub fn thread_speedups(samples: &[ThreadsSample]) -> Vec<(usize, f64)> {
+    let Some(base) = samples.first() else {
+        return Vec::new();
+    };
+    samples
+        .iter()
+        .map(|s| (s.threads, base.wall_secs / s.wall_secs.max(1e-12)))
+        .collect()
+}
+
+/// Renders the executor-scaling sweep as a markdown table.
+pub fn threads_table(samples: &[ThreadsSample]) -> Table {
+    let mut t = Table::new(
+        "Shuffle: wall clock vs executor threads (work-stealing pool)",
+        "map attempts, spill sorts, reduce merges, and merge passes fan out \
+         across real host threads; outputs stay bit-identical by contract",
+        &[
+            "records", "threads", "wall", "spill", "merge", "speedup", "digest",
+        ],
+    );
+    let speedups = thread_speedups(samples);
+    for (s, (_, speedup)) in samples.iter().zip(&speedups) {
+        t.row(vec![
+            s.records.to_string(),
+            s.threads.to_string(),
+            secs(s.wall_secs),
+            secs(s.spill_secs),
+            secs(s.merge_secs),
+            format!("{speedup:.2}x"),
+            format!("{:016x}", s.digest),
+        ]);
+    }
+    let cores = crate::report::host_cores();
+    t.note(format!(
+        "host exposes {cores} core(s); speedup beyond 1.0x requires >1 physical core \
+         — on a single-core host the pool can only tie the serial path"
+    ));
+    if let Some(base) = samples.first() {
+        let drift = samples.iter().filter(|s| s.digest != base.digest).count();
+        t.note(if drift == 0 {
+            "all thread counts produced bit-identical output".to_string()
+        } else {
+            format!("{drift} thread count(s) DIVERGED from the serial digest")
+        });
+    }
+    t
+}
+
+/// Serialises the executor-scaling sweep as the
+/// `BENCH_shuffle_threads.json` document. Hand-rolled JSON — the build is
+/// offline.
+pub fn threads_to_json(samples: &[ThreadsSample], smoke: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"benchmark\": \"shuffle_threads\",\n  \"smoke\": {smoke},\n  \"splits\": {SPLITS},\n  \"reducers\": {REDUCERS},\n  \"reps\": {REPS},\n  \"host_cores\": {},\n  \"cluster\": {},\n  \"fault_seed\": null,\n  \"samples\": [\n",
+        crate::report::host_cores(),
+        cluster_stamp(&bench_config()),
+    ));
+    let speedups = thread_speedups(samples);
+    for (i, (x, (_, speedup))) in samples.iter().zip(&speedups).enumerate() {
+        s.push_str(&format!(
+            "    {{\"records\": {}, \"threads\": {}, \"wall_secs\": {:.6}, \
+             \"spill_secs\": {:.6}, \"merge_secs\": {:.6}, \"speedup\": {:.4}, \
+             \"digest\": \"{:016x}\"}}{}\n",
+            x.records,
+            x.threads,
+            x.wall_secs,
+            x.spill_secs,
+            x.merge_secs,
+            speedup,
+            x.digest,
+            if i + 1 < samples.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +653,28 @@ mod tests {
         assert!(json.contains("\"fault_seed\": null"));
         let table = shuffle_table(&samples).to_markdown();
         assert!(table.contains("sort_merge"));
+    }
+
+    #[test]
+    fn threads_sweep_is_bit_identical_across_counts() {
+        let samples = threads_sweep(1024, &[1, 2, 4]);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].threads, 1);
+        let base = samples[0].digest;
+        for s in &samples {
+            assert_eq!(s.digest, base, "threads={} diverged", s.threads);
+        }
+        let speedups = thread_speedups(&samples);
+        assert_eq!(speedups[0], (1, 1.0));
+        for (_, sp) in &speedups {
+            assert!(sp.is_finite() && *sp > 0.0);
+        }
+        let json = threads_to_json(&samples, true);
+        assert!(json.contains("\"benchmark\": \"shuffle_threads\""));
+        assert!(json.contains("\"host_cores\":"));
+        assert_eq!(json.matches("\"threads\":").count(), 3 + 1); // 3 rows + stamp
+        let table = threads_table(&samples).to_markdown();
+        assert!(table.contains("bit-identical"));
     }
 
     #[test]

@@ -86,18 +86,31 @@ impl Table {
 /// JSON object describing the cluster/node topology a benchmark ran on.
 /// Stamped into every `BENCH_*.json` (next to a `fault_seed` field) so a
 /// recorded result can be tied back to the exact simulated cluster that
-/// produced it.
+/// produced it. `threads` (the executor width the run used) and
+/// `host_cores` (the machine's physical parallelism) make wall-clock
+/// numbers comparable across machines: a speedup table recorded on a
+/// 1-core CI runner is expected to be flat, and the stamp says so.
 pub fn cluster_stamp(cfg: &ClusterConfig) -> String {
     format!(
         "{{\"map_slots\": {}, \"reduce_slots\": {}, \"nodes\": {}, \
-         \"maps_per_node\": {}, \"reduces_per_node\": {}, \"spill_backend\": \"{}\"}}",
+         \"maps_per_node\": {}, \"reduces_per_node\": {}, \"spill_backend\": \"{}\", \
+         \"threads\": {}, \"host_cores\": {}}}",
         cfg.map_slots,
         cfg.reduce_slots,
         cfg.nodes,
         cfg.maps_per_node(),
         cfg.reduces_per_node(),
         cfg.spill_backend.as_str(),
+        cfg.threads,
+        host_cores(),
     )
+}
+
+/// Physical core count of the host machine (1 when undetectable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Formats seconds compactly.

@@ -5,9 +5,28 @@ use std::time::Duration;
 
 use std::sync::Mutex;
 
+use crate::executor::Executor;
 use crate::fault::FaultPlan;
 use crate::metrics::JobMetrics;
 use crate::trace::{TraceEvent, TraceSink};
+
+/// Executor thread count: the `DWM_THREADS` environment variable when set
+/// to a positive integer, else the host's available parallelism. The env
+/// knob is how CI runs the whole suite single-threaded and multi-threaded
+/// without code changes (the determinism contract says both must produce
+/// bit-identical digests).
+pub fn threads_from_env() -> usize {
+    if let Ok(raw) = std::env::var("DWM_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
 
 /// Where map-side spill runs and intermediate merge runs live.
 ///
@@ -74,9 +93,12 @@ pub struct ClusterConfig {
     /// map/reduce task). Jobs that declare task working sets are rejected
     /// with [`crate::RuntimeError::TaskOutOfMemory`] beyond this.
     pub task_memory_bytes: u64,
-    /// Real host threads used to execute tasks. Defaults to the host's
-    /// available parallelism; the *simulated* parallelism is governed by
-    /// the slot counts, not by this.
+    /// Real host threads used to execute tasks — the size of the
+    /// cluster's work-stealing [`Executor`]. Defaults to `DWM_THREADS`
+    /// when set, else the host's available parallelism (see
+    /// [`threads_from_env`]); the *simulated* parallelism is governed by
+    /// the slot counts, not by this, and job outputs/digests are
+    /// identical at every thread count.
     pub threads: usize,
     /// Maximum attempts per task before the job fails (Hadoop's
     /// `mapreduce.map.maxattempts` / `mapreduce.reduce.maxattempts`,
@@ -144,9 +166,7 @@ impl Default for ClusterConfig {
             shuffle_bytes_per_sec: 100.0 * 1024.0 * 1024.0,
             hdfs_bytes_per_sec: 200.0 * 1024.0 * 1024.0,
             task_memory_bytes: 1 << 30,
-            threads: std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1),
+            threads: threads_from_env(),
             max_attempts: 4,
             speculative_execution: true,
             speculative_slowdown: 1.5,
@@ -265,6 +285,7 @@ pub struct Cluster {
     config: ClusterConfig,
     history: Mutex<Vec<JobMetrics>>,
     trace: TraceSink,
+    executor: Executor,
 }
 
 impl Cluster {
@@ -280,16 +301,24 @@ impl Cluster {
     /// [`crate::RuntimeError::InvalidConfig`] instead of panicking.
     pub fn try_new(config: ClusterConfig) -> Result<Self, crate::RuntimeError> {
         config.validate()?;
+        let executor = Executor::new(config.threads);
         Ok(Cluster {
             config,
             history: Mutex::new(Vec::new()),
             trace: TraceSink::new(),
+            executor,
         })
     }
 
     /// The cluster's configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// The cluster's work-stealing executor: the real threads task bodies,
+    /// spill sorts, and merge passes run on (see [`crate::executor`]).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
     }
 
     /// Records a finished job in the ledger.
@@ -388,6 +417,36 @@ mod tests {
         std::env::remove_var("DWM_SPILL_BACKEND");
         assert_eq!(SpillBackend::Memory.as_str(), "memory");
         assert_eq!(SpillBackend::Disk.as_str(), "disk");
+    }
+
+    #[test]
+    fn threads_env_parsing() {
+        // Like `spill_backend_env_parsing`: exercise the parse paths.
+        std::env::remove_var("DWM_THREADS");
+        assert!(threads_from_env() >= 1);
+        std::env::set_var("DWM_THREADS", "3");
+        assert_eq!(threads_from_env(), 3);
+        std::env::set_var("DWM_THREADS", "0");
+        assert!(threads_from_env() >= 1); // invalid: falls back to host
+        std::env::set_var("DWM_THREADS", "bogus");
+        assert!(threads_from_env() >= 1);
+        std::env::remove_var("DWM_THREADS");
+    }
+
+    #[test]
+    fn cluster_executor_matches_config_threads() {
+        let cfg = ClusterConfig {
+            threads: 3,
+            ..ClusterConfig::with_slots(4, 2)
+        };
+        let cluster = Cluster::new(cfg);
+        assert_eq!(cluster.executor().threads(), 3);
+        assert!(cluster.executor().is_parallel());
+        let serial = Cluster::new(ClusterConfig {
+            threads: 1,
+            ..ClusterConfig::with_slots(4, 2)
+        });
+        assert!(!serial.executor().is_parallel());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::time::Instant;
 use crate::cluster::{Cluster, SpillBackend};
 use crate::codec::{CountingSink, FnvHasher, Wire};
 use crate::error::RuntimeError;
+use crate::executor::Executor;
 use crate::fault::{FailureKind, FaultPlan, NodeFailure, TaskPhase};
 use crate::metrics::{
     AttemptOutcome, AttemptStats, JobMetrics, RecoveryStats, SimBreakdown, TaskAttempt,
@@ -75,7 +76,7 @@ impl<K, V> MapEmission<K, V> {
     }
 }
 
-impl<K: Wire + Ord, V: Wire> MapContext<'_, K, V> {
+impl<K: Wire + Ord + Send, V: Wire + Send> MapContext<'_, K, V> {
     /// Emits a key-value pair into the shuffle. If the partitioner routes
     /// the key outside `0..reducers` the record is dropped and the job
     /// fails with [`RuntimeError::BadPartitioner`] once the task returns.
@@ -311,19 +312,19 @@ impl<S, K, V, OK, OV, F, G> Job<S, K, V, OK, OV, F, G> {
 /// Emits one task phase's trace events: wave instants, one span per
 /// attempt, and a fault instant for each injected failure. `phase0` is the
 /// phase's absolute start on the trace timeline; attempt times are
-/// phase-relative in the schedule.
+/// phase-relative in the schedule. `waves` is the phase's precomputed
+/// [`scheduler::wave_boundaries`] — computed once per phase by the caller
+/// and shared with anything else that needs the wave structure, instead of
+/// being recomputed per trace emission.
 fn trace_task_phase(
     tr: &mut JobTrace,
     job: &str,
     phase: TaskPhase,
     phase0: f64,
     attempts: &[TaskAttempt],
-    slots: usize,
+    waves: &[(f64, usize)],
 ) {
-    for (wave, (start, started)) in scheduler::wave_boundaries(attempts, slots)
-        .into_iter()
-        .enumerate()
-    {
+    for (wave, &(start, started)) in waves.iter().enumerate() {
         tr.emit(
             phase0 + start,
             TraceEventKind::Wave {
@@ -377,10 +378,18 @@ fn trace_task_phase(
 /// outright once its total retained bytes (or buffer count) would exceed
 /// the pool-wide cap — one skewed task cannot permanently inflate the
 /// job's memory footprint to its high-water mark.
+///
+/// The pool is sharded by executor worker slot ([`executor::worker_slot`]):
+/// each pool worker (and the submitting thread, slot 0) takes and returns
+/// buffers through its own shard, so concurrent map tasks never contend on
+/// one lock and a buffer recycled on one worker is never observed by
+/// another mid-task. The retention caps are divided across shards, keeping
+/// the pool-wide bounds identical to the unsharded pool.
 struct BufferPool<T> {
-    inner: Mutex<PoolInner<T>>,
+    shards: Vec<Mutex<PoolInner<T>>>,
     max_buf_bytes: usize,
-    max_total_bytes: usize,
+    /// Per-shard retained-bytes cap (the pool-wide cap split evenly).
+    max_shard_bytes: usize,
 }
 
 struct PoolInner<T> {
@@ -405,26 +414,50 @@ impl<T> BufferPool<T> {
     /// buffers are all 0 bytes.
     const MAX_BUFS: usize = 256;
 
+    /// Single-shard pool with the default caps (the sharding regression
+    /// tests pin the unsharded retention behaviour).
+    #[cfg(test)]
     fn new() -> Self {
         Self::with_limits(Self::MAX_BUF_BYTES, Self::MAX_TOTAL_BYTES)
     }
 
+    #[cfg(test)]
     fn with_limits(max_buf_bytes: usize, max_total_bytes: usize) -> Self {
+        Self::sharded(1, max_buf_bytes, max_total_bytes)
+    }
+
+    /// A pool with one shard per executor thread (the submitting thread is
+    /// slot 0, pool workers are slots `1..threads`).
+    fn per_worker(threads: usize) -> Self {
+        Self::sharded(threads.max(1), Self::MAX_BUF_BYTES, Self::MAX_TOTAL_BYTES)
+    }
+
+    fn sharded(shards: usize, max_buf_bytes: usize, max_total_bytes: usize) -> Self {
+        let shards = shards.max(1);
         BufferPool {
-            inner: Mutex::new(PoolInner {
-                bufs: Vec::new(),
-                total_bytes: 0,
-            }),
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(PoolInner {
+                        bufs: Vec::new(),
+                        total_bytes: 0,
+                    })
+                })
+                .collect(),
             max_buf_bytes,
-            max_total_bytes,
+            max_shard_bytes: max_total_bytes / shards,
         }
     }
 
+    /// The calling thread's shard.
+    fn shard(&self) -> &Mutex<PoolInner<T>> {
+        &self.shards[crate::executor::worker_slot() % self.shards.len()]
+    }
+
     /// A cleared buffer with at least `capacity` entries reserved —
-    /// recycled when the pool has one, freshly allocated otherwise.
+    /// recycled when the shard has one, freshly allocated otherwise.
     fn take(&self, capacity: usize) -> Vec<T> {
         let recycled = {
-            let mut inner = self.inner.lock().expect("pool lock");
+            let mut inner = self.shard().lock().expect("pool lock");
             let buf = inner.bufs.pop();
             if let Some(buf) = &buf {
                 inner.total_bytes -= buf_bytes(buf);
@@ -446,10 +479,11 @@ impl<T> BufferPool<T> {
         if buf_bytes(&buf) > self.max_buf_bytes {
             buf.shrink_to(self.max_buf_bytes / std::mem::size_of::<T>().max(1));
         }
-        let mut inner = self.inner.lock().expect("pool lock");
+        let mut inner = self.shard().lock().expect("pool lock");
         let bytes = buf_bytes(&buf);
-        if inner.bufs.len() >= Self::MAX_BUFS
-            || inner.total_bytes.saturating_add(bytes) > self.max_total_bytes
+        let max_bufs = (Self::MAX_BUFS / self.shards.len()).max(1);
+        if inner.bufs.len() >= max_bufs
+            || inner.total_bytes.saturating_add(bytes) > self.max_shard_bytes
         {
             return;
         }
@@ -457,10 +491,14 @@ impl<T> BufferPool<T> {
         inner.bufs.push(buf);
     }
 
-    /// Total heap bytes currently retained (for the regression test).
+    /// Total heap bytes currently retained across shards (for the
+    /// regression test).
     #[cfg(test)]
     fn pooled_bytes(&self) -> usize {
-        self.inner.lock().expect("pool lock").total_bytes
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("pool lock").total_bytes)
+            .sum()
     }
 }
 
@@ -746,14 +784,55 @@ impl RunBuf<'_> {
 /// task end) and mid-task budget spills, so a budget-constrained run is
 /// byte-identical per run to what the unconstrained path would have
 /// produced for the same pairs.
-fn spill_partitions<K: Wire + Ord, V: Wire>(
+fn spill_partitions<K: Wire + Ord + Send, V: Wire + Send>(
+    pool: &Executor,
     parts: &mut [Vec<(K, V)>],
     combiner: Option<&Combiner<K, V>>,
     partition_hints: &[AtomicUsize],
     pair_hints: &[AtomicUsize],
 ) -> (Vec<Vec<u8>>, u64) {
-    let mut out_parts = Vec::with_capacity(parts.len());
+    // Partitions sort independently, so a big spill fans its partition
+    // sorts across the executor; tiny spills stay inline — the cross-thread
+    // handoff would cost more than the sort. Results come back positionally
+    // and the capacity hints are monotone `fetch_max`es, so the spilled
+    // bytes (and the hints' final values) are identical either way.
+    const PAR_SPILL_MIN_PAIRS: usize = 4096;
+    let total_pairs: usize = parts.iter().map(Vec::len).sum();
+    let spilled: Vec<(Vec<u8>, u64)> =
+        if pool.is_parallel() && parts.len() > 1 && total_pairs >= PAR_SPILL_MIN_PAIRS {
+            pool.run_indexed_mut(parts, |p, pairs| {
+                spill_one_partition(pairs, combiner, &partition_hints[p], &pair_hints[p])
+            })
+        } else {
+            parts
+                .iter_mut()
+                .enumerate()
+                .map(|(p, pairs)| {
+                    spill_one_partition(pairs, combiner, &partition_hints[p], &pair_hints[p])
+                })
+                .collect()
+        };
+    let mut out_parts = Vec::with_capacity(spilled.len());
     let mut combined_records = 0u64;
+    for (buf, combined) in spilled {
+        combined_records += combined;
+        out_parts.push(buf);
+    }
+    (out_parts, combined_records)
+}
+
+/// Sorts (or combiner-folds) one partition's buffered pairs and serializes
+/// them into a wire buffer, clearing the pair buffer (capacity kept).
+/// Returns the serialized partition and its post-combiner record count.
+fn spill_one_partition<K: Wire + Ord, V: Wire>(
+    pairs: &mut Vec<(K, V)>,
+    combiner: Option<&Combiner<K, V>>,
+    byte_hint: &AtomicUsize,
+    pair_hint: &AtomicUsize,
+) -> (Vec<u8>, u64) {
+    pair_hint.fetch_max(pairs.len(), Ordering::Relaxed);
+    let mut combined_records = 0u64;
+    let mut out = Vec::with_capacity(byte_hint.load(Ordering::Relaxed));
     if let Some(combiner) = combiner {
         // Fold into an ordered map: values accumulate per key in emission
         // order, the fold runs once per key, and iterating the map writes
@@ -761,47 +840,35 @@ fn spill_partitions<K: Wire + Ord, V: Wire>(
         // sort. Folding per spill is Hadoop's combiner contract: the
         // combiner must be associative, because each run carries its own
         // partial fold.
-        for ((pairs, byte_hint), pair_hint) in parts.iter_mut().zip(partition_hints).zip(pair_hints)
-        {
-            pair_hint.fetch_max(pairs.len(), Ordering::Relaxed);
-            let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
-            for (k, v) in pairs.drain(..) {
-                groups.entry(k).or_default().push(v);
-            }
-            let mut out = Vec::with_capacity(byte_hint.load(Ordering::Relaxed));
-            for (key, values) in groups {
-                let folded = combiner(&key, &mut values.into_iter());
-                key.encode(&mut out);
-                folded.encode(&mut out);
-                combined_records += 1;
-            }
-            out_parts.push(out);
+        let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        for (k, v) in pairs.drain(..) {
+            groups.entry(k).or_default().push(v);
+        }
+        for (key, values) in groups {
+            let folded = combiner(&key, &mut values.into_iter());
+            key.encode(&mut out);
+            folded.encode(&mut out);
+            combined_records += 1;
         }
     } else {
-        for ((pairs, byte_hint), pair_hint) in parts.iter_mut().zip(partition_hints).zip(pair_hints)
-        {
-            pair_hint.fetch_max(pairs.len(), Ordering::Relaxed);
-            // Stable: equal keys keep emission order.
-            pairs.sort_by(|a, b| a.0.cmp(&b.0));
-            let mut out = Vec::with_capacity(byte_hint.load(Ordering::Relaxed));
-            for (k, v) in pairs.iter() {
-                k.encode(&mut out);
-                v.encode(&mut out);
-            }
-            pairs.clear();
-            out_parts.push(out);
+        // Stable: equal keys keep emission order.
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        for (k, v) in pairs.iter() {
+            k.encode(&mut out);
+            v.encode(&mut out);
         }
+        pairs.clear();
     }
-    for (hint, buf) in partition_hints.iter().zip(&out_parts) {
-        hint.fetch_max(buf.len(), Ordering::Relaxed);
-    }
-    (out_parts, combined_records)
+    byte_hint.fetch_max(out.len(), Ordering::Relaxed);
+    (out, combined_records)
 }
 
 /// Per-attempt spill state threaded through [`MapContext`] on the
 /// sort-merge path: the `io.sort.mb` budget, the metered buffered bytes,
 /// and the runs spilled so far (per partition, in spill order).
 struct SpillControl<'a, K, V> {
+    /// Executor that fans the per-partition spill sorts across cores.
+    pool: &'a Executor,
     /// Wire bytes the task may buffer before spilling
     /// (`min(io_sort_bytes, task_memory_bytes)`).
     budget: usize,
@@ -826,14 +893,19 @@ struct SpillControl<'a, K, V> {
     disk_bytes: u64,
 }
 
-impl<K: Wire + Ord, V: Wire> SpillControl<'_, K, V> {
+impl<K: Wire + Ord + Send, V: Wire + Send> SpillControl<'_, K, V> {
     /// Sorts and spills the buffered pairs as one run per non-empty
     /// partition, clearing the buffers (capacity kept) and resetting the
     /// byte meter.
     fn spill_now(&mut self, parts: &mut [Vec<(K, V)>]) {
         let spill_start = Instant::now();
-        let (bufs, combined) =
-            spill_partitions(parts, self.combiner, self.partition_hints, self.pair_hints);
+        let (bufs, combined) = spill_partitions(
+            self.pool,
+            parts,
+            self.combiner,
+            self.partition_hints,
+            self.pair_hints,
+        );
         self.spill_secs += spill_start.elapsed().as_secs_f64();
         self.combined_records += combined;
         let mut runs = 0u64;
@@ -906,34 +978,48 @@ fn run_less<K: Ord, V>(cursors: &[RunCursor<'_, K, V>], a: u32, b: u32) -> bool 
     }
 }
 
-/// Restores the min-heap property at `i` (children compared through the
-/// cursors they index, since keys are not `Clone` and stay in place).
-fn sift_down<K: Ord, V>(heap: &mut [u32], cursors: &[RunCursor<'_, K, V>], mut i: usize) {
-    loop {
-        let left = 2 * i + 1;
-        let right = 2 * i + 2;
-        let mut smallest = i;
-        if left < heap.len() && run_less(cursors, heap[left], heap[smallest]) {
-            smallest = left;
-        }
-        if right < heap.len() && run_less(cursors, heap[right], heap[smallest]) {
-            smallest = right;
-        }
-        if smallest == i {
-            return;
-        }
-        heap.swap(i, smallest);
-        i = smallest;
+/// `true` when run `a` beats run `b` in the merge tournament: live runs
+/// order by `(head key, run index)` (the [`run_less`] contract) and an
+/// exhausted run loses to every live run. Two exhausted runs order by
+/// index, keeping the relation a total order so tree replays stay
+/// consistent as runs drain.
+fn run_beats<K: Ord, V>(cursors: &[RunCursor<'_, K, V>], a: u32, b: u32) -> bool {
+    match (
+        cursors[a as usize].head.is_some(),
+        cursors[b as usize].head.is_some(),
+    ) {
+        (true, true) => run_less(cursors, a, b),
+        (true, false) => true,
+        (false, true) => false,
+        (false, false) => a < b,
     }
 }
 
 /// Streaming k-way merge over pre-sorted runs: the reduce side of
 /// [`ShufflePath::SortMerge`]. Pairs are decoded one at a time as the
 /// merge advances; nothing is buffered beyond one head pair per run.
+///
+/// Ordering is maintained by a *loser tree* (tournament tree, the classic
+/// Hadoop/DB merge structure): each internal node stores the run that lost
+/// the match played there, and the overall winner is kept aside. Popping
+/// the winner replays exactly one leaf-to-root path — one comparison per
+/// level, ⌈log₂ k⌉ total — where the binary-heap merge this replaces paid
+/// up to two comparisons per level on its sift-down, the ~2× saving that
+/// matters at high fan-in. Exhausted runs stay in the tree as automatic
+/// losers instead of being removed, so the structure never reshapes. The
+/// pop sequence is bit-identical to the heap's: both drain strictly by
+/// `(head key, run index)`, which is a total order over the live heads
+/// (the test module keeps the heap as a reference implementation and
+/// checks equivalence).
 struct KWayMerge<'a, K, V> {
     cursors: Vec<RunCursor<'a, K, V>>,
-    /// Min-heap of cursor indices ordered by `(head key, run index)`.
-    heap: Vec<u32>,
+    /// `tree[n]` is the run that lost the match at internal node `n`
+    /// (nodes `1..k`; index 0 is unused). Leaf `i` sits at conceptual
+    /// position `k + i`, so its first match plays at node `(k + i) / 2`.
+    tree: Vec<u32>,
+    /// Tournament winner: the run whose head is the merge's next pair.
+    /// `u32::MAX` when the merge was built over zero runs.
+    winner: u32,
     /// A run failed to decode; the job fails with a codec error once the
     /// reduce phase completes.
     decode_error: bool,
@@ -951,48 +1037,77 @@ impl<'a, K: Wire + Ord, V: Wire> KWayMerge<'a, K, V> {
             decode_error |= !cursor.advance();
             cursors.push(cursor);
         }
-        let mut heap: Vec<u32> = (0..cursors.len() as u32)
-            .filter(|&i| cursors[i as usize].head.is_some())
-            .collect();
-        for i in (0..heap.len() / 2).rev() {
-            sift_down(&mut heap, &cursors, i);
-        }
-        KWayMerge {
+        let k = cursors.len();
+        let mut merge = KWayMerge {
             cursors,
-            heap,
+            tree: vec![u32::MAX; k],
+            winner: u32::MAX,
             decode_error,
+        };
+        // Build by successive insertion: each run climbs from its leaf
+        // toward the root, resting at the first empty node it meets or
+        // playing the match stored there (loser stays, winner climbs).
+        // After k runs, k-1 matches have been played, every internal node
+        // holds the loser of the match between its two subtree winners,
+        // and the last climber to reach the root is the overall winner.
+        for i in 0..k as u32 {
+            let mut cand = i;
+            let mut node = (k + i as usize) / 2;
+            loop {
+                if node == 0 {
+                    merge.winner = cand;
+                    break;
+                }
+                let stored = merge.tree[node];
+                if stored == u32::MAX {
+                    merge.tree[node] = cand;
+                    break;
+                }
+                if run_beats(&merge.cursors, stored, cand) {
+                    merge.tree[node] = cand;
+                    cand = stored;
+                }
+                node /= 2;
+            }
         }
+        merge
     }
 
-    /// The next pair in merged key order, advancing its run.
+    /// The next pair in merged key order: takes the winner's head,
+    /// advances its run, and replays the winner's leaf-to-root path to
+    /// crown the next winner.
     fn pop(&mut self) -> Option<(K, V)> {
-        let &top = self.heap.first()?;
-        let cursor = &mut self.cursors[top as usize];
-        let pair = cursor.head.take().expect("heap entry has head");
+        let w = self.winner;
+        if w == u32::MAX {
+            return None;
+        }
+        let cursor = &mut self.cursors[w as usize];
+        let pair = cursor.head.take()?;
         if !cursor.advance() {
             self.decode_error = true;
         }
-        if self.cursors[top as usize].head.is_some() {
-            sift_down(&mut self.heap, &self.cursors, 0);
-        } else {
-            let last = self.heap.len() - 1;
-            self.heap.swap(0, last);
-            self.heap.pop();
-            sift_down(&mut self.heap, &self.cursors, 0);
+        let k = self.cursors.len();
+        let mut cand = w;
+        let mut node = (k + w as usize) / 2;
+        while node > 0 {
+            let stored = self.tree[node];
+            if run_beats(&self.cursors, stored, cand) {
+                self.tree[node] = cand;
+                cand = stored;
+            }
+            node /= 2;
         }
+        self.winner = cand;
         Some(pair)
     }
 
     /// Whether the next pair (if any) carries exactly `key`.
     fn peek_is(&self, key: &K) -> bool {
-        self.heap.first().is_some_and(|&i| {
-            self.cursors[i as usize]
+        self.winner != u32::MAX
+            && self.cursors[self.winner as usize]
                 .head
                 .as_ref()
-                .expect("heap entry has head")
-                .0
-                == *key
-        })
+                .is_some_and(|(k, _)| *k == *key)
     }
 }
 
@@ -1017,36 +1132,6 @@ impl<K: Wire + Ord, V: Wire> Iterator for GroupValues<'_, '_, K, V> {
             None
         }
     }
-}
-
-/// Runs `f(i, &items[i])` for every item on a pool of `threads` workers,
-/// returning results in item order.
-fn run_indexed<T, R>(threads: usize, items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-{
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    let workers = threads.clamp(1, items.len().max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(i, &items[i]);
-                results.lock().expect("results lock")[i] = Some(r);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("results lock")
-        .into_iter()
-        .map(|r| r.expect("every index filled"))
-        .collect()
 }
 
 /// Physical form of a finished map task's output.
@@ -1238,6 +1323,12 @@ where
         let job_start = Instant::now();
         let stage = &self.stage;
         let r = stage.reducers;
+        // All task bodies — map attempts, reduce attempts, mid-task spill
+        // sorts, intermediate merge passes — execute on the cluster's
+        // work-stealing pool. Results are always collected positionally by
+        // task id, so the pool's completion order never leaks into output,
+        // metrics, or traces.
+        let pool = cluster.executor();
 
         // Hadoop's `HashPartitioner`: FNV-1a over the key's wire bytes,
         // streamed straight into the hasher — no per-record encode buffer.
@@ -1254,7 +1345,7 @@ where
         // ---- Map phase ----
         let fault_plan = config.fault_plan.as_ref();
         let sort_merge = stage.shuffle_path == ShufflePath::SortMerge;
-        let pair_pool: BufferPool<(K, V)> = BufferPool::new();
+        let pair_pool: BufferPool<(K, V)> = BufferPool::per_worker(config.threads);
         // Per-job spill storage: runs written by budget-crossing map tasks
         // and by intermediate reduce merge passes. `io.sort.mb` is further
         // clamped to the task memory budget — a task must be able to spill
@@ -1286,6 +1377,7 @@ where
                     MapEmission::Bytes(vec![Vec::new(); r])
                 };
                 let spill = sort_merge.then(|| SpillControl {
+                    pool,
                     budget: spill_budget,
                     buffered: 0,
                     store: &spill_store,
@@ -1324,6 +1416,7 @@ where
                             // partition once into a pooled wire buffer.
                             let spill_start = Instant::now();
                             let (bufs, combined) = spill_partitions(
+                                pool,
                                 &mut parts,
                                 sp.combiner,
                                 &partition_hints,
@@ -1404,7 +1497,7 @@ where
                 }
             }
         };
-        let map_raw = run_indexed(config.threads, splits, |i, split| {
+        let map_raw = pool.run_indexed(splits, |i, split| {
             // HDFS read time is charged to every attempt of the task.
             let read_secs = stage.input_bytes.as_ref().map_or(0.0, |f| {
                 scheduler::io_secs(f(split), config.hdfs_bytes_per_sec)
@@ -1494,6 +1587,10 @@ where
             speculation,
             &map_faults,
         );
+        // Wave structure computed once per phase and reused everywhere the
+        // wave view is needed (trace emission below) rather than being
+        // re-derived from the attempt list per emission.
+        let map_waves = scheduler::wave_boundaries(&map_sched.attempts, config.map_slots);
 
         // ---- Shuffle ----
         // Sort-merge: runs move (no copy) to their reducer, in map-task
@@ -1768,7 +1865,7 @@ where
         // Output-capacity hint: the largest emission count any finished
         // reduce task observed, so later tasks pre-size `ctx.out`.
         let reduce_out_hint = AtomicUsize::new(0);
-        let reduce_raw = run_indexed(config.threads, &reducer_inputs, |i, input| {
+        let reduce_raw = pool.run_indexed(&reducer_inputs, |i, input| {
             run_attempts(
                 TaskPhase::Reduce,
                 i,
@@ -1843,7 +1940,15 @@ where
                             // lowest-run-first and takes its chunk's
                             // position in the run sequence.
                             while run_bufs.len() > sort_factor {
-                                let mut next: Vec<RunBuf> = Vec::new();
+                                // Chunk into contiguous groups of up to
+                                // `sort_factor` runs; each multi-run group
+                                // merges independently on the pool. Merged
+                                // buffers come back positionally and are
+                                // stored sequentially in group order, so
+                                // run ids, the pass ledger, and the byte
+                                // accounting are identical to a serial
+                                // pass-by-pass loop.
+                                let mut groups: Vec<Vec<RunBuf>> = Vec::new();
                                 let mut remaining = run_bufs.into_iter();
                                 loop {
                                     let group: Vec<RunBuf> =
@@ -1851,20 +1956,34 @@ where
                                     if group.is_empty() {
                                         break;
                                     }
-                                    if group.len() == 1 {
+                                    groups.push(group);
+                                }
+                                let merged: Vec<Option<(Vec<u8>, bool)>> =
+                                    pool.run_indexed(&groups, |_, group| {
+                                        if group.len() == 1 {
+                                            return None;
+                                        }
+                                        let total: usize =
+                                            group.iter().map(|g| g.as_slice().len()).sum();
+                                        let mut merge = KWayMerge::<K, V>::new(
+                                            group.iter().map(RunBuf::as_slice),
+                                        );
+                                        let mut out = Vec::with_capacity(total);
+                                        while let Some((k, v)) = merge.pop() {
+                                            k.encode(&mut out);
+                                            v.encode(&mut out);
+                                        }
+                                        Some((out, merge.decode_error))
+                                    });
+                                let mut next: Vec<RunBuf> = Vec::new();
+                                for (group, m) in groups.into_iter().zip(merged) {
+                                    let Some((out, group_decode_error)) = m else {
+                                        // Singleton tail group: passes
+                                        // through to the next round unmerged.
                                         next.extend(group);
                                         continue;
-                                    }
-                                    let total: usize =
-                                        group.iter().map(|g| g.as_slice().len()).sum();
-                                    let mut merge =
-                                        KWayMerge::<K, V>::new(group.iter().map(RunBuf::as_slice));
-                                    let mut out = Vec::with_capacity(total);
-                                    while let Some((k, v)) = merge.pop() {
-                                        k.encode(&mut out);
-                                        v.encode(&mut out);
-                                    }
-                                    decode_error |= merge.decode_error;
+                                    };
+                                    decode_error |= group_decode_error;
                                     merge_pass_info.push((group.len() as u64, out.len() as u64));
                                     // Charged twice: the pass writes the
                                     // run out and the next pass (or the
@@ -1981,6 +2100,7 @@ where
             speculation,
             &reduce_faults,
         );
+        let reduce_waves = scheduler::wave_boundaries(&reduce_sched.attempts, config.reduce_slots);
         let sim = SimBreakdown {
             setup: setup_secs,
             map: map_sched.makespan,
@@ -2051,7 +2171,7 @@ where
                 TaskPhase::Map,
                 map0,
                 &map_sched.attempts,
-                config.map_slots,
+                &map_waves,
             );
             for &(node, at) in &map_sched.blacklisted {
                 tr.emit(
@@ -2141,7 +2261,7 @@ where
                 TaskPhase::Reduce,
                 reduce0,
                 &reduce_sched.attempts,
-                config.reduce_slots,
+                &reduce_waves,
             );
             for &(node, at) in &reduce_sched.blacklisted {
                 tr.emit(
@@ -2653,11 +2773,23 @@ mod fault_tests {
 
     #[test]
     fn straggler_slows_simulated_clock_only() {
-        let clean = sum_job(&faulty_cluster(FaultPlan::seeded(0)), &[1, 2]).unwrap();
-        let slow = sum_job(
-            &faulty_cluster(FaultPlan::seeded(0).with_straggler(TaskPhase::Map, 0, 50.0)),
-            &[1, 2],
-        )
+        // The deterministic simulated HDFS read (4 MiB at the default
+        // 200 MiB/s = 0.02 s) dominates the host-measured body time, so
+        // the 50x multiplier is visible even when scheduler noise inflates
+        // a sub-microsecond measurement on a loaded single-core host.
+        let sized_sum = |cluster: &Cluster| {
+            JobBuilder::new("sum")
+                .map(|s: &u64, ctx: &mut MapContext<u8, u64>| ctx.emit(0, *s))
+                .input_bytes(|_| 4 << 20)
+                .reduce(|k, vals, ctx: &mut ReduceContext<u8, u64>| ctx.emit(*k, vals.sum()))
+                .run(cluster, &[1u64, 2])
+        };
+        let clean = sized_sum(&faulty_cluster(FaultPlan::seeded(0))).unwrap();
+        let slow = sized_sum(&faulty_cluster(FaultPlan::seeded(0).with_straggler(
+            TaskPhase::Map,
+            0,
+            50.0,
+        )))
         .unwrap();
         assert_eq!(clean.pairs, slow.pairs);
         assert!(slow.metrics.sim.map > clean.metrics.sim.map);
@@ -2990,6 +3122,253 @@ mod spill_tests {
         let pool: BufferPool<(u64, u64)> = BufferPool::new();
         pool.put(Vec::with_capacity(10 << 20));
         assert!(pool.pooled_bytes() <= BufferPool::<(u64, u64)>::MAX_BUF_BYTES);
+    }
+
+    #[test]
+    fn sharded_buffer_pool_keeps_global_caps() {
+        // The per-worker pool splits the retention budget across shards:
+        // however many threads return buffers, the pool-wide footprint
+        // stays within the unsharded cap.
+        let pool: BufferPool<u64> = BufferPool::per_worker(4);
+        for _ in 0..1000 {
+            pool.put(Vec::with_capacity(64 << 10));
+        }
+        assert!(pool.pooled_bytes() <= BufferPool::<u64>::MAX_TOTAL_BYTES);
+        // Buffers round-trip through the calling thread's shard.
+        let buf = pool.take(16);
+        assert!(buf.capacity() >= 16);
+        pool.put(buf);
+    }
+
+    /// The pre-loser-tree binary-heap merge, kept verbatim as the
+    /// reference the loser tree must match pop-for-pop (same
+    /// `(key, run index)` total order).
+    struct HeapKWayMerge<'a, K, V> {
+        cursors: Vec<RunCursor<'a, K, V>>,
+        heap: Vec<u32>,
+        decode_error: bool,
+    }
+
+    fn sift_down<K: Ord, V>(heap: &mut [u32], cursors: &[RunCursor<'_, K, V>], mut i: usize) {
+        loop {
+            let left = 2 * i + 1;
+            let right = 2 * i + 2;
+            let mut smallest = i;
+            if left < heap.len() && run_less(cursors, heap[left], heap[smallest]) {
+                smallest = left;
+            }
+            if right < heap.len() && run_less(cursors, heap[right], heap[smallest]) {
+                smallest = right;
+            }
+            if smallest == i {
+                return;
+            }
+            heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    impl<'a, K: Wire + Ord, V: Wire> HeapKWayMerge<'a, K, V> {
+        fn new(runs: impl IntoIterator<Item = &'a [u8]>) -> Self {
+            let mut decode_error = false;
+            let mut cursors: Vec<RunCursor<'a, K, V>> = Vec::new();
+            for run in runs {
+                let mut cursor = RunCursor {
+                    rest: run,
+                    head: None,
+                };
+                decode_error |= !cursor.advance();
+                cursors.push(cursor);
+            }
+            let mut heap: Vec<u32> = (0..cursors.len() as u32)
+                .filter(|&i| cursors[i as usize].head.is_some())
+                .collect();
+            for i in (0..heap.len() / 2).rev() {
+                sift_down(&mut heap, &cursors, i);
+            }
+            HeapKWayMerge {
+                cursors,
+                heap,
+                decode_error,
+            }
+        }
+
+        fn pop(&mut self) -> Option<(K, V)> {
+            let &top = self.heap.first()?;
+            let cursor = &mut self.cursors[top as usize];
+            let pair = cursor.head.take().expect("heap entry has head");
+            if !cursor.advance() {
+                self.decode_error = true;
+            }
+            if self.cursors[top as usize].head.is_some() {
+                sift_down(&mut self.heap, &self.cursors, 0);
+            } else {
+                let last = self.heap.len() - 1;
+                self.heap.swap(0, last);
+                self.heap.pop();
+                sift_down(&mut self.heap, &self.cursors, 0);
+            }
+            Some(pair)
+        }
+    }
+
+    /// Encodes a sorted pair list as one wire run.
+    fn encode_run<K: Wire, V: Wire>(pairs: &[(K, V)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (k, v) in pairs {
+            k.encode(&mut out);
+            v.encode(&mut out);
+        }
+        out
+    }
+
+    /// Asserts the loser tree and the reference heap produce the same pop
+    /// sequence and decode-error flag over `runs`.
+    fn assert_merge_equivalent<K, V>(runs: &[Vec<u8>])
+    where
+        K: Wire + Ord + std::fmt::Debug,
+        V: Wire + PartialEq + std::fmt::Debug,
+    {
+        let mut tree = KWayMerge::<K, V>::new(runs.iter().map(Vec::as_slice));
+        let mut heap = HeapKWayMerge::<K, V>::new(runs.iter().map(Vec::as_slice));
+        assert_eq!(tree.decode_error, heap.decode_error, "initial decode flag");
+        let mut n = 0usize;
+        loop {
+            let expect = heap.pop();
+            if let Some((k, _)) = &expect {
+                assert!(tree.peek_is(k), "peek_is disagrees at pop {n}");
+            }
+            let got = tree.pop();
+            assert_eq!(got, expect, "pop {n} diverged");
+            if expect.is_none() {
+                break;
+            }
+            n += 1;
+        }
+        assert_eq!(tree.decode_error, heap.decode_error, "final decode flag");
+    }
+
+    /// Splitmix-style deterministic generator for the merge tests.
+    fn next_rand(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let z = *state;
+        let z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn loser_tree_matches_heap_on_dup_heavy_runs() {
+        // Tiny key alphabet → massive duplication, so the (key, run index)
+        // tie-break carries most of the ordering. Values tag (run, seq) so
+        // a tie-break divergence cannot cancel out.
+        let mut state = 0x5eed_cafe_u64;
+        for trial in 0..50 {
+            let k = (next_rand(&mut state) % 24) as usize; // fan-in 0..=23
+            let runs: Vec<Vec<u8>> = (0..k)
+                .map(|run| {
+                    let len = (next_rand(&mut state) % 20) as usize; // empties included
+                    let mut keys: Vec<u32> = (0..len)
+                        .map(|_| (next_rand(&mut state) % 4) as u32)
+                        .collect();
+                    keys.sort_unstable();
+                    let pairs: Vec<(u32, u64)> = keys
+                        .into_iter()
+                        .enumerate()
+                        .map(|(seq, key)| (key, ((run as u64) << 32) | seq as u64))
+                        .collect();
+                    encode_run(&pairs)
+                })
+                .collect();
+            assert_merge_equivalent::<u32, u64>(&runs);
+            let _ = trial;
+        }
+    }
+
+    /// An `Ord` float key ordered by IEEE total order — exercises NaN and
+    /// signed-zero keys through the merge without violating `Ord`.
+    #[derive(Debug, Clone, Copy)]
+    struct TotalF64(f64);
+    impl PartialEq for TotalF64 {
+        fn eq(&self, other: &Self) -> bool {
+            self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+        }
+    }
+    impl Eq for TotalF64 {}
+    impl PartialOrd for TotalF64 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for TotalF64 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+    impl Wire for TotalF64 {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            self.0.to_bits().encode(buf);
+        }
+        fn decode(buf: &mut &[u8]) -> Result<Self, crate::codec::CodecError> {
+            Ok(TotalF64(f64::from_bits(u64::decode(buf)?)))
+        }
+    }
+
+    #[test]
+    fn loser_tree_matches_heap_on_nan_keys() {
+        let specials = [
+            f64::NAN,
+            -f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            1.5,
+            -1.5,
+        ];
+        let mut state = 0xfeed_f00d_u64;
+        for _ in 0..50 {
+            let k = 1 + (next_rand(&mut state) % 12) as usize;
+            let runs: Vec<Vec<u8>> = (0..k)
+                .map(|run| {
+                    let len = (next_rand(&mut state) % 10) as usize;
+                    let mut keys: Vec<TotalF64> = (0..len)
+                        .map(|_| TotalF64(specials[(next_rand(&mut state) % 8) as usize]))
+                        .collect();
+                    keys.sort();
+                    let pairs: Vec<(TotalF64, u64)> = keys
+                        .into_iter()
+                        .enumerate()
+                        .map(|(seq, key)| (key, ((run as u64) << 32) | seq as u64))
+                        .collect();
+                    encode_run(&pairs)
+                })
+                .collect();
+            assert_merge_equivalent::<TotalF64, u64>(&runs);
+        }
+    }
+
+    #[test]
+    fn loser_tree_handles_empty_and_degenerate_inputs() {
+        // Zero runs.
+        assert_merge_equivalent::<u32, u64>(&[]);
+        // All runs empty.
+        assert_merge_equivalent::<u32, u64>(&[Vec::new(), Vec::new(), Vec::new()]);
+        // Single run.
+        assert_merge_equivalent::<u32, u64>(&[encode_run(&[(1u32, 10u64), (2, 20)])]);
+        // One live run among empties.
+        assert_merge_equivalent::<u32, u64>(&[Vec::new(), encode_run(&[(5u32, 1u64)]), Vec::new()]);
+    }
+
+    #[test]
+    fn loser_tree_flags_decode_errors_like_heap() {
+        // A truncated run trips the decode-error flag in both merges and
+        // the surviving runs still drain in order.
+        let good = encode_run(&[(1u32, 1u64), (3, 3)]);
+        let mut bad = encode_run(&[(2u32, 2u64)]);
+        bad.truncate(bad.len() - 3);
+        assert_merge_equivalent::<u32, u64>(&[good, bad]);
     }
 
     #[test]

@@ -74,6 +74,7 @@
 //! | [`cluster`]   | [`ClusterConfig`] (slots, cost constants, fault plan) and the shared [`Cluster`] handle with its job-history ledger and trace sink |
 //! | [`codec`]     | The `Wire` byte format every key/value pays to cross the shuffle |
 //! | [`error`]     | [`RuntimeError`]: typed failures (task exhaustion, OOM, bad partitioner, codec) |
+//! | [`executor`]  | Work-stealing thread pool: map/reduce attempts, spill sorts, and merge passes on real cores, deterministically |
 //! | [`fault`]     | Seeded [`FaultPlan`]: targeted/probabilistic attempt failures and stragglers |
 //! | [`job`]       | [`JobBuilder`] → typed map/reduce jobs; executes phases and emits metrics + trace |
 //! | [`metrics`]   | Per-job [`JobMetrics`] / per-driver [`DriverMetrics`] aggregates, attempt records |
@@ -84,6 +85,7 @@
 pub mod cluster;
 pub mod codec;
 pub mod error;
+pub mod executor;
 pub mod fault;
 pub mod job;
 pub mod metrics;
@@ -91,8 +93,9 @@ pub mod pipeline;
 pub mod scheduler;
 pub mod trace;
 
-pub use cluster::{Cluster, ClusterConfig, SpillBackend};
+pub use cluster::{threads_from_env, Cluster, ClusterConfig, SpillBackend};
 pub use error::RuntimeError;
+pub use executor::Executor;
 pub use fault::{
     FailureKind, FaultKind, FaultPlan, NodeFailure, Straggler, TargetedFault, TaskPhase,
 };

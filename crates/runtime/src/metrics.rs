@@ -410,6 +410,77 @@ impl JobMetrics {
     pub fn corrupt_runs(&self) -> u64 {
         self.recovery.corrupt_runs
     }
+
+    /// FNV-1a digest of the job's *structural* execution record: the
+    /// fields that are a pure function of (job, input, cluster config,
+    /// fault plan) — task counts, spill/merge ledgers, byte and record
+    /// accounting, counters, recovery stats, and every attempt's
+    /// `(phase, task, attempt, kind, outcome, failure)` record.
+    ///
+    /// Host-measured quantities are deliberately excluded: per-task
+    /// seconds, the simulated breakdown (derived from host timings),
+    /// real elapsed time, attempt sim times, and slot/node placement
+    /// (placement follows measured durations once tasks queue for
+    /// slots). What remains must be bit-identical between `threads=1`
+    /// and `threads=N` runs of the same job — the executor's
+    /// determinism contract, enforced by the cross-thread proptests.
+    pub fn structural_digest(&self) -> u64 {
+        use crate::codec::WireSink;
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "job({}) tasks({}/{}) runs({:?}) passes({:?}) fan_in({:?}) merges({:?}) \
+             bytes({}/{}/{}/{}) records({}/{}) waves({}) counters({:?}) \
+             recovery({}/{}/{}/{}/{}) phase({:?})",
+            self.name,
+            self.map_tasks(),
+            self.reduce_tasks(),
+            self.spill_runs,
+            self.spill_passes,
+            self.merge_fan_in,
+            self.merge_passes,
+            self.disk_spill_bytes,
+            self.disk_merge_bytes,
+            self.shuffle_bytes,
+            self.input_bytes,
+            self.shuffle_records,
+            self.output_records,
+            self.map_waves,
+            self.counters,
+            self.recovery.nodes_failed,
+            self.recovery.nodes_blacklisted,
+            self.recovery.maps_reexecuted,
+            self.recovery.fetch_retries,
+            self.recovery.corrupt_runs,
+            self.phase,
+        );
+        // Attempt records, sorted structurally so the digest is
+        // independent of the schedule's internal event ordering.
+        let mut attempts: Vec<String> = self
+            .attempts
+            .iter()
+            .map(|a| {
+                format!(
+                    "attempt({:?} {} a{} {} {} {:?})",
+                    a.phase,
+                    a.task,
+                    a.attempt,
+                    a.kind.as_str(),
+                    a.outcome.as_str(),
+                    a.failure,
+                )
+            })
+            .collect();
+        attempts.sort_unstable();
+        for a in &attempts {
+            s.push(' ');
+            s.push_str(a);
+        }
+        let mut hasher = crate::codec::FnvHasher::new();
+        hasher.write(s.as_bytes());
+        hasher.finish()
+    }
 }
 
 /// Aggregate metrics for one named pipeline stage.
@@ -505,6 +576,18 @@ impl DriverMetrics {
     /// DIndirectHaar's binary search) into its own.
     pub fn merge(&mut self, other: DriverMetrics) {
         self.jobs.extend(other.jobs);
+    }
+
+    /// FNV-1a fold of every job's [`JobMetrics::structural_digest`] in
+    /// execution order: one number summarising the driver's whole
+    /// structural ledger, bit-identical across executor thread counts.
+    pub fn structural_digest(&self) -> u64 {
+        use crate::codec::WireSink;
+        let mut hasher = crate::codec::FnvHasher::new();
+        for job in &self.jobs {
+            hasher.write(&job.structural_digest().to_le_bytes());
+        }
+        hasher.finish()
     }
 
     /// Groups the job ledger by stage name and execution phase, in

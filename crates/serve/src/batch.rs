@@ -19,10 +19,19 @@
 //!    reader's pinned store version. A batch never observes a snapshot
 //! swap part-way through: the [`StoreReader`] holds its `Arc` for the
 //! duration.
+//!
+//! Shard groups are independent — no query crosses groups, and repeats
+//! of a query always route to the same group — so [`execute_on`] fans
+//! the groups across a work-stealing [`Executor`]: each group evaluates
+//! with its own memo on whatever worker picks it up, answers scatter
+//! back positionally, and stats fold in group order. The answers *and*
+//! the [`BatchStats`] are bit-identical to the serial path at any
+//! thread count.
 
 use std::collections::HashMap;
 
 use dwmaxerr_core::query::Answer;
+use dwmaxerr_runtime::Executor;
 
 use crate::error::ServeError;
 use crate::store::StoreReader;
@@ -68,6 +77,39 @@ pub fn execute_with_stats(
     reader: &StoreReader,
     queries: &[Query],
 ) -> Result<(Vec<Answer>, BatchStats), ServeError> {
+    execute_inner(reader, queries, None)
+}
+
+/// [`execute`], fanning shard groups across `pool`'s workers. Answers
+/// and stats are bit-identical to the serial [`execute`] — grouping is a
+/// pure function of the query, so no memo hit ever crosses a group.
+pub fn execute_on(
+    reader: &StoreReader,
+    queries: &[Query],
+    pool: &Executor,
+) -> Result<Vec<Answer>, ServeError> {
+    execute_inner(reader, queries, Some(pool)).map(|(answers, _)| answers)
+}
+
+/// [`execute_on`], also returning [`BatchStats`].
+pub fn execute_with_stats_on(
+    reader: &StoreReader,
+    queries: &[Query],
+    pool: &Executor,
+) -> Result<(Vec<Answer>, BatchStats), ServeError> {
+    execute_inner(reader, queries, Some(pool))
+}
+
+/// One shard group's evaluation: answers for the group's query indices
+/// (positional) plus its memo/evaluation counts, or the group's first
+/// error in query order.
+type GroupResult = Result<(Vec<Answer>, usize, usize), ServeError>;
+
+fn execute_inner(
+    reader: &StoreReader,
+    queries: &[Query],
+    pool: Option<&Executor>,
+) -> Result<(Vec<Answer>, BatchStats), ServeError> {
     let sharded = reader.sharded();
     let n = sharded.n();
 
@@ -94,22 +136,23 @@ pub fn execute_with_stats(
         };
         buckets[shard].push(i);
     }
+    buckets.retain(|b| !b.is_empty());
 
-    let mut stats = BatchStats::default();
-    let mut memo: HashMap<Query, Answer> = HashMap::new();
-    let mut answers: Vec<Option<Answer>> = vec![None; queries.len()];
-    for bucket in &buckets {
-        if bucket.is_empty() {
-            continue;
-        }
-        stats.shard_groups += 1;
+    // Evaluate one group with a group-local memo. Identical queries
+    // always share a primary shard, so a local memo sees every repeat
+    // the serial batch-wide memo would have seen.
+    let eval_group = |bucket: &Vec<usize>| -> GroupResult {
+        let mut memo: HashMap<Query, Answer> = HashMap::new();
+        let mut out = Vec::with_capacity(bucket.len());
+        let mut hits = 0usize;
+        let mut evaluated = 0usize;
         for &i in bucket {
             let q = queries[i];
             let answer = if let Some(&hit) = memo.get(&q) {
-                stats.memo_hits += 1;
+                hits += 1;
                 hit
             } else {
-                stats.evaluated += 1;
+                evaluated += 1;
                 let fresh = match q {
                     Query::Point { x } => reader.point(x)?,
                     Query::RangeSum { l, h } => reader.range_sum(l, h)?,
@@ -117,6 +160,26 @@ pub fn execute_with_stats(
                 memo.insert(q, fresh);
                 fresh
             };
+            out.push(answer);
+        }
+        Ok((out, hits, evaluated))
+    };
+    let group_results: Vec<GroupResult> = match pool {
+        Some(pool) => pool.run_indexed(&buckets, |_, bucket| eval_group(bucket)),
+        None => buckets.iter().map(eval_group).collect(),
+    };
+
+    // Scatter positionally and fold stats in group order — completion
+    // order never influences the output. The first failed group (in
+    // group order) surfaces its error exactly as the serial loop would.
+    let mut stats = BatchStats::default();
+    let mut answers: Vec<Option<Answer>> = vec![None; queries.len()];
+    for (bucket, result) in buckets.iter().zip(group_results) {
+        let (group_answers, hits, evaluated) = result?;
+        stats.shard_groups += 1;
+        stats.memo_hits += hits;
+        stats.evaluated += evaluated;
+        for (&i, answer) in bucket.iter().zip(group_answers) {
             answers[i] = Some(answer);
         }
     }
@@ -184,6 +247,34 @@ mod tests {
         assert_eq!(stats.memo_hits, 2);
         assert_eq!(stats.evaluated, 3);
         assert_eq!(stats.shard_groups, 2);
+    }
+
+    #[test]
+    fn parallel_batch_is_bit_identical_to_serial() {
+        let r = reader();
+        // A mix with repeats, cross-shard ranges, and hot points — every
+        // thread count must reproduce the serial answers and stats.
+        let queries = vec![
+            Query::Point { x: 1 },
+            Query::RangeSum { l: 0, h: 7 },
+            Query::Point { x: 1 },
+            Query::Point { x: 6 },
+            Query::RangeSum { l: 2, h: 5 },
+            Query::Point { x: 0 },
+            Query::RangeSum { l: 0, h: 7 },
+            Query::Point { x: 7 },
+        ];
+        let (serial, serial_stats) = execute_with_stats(&r, &queries).unwrap();
+        for threads in [1, 2, 4] {
+            let pool = Executor::new(threads);
+            let (par, par_stats) = execute_with_stats_on(&r, &queries, &pool).unwrap();
+            assert_eq!(par_stats, serial_stats, "stats at threads={threads}");
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.value.to_bits(), b.value.to_bits());
+                assert_eq!(a.err_abs, b.err_abs);
+                assert_eq!(a.version, b.version);
+            }
+        }
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub mod serve_loop;
 pub mod shard;
 pub mod store;
 
-pub use batch::{execute, execute_with_stats, BatchStats, Query};
+pub use batch::{
+    execute, execute_on, execute_with_stats, execute_with_stats_on, BatchStats, Query,
+};
 pub use error::ServeError;
 pub use serve_loop::{ServeDriver, ServeTickReport};
 pub use shard::{ShardedSynopsis, SynopsisShard};

@@ -1,0 +1,296 @@
+//! Executor-determinism acceptance tests: the work-stealing thread pool
+//! must be *observationally invisible*. Running the identical workload at
+//! `threads = 1` (fully inline, zero workers) and `threads = N` (real
+//! concurrency for map attempts, reduce attempts, spill sorts, and merge
+//! passes) must produce
+//!
+//! * bit-identical output pairs,
+//! * identical JSONL trace exports modulo host-measured timestamps —
+//!   compared via the [`TraceEvent::digest`] redaction the golden-trace
+//!   tests pin (timestamps are wall-clock measurements and legitimately
+//!   differ run to run even at a fixed thread count),
+//! * identical [`DriverMetrics::structural_digest`] ledgers (task/attempt
+//!   structure, spill and merge ledgers, byte and record counters,
+//!   recovery stats — everything except measured seconds),
+//!
+//! including under an injected [`FaultPlan`] with targeted attempt
+//! failures, a node kill that loses completed map outputs, and corrupt
+//! stored runs — on both spill backends, with the spill buffer and merge
+//! fan-in squeezed so the external multi-pass merge paths all engage.
+
+use std::time::Duration;
+
+use dwmaxerr::runtime::trace::{self, TraceEvent};
+use dwmaxerr::runtime::{
+    Cluster, ClusterConfig, DriverMetrics, FaultPlan, JobBuilder, MapContext, Pipeline,
+    ReduceContext, SpillBackend, TaskPhase,
+};
+use proptest::prelude::*;
+
+/// Which fault story a scenario injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Faults {
+    /// Perfect cluster.
+    None,
+    /// First attempts of map task 0 and reduce task 0 fail; retries win.
+    Targeted,
+    /// Node 0 dies after every map attempt completed (sim time 1000 s is
+    /// far past any task end here) *and* map task 0's stored run is
+    /// corrupted: reducers hit checksum failures and lost outputs, retry
+    /// their fetches, and force map re-execution.
+    NodeKillAndCorruption,
+}
+
+/// One randomized workload shape.
+#[derive(Debug, Clone)]
+struct Scenario {
+    splits: Vec<Vec<u64>>,
+    reducers: usize,
+    faults: Faults,
+    /// Squeeze `io_sort_bytes`/`io_sort_factor` so maps spill
+    /// mid-attempt and reducers need intermediate merge passes — the
+    /// paths the executor parallelizes beyond whole-task fan-out.
+    tiny_sort: bool,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        prop::collection::vec(prop::collection::vec(0u64..64, 0..24), 1..=4),
+        1usize..=3,
+        (0u8..=2).prop_map(|f| match f {
+            0 => Faults::None,
+            1 => Faults::Targeted,
+            _ => Faults::NodeKillAndCorruption,
+        }),
+        any::<bool>(),
+        0u64..1_000,
+    )
+        .prop_map(|(mut splits, reducers, faults, tiny_sort, seed)| {
+            // The runtime rejects zero-split jobs, so guarantee stage 1
+            // emits at least one pair for stage 2 to consume.
+            splits[0].push(seed % 64);
+            Scenario {
+                splits,
+                reducers,
+                faults,
+                tiny_sort,
+                seed,
+            }
+        })
+}
+
+/// Everything a run can leak about its schedule, host timings redacted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fingerprint {
+    pairs: Vec<(u64, u64)>,
+    /// [`TraceEvent::digest`] lines, parsed back from the JSONL export so
+    /// the comparison covers the serialized trace, not just the in-memory
+    /// events.
+    trace: String,
+    driver_digest: u64,
+    jobs: usize,
+}
+
+/// Builds the scenario's cluster at `threads` host threads. Slots cover
+/// every task in *both* stages (single wave — stage 2 has at most one
+/// split per scatter key, and scatter keys live in `0..16`) and
+/// speculation is off, so the simulated schedule is forced; the thread
+/// count must then be unobservable. With fewer slots than tasks the
+/// scheduler places later waves on whichever slot the measured timings
+/// say frees first, which legitimately varies run to run.
+fn cluster_for(scenario: &Scenario, backend: SpillBackend, threads: usize) -> Cluster {
+    let mut cfg = ClusterConfig::with_slots(scenario.splits.len().max(16), scenario.reducers);
+    cfg.threads = threads;
+    cfg.nodes = 2;
+    cfg.task_startup = Duration::from_micros(10);
+    cfg.job_setup = Duration::from_micros(10);
+    cfg.speculative_execution = false;
+    cfg.spill_backend = backend;
+    if scenario.tiny_sort {
+        cfg.io_sort_bytes = 256;
+        cfg.io_sort_factor = 2;
+    }
+    cfg.fault_plan = match scenario.faults {
+        Faults::None => None,
+        Faults::Targeted => Some(
+            FaultPlan::seeded(scenario.seed)
+                .with_targeted(TaskPhase::Map, 0, vec![1])
+                .with_targeted(TaskPhase::Reduce, 0, vec![1]),
+        ),
+        Faults::NodeKillAndCorruption => Some(
+            FaultPlan::seeded(scenario.seed)
+                .with_node_failure(0, 1000.0)
+                .with_corrupt_run(0),
+        ),
+    };
+    Cluster::new(cfg)
+}
+
+/// Runs a two-stage pipeline and fingerprints it. Both reduces fold their
+/// values with a *non-commutative* hash, so any reordering introduced by
+/// parallel spill sorts, the loser-tree merge, or parallel merge groups
+/// changes the output bits instead of vanishing into a commutative sum.
+fn run_scenario(scenario: &Scenario, backend: SpillBackend, threads: usize) -> Fingerprint {
+    let order_fold = |vals: &mut dyn Iterator<Item = u64>| {
+        vals.fold(0x811C_9DC5u64, |h, v| {
+            h.rotate_left(5) ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        })
+    };
+    let scatter = JobBuilder::new("scatter")
+        .map(|split: &Vec<u64>, ctx: &mut MapContext<u64, u64>| {
+            for (i, &x) in split.iter().enumerate() {
+                ctx.emit(x % 16, x.wrapping_mul(31).wrapping_add(i as u64));
+            }
+        })
+        .reducers(scenario.reducers)
+        .reduce(move |k, vals, ctx: &mut ReduceContext<u64, u64>| {
+            ctx.emit(*k, order_fold(vals));
+        });
+    let tally = JobBuilder::new("tally")
+        .map(|kv: &(u64, u64), ctx: &mut MapContext<u64, u64>| {
+            ctx.emit(kv.0 % 4, kv.1 ^ kv.0);
+        })
+        .reducers(scenario.reducers)
+        .reduce(move |k, vals, ctx: &mut ReduceContext<u64, u64>| {
+            ctx.emit(*k, order_fold(vals));
+        });
+
+    let cluster = cluster_for(scenario, backend, threads);
+    let staged = Pipeline::on(&cluster)
+        .stage(&scatter, &scenario.splits)
+        .expect("scatter survives the fault plan")
+        .then(|((), pairs)| pairs);
+    let mid = staged.value().clone();
+    let (pairs, metrics): (Vec<(u64, u64)>, DriverMetrics) = {
+        let done = staged.stage(&tally, &mid).expect("tally survives");
+        let pairs = done.value().1.clone();
+        (pairs, done.into_metrics())
+    };
+
+    let events = cluster.trace_events();
+    trace::validate(&events).expect("trace is well-formed at every thread count");
+    let doc = trace::to_jsonl(&events);
+    let parsed = trace::from_jsonl(&doc).expect("JSONL export round-trips");
+    let trace = parsed
+        .iter()
+        .map(TraceEvent::digest)
+        .collect::<Vec<_>>()
+        .join("\n");
+    Fingerprint {
+        pairs,
+        trace,
+        driver_digest: metrics.structural_digest(),
+        jobs: metrics.job_count(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Satellite 3: threads=1 vs threads=N are bitwise indistinguishable —
+    // output pairs, JSONL trace digests, and the DriverMetrics structural
+    // ledger — across random workloads, all three fault stories, and both
+    // spill backends.
+    #[test]
+    fn threaded_runs_are_bitwise_identical_to_serial(s in scenario()) {
+        for backend in [SpillBackend::Memory, SpillBackend::Disk] {
+            let serial = run_scenario(&s, backend, 1);
+            prop_assert!(serial.jobs == 2, "pipeline ran both stages");
+            for threads in [2usize, 4] {
+                let parallel = run_scenario(&s, backend, threads);
+                prop_assert_eq!(
+                    &serial, &parallel,
+                    "{:?} at threads={} diverged from serial", backend, threads
+                );
+            }
+        }
+    }
+}
+
+/// The golden-trace workload from `trace_semantics.rs`, replayed at every
+/// thread count: the exact event sequence the golden test pins must come
+/// out of the parallel executor too, not merely *some* stable sequence.
+#[test]
+fn golden_trace_sequence_is_thread_count_invariant() {
+    let run = |threads: usize| {
+        let mut cfg = ClusterConfig::with_slots(2, 1);
+        cfg.threads = threads;
+        cfg.task_startup = Duration::from_micros(10);
+        cfg.job_setup = Duration::from_micros(10);
+        cfg.speculative_execution = false;
+        cfg.fault_plan = Some(
+            FaultPlan::seeded(3)
+                .with_targeted(TaskPhase::Map, 0, vec![1])
+                .with_targeted(TaskPhase::Reduce, 0, vec![1]),
+        );
+        let cluster = Cluster::new(cfg);
+        JobBuilder::new("sum")
+            .map(|s: &u64, ctx: &mut MapContext<u8, u64>| ctx.emit(0, *s))
+            .reduce(|k, vals, ctx: &mut ReduceContext<u8, u64>| ctx.emit(*k, vals.sum()))
+            .run(&cluster, &[1, 2])
+            .expect("job succeeds");
+        cluster
+            .trace_events()
+            .iter()
+            .map(TraceEvent::digest)
+            .collect::<Vec<_>>()
+    };
+    let serial = run(1);
+    assert!(serial.contains(&"attempt(sum map0 a1 regular failed injected)".to_string()));
+    for threads in [2, 3, 4, 8] {
+        assert_eq!(serial, run(threads), "trace drifted at threads={threads}");
+    }
+}
+
+/// Heavier deterministic pin of the hardest combination: disk backend,
+/// squeezed spill budget and fan-in (mid-task spills + multi-pass
+/// merges), a node kill *and* a corrupt run — the recovery ledger
+/// (re-executions, fetch retries, corrupt-run detections) must land
+/// identically at every thread count.
+#[test]
+fn node_kill_recovery_ledger_is_thread_count_invariant() {
+    let s = Scenario {
+        splits: (0..6)
+            .map(|t| (0..48).map(|i| (t * 31 + i * 7) % 64).collect())
+            .collect(),
+        reducers: 3,
+        faults: Faults::NodeKillAndCorruption,
+        tiny_sort: true,
+        seed: 7,
+    };
+    let serial = run_scenario(&s, SpillBackend::Disk, 1);
+    assert!(
+        serial.trace.contains("map_reexecuted"),
+        "scenario failed to exercise recovery:\n{}",
+        serial.trace
+    );
+    for threads in [2, 4] {
+        assert_eq!(
+            serial,
+            run_scenario(&s, SpillBackend::Disk, threads),
+            "recovery diverged at threads={threads}"
+        );
+    }
+}
+
+/// `DriverMetrics::structural_digest` itself must be sensitive enough to
+/// be worth comparing: distinct workloads must not collide trivially.
+#[test]
+fn structural_digest_distinguishes_different_workloads() {
+    let base = Scenario {
+        splits: vec![vec![1, 2, 3], vec![4, 5, 6]],
+        reducers: 2,
+        faults: Faults::None,
+        tiny_sort: false,
+        seed: 0,
+    };
+    let mut faulty = base.clone();
+    faulty.faults = Faults::Targeted;
+    let a = run_scenario(&base, SpillBackend::Memory, 1);
+    let b = run_scenario(&faulty, SpillBackend::Memory, 1);
+    assert_ne!(
+        a.driver_digest, b.driver_digest,
+        "digest blind to injected retries"
+    );
+}
